@@ -1,0 +1,80 @@
+"""The cache's own birthday paradox (§2.3, formalized).
+
+The paper's overflow condition — "the transaction accesses a fifth block
+that maps to one of its 4-way set associative sets" — is the generalized
+(k = ways+1) birthday problem over n_sets days. This bench checks the
+exact DP model against the cache simulator for uniform placement, then
+places the paper's 36 %-utilization measurement between the two pure
+regimes our workload model mixes:
+
+* uniform random placement → overflow at 28 % utilization (k=5 birthday);
+* perfectly striped (sequential) placement → overflow only at 100 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.analysis.tables import format_table
+from repro.core.generalized import blocks_until_set_overflow, generalized_birthday_probability
+from repro.htm.cache import CacheGeometry
+from repro.htm.htm import HTMContext
+from repro.sim.overflow import OverflowConfig, fleet_summary
+from repro.traces.events import AccessTrace
+from repro.util.rng import stream_rng
+
+GEOMETRY = CacheGeometry()  # the paper's 32 KB 4-way: 128 sets, 512 blocks
+
+
+def _uniform_overflow_samples(n: int) -> np.ndarray:
+    rng = stream_rng(BENCH_SEED, "cache-birthday")
+    points = []
+    for _ in range(n):
+        blocks = rng.choice(10_000_000, size=400, replace=False).astype(np.int64)
+        ov = HTMContext(GEOMETRY).run(AccessTrace(blocks, np.zeros(400, dtype=bool)))
+        points.append(ov.footprint.total)
+    return np.asarray(points)
+
+
+def test_cache_overflow_is_generalized_birthday(benchmark):
+    def compute():
+        uniform = _uniform_overflow_samples(200)
+        # A purely sequential transaction stripes sets evenly.
+        seq_blocks = np.arange(600, dtype=np.int64)
+        seq_ov = HTMContext(GEOMETRY).run(
+            AccessTrace(seq_blocks, np.zeros(600, dtype=bool))
+        )
+        fleet = fleet_summary(
+            OverflowConfig(n_traces=4, trace_accesses=150_000, seed=BENCH_SEED),
+            benchmarks=["gcc", "mcf", "gzip", "eon"],
+        )["AVG"]
+        return uniform, seq_ov, fleet
+
+    uniform, seq_ov, fleet = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    predicted_median = blocks_until_set_overflow(128, 4)
+    measured_median = float(np.median(uniform))
+    rows = [
+        ["k=5 birthday DP (median)", predicted_median, f"{predicted_median / 512:.0%}"],
+        ["cache simulator, uniform (median)", f"{measured_median:.0f}", f"{measured_median / 512:.0%}"],
+        ["cache simulator, sequential", seq_ov.footprint.total, f"{seq_ov.footprint.total / 512:.0%}"],
+        ["workload-fleet average (Fig 3)", f"{fleet.mean_footprint:.0f}", f"{fleet.mean_utilization:.0%}"],
+    ]
+    emit(
+        format_table(
+            ["placement", "blocks at overflow", "utilization"],
+            rows,
+            title="Cache overflow as a birthday problem (128 sets, 4-way)",
+        )
+    )
+
+    # Exact DP matches the simulator on uniform placement.
+    assert abs(measured_median - predicted_median) <= 10
+    # And the DP's probability at the measured median is ~50 %.
+    p = generalized_birthday_probability(int(round(measured_median)), 128, 5)
+    assert 0.3 < p < 0.7
+    # Sequential placement fills the cache completely before overflow.
+    assert seq_ov.footprint.total == 513  # capacity + the evicting access
+    # The realistic fleet sits strictly between the two pure regimes.
+    assert measured_median < fleet.mean_footprint < seq_ov.footprint.total

@@ -1,0 +1,123 @@
+"""Figure 2 — trace-driven aliasing likelihood (§2.2).
+
+Paper series:
+  (a) alias likelihood vs write footprint W ∈ [5..80], C = 2, one line
+      per table size N ∈ {1k, 4k, 16k, 64k, 256k};
+  (b) the same data against N (lines per W);
+  (c) alias likelihood vs concurrency C ∈ [2..4] at N = 64k, lines for
+      W ∈ {5, 10, 20, 40}.
+
+Shape checks: superlinear growth in W (near-quadratic at modest rates),
+sub-linear payoff from N (≈3× reduction per 4× table), superlinear
+growth in C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.analysis.fitting import fit_power_law, pairwise_ratios
+from repro.analysis.tables import format_series
+from repro.sim.sweep import run_sweep, sweep_grid
+from repro.sim.trace_driven import TraceAliasConfig, simulate_trace_aliasing
+
+N_VALUES = [1024, 4096, 16384, 65536, 262144]
+W_VALUES = [5, 10, 20, 40, 80]
+SAMPLES = 800
+
+
+def _run_point(trace, n, c, w):
+    cfg = TraceAliasConfig(
+        n_entries=n, concurrency=c, write_footprint=w, samples=SAMPLES, seed=BENCH_SEED
+    )
+    return simulate_trace_aliasing(trace, cfg)
+
+
+def test_fig2a_footprint_sweep(jbb_trace, benchmark):
+    """Alias likelihood vs W for each table size (C = 2)."""
+
+    def compute():
+        return run_sweep(
+            lambda n, w: _run_point(jbb_trace, n, 2, w),
+            sweep_grid(n=N_VALUES, w=W_VALUES),
+        )
+
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {}
+    for n in N_VALUES:
+        _, probs = sweep.where(n=n).series("w", lambda r: 100 * r.alias_probability)
+        series[f"N={n // 1024}k"] = probs
+    emit(format_series("W", W_VALUES, series, title="Figure 2(a): alias likelihood (%) vs write footprint, C=2"))
+
+    # Shape: every line grows monotonically in W...
+    for label, probs in series.items():
+        assert all(a <= b + 1.0 for a, b in zip(probs, probs[1:])), label
+    # ...and growth is superlinear where rates are modest (<20 %):
+    for n in N_VALUES[2:]:
+        _, probs = sweep.where(n=n).series("w", lambda r: r.alias_probability)
+        usable = [(w, p) for w, p in zip(W_VALUES, probs) if 0.0 < p < 0.35]
+        if len(usable) >= 3:
+            fit = fit_power_law([u[0] for u in usable], [u[1] for u in usable])
+            assert fit.exponent > 1.2, f"N={n}: exponent {fit.exponent}"
+
+
+def test_fig2b_table_size_sweep(jbb_trace, benchmark):
+    """Alias likelihood vs N for each footprint (C = 2): initially close
+    to inverse-linear (4× table → ≈3× fewer aliases), flattening at very
+    large tables (the §4 unmodelled asymptote)."""
+
+    def compute():
+        return run_sweep(
+            lambda n, w: _run_point(jbb_trace, n, 2, w),
+            sweep_grid(w=W_VALUES, n=N_VALUES),
+        )
+
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {}
+    for w in W_VALUES:
+        _, probs = sweep.where(w=w).series("n", lambda r: 100 * r.alias_probability)
+        series[f"W={w}"] = probs
+    emit(format_series("N", N_VALUES, series, title="Figure 2(b): alias likelihood (%) vs table size, C=2"))
+
+    for w in W_VALUES:
+        _, probs = sweep.where(w=w).series("n", lambda r: r.alias_probability)
+        # monotone decreasing in N
+        assert all(a >= b - 0.02 for a, b in zip(probs, probs[1:])), f"W={w}"
+    # The paper's 4x-table => ~3x reduction at the steep end (W=20 line):
+    _, p20 = sweep.where(w=20).series("n", lambda r: r.alias_probability)
+    first_steps = [ry for _, ry in pairwise_ratios(N_VALUES[:3], p20[:3])]
+    for ratio in first_steps:
+        assert 0.15 < ratio < 0.65, f"4x table gave y-ratio {ratio}"
+
+
+def test_fig2c_concurrency_sweep(jbb_trace, benchmark):
+    """Alias likelihood vs C at N = 64k: strongly superlinear; the paper
+    measures ≈6× from C=2 to C=4 (exactly the C(C−1) prediction)."""
+
+    c_values = [2, 3, 4]
+    w_values = [5, 10, 20, 40]
+
+    def compute():
+        return run_sweep(
+            lambda c, w: _run_point(jbb_trace, 65536, c, w),
+            sweep_grid(w=w_values, c=c_values),
+        )
+
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {}
+    for w in w_values:
+        _, probs = sweep.where(w=w).series("c", lambda r: 100 * r.alias_probability)
+        series[f"W={w}"] = probs
+    emit(format_series("C", c_values, series, title="Figure 2(c): alias likelihood (%) vs concurrency, N=64k"))
+
+    for w in w_values:
+        _, probs = sweep.where(w=w).series("c", lambda r: r.alias_probability)
+        assert probs[0] < probs[1] < probs[2], f"W={w} not increasing"
+    # 2→4 superlinearity on the strongest line (W=40):
+    _, p40 = sweep.where(w=40).series("c", lambda r: r.alias_probability)
+    ratio = p40[2] / max(p40[0], 1e-9)
+    assert ratio > 2.5, f"C=2→4 ratio only {ratio:.2f} (paper: ~6, superlinear expected)"

@@ -1,0 +1,104 @@
+"""Figure 4 — open-system statistical validation of the model (§4).
+
+Paper series:
+  (a) conflict likelihood vs write footprint W ∈ [0..50] for C = 2 and
+      N ∈ {512, 1024, 2048, 4096}; at W = 8 the paper quotes
+      48 % → 27 % → 14 % → 7.7 %.
+  (b) conflict likelihood for ⟨C, N⟩ pairs in three clusters, each
+      quadrupling N per doubling of C — near-coincident lines with the
+      C = 2 line slightly separated (the non-asymptotic C(C−1) term).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.analysis.tables import format_series
+from repro.core.model import ModelParams, conflict_likelihood_product_form
+from repro.sim.open_system import OpenSystemConfig, simulate_open_system
+from repro.sim.sweep import run_sweep, sweep_grid
+
+W_VALUES = [4, 8, 16, 24, 32, 40, 50]
+SAMPLES = 3000
+
+
+def test_fig4a_footprint_vs_table(benchmark):
+    """Conflict likelihood vs W, lines per N ∈ {512..4096}, C = 2."""
+    n_values = [512, 1024, 2048, 4096]
+
+    def compute():
+        return run_sweep(
+            lambda n, w: simulate_open_system(
+                OpenSystemConfig(n, 2, w, samples=SAMPLES, seed=BENCH_SEED)
+            ),
+            sweep_grid(n=n_values, w=W_VALUES),
+        )
+
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {}
+    for n in n_values:
+        _, p = sweep.where(n=n).series("w", lambda r: 100 * r.conflict_probability)
+        series[f"N={n}"] = p
+        model = [
+            100 * conflict_likelihood_product_form(w, ModelParams(n, 2, 2.0)) for w in W_VALUES
+        ]
+        series[f"model {n}"] = model
+    emit(
+        format_series(
+            "W", W_VALUES, series, title="Figure 4(a): conflict likelihood (%) vs W, C=2 (sim vs model)"
+        )
+    )
+
+    # The paper's quoted W=8 column: 48 % → 27 % → 14 % → 7.7 %.
+    w8 = {n: sweep.where(n=n, w=8).outcomes[0].conflict_probability for n in n_values}
+    assert abs(w8[512] - 0.48) < 0.05
+    assert abs(w8[1024] - 0.27) < 0.04
+    assert abs(w8[2048] - 0.14) < 0.03
+    assert abs(w8[4096] - 0.077) < 0.025
+    # Inverse table-size ordering everywhere:
+    for w in W_VALUES:
+        probs = [sweep.where(n=n, w=w).outcomes[0].conflict_probability for n in n_values]
+        assert all(a >= b - 0.02 for a, b in zip(probs, probs[1:]))
+
+
+def test_fig4b_concurrency_clusters(benchmark):
+    """⟨C, N⟩ clusters: {⟨2,256⟩⟨4,1024⟩⟨8,4096⟩}, ×4, ×16 — lines in a
+    cluster nearly coincide; C = 2 sits visibly below its cluster."""
+    pairs = [
+        (2, 256), (4, 1024), (8, 4096),
+        (2, 1024), (4, 4096), (8, 16384),
+        (2, 4096), (4, 16384), (8, 65536),
+    ]
+    w_values = [4, 8, 16, 24, 32]
+
+    def compute():
+        return run_sweep(
+            lambda c, n, w: simulate_open_system(
+                OpenSystemConfig(n, c, w, samples=SAMPLES, seed=BENCH_SEED)
+            ),
+            [{"c": c, "n": n, "w": w} for (c, n) in pairs for w in w_values],
+        )
+
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {}
+    for c, n in pairs:
+        _, p = sweep.where(c=c, n=n).series("w", lambda r: 100 * r.conflict_probability)
+        series[f"{c}-{n}"] = p
+    emit(
+        format_series(
+            "W", w_values, series, title="Figure 4(b): conflict likelihood (%), <C, N> clusters"
+        )
+    )
+
+    # Within each cluster, C=4 and C=8 lines nearly coincide and the
+    # C=2 line lies below (C(C-1)/N: 2/256 < 12/1024 = 56/4096... exact:
+    # 2·1/256 = 0.0078 vs 4·3/1024 = 0.0117 vs 8·7/4096 = 0.0137).
+    for cluster in (pairs[0:3], pairs[3:6], pairs[6:9]):
+        at_w16 = [
+            sweep.where(c=c, n=n, w=16).outcomes[0].conflict_probability for c, n in cluster
+        ]
+        c2, c4, c8 = at_w16
+        assert c2 < c4 + 0.03, f"C=2 line should sit below: {at_w16}"
+        if 0.03 < c4 < 0.9:
+            assert abs(c8 - c4) / c4 < 0.45, f"C=4/C=8 should nearly coincide: {at_w16}"

@@ -1,0 +1,85 @@
+"""Figure 5 — closed-system conflict counts (§4).
+
+Paper series (both log-log, 650-transaction horizon):
+  (a) number of conflicts vs write footprint W ∈ {8, 16} for
+      ⟨C, N⟩ ∈ {2,4,8} × {1k, 4k, 16k}: straight lines of slope ≈ 2 with
+      constant separation;
+  (b) number of conflicts vs table size N ∈ [1k..16k] for
+      ⟨C, W⟩ ∈ {2,4,8} × {5, 10, 20}: slope ≈ −1.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.analysis.tables import format_series
+from repro.analysis.validate import validate_footprint_scaling, validate_table_size_scaling
+from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.sweep import run_sweep, sweep_grid
+
+
+def _run(n, c, w):
+    return simulate_closed_system(
+        ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=BENCH_SEED)
+    )
+
+
+def test_fig5a_conflicts_vs_footprint(benchmark):
+    w_values = [8, 12, 16, 20]
+    pairs = [(c, n) for c in (8, 4, 2) for n in (1024, 4096, 16384)]
+
+    def compute():
+        return run_sweep(
+            lambda c, n, w: _run(n, c, w),
+            [{"c": c, "n": n, "w": w} for (c, n) in pairs for w in w_values],
+        )
+
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {}
+    for c, n in pairs:
+        _, y = sweep.where(c=c, n=n).series("w", lambda r: float(r.conflicts))
+        series[f"{c}-{n // 1024}k"] = y
+    emit(format_series("W", w_values, series, title="Figure 5(a): closed-system conflicts vs write footprint"))
+
+    # Straight lines of slope ~2 in the moderate-conflict regime.
+    for c, n in pairs:
+        _, y = sweep.where(c=c, n=n).series("w", lambda r: float(r.conflicts))
+        usable = [(w, v) for w, v in zip(w_values, y) if 2 <= v <= 2000]
+        if len(usable) >= 3:
+            report = validate_footprint_scaling(
+                [u[0] for u in usable], [u[1] for u in usable], tolerance=0.8
+            )
+            assert report.passed, f"{c}-{n}: {report}"
+    # Separation: more concurrency => more conflicts at fixed N, W.
+    for n in (1024, 4096, 16384):
+        at_w16 = {c: sweep.where(c=c, n=n, w=16).outcomes[0].conflicts for c in (2, 4, 8)}
+        assert at_w16[2] < at_w16[4] < at_w16[8], at_w16
+
+
+def test_fig5b_conflicts_vs_table_size(benchmark):
+    n_values = [1024, 2048, 4096, 8192, 16384]
+    pairs = [(c, w) for c in (8, 4, 2) for w in (20, 10, 5)]
+
+    def compute():
+        return run_sweep(
+            lambda c, w, n: _run(n, c, w),
+            [{"c": c, "w": w, "n": n} for (c, w) in pairs for n in n_values],
+        )
+
+    sweep = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {}
+    for c, w in pairs:
+        _, y = sweep.where(c=c, w=w).series("n", lambda r: float(r.conflicts))
+        series[f"{c}-{w}"] = y
+    emit(format_series("N", n_values, series, title="Figure 5(b): closed-system conflicts vs table size"))
+
+    # Slope ~ -1 on lines with enough signal.
+    for c, w in pairs:
+        _, y = sweep.where(c=c, w=w).series("n", lambda r: float(r.conflicts))
+        usable = [(n, v) for n, v in zip(n_values, y) if 2 <= v <= 2000]
+        if len(usable) >= 4:
+            report = validate_table_size_scaling(
+                [u[0] for u in usable], [u[1] for u in usable], tolerance=0.6
+            )
+            assert report.passed, f"{c}-{w}: {report}"

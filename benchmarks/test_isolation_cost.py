@@ -1,0 +1,87 @@
+"""§6 at scale — strong-isolation violation rates, engine vs model.
+
+Complements ``test_ablation_isolation.py`` (which measures the STM-level
+mechanism) with the statistical picture: how often does a plain access
+falsely violate somebody's transaction, as a function of table size and
+concurrency, and does the C·F/(2N) model predict it?
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.analysis.tables import format_series
+from repro.sim.isolation_cost import (
+    IsolationCostConfig,
+    plain_read_violation_rate,
+    plain_write_violation_rate,
+    simulate_isolation_cost,
+)
+
+N_VALUES = [1024, 4096, 16384, 65536]
+C_VALUES = [2, 4, 8, 16]
+W = 20
+
+
+def test_isolation_cost_scaling(benchmark):
+    def compute():
+        by_n = [
+            simulate_isolation_cost(
+                IsolationCostConfig(
+                    n_entries=n, concurrency=4, write_footprint=W,
+                    plain_accesses=200_000, seed=BENCH_SEED,
+                )
+            )
+            for n in N_VALUES
+        ]
+        by_c = [
+            simulate_isolation_cost(
+                IsolationCostConfig(
+                    n_entries=4096, concurrency=c, write_footprint=W,
+                    plain_accesses=200_000, seed=BENCH_SEED,
+                )
+            )
+            for c in C_VALUES
+        ]
+        return by_n, by_c
+
+    by_n, by_c = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        format_series(
+            "N",
+            N_VALUES,
+            {
+                "plain-write viol. (%)": [100 * r.write_violation_rate for r in by_n],
+                "model (%)": [
+                    100 * plain_write_violation_rate(n, 4, W) for n in N_VALUES
+                ],
+                "plain-read viol. (%)": [100 * r.read_violation_rate for r in by_n],
+            },
+            title=f"§6: strong-isolation violation rate vs table size (C=4, W={W})",
+        )
+    )
+    emit(
+        format_series(
+            "C",
+            C_VALUES,
+            {
+                "plain-write viol. (%)": [100 * r.write_violation_rate for r in by_c],
+                "model (%)": [
+                    100 * plain_write_violation_rate(4096, c, W) for c in C_VALUES
+                ],
+            },
+            title=f"§6: strong-isolation violation rate vs concurrency (N=4096, W={W})",
+        )
+    )
+
+    # Model agreement within Monte Carlo noise at every point.
+    for n, r in zip(N_VALUES, by_n):
+        model = plain_write_violation_rate(n, 4, W)
+        assert abs(r.write_violation_rate - model) < max(0.5 * model, 0.003), (n, r)
+        model_r = plain_read_violation_rate(n, 4, W)
+        assert abs(r.read_violation_rate - model_r) < max(0.6 * model_r, 0.003), (n, r)
+    # Linear growth in C (each extra transaction adds footprint).
+    rates = [r.write_violation_rate for r in by_c]
+    assert rates[-1] > 5 * rates[0]
+    # Only inverse-linear relief from N — the same birthday economics.
+    assert by_n[0].write_violation_rate > 10 * by_n[-1].write_violation_rate

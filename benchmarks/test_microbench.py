@@ -1,0 +1,103 @@
+"""Microbenchmarks of the library's hot kernels.
+
+These are honest pytest-benchmark timings (multiple rounds), useful for
+catching performance regressions in the code the figure benches lean on:
+the vectorized collision kernel, the ownership-table protocol operations,
+the cache model, and trace synthesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.htm.cache import SetAssociativeCache
+from repro.ownership.hashing import make_hash
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.ownership.base import AccessMode
+from repro.sim.montecarlo import cross_thread_conflicts
+from repro.sim.open_system import OpenSystemConfig, simulate_open_system
+from repro.traces.workloads import SPEC2000_PROFILES, synthesize_trace
+from repro.util.rng import stream_rng
+
+
+def test_collision_kernel(benchmark):
+    """2000 samples x 2 threads x 60 accesses through the sort kernel."""
+    rng = stream_rng(1, "micro-kernel")
+    entries = rng.integers(0, 4096, size=(2000, 120), dtype=np.int64)
+    writes = rng.random((2000, 120)) < 0.33
+    thread_of = np.repeat(np.arange(2, dtype=np.int64), 60)
+
+    result = benchmark(lambda: cross_thread_conflicts(entries, writes, thread_of))
+    assert result.shape == (2000,)
+
+
+def test_open_system_point(benchmark):
+    """One full Figure 4 data point (1000 samples)."""
+    cfg = OpenSystemConfig(2048, 2, 10, samples=1000, seed=2)
+    result = benchmark(lambda: simulate_open_system(cfg))
+    assert 0.0 <= result.conflict_probability <= 1.0
+
+
+@pytest.mark.parametrize("kind", ["mask", "multiplicative", "xorfold"])
+def test_hash_bulk(benchmark, kind):
+    """1M addresses through each hash."""
+    h = make_hash(kind, 1 << 16)
+    addrs = np.arange(1_000_000, dtype=np.int64)
+    out = benchmark(lambda: h(addrs))
+    assert len(out) == 1_000_000
+
+
+def test_tagless_acquire_release(benchmark):
+    """Protocol ops: 1000 acquires + release, single thread."""
+    table = TaglessOwnershipTable(1 << 14)
+    blocks = list(range(0, 3000, 3))
+
+    def run():
+        for i, b in enumerate(blocks):
+            table.acquire(0, b, AccessMode.WRITE if i % 3 == 0 else AccessMode.READ)
+        table.release_all(0)
+
+    benchmark(run)
+    assert table.occupied_entries() == 0
+
+
+def test_tagged_acquire_release(benchmark):
+    """Same op mix on the chaining table (tag+chain overhead)."""
+    table = TaggedOwnershipTable(1 << 14)
+    blocks = list(range(0, 3000, 3))
+
+    def run():
+        for i, b in enumerate(blocks):
+            table.acquire(0, b, AccessMode.WRITE if i % 3 == 0 else AccessMode.READ)
+        table.release_all(0)
+
+    benchmark(run)
+    assert table.total_records() == 0
+
+
+def test_cache_access_stream(benchmark):
+    """5000 accesses with ~50 % hit rate through the LRU model."""
+    cache = SetAssociativeCache()
+    rng = stream_rng(3, "micro-cache")
+    blocks = rng.integers(0, 1024, size=5000).tolist()
+
+    def run():
+        cache.reset()
+        for b in blocks:
+            cache.access(b)
+
+    benchmark(run)
+    assert cache.hits + cache.misses == 5000
+
+
+def test_trace_synthesis(benchmark):
+    """50k-access benchmark-profile trace generation (vectorized)."""
+    profile = SPEC2000_PROFILES["gcc"]
+
+    def run():
+        return synthesize_trace(profile, 50_000, stream_rng(4, "micro-trace"))
+
+    trace = benchmark(run)
+    assert len(trace) == 50_000

@@ -1,0 +1,63 @@
+"""§2.1's Damron et al. anecdote — scalability collapse, reproduced.
+
+"Performance for their Berkeley DB lock subsystem benchmark actually
+decreases when scaling from 32 to 48 processors due to hash collisions
+in the ownership table." This bench measures speedup curves over
+C ∈ [1..48] for tagless tables of three sizes and the tagged baseline,
+and asserts the collapse: the small tagless table's curve peaks and then
+*declines*, while the tagged curve stays linear.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.analysis.tables import format_series
+from repro.sim.throughput import throughput_curve
+
+CONCURRENCIES = [1, 2, 4, 8, 16, 32, 48]
+TICKS = 4000
+
+
+def test_damron_scalability_collapse(benchmark):
+    def compute():
+        out = {}
+        for n in (1024, 4096, 16384):
+            out[f"tagless {n // 1024}k"] = throughput_curve(
+                CONCURRENCIES, n_entries=n, ticks_per_thread=TICKS, seed=BENCH_SEED
+            )
+        out["tagged"] = throughput_curve(
+            CONCURRENCIES, n_entries=1024, tagged=True, ticks_per_thread=TICKS, seed=BENCH_SEED
+        )
+        return out
+
+    curves = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {
+        label: [r.speedup for r in results] for label, results in curves.items()
+    }
+    emit(
+        format_series(
+            "C",
+            CONCURRENCIES,
+            series,
+            title="Speedup vs applied concurrency (W=10, alpha=2)",
+            y_format=lambda v: f"{v:.1f}",
+        )
+    )
+
+    # Tagged: linear scaling throughout.
+    tagged = series["tagged"]
+    assert tagged[-1] > 0.95 * CONCURRENCIES[-1]
+
+    # Small tagless table: peak strictly inside the sweep, then decline —
+    # adding processors REDUCES completed work (the Damron observation).
+    small = series["tagless 1k"]
+    peak_idx = small.index(max(small))
+    assert 0 < peak_idx < len(small) - 1, small
+    assert small[-1] < 0.8 * max(small), small
+
+    # Bigger tables delay the collapse: at C=48 throughput is ordered by
+    # table size, and the 16k table still scales past C=32.
+    assert series["tagless 1k"][-1] < series["tagless 4k"][-1] < series["tagless 16k"][-1]
+    sixteen_k = series["tagless 16k"]
+    assert sixteen_k[-1] >= sixteen_k[-2] * 0.9

@@ -1,0 +1,143 @@
+"""§5 — tagged vs tagless head-to-head on identical access streams.
+
+The paper argues (without a figure) that a tagged, chaining table
+eliminates false conflicts entirely, and that at sane sizes chains are
+rare, so the tag/pointer overheads are negligible in the common case.
+This bench runs the same multithreaded workload through both
+organizations and quantifies all three claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.analysis.tables import format_table
+from repro.ownership.stats import poisson_chain_pmf
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.stm.conflict import TransactionAborted
+from repro.stm.runtime import STM
+from repro.traces.events import ThreadedTrace
+
+
+def _replay(stm: STM, trace: ThreadedTrace, accesses_per_tx: int, max_accesses: int) -> dict:
+    """Replay per-thread streams as fixed-size transactions, round-robin."""
+    n_threads = trace.n_threads
+    pos = [0] * n_threads
+    in_tx = [False] * n_threads
+    tx_len = [0] * n_threads
+    commits = aborts = 0
+    steps = 0
+    while steps < max_accesses:
+        progressed = False
+        for tid in range(n_threads):
+            stream = trace[tid]
+            if pos[tid] >= len(stream):
+                continue
+            progressed = True
+            steps += 1
+            if not in_tx[tid]:
+                stm.begin(tid)
+                in_tx[tid] = True
+                tx_len[tid] = 0
+            access = stream[pos[tid]]
+            try:
+                if access.is_write:
+                    stm.write(tid, access.block, None)
+                else:
+                    stm.read(tid, access.block)
+                pos[tid] += 1
+                tx_len[tid] += 1
+                if tx_len[tid] >= accesses_per_tx:
+                    stm.commit(tid)
+                    in_tx[tid] = False
+                    commits += 1
+            except TransactionAborted:
+                aborts += 1
+                in_tx[tid] = False
+                # skip ahead: the transaction's work is retried from the
+                # same stream position next round
+        if not progressed:
+            break
+    return {"commits": commits, "aborts": aborts}
+
+
+def test_tagged_eliminates_false_conflicts(jbb_trace, benchmark):
+    n_entries = 4096
+
+    def compute():
+        tagless = TaglessOwnershipTable(n_entries, track_addresses=True)
+        out_a = _replay(STM(tagless), jbb_trace, accesses_per_tx=60, max_accesses=40_000)
+        out_a["false"] = tagless.counters.false_conflicts
+        out_a["true"] = tagless.counters.true_conflicts
+
+        tagged = TaggedOwnershipTable(n_entries)
+        out_b = _replay(STM(tagged), jbb_trace, accesses_per_tx=60, max_accesses=40_000)
+        out_b["false"] = tagged.counters.false_conflicts
+        out_b["true"] = tagged.counters.true_conflicts
+        out_b["chain_stats"] = tagged.chain_stats()
+        out_b["indirection"] = tagged.indirection_rate
+        return out_a, out_b
+
+    tagless_out, tagged_out = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        format_table(
+            ["organization", "commits", "aborts", "false conflicts", "true conflicts"],
+            [
+                ["tagless", tagless_out["commits"], tagless_out["aborts"], tagless_out["false"], tagless_out["true"]],
+                ["tagged", tagged_out["commits"], tagged_out["aborts"], tagged_out["false"], tagged_out["true"]],
+            ],
+            title=f"§5: tagless vs tagged on identical streams (N={n_entries})",
+        )
+    )
+
+    # Tagged never produces a false conflict; tagless produces plenty.
+    assert tagged_out["false"] == 0
+    assert tagless_out["false"] > 50
+    # The streams are true-conflict-free by construction, so the tagged
+    # table aborts (near) nothing and commits more work.
+    assert tagged_out["aborts"] <= tagless_out["aborts"] // 10
+    assert tagged_out["commits"] >= tagless_out["commits"]
+
+
+def test_tagged_chain_overheads_rare(jbb_trace, benchmark):
+    """§5: 'the overwhelming majority of ownership table entries will
+    store 0 or 1 ownership records' at sane load factors — measured
+    chain distribution tracks the Poisson prediction."""
+    n_entries = 4096
+
+    def compute():
+        tagged = TaggedOwnershipTable(n_entries)
+        stm = STM(tagged)
+        # Hold several concurrent mid-flight transactions open, then
+        # inspect the resident chain distribution.
+        for tid in range(4):
+            stm.begin(tid)
+            stream = jbb_trace[tid]
+            for access in stream[:200]:
+                if access.is_write:
+                    stm.write(tid, access.block, None)
+                else:
+                    stm.read(tid, access.block)
+        return tagged.chain_stats(), tagged.indirection_rate
+
+    stats, indirection = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lam = stats.load_factor
+    pmf = poisson_chain_pmf(lam, max(2, stats.max_chain))
+    emit(
+        format_table(
+            ["quantity", "measured", "Poisson prediction"],
+            [
+                ["load factor", f"{lam:.3f}", "-"],
+                ["entries 0-or-1 record", f"{stats.fraction_entries_simple:.2%}", f"{pmf[0] + pmf[1]:.2%}"],
+                ["max chain", stats.max_chain, "-"],
+                ["probe indirection rate", f"{indirection:.2%}", "-"],
+            ],
+            title="§5: chaining is rare at sane load factors",
+        )
+    )
+    assert stats.fraction_entries_simple > 0.98
+    assert indirection < 0.10
+    assert stats.max_chain <= 4

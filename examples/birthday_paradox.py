@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The birthday paradox, from party trick to ownership table.
+
+Shows the exact correspondence the paper's title invokes: the classical
+birthday computation, its square-root scaling law, and the same law
+re-emerging when transactions populate an ownership table.
+
+Run:  python examples/birthday_paradox.py
+"""
+
+from repro import (
+    ModelParams,
+    OpenSystemConfig,
+    birthday_collision_probability,
+    conflict_likelihood_product_form,
+    people_for_collision_probability,
+    simulate_open_system,
+)
+from repro.analysis.tables import format_table
+from repro.core.generalized import blocks_until_set_overflow, generalized_birthday_probability
+
+
+def classic() -> None:
+    print("The classic paradox (365 days):")
+    rows = [
+        [k, f"{birthday_collision_probability(k):.1%}"]
+        for k in (5, 10, 15, 20, 23, 30, 40, 57)
+    ]
+    print(format_table(["people", "P(shared birthday)"], rows))
+    print(f"\n  50% crossing: {people_for_collision_probability(0.5)} people "
+          f"(occupying {people_for_collision_probability(0.5) / 365:.1%} of the calendar)\n")
+
+
+def scaling() -> None:
+    print("The sqrt law: 50%-collision threshold vs number of 'days':")
+    rows = []
+    for days in (365, 4096, 65536, 1 << 20):
+        k = people_for_collision_probability(0.5, days=days)
+        rows.append([f"{days:,}", k, f"{k / days:.3%}"])
+    print(format_table(["days (table entries)", "people (blocks)", "occupancy at 50%"], rows))
+    print("\n  Collisions are likely while the table is still ~empty —")
+    print("  growing the table buys only sqrt(N) capacity.\n")
+
+
+def transactional() -> None:
+    print("The same law, acted out by transactions (Eq. 8 vs simulation):")
+    rows = []
+    n = 65_536
+    for w in (10, 20, 40, 80):
+        model = conflict_likelihood_product_form(w, ModelParams(n, concurrency=2))
+        sim = simulate_open_system(
+            OpenSystemConfig(n, 2, w, samples=3000, seed=23)
+        ).conflict_probability
+        rows.append([w, f"{model:.1%}", f"{sim:.1%}"])
+    print(format_table(["W (writes/tx)", "model", "simulated"], rows,
+                       title=f"N = {n:,} entries, C = 2, α = 2"))
+    print("\n  Doubling the footprint quadruples the conflict rate —")
+    print("  transactions 'share birthdays' long before the table fills.")
+
+
+def cache_birthday() -> None:
+    print("\nBonus: the cache dies of a birthday paradox too (§2.3):")
+    print("  a 128-set 4-way L1 'overflows' when 5 blocks share a set —")
+    print("  the generalized (k=5) birthday problem with 128 days.")
+    rows = []
+    for blocks in (64, 100, 141, 185):
+        p = generalized_birthday_probability(blocks, 128, 5)
+        rows.append([blocks, f"{blocks / 512:.0%}", f"{p:.1%}"])
+    print(format_table(["distinct blocks", "cache utilization", "P(overflow)"], rows))
+    median = blocks_until_set_overflow(128, 4)
+    print(f"\n  Uniform placement: 50% overflow at {median} blocks "
+          f"({median / 512:.0%} of capacity) — the cache, like the table,")
+    print("  fails long before it is full.")
+
+
+def main() -> None:
+    classic()
+    scaling()
+    transactional()
+    cache_birthday()
+
+
+if __name__ == "__main__":
+    main()

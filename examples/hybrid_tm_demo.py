@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Hybrid TM demo: HTM execution with STM fallback on cache overflow.
+
+Walks the full §1/§2.3 pipeline: transactions run in "hardware" (the
+cache-based HTM model) until they outgrow the 32 KB L1; overflowed
+transactions re-execute on the word-based STM, where the ownership
+table's organization decides whether they live or die. Small
+transactions never touch the table; big ones are at the mercy of the
+birthday paradox.
+
+Run:  python examples/hybrid_tm_demo.py
+"""
+
+from repro import (
+    STM,
+    HybridTM,
+    TaggedOwnershipTable,
+    TaglessOwnershipTable,
+    SPEC2000_PROFILES,
+    synthesize_trace,
+)
+from repro.analysis.tables import format_table
+from repro.htm.hybrid import ExecutionMode
+from repro.util.rng import stream_rng
+
+
+def run_mix(table, label: str) -> list:
+    """Execute a mix of small and large transactions on one hybrid TM."""
+    stm = STM(table)
+    hybrid = HybridTM(stm, victim_entries=1, max_stm_restarts=8)
+    rng = stream_rng(42, "hybrid-demo", table=label)
+
+    # A competing software transaction squats on part of the table, the
+    # situation an overflowed transaction meets in real deployments.
+    stm.begin(99)
+    for i in range(40):
+        stm.write(99, 5_000_000 + 37 * i, "squatter")
+
+    rows = []
+    profile = SPEC2000_PROFILES["gcc"]
+    for size in (100, 400, 2_000, 20_000, 60_000):
+        trace = synthesize_trace(profile, size, rng)
+        outcome = hybrid.execute(0, trace)
+        rows.append(
+            [
+                f"{size:,} accesses",
+                f"{trace.footprint} blocks",
+                outcome.mode.value.upper(),
+                "yes" if outcome.committed else "NO",
+                outcome.stm_restarts,
+            ]
+        )
+    rows.append(["(fallback rate)", "", f"{hybrid.stm_fallback_rate:.0%}", "", ""])
+    return rows
+
+
+def main() -> None:
+    print("Hybrid TM with a small, TAGLESS fallback table (1024 entries):")
+    rows = run_mix(TaglessOwnershipTable(1024, track_addresses=True), "tagless")
+    print(format_table(["transaction", "footprint", "mode", "committed", "retries"], rows))
+    print()
+    print("Same workload, TAGGED fallback table (1024 entries):")
+    rows = run_mix(TaggedOwnershipTable(1024), "tagged")
+    print(format_table(["transaction", "footprint", "mode", "committed", "retries"], rows))
+    print()
+    print("Small transactions commit in HTM mode either way; the large,")
+    print("overflowed ones retry (or fail) on the tagless table — §6's")
+    print("point that tagless metadata throttles exactly the transactions")
+    print("the STM exists to serve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Model vs simulation, drawn in your terminal.
+
+Recreates the paper's §4 validation argument visually: conflict series
+from the open-system simulator plotted (ASCII, log-log) against the
+Eq. 8 model — straight lines of slope 2, constant separation — plus the
+table-size law as a bar comparison.
+
+Run:  python examples/model_vs_simulation.py
+"""
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.plots import ascii_bars, ascii_plot
+from repro.core.model import ModelParams, conflict_likelihood
+from repro.sim.open_system import OpenSystemConfig, simulate_open_system
+
+W_VALUES = [2, 4, 8, 16, 32]
+
+
+def footprint_lines() -> None:
+    print("Conflict likelihood vs write footprint (log-log, C=2):\n")
+    series = {}
+    for n in (2048, 16384, 131072):
+        sim = [
+            simulate_open_system(
+                OpenSystemConfig(n, 2, w, samples=4000, seed=42)
+            ).conflict_probability
+            for w in W_VALUES
+        ]
+        # keep strictly positive values for the log axes
+        xs = [w for w, p in zip(W_VALUES, sim) if p > 0]
+        ys = [p for p in sim if p > 0]
+        series[f"N={n // 1024}k sim"] = (xs, ys)
+        model = [conflict_likelihood(w, ModelParams(n, 2, 2.0)) for w in W_VALUES]
+        series[f"N={n // 1024}k model"] = (
+            [w for w, m in zip(W_VALUES, model) if 0 < m <= 1],
+            [m for m in model if 0 < m <= 1],
+        )
+    print(ascii_plot(series, width=56, height=16, logx=True, logy=True))
+    print()
+    for label, (xs, ys) in series.items():
+        if "sim" in label and len(xs) >= 3:
+            usable = [(x, y) for x, y in zip(xs, ys) if y < 0.5]
+            if len(usable) >= 3:
+                fit = fit_power_law([u[0] for u in usable], [u[1] for u in usable])
+                print(f"  {label}: fitted slope {fit.exponent:.2f} (model: 2.00)")
+    print()
+
+
+def table_size_bars() -> None:
+    print("The 1/N law at W=8 (conflict probability):\n")
+    values = {}
+    for n in (512, 1024, 2048, 4096, 8192):
+        p = simulate_open_system(
+            OpenSystemConfig(n, 2, 8, samples=4000, seed=42)
+        ).conflict_probability
+        values[f"N={n}"] = p
+    print(ascii_bars(values, width=44, fmt="{:.1%}"))
+    print()
+    print("Halving steps — doubling the table only halves the conflicts,")
+    print("while doubling the footprint would quadruple them.")
+
+
+def main() -> None:
+    footprint_lines()
+    table_size_bars()
+
+
+if __name__ == "__main__":
+    main()

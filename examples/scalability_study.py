@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Scalability study: when do more processors make things slower?
+
+Reproduces the anecdote §2.1 cites from Damron et al.'s hybrid-TM paper:
+their Berkeley DB benchmark LOST performance scaling from 32 to 48
+processors because of hash collisions in the ownership table. This
+script sweeps applied concurrency for several tagless table sizes (and
+the tagged baseline), prints the speedup curves, and locates each
+table's collapse point.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.analysis.tables import format_series
+from repro.sim.throughput import throughput_curve
+
+CONCURRENCIES = [1, 2, 4, 8, 12, 16, 24, 32, 48]
+
+
+def main() -> None:
+    print("Speedup vs processors (transactions of 10 writes + 20 reads):\n")
+    series = {}
+    peaks = {}
+    for n in (512, 2048, 8192, 32768):
+        curve = throughput_curve(
+            CONCURRENCIES, n_entries=n, write_footprint=10, ticks_per_thread=4000, seed=1
+        )
+        speedups = [r.speedup for r in curve]
+        series[f"tagless {n}"] = speedups
+        peaks[n] = CONCURRENCIES[speedups.index(max(speedups))]
+    tagged = throughput_curve(
+        CONCURRENCIES, n_entries=512, tagged=True, ticks_per_thread=4000, seed=1
+    )
+    series["tagged"] = [r.speedup for r in tagged]
+
+    print(
+        format_series(
+            "C", CONCURRENCIES, series, y_format=lambda v: f"{v:.1f}",
+            title="speedup over 1 thread (bigger is better)",
+        )
+    )
+    print()
+    for n, peak in peaks.items():
+        if peak < CONCURRENCIES[-1]:
+            print(f"  tagless {n:>6} entries: throughput peaks at C = {peak}, then DECLINES")
+        else:
+            print(f"  tagless {n:>6} entries: still scaling at C = {peak} (collapse further out)")
+    print("  tagged  (any size): linear to 48 threads\n")
+    print("To keep scaling with a tagless table you must grow it as C² —")
+    print("the birthday paradox tax. The tagged table just scales.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Three STM flavors, one pathology.
+
+The paper's false-conflict argument is about *metadata organization*,
+not any particular STM protocol. This example runs the same two-thread,
+disjoint-data scenario through:
+
+1. the eager word-based STM over a tagless table (false permission
+   conflict),
+2. the lazy TL2-style STM over a tagless version table (false
+   validation abort), and
+3. the object-based STM on one shared object (false granularity
+   conflict) —
+
+and then shows each flavor's fix: tags, tagged version records, and
+smaller objects.
+
+Run:  python examples/stm_flavors.py
+"""
+
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.stm.object_based import ObjectHeap, ObjectSTM, ObjectTxAborted
+from repro.stm.runtime import STM
+from repro.stm.conflict import TransactionAborted
+from repro.stm.versioned import ValidationAborted, VersionTable, VersionedSTM
+
+
+def eager_word() -> None:
+    print("1. Eager word-based STM, tagless table (8 entries)")
+    stm = STM(TaglessOwnershipTable(8, track_addresses=True))
+    stm.begin(0)
+    stm.write(0, 3, "thread-0")  # entry 3
+    stm.begin(1)
+    try:
+        stm.write(1, 11, "thread-1")  # different block, entry 3 again
+        print("   no conflict")
+    except TransactionAborted as exc:
+        print(f"   thread 1 aborted at acquire time — {exc.conflict.kind.value}, "
+              f"false={exc.conflict.is_false}")
+    stm2 = STM(TaggedOwnershipTable(8))
+    stm2.begin(0); stm2.write(0, 3, "a")
+    stm2.begin(1); stm2.write(1, 11, "b")
+    print("   fix: tagged table — both writes granted\n")
+
+
+def lazy_word() -> None:
+    print("2. Lazy (TL2-style) STM, tagless version table (8 entries)")
+    stm = VersionedSTM(VersionTable(8, track_writers=True))
+    stm.begin(0)
+    stm.read(0, 3)  # reader snapshots block 3 (entry 3)
+    stm.begin(1)
+    stm.write(1, 11, "x")
+    stm.commit(1)  # bumps entry 3's version
+    try:
+        stm.commit(0)
+        print("   no abort")
+    except ValidationAborted as exc:
+        print(f"   thread 0 aborted at VALIDATION time — {exc.reason}, "
+              f"false={exc.is_false}")
+    stm2 = VersionedSTM(VersionTable(8, tagged=True))
+    stm2.begin(0); stm2.read(0, 3)
+    stm2.begin(1); stm2.write(1, 11, "x"); stm2.commit(1)
+    stm2.commit(0)
+    print("   fix: per-block version records — reader commits\n")
+
+
+def object_granularity() -> None:
+    print("3. Object-based STM, one 16-field object")
+    heap = ObjectHeap()
+    big = heap.allocate(16)
+    stm = ObjectSTM(heap)
+    stm.begin(0)
+    stm.write(0, (big, 2), "thread-0 field")
+    stm.begin(1)
+    try:
+        stm.write(1, (big, 9), "thread-1 field")  # a DIFFERENT field
+        print("   no conflict")
+    except ObjectTxAborted as exc:
+        print(f"   thread 1 aborted — object-granularity conflict, "
+              f"false={exc.is_false}")
+    # the fix: finer objects
+    small_a, small_b = heap.allocate(1), heap.allocate(1)
+    stm2 = ObjectSTM(heap)
+    stm2.begin(0); stm2.write(0, (small_a, 0), "a")
+    stm2.begin(1); stm2.write(1, (small_b, 0), "b")
+    print("   fix: one-field objects — both writes granted\n")
+
+
+def main() -> None:
+    print("Same scenario everywhere: two threads, provably disjoint data.\n")
+    eager_word()
+    lazy_word()
+    object_granularity()
+    print("Moral: every coarse or tag-free metadata scheme manufactures")
+    print("conflicts out of layout accidents; only exact-identity metadata")
+    print("(tags, per-block versions, fine objects) reports the truth.")
+
+
+if __name__ == "__main__":
+    main()

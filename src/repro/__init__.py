@@ -1,0 +1,104 @@
+"""repro — Transactional Memory and the Birthday Paradox, reproduced.
+
+A full reimplementation of the systems and experiments of
+
+    Craig Zilles and Ravi Rajwar, "Transactional Memory and the Birthday
+    Paradox", SPAA 2007.
+
+The paper shows that *tagless* ownership tables — the metadata structure
+used by most word-based STM and hybrid-TM proposals — suffer
+alias-induced **false conflicts** whose rate grows with the square of
+both transaction footprint and concurrency while shrinking only linearly
+with table size: the birthday paradox, acted out by transactions.
+
+Package map
+-----------
+* :mod:`repro.core` — the §3 analytical model (Eqs. 2–8), birthday
+  mathematics, and table-sizing design helpers.
+* :mod:`repro.ownership` — tagless (Figure 1) and tagged/chained
+  (Figure 7) ownership tables plus hash functions.
+* :mod:`repro.stm` — a word-based STM runtime over either table.
+* :mod:`repro.htm` — cache simulator, victim buffer, HTM overflow
+  detection and the hybrid HTM→STM fallback.
+* :mod:`repro.traces` — synthetic trace substrate (SPECJBB- and
+  SPEC2000-like workloads; see DESIGN.md for the substitution rationale).
+* :mod:`repro.sim` — the four experiment engines (Figures 2–6).
+* :mod:`repro.analysis` — scaling-law fits, validation, report tables.
+
+Quickstart
+----------
+>>> from repro import ModelParams, conflict_likelihood
+>>> conflict_likelihood(20, ModelParams(n_entries=4096, concurrency=2))
+0.48828125
+
+See ``examples/quickstart.py`` for the executable tour.
+"""
+
+from repro.core import (
+    ModelParams,
+    birthday_collision_probability,
+    commit_probability,
+    conflict_likelihood,
+    conflict_likelihood_product_form,
+    people_for_collision_probability,
+    table_entries_for_commit_probability,
+)
+from repro.htm import CacheGeometry, HTMContext, HybridTM, SetAssociativeCache, VictimBuffer
+from repro.ownership import (
+    AccessMode,
+    TaggedOwnershipTable,
+    TaglessOwnershipTable,
+    make_hash,
+)
+from repro.sim import (
+    ClosedSystemConfig,
+    OpenSystemConfig,
+    OverflowConfig,
+    TraceAliasConfig,
+    characterize_overflow,
+    fleet_summary,
+    simulate_closed_system,
+    simulate_open_system,
+    simulate_trace_aliasing,
+)
+from repro.stm import STM, Arbitration, IsolationLevel, TransactionAborted, run_atomically
+from repro.traces import SPEC2000_PROFILES, remove_true_conflicts, specjbb_like, synthesize_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "Arbitration",
+    "CacheGeometry",
+    "ClosedSystemConfig",
+    "HTMContext",
+    "HybridTM",
+    "IsolationLevel",
+    "ModelParams",
+    "OpenSystemConfig",
+    "OverflowConfig",
+    "SPEC2000_PROFILES",
+    "STM",
+    "SetAssociativeCache",
+    "TaggedOwnershipTable",
+    "TaglessOwnershipTable",
+    "TraceAliasConfig",
+    "TransactionAborted",
+    "VictimBuffer",
+    "birthday_collision_probability",
+    "characterize_overflow",
+    "commit_probability",
+    "conflict_likelihood",
+    "conflict_likelihood_product_form",
+    "fleet_summary",
+    "make_hash",
+    "people_for_collision_probability",
+    "remove_true_conflicts",
+    "run_atomically",
+    "simulate_closed_system",
+    "simulate_open_system",
+    "simulate_trace_aliasing",
+    "specjbb_like",
+    "synthesize_trace",
+    "table_entries_for_commit_probability",
+]

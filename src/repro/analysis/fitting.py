@@ -1,0 +1,90 @@
+"""Power-law fitting for scaling-law validation.
+
+Figures 5 and 6 are log-log plots where "the polynomial relationships
+between these variables should appear as straight lines"; fitting
+``y = a·xᵇ`` by least squares in log space measures the slope ``b`` the
+model predicts (2 for W, −1 for N, asymptotically 2 for C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "pairwise_ratios"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A fitted ``y = a · x^b`` relationship.
+
+    Attributes
+    ----------
+    exponent:
+        The log-log slope ``b``.
+    prefactor:
+        The coefficient ``a``.
+    r_squared:
+        Coefficient of determination in log space (1.0 = perfectly
+        straight line).
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted law at ``x``."""
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Least-squares power-law fit in log space.
+
+    Points with non-positive ``y`` are excluded (a Monte Carlo zero count
+    has no log); at least two usable points are required.
+
+    Raises
+    ------
+    ValueError
+        On mismatched lengths, non-positive ``x``, or fewer than two
+        usable points.
+    """
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
+        raise ValueError(f"x and y must be matching 1-D sequences, got {x_arr.shape}, {y_arr.shape}")
+    if np.any(x_arr <= 0):
+        raise ValueError("x values must be positive for a power-law fit")
+    usable = y_arr > 0
+    if usable.sum() < 2:
+        raise ValueError(f"need >= 2 positive y values, have {int(usable.sum())}")
+    lx = np.log(x_arr[usable])
+    ly = np.log(y_arr[usable])
+    slope, intercept = np.polyfit(lx, ly, 1)
+    fitted = slope * lx + intercept
+    ss_res = float(np.sum((ly - fitted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(slope), prefactor=float(np.exp(intercept)), r_squared=r2)
+
+
+def pairwise_ratios(x: Sequence[float], y: Sequence[float]) -> list[tuple[float, float]]:
+    """Consecutive (x-ratio, y-ratio) pairs along a series.
+
+    Used for claims like "a 4-fold increase in table size yields a 3-fold
+    reduction in alias likelihood" (§2.2): for each consecutive pair of
+    points the x step and the y step are reported together.
+    """
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
+        raise ValueError("x and y must be matching 1-D sequences")
+    out: list[tuple[float, float]] = []
+    for i in range(1, len(x_arr)):
+        if x_arr[i - 1] == 0 or y_arr[i - 1] == 0:
+            raise ZeroDivisionError(f"zero value at index {i - 1} makes the ratio undefined")
+        out.append((float(x_arr[i] / x_arr[i - 1]), float(y_arr[i] / y_arr[i - 1])))
+    return out

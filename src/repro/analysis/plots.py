@@ -1,0 +1,126 @@
+"""Dependency-free ASCII plots for terminal output.
+
+The paper's validation figures are log-log scatter plots whose *straight
+lines* carry the argument; these helpers render that shape directly in a
+terminal (examples and the CLI use them) without any plotting library.
+
+Only two primitives are needed:
+
+* :func:`ascii_plot` — multi-series scatter on linear or log axes;
+* :func:`ascii_bars` — horizontal bar chart for the Figure 3-style
+  per-benchmark comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_bars", "ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool, label: str) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"log-scale {label} requires positive values, got {v}")
+        out.append(math.log10(v))
+    return out
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render named (x, y) series as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping label → (x values, y values); each series gets a marker
+        from ``o x + * ...`` and a legend line.
+    width, height:
+        Plot area in character cells.
+    logx, logy:
+        Log₁₀ axes (the Figures 5/6 style); all plotted values must then
+        be positive.
+    title:
+        Optional heading line.
+    """
+    if width < 8 or height < 4:
+        raise ValueError(f"plot area too small: {width}x{height}")
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported, got {len(series)}")
+
+    points: dict[str, tuple[list[float], list[float]]] = {}
+    for label, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r}: {len(xs)} x values vs {len(ys)} y values")
+        if len(xs) == 0:
+            raise ValueError(f"series {label!r} is empty")
+        points[label] = (_transform(xs, logx, "x"), _transform(ys, logy, "y"))
+
+    all_x = [v for xs, _ in points.values() for v in xs]
+    all_y = [v for _, ys in points.values() for v in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (xs, ys)), marker in zip(points.items(), _MARKERS):
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def fmt(v: float, log: bool) -> str:
+        return f"1e{v:.1f}" if log else f"{v:.3g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {fmt(y_hi, logy)}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"y: {fmt(y_lo, logy)}   x: {fmt(x_lo, logx)} .. {fmt(x_hi, logx)}")
+    for (label, _), marker in zip(points.items(), _MARKERS):
+        lines.append(f"  {marker} = {label}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Render a label → value mapping as horizontal bars."""
+    if not values:
+        raise ValueError("need at least one bar")
+    if width < 4:
+        raise ValueError(f"width too small: {width}")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bars must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{str(label).rjust(label_width)} |{bar} {fmt.format(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""ASCII rendering of result tables and series.
+
+Benches regenerate the paper's figures as printed series; these helpers
+keep that output aligned and consistent so EXPERIMENTS.md can quote it
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["format_series", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats are shown with 4 significant digits; every column is sized to
+    its widest cell.
+    """
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    y_format: Callable[[float], str] = lambda v: f"{v:.3g}",
+) -> str:
+    """Render one-figure-style output: x column plus one column per line.
+
+    ``series`` maps line labels (e.g. ``"N=1k"``) to y-value sequences
+    aligned with ``x_values`` — the same rows/series a paper figure
+    plots.
+    """
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for {len(x_values)} x points"
+            )
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(y_format(series[label][i]) for label in series)])
+    return format_table(headers, rows, title=title)

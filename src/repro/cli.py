@@ -1,0 +1,249 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    python -m repro model --w 20 --n 4096 --c 2
+    python -m repro sizing --w 71 --commit 0.95 --c 8
+    python -m repro fig2a --samples 500
+    python -m repro fig3 --traces 5
+    python -m repro fig4a --samples 2000
+    python -m repro closed --n 4096 --c 4 --w 10
+    python -m repro birthday --target 0.5
+
+Every subcommand prints the same series its benchmark counterpart
+asserts on, with explicit seeds, so results can be pasted into reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.tables import format_series, format_table
+from repro.core.birthday import birthday_collision_probability, people_for_collision_probability
+from repro.core.model import ModelParams, conflict_likelihood, conflict_likelihood_product_form
+from repro.core.sizing import table_entries_for_commit_probability
+from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.open_system import OpenSystemConfig, simulate_open_system
+from repro.sim.overflow import OverflowConfig, fleet_summary
+from repro.sim.trace_driven import TraceAliasConfig, simulate_trace_aliasing
+from repro.traces.dedup import remove_true_conflicts
+from repro.traces.workloads import specjbb_like
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zilles & Rajwar, 'Transactional Memory and the Birthday Paradox' — "
+        "reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("model", help="evaluate the Eq. 8 conflict model")
+    p.add_argument("--w", type=int, required=True, help="write footprint W")
+    p.add_argument("--n", type=int, required=True, help="ownership-table entries N")
+    p.add_argument("--c", type=int, default=2, help="concurrency C (default 2)")
+    p.add_argument("--alpha", type=float, default=2.0, help="reads per write (default 2)")
+
+    p = sub.add_parser("sizing", help="invert Eq. 8: table size for a commit target")
+    p.add_argument("--w", type=int, required=True)
+    p.add_argument("--commit", type=float, required=True, help="target commit probability")
+    p.add_argument("--c", type=int, default=2)
+    p.add_argument("--alpha", type=float, default=2.0)
+
+    p = sub.add_parser("fig2a", help="trace-driven alias likelihood vs footprint (Figure 2a)")
+    p.add_argument("--samples", type=int, default=500)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--accesses", type=int, default=100_000)
+
+    p = sub.add_parser("fig3", help="HTM overflow characterization (Figure 3)")
+    p.add_argument("--traces", type=int, default=5, help="traces per benchmark")
+    p.add_argument("--victim", type=int, default=0, help="victim-buffer entries")
+
+    p = sub.add_parser("fig4a", help="open-system conflict likelihood (Figure 4a)")
+    p.add_argument("--samples", type=int, default=2000)
+
+    p = sub.add_parser("closed", help="one closed-system run (Figures 5-6 protocol)")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--c", type=int, default=2)
+    p.add_argument("--w", type=int, default=10)
+    p.add_argument("--alpha", type=int, default=2)
+
+    p = sub.add_parser("report", help="generate a full markdown reproduction report")
+    p.add_argument("--quality", choices=["smoke", "normal"], default="smoke")
+    p.add_argument("--output", type=str, default=None, help="write to file instead of stdout")
+
+    p = sub.add_parser("birthday", help="classical birthday-paradox numbers")
+    p.add_argument("--target", type=float, default=0.5, help="collision probability target")
+    p.add_argument("--days", type=int, default=365)
+
+    return parser
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    params = ModelParams(n_entries=args.n, concurrency=args.c, alpha=args.alpha)
+    raw = conflict_likelihood(float(args.w), params)
+    prob = conflict_likelihood_product_form(float(args.w), params)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["raw Eq. 8 (expected collisions)", f"{raw:.4f}"],
+                ["conflict probability (1 - e^-x)", f"{prob:.4f}"],
+                ["commit probability", f"{1 - prob:.4f}"],
+            ],
+            title=f"Model: W={args.w}, N={args.n}, C={args.c}, alpha={args.alpha}",
+        )
+    )
+    return 0
+
+
+def _cmd_sizing(args: argparse.Namespace) -> int:
+    n = table_entries_for_commit_probability(
+        args.w, args.commit, concurrency=args.c, alpha=args.alpha
+    )
+    print(
+        f"Sustaining W={args.w} at C={args.c} with commit probability "
+        f">= {args.commit:.0%} requires a tagless table of {n:,} entries "
+        f"({n * 8 / (1 << 20):.1f} MiB at 8 B/entry)."
+    )
+    return 0
+
+
+def _cmd_fig2a(args: argparse.Namespace) -> int:
+    trace = remove_true_conflicts(
+        specjbb_like(args.threads, args.accesses, seed=args.seed)
+    )
+    w_values = [5, 10, 20, 40]
+    n_values = [4096, 16384, 65536]
+    series = {}
+    for n in n_values:
+        probs = []
+        for w in w_values:
+            cfg = TraceAliasConfig(
+                n_entries=n, write_footprint=w, samples=args.samples, seed=args.seed
+            )
+            probs.append(100 * simulate_trace_aliasing(trace, cfg).alias_probability)
+        series[f"N={n}"] = probs
+    print(format_series("W", w_values, series,
+                        title=f"Figure 2(a): alias likelihood (%), C=2, seed={args.seed}"))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    cfg = OverflowConfig(
+        n_traces=args.traces, trace_accesses=200_000, victim_entries=args.victim, seed=args.seed
+    )
+    out = fleet_summary(cfg)
+    rows = [
+        [
+            name,
+            round(r.mean_write_blocks),
+            round(r.mean_read_blocks),
+            f"{r.mean_utilization:.0%}",
+            f"{r.mean_instructions / 1e3:.1f}K",
+        ]
+        for name, r in out.items()
+    ]
+    print(
+        format_table(
+            ["bench", "writes", "reads", "util", "instr"],
+            rows,
+            title=f"Figure 3: overflow characterization (victim={args.victim}, seed={args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_fig4a(args: argparse.Namespace) -> int:
+    w_values = [4, 8, 16, 24, 32]
+    series = {}
+    for n in (512, 1024, 2048, 4096):
+        probs = []
+        for w in w_values:
+            r = simulate_open_system(
+                OpenSystemConfig(n, 2, w, samples=args.samples, seed=args.seed)
+            )
+            probs.append(100 * r.conflict_probability)
+        series[f"N={n}"] = probs
+    print(format_series("W", w_values, series,
+                        title=f"Figure 4(a): conflict likelihood (%), C=2, seed={args.seed}"))
+    return 0
+
+
+def _cmd_closed(args: argparse.Namespace) -> int:
+    cfg = ClosedSystemConfig(
+        n_entries=args.n,
+        concurrency=args.c,
+        write_footprint=args.w,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    r = simulate_closed_system(cfg)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["conflicts", r.conflicts],
+                ["committed", r.committed],
+                ["mean occupancy", f"{r.mean_occupancy:.1f}"],
+                ["expected occupancy", f"{r.expected_occupancy:.1f}"],
+                ["actual concurrency", f"{r.actual_concurrency:.2f}"],
+            ],
+            title=f"Closed system: N={args.n}, C={args.c}, W={args.w}, seed={args.seed}",
+        )
+    )
+    return 0
+
+
+def _cmd_birthday(args: argparse.Namespace) -> int:
+    k = people_for_collision_probability(args.target, days=args.days)
+    p = birthday_collision_probability(k, days=args.days)
+    print(
+        f"{k} people give a {p:.1%} collision probability over {args.days} days "
+        f"(target {args.target:.0%}); table occupancy at threshold: {k / args.days:.2%}."
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ReportConfig, generate_report
+
+    text = generate_report(ReportConfig(quality=args.quality, seed=args.seed))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_HANDLERS = {
+    "model": _cmd_model,
+    "report": _cmd_report,
+    "sizing": _cmd_sizing,
+    "fig2a": _cmd_fig2a,
+    "fig3": _cmd_fig3,
+    "fig4a": _cmd_fig4a,
+    "closed": _cmd_closed,
+    "birthday": _cmd_birthday,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

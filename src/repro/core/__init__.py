@@ -1,0 +1,92 @@
+"""The paper's primary contribution: the birthday-paradox conflict model.
+
+:mod:`repro.core.model` implements the §3 analytical model — the
+incremental conflict likelihoods (Eqs. 2, 6), their summation forms
+(Eqs. 3, 7) and closed forms (Eqs. 4, 8) — plus a product-form refinement
+that stays a probability at high conflict rates.
+
+:mod:`repro.core.birthday` supplies the classical birthday-paradox
+mathematics the paper uses to frame the result, and
+:mod:`repro.core.sizing` inverts the model to answer the design question
+the paper poses: *how big must a tagless ownership table be to sustain a
+target commit probability?*
+
+:mod:`repro.core.asymptotics` packages the scaling-law statements
+(conflicts ∝ W², ∝ C(C−1), ∝ 1/N) for the validation harness.
+"""
+
+from repro.core.birthday import (
+    birthday_collision_probability,
+    birthday_collision_probability_approx,
+    people_for_collision_probability,
+)
+from repro.core.model import (
+    ModelParams,
+    commit_probability,
+    conflict_likelihood,
+    conflict_likelihood_clipped,
+    conflict_likelihood_product_form,
+    conflict_likelihood_sum,
+    delta_conflict_likelihood,
+    footprint_blocks,
+)
+from repro.core.sizing import (
+    concurrency_scaling_factor,
+    max_footprint_for_table,
+    table_entries_for_commit_probability,
+    table_growth_for_concurrency,
+)
+from repro.core.generalized import (
+    blocks_until_set_overflow,
+    generalized_birthday_probability,
+    generalized_birthday_threshold,
+)
+from repro.core.heterogeneous import (
+    conflict_likelihood_heterogeneous,
+    conflict_likelihood_heterogeneous_product_form,
+    pairwise_rate_matrix,
+)
+from repro.core.refinement import (
+    StructuralAliasModel,
+    footprint_distribution,
+    pairwise_exact_conflict_probability,
+)
+from repro.core.asymptotics import (
+    ScalingLaw,
+    concurrency_law,
+    footprint_law,
+    predicted_ratio,
+    table_size_law,
+)
+
+__all__ = [
+    "ModelParams",
+    "ScalingLaw",
+    "StructuralAliasModel",
+    "birthday_collision_probability",
+    "birthday_collision_probability_approx",
+    "blocks_until_set_overflow",
+    "commit_probability",
+    "concurrency_law",
+    "concurrency_scaling_factor",
+    "conflict_likelihood",
+    "conflict_likelihood_clipped",
+    "conflict_likelihood_heterogeneous",
+    "conflict_likelihood_heterogeneous_product_form",
+    "conflict_likelihood_product_form",
+    "conflict_likelihood_sum",
+    "delta_conflict_likelihood",
+    "footprint_blocks",
+    "footprint_distribution",
+    "footprint_law",
+    "generalized_birthday_probability",
+    "generalized_birthday_threshold",
+    "max_footprint_for_table",
+    "pairwise_exact_conflict_probability",
+    "pairwise_rate_matrix",
+    "people_for_collision_probability",
+    "predicted_ratio",
+    "table_entries_for_commit_probability",
+    "table_growth_for_concurrency",
+    "table_size_law",
+]

@@ -1,0 +1,96 @@
+"""Scaling-law statements of the model, packaged for validation.
+
+The validation harness (:mod:`repro.analysis.validate`) fits power laws
+to measured conflict series and compares the exponents against the model
+predictions collected here:
+
+* conflicts ∝ W²  (footprint law, Eq. 4),
+* conflicts ∝ C (C−1)  (concurrency law, Eq. 8 — asymptotically C²,
+  super-quadratic growth at small C),
+* conflicts ∝ N⁻¹  (table-size law).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ScalingLaw",
+    "concurrency_law",
+    "footprint_law",
+    "predicted_ratio",
+    "table_size_law",
+]
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """One predicted power-law relationship.
+
+    Attributes
+    ----------
+    variable:
+        Which knob the law is about (``"W"``, ``"C"``, ``"N"``).
+    exponent:
+        Asymptotic log-log slope the measurement should exhibit.
+    exact:
+        Exact functional dependence, for ratio predictions that remain
+        valid where the asymptote has not set in (the C (C−1) factor at
+        small C).
+    description:
+        Human-readable statement for reports.
+    """
+
+    variable: str
+    exponent: float
+    exact: Callable[[float], float]
+    description: str
+
+    def ratio(self, from_value: float, to_value: float) -> float:
+        """Exact predicted conflict ratio when ``variable`` changes."""
+        base = self.exact(from_value)
+        if base == 0:
+            raise ZeroDivisionError(
+                f"scaling law {self.variable} is zero at {from_value}; ratio undefined"
+            )
+        return self.exact(to_value) / base
+
+
+def footprint_law() -> ScalingLaw:
+    """Conflicts grow as the square of the write footprint (Eq. 4)."""
+    return ScalingLaw(
+        variable="W",
+        exponent=2.0,
+        exact=lambda w: w * w,
+        description="conflict likelihood ∝ W² (transaction write footprint)",
+    )
+
+
+def concurrency_law() -> ScalingLaw:
+    """Conflicts grow as C (C−1) — asymptotically C² (Eq. 8)."""
+    return ScalingLaw(
+        variable="C",
+        exponent=2.0,
+        exact=lambda c: c * (c - 1),
+        description="conflict likelihood ∝ C(C−1) (concurrency)",
+    )
+
+
+def table_size_law() -> ScalingLaw:
+    """Conflicts fall only inversely with table size (Eq. 8)."""
+    return ScalingLaw(
+        variable="N",
+        exponent=-1.0,
+        exact=lambda n: 1.0 / n,
+        description="conflict likelihood ∝ 1/N (ownership-table entries)",
+    )
+
+
+def predicted_ratio(law: ScalingLaw, from_value: float, to_value: float) -> float:
+    """Convenience wrapper: exact predicted ratio under one law.
+
+    ``predicted_ratio(concurrency_law(), 2, 4) == 6.0`` — the §4
+    observation that quadrupling comes with a linear term at small C.
+    """
+    return law.ratio(from_value, to_value)

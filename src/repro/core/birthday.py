@@ -1,0 +1,88 @@
+"""Classical birthday-paradox mathematics.
+
+The paper's title observation: in a table of ``n`` slots, two random
+occupants collide with high probability long before the table fills —
+for 365 days, 23 people suffice for a >50 % collision chance. The
+ownership-table conflict model of :mod:`repro.core.model` is the
+transactional-memory instantiation of the same effect; these functions
+give the exact classical quantities so tests and examples can anchor the
+analogy.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "birthday_collision_probability",
+    "birthday_collision_probability_approx",
+    "expected_collisions",
+    "people_for_collision_probability",
+]
+
+
+def birthday_collision_probability(people: int, days: int = 365) -> float:
+    """Exact probability that at least two of ``people`` share a birthday.
+
+    Computed as ``1 - prod_{i=0}^{k-1} (1 - i/n)`` in log space so it is
+    stable for large inputs. Returns 1.0 once ``people > days``
+    (pigeonhole).
+    """
+    if people < 0:
+        raise ValueError(f"people must be non-negative, got {people}")
+    if days <= 0:
+        raise ValueError(f"days must be positive, got {days}")
+    if people <= 1:
+        return 0.0
+    if people > days:
+        return 1.0
+    log_no_collision = 0.0
+    for i in range(1, people):
+        log_no_collision += math.log1p(-i / days)
+    return -math.expm1(log_no_collision)
+
+
+def birthday_collision_probability_approx(people: int, days: int = 365) -> float:
+    """The standard ``1 - exp(-k(k-1)/(2n))`` approximation.
+
+    This is the same quadratic-over-table-size structure as the paper's
+    Eq. 4: collision probability governed by (pairs of occupants)/(slots).
+    """
+    if people < 0:
+        raise ValueError(f"people must be non-negative, got {people}")
+    if days <= 0:
+        raise ValueError(f"days must be positive, got {days}")
+    if people <= 1:
+        return 0.0
+    return -math.expm1(-people * (people - 1) / (2.0 * days))
+
+
+def expected_collisions(people: int, days: int = 365) -> float:
+    """Expected number of colliding pairs: ``k(k-1)/(2n)``.
+
+    The linearity-of-expectation quantity whose smallness justifies the
+    paper's sum-of-probabilities simplification (§3 assumption 6).
+    """
+    if people < 0:
+        raise ValueError(f"people must be non-negative, got {people}")
+    if days <= 0:
+        raise ValueError(f"days must be positive, got {days}")
+    return people * (people - 1) / (2.0 * days)
+
+
+def people_for_collision_probability(target: float, days: int = 365) -> int:
+    """Smallest group size whose collision probability reaches ``target``.
+
+    ``people_for_collision_probability(0.5)`` returns the famous 23.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target must be in (0, 1), got {target}")
+    if days <= 0:
+        raise ValueError(f"days must be positive, got {days}")
+    # The approximation inverts to k ~ sqrt(2 n ln(1/(1-p))); refine by
+    # stepping the exact formula from just below that estimate.
+    estimate = int(math.sqrt(2.0 * days * math.log(1.0 / (1.0 - target))))
+    people = max(2, estimate - 2)
+    while birthday_collision_probability(people, days) < target:
+        people += 1
+    return people

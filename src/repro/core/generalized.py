@@ -1,0 +1,139 @@
+"""The generalized birthday problem — and the cache as a birthday table.
+
+The classical paradox asks for *two* people sharing a day. The
+generalized problem asks for ``k`` people sharing a day, and it is the
+exact mathematics of §2.3's overflow condition: a ``ways``-associative
+cache of ``n_sets`` sets overflows a transaction when some set receives
+its ``(ways + 1)``-th distinct block — i.e. when ``k = ways + 1``
+"people" share a "day" among ``n_sets`` days.
+
+So the paper's title applies twice: tagless ownership tables die of the
+k = 2 birthday paradox (§3), and HTM capacity dies of the k = 5 one
+(§2.3). :func:`blocks_until_set_overflow` quantifies the second — for
+the paper's 128-set 4-way L1, *uniform* placement overflows at a median
+of just 141 distinct blocks (28 % utilization). The paper's measured
+≈36 % therefore means real address streams fill sets *more evenly* than
+uniform (sequential runs stripe round-robin across sets), with hot-set
+skew pulling in the other direction — both structures the workload
+model generates explicitly.
+
+Implementation: exact dynamic programming over the distribution of the
+maximum bin load (feasible at cache-like sizes), plus the standard
+Poisson approximation for large instances.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "blocks_until_set_overflow",
+    "generalized_birthday_probability",
+    "generalized_birthday_threshold",
+]
+
+
+def _log_binom(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+@lru_cache(maxsize=None)
+def _max_load_below_k(balls: int, bins: int, k: int) -> float:
+    """P(every bin holds < k balls) for ``balls`` uniform balls.
+
+    Exact, by DP over bins: distribute the balls bin by bin, capping each
+    at ``k − 1``. State: (bins left, balls left); transition sums the
+    multinomial weight of putting ``j < k`` balls in the next bin.
+    Complexity O(bins · balls · k) with memoized log-space arithmetic.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if balls < 0 or bins <= 0:
+        raise ValueError("balls must be non-negative and bins positive")
+    if balls >= bins * (k - 1) + 1:
+        return 0.0  # pigeonhole: some bin must reach k
+    # f[b] = number of weighted ways (log-sum) to place `b` balls in the
+    # bins processed so far with every bin < k. We track the multinomial
+    # coefficient sum: ways(b) = sum over compositions with parts < k of
+    # b! / (prod parts!). Then P = ways(balls) / bins^balls … assembled
+    # in normal space with scaling via log.
+    # DP in normal space over "exponential generating" weights:
+    # ways/b! accumulates as convolution of 1/j! terms.
+    egf = np.zeros(balls + 1)
+    egf[0] = 1.0
+    inv_fact = np.array([1.0 / math.factorial(j) for j in range(min(k - 1, balls) + 1)])
+    for _ in range(bins):
+        new = np.zeros_like(egf)
+        for j in range(len(inv_fact)):
+            if inv_fact[j] == 0.0:
+                continue
+            new[j:] += egf[: balls + 1 - j] * inv_fact[j]
+        egf = new
+    # P = balls! * egf[balls] / bins^balls
+    log_p = math.lgamma(balls + 1) + (math.log(egf[balls]) if egf[balls] > 0 else -math.inf)
+    log_p -= balls * math.log(bins)
+    return float(math.exp(log_p)) if log_p > -700 else 0.0
+
+
+def generalized_birthday_probability(people: int, days: int, k: int) -> float:
+    """P(at least one day is shared by ≥ ``k`` of ``people`` people).
+
+    ``k = 2`` reduces to the classical paradox; ``k = ways + 1`` with
+    ``days = n_sets`` is the §2.3 cache-overflow event under uniform
+    placement. Exact for moderate sizes (DP over the maximum bin load).
+    """
+    if people < 0:
+        raise ValueError(f"people must be non-negative, got {people}")
+    if days <= 0:
+        raise ValueError(f"days must be positive, got {days}")
+    if k <= 1:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if people < k:
+        return 0.0
+    return 1.0 - _max_load_below_k(people, days, k)
+
+
+def generalized_birthday_threshold(days: int, k: int, target: float = 0.5) -> int:
+    """Smallest group size with ≥ ``target`` probability of a ``k``-fold
+    shared day.
+
+    The classical 23 is ``generalized_birthday_threshold(365, 2)``; the
+    paper's L1 overflows (uniformly) at
+    ``generalized_birthday_threshold(128, 5)`` distinct blocks.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target must be in (0, 1), got {target}")
+    # Bracket by doubling, then bisect.
+    lo, hi = k, k
+    while generalized_birthday_probability(hi, days, k) < target:
+        lo = hi
+        hi *= 2
+        if hi > days * (k - 1) + 1:
+            hi = days * (k - 1) + 1
+            break
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if generalized_birthday_probability(mid, days, k) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def blocks_until_set_overflow(n_sets: int, ways: int, target: float = 0.5) -> int:
+    """Distinct uniformly-placed blocks before some cache set overflows.
+
+    The §2.3 capacity question as a birthday problem: overflow happens
+    when a set receives its ``(ways + 1)``-th block. Returns the group
+    size at which that has probability ≥ ``target``. For the paper's
+    geometry (128 sets, 4 ways) the median is 141 blocks — uniform
+    placement overflows at only ~28 % utilization, *below* the paper's
+    measured ~36 %: real streams' sequential runs stripe sets more
+    evenly than uniform, buying capacity that hot-set skew then erodes.
+    """
+    if n_sets <= 0 or ways <= 0:
+        raise ValueError("n_sets and ways must be positive")
+    return generalized_birthday_threshold(n_sets, ways + 1, target)

@@ -1,0 +1,241 @@
+"""Model refinements beyond the paper's closed forms.
+
+Two limitations of the §3 model are addressed here:
+
+1. **Assumption 6** (sum of probabilities instead of product of
+   survivals) makes Eq. 8 an expected *collision count* rather than a
+   probability; it overshoots badly once conflicts are common. The
+   :func:`pairwise_exact_conflict_probability` model removes the
+   assumption for each *pair* of transactions exactly — a dynamic
+   program over the joint distribution of one transaction's distinct
+   read/write entry counts, followed by exact survival of the partner's
+   draws — and composes pairs independently for C > 2.
+
+2. **Figure 2(b)'s unexplained asymptote**: the paper observes that
+   measured alias likelihood stops improving at very large tables and
+   defers the explanation to future work. The mechanism implemented in
+   :class:`StructuralAliasModel` is *layout correlation*: threads
+   running identical code allocate identically-shaped heaps at
+   power-of-two-aligned bases, so a pair of blocks in different threads'
+   regions can share every index bit a mask hash will ever look at —
+   colliding at the same entry no matter how large the table grows. The
+   alias rate then decomposes into a ``1/N`` birthday term plus an
+   N-independent structural term, which is exactly an asymptote. The
+   model can be fitted from two large-N measurements and validated at
+   intermediate sizes (see ``benchmarks/test_fig2b_asymptote.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import ModelParams
+
+__all__ = [
+    "StructuralAliasModel",
+    "footprint_distribution",
+    "pairwise_exact_conflict_probability",
+]
+
+
+def footprint_distribution(w: int, params: ModelParams) -> np.ndarray:
+    """Joint pmf of a transaction's distinct (write, read-only) entries.
+
+    A transaction draws ``(1+α)W`` uniform entries in the repeating
+    pattern [read×α, write]. Returns ``pmf[i, j]`` = P(i distinct
+    write-mode entries ∧ j distinct read-only entries) after all draws,
+    where a read that lands on an own write entry stays write-mode and a
+    write upgrades an own read-only entry.
+
+    Exact under the §3 uniformity assumption; used by
+    :func:`pairwise_exact_conflict_probability` and independently useful
+    for occupancy predictions.
+    """
+    if w < 0:
+        raise ValueError(f"W must be non-negative, got {w}")
+    alpha = int(round(params.alpha))
+    if alpha != params.alpha:
+        raise ValueError("exact model requires integer alpha (the simulation pattern)")
+    n = params.n_entries
+    max_w = w
+    max_r = alpha * w
+    # pmf over (distinct write entries, distinct read-only entries)
+    pmf = np.zeros((max_w + 1, max_r + 1))
+    pmf[0, 0] = 1.0
+
+    def step(pmf: np.ndarray, is_write: bool) -> np.ndarray:
+        out = np.zeros_like(pmf)
+        for i in range(pmf.shape[0]):
+            for j in range(pmf.shape[1]):
+                p = pmf[i, j]
+                if p == 0.0:
+                    continue
+                p_hit_write = i / n
+                p_hit_read = j / n
+                p_fresh = 1.0 - p_hit_write - p_hit_read
+                if is_write:
+                    # hits own write entry: no change
+                    out[i, j] += p * p_hit_write
+                    # upgrades an own read-only entry: (i+1, j-1)
+                    if j > 0:
+                        out[i + 1, j - 1] += p * p_hit_read
+                    # fresh entry becomes write-mode
+                    out[i + 1, j] += p * p_fresh
+                else:
+                    # hits own write or read entry: no change
+                    out[i, j] += p * (p_hit_write + p_hit_read)
+                    # fresh entry becomes read-only
+                    out[i, j + 1] += p * p_fresh
+        return out
+
+    for _ in range(w):
+        for _ in range(alpha):
+            pmf = step(pmf, is_write=False)
+        pmf = step(pmf, is_write=True)
+    return pmf
+
+
+def _pair_no_conflict_probability(w: int, params: ModelParams) -> float:
+    """P(no conflict between one fixed pair of transactions), exact.
+
+    Conditions on transaction A's final distinct footprint (i write
+    entries, j read-only entries) and multiplies the survival of each of
+    B's draws: a B-read must avoid A's i write entries; a B-write must
+    avoid all i + j entries. B's own repeat draws do not change its
+    survival (re-touching an entry B already safely holds is safe —
+    conditional on A's set being avoided once, it is avoided always), so
+    survival depends on B's *distinct* footprint; we therefore integrate
+    over B's footprint distribution too.
+    """
+    pmf_a = footprint_distribution(w, params)
+    pmf_b = pmf_a  # identically distributed
+    n = params.n_entries
+
+    total = 0.0
+    # For B with (k writes, l read-only distinct entries) to avoid
+    # conflicts with A's (i, j): each of B's k + l distinct entries is an
+    # independent uniform; writes must miss i + j entries, reads must
+    # miss the i write entries.
+    is_, js = np.nonzero(pmf_a)
+    for i, j in zip(is_, js):
+        pa = pmf_a[i, j]
+        p_read_safe = max(0.0, 1.0 - i / n)
+        p_write_safe = max(0.0, 1.0 - (i + j) / n)
+        ks, ls = np.nonzero(pmf_b)
+        # survival for B's distinct entries: write-mode entries must be
+        # write-safe; read-only entries must be read-safe
+        surv = (p_write_safe ** ks) * (p_read_safe ** ls)
+        total += pa * float(np.sum(pmf_b[ks, ls] * surv))
+    return total
+
+
+def pairwise_exact_conflict_probability(w: int, params: ModelParams) -> float:
+    """Conflict probability without §3 assumption 6.
+
+    Exact for C = 2 (up to the uniform-hash assumption); for C > 2 the
+    C(C−1)/2 pairs are treated as independent (their only coupling is
+    through shared footprints, a weak effect at sane loads):
+
+        P(conflict) = 1 − P(pair survives) ^ (C(C−1)/2)
+
+    Unlike Eq. 8 this is a true probability for all parameters, and
+    unlike the product form it does not assume collision counts are
+    Poisson — it integrates over the actual footprint distribution.
+    """
+    if w == 0 or params.concurrency < 2:
+        return 0.0
+    pair = _pair_no_conflict_probability(w, params)
+    pairs = params.concurrency * (params.concurrency - 1) // 2
+    return 1.0 - pair**pairs
+
+
+@dataclass(frozen=True)
+class StructuralAliasModel:
+    """Alias likelihood = birthday term + N-independent structural term.
+
+    ``P(alias; N, W) = 1 − exp(−(k·W²/N + s·W²))`` where ``k`` is the
+    §3 coefficient ``C(C−1)(1+2α)/2`` and ``s`` is the *structural
+    collision rate*: the probability per cross-thread block pair of a
+    full low-bit coincidence (layout correlation). As N → ∞ the first
+    term vanishes and the likelihood flattens at ``1 − exp(−sW²)`` —
+    Figure 2(b)'s asymptote.
+
+    Attributes
+    ----------
+    params:
+        The baseline §3 parameters (N is overridden per evaluation).
+    structural_rate:
+        The fitted ``s`` (per squared write-footprint unit).
+    """
+
+    concurrency: int
+    alpha: float
+    structural_rate: float
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 2:
+            raise ValueError(f"concurrency must be >= 2, got {self.concurrency}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.structural_rate < 0:
+            raise ValueError(f"structural_rate must be non-negative, got {self.structural_rate}")
+
+    def _k(self) -> float:
+        c = self.concurrency
+        return c * (c - 1) * (1.0 + 2.0 * self.alpha) / 2.0
+
+    def rate(self, w: float, n_entries: int) -> float:
+        """The combined collision rate λ(N, W)."""
+        if n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {n_entries}")
+        return self._k() * w * w / n_entries + self.structural_rate * w * w
+
+    def alias_probability(self, w: float, n_entries: int) -> float:
+        """P(at least one alias) = 1 − exp(−λ)."""
+        return -math.expm1(-self.rate(w, n_entries))
+
+    def asymptote(self, w: float) -> float:
+        """The N → ∞ floor: 1 − exp(−s·W²)."""
+        return -math.expm1(-self.structural_rate * w * w)
+
+    @classmethod
+    def fit(
+        cls,
+        w: float,
+        measurements: Sequence[tuple[int, float]],
+        *,
+        concurrency: int = 2,
+        alpha: float = 2.0,
+    ) -> "StructuralAliasModel":
+        """Fit the structural rate from (N, measured probability) points.
+
+        Each measurement gives ``λ_meas = −ln(1 − p)``; subtracting the
+        known birthday term leaves an estimate of ``s·W²``. The fitted
+        ``s`` is the average over measurements (clamped at 0).
+
+        Points with p ≥ 1 are rejected (λ undefined); use larger tables
+        or smaller footprints to fit.
+        """
+        if not measurements:
+            raise ValueError("need at least one (N, probability) measurement")
+        if w <= 0:
+            raise ValueError(f"W must be positive, got {w}")
+        k = concurrency * (concurrency - 1) * (1.0 + 2.0 * alpha) / 2.0
+        estimates = []
+        for n, p in measurements:
+            if n <= 0:
+                raise ValueError(f"n_entries must be positive, got {n}")
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"probability must be in [0, 1), got {p}")
+            lam = -math.log1p(-p)
+            s_w2 = lam - k * w * w / n
+            estimates.append(max(0.0, s_w2) / (w * w))
+        return cls(
+            concurrency=concurrency,
+            alpha=alpha,
+            structural_rate=float(np.mean(estimates)),
+        )

@@ -1,0 +1,40 @@
+"""Hardware-TM side of a hybrid TM (§2.3).
+
+HTM proposals track a transaction's read and write sets in the data
+cache and detect conflicts through coherence; the binding constraint is
+*capacity* — a transaction that evicts one of its own tracked lines can
+no longer be monitored and must overflow to the STM. This package
+provides:
+
+* :class:`~repro.htm.cache.SetAssociativeCache` — a 32 KB 4-way 64 B-line
+  L1 model (geometry configurable),
+* :class:`~repro.htm.victim.VictimBuffer` — the small fully-associative
+  spill structure whose benefit Figure 3 quantifies,
+* :class:`~repro.htm.htm.HTMContext` — transactional footprint tracking
+  and overflow detection over a trace, and
+* :class:`~repro.htm.hybrid.HybridTM` — HTM execution with automatic
+  fallback to the word-based STM of :mod:`repro.stm`.
+"""
+
+from repro.htm.cache import CacheAccess, CacheGeometry, SetAssociativeCache
+from repro.htm.coherence import AbortReason, CoherentHTM, CoreStats, TxAbort
+from repro.htm.htm import HTMContext, HTMOverflow, TxFootprint
+from repro.htm.hybrid import ExecutionMode, HybridOutcome, HybridTM
+from repro.htm.victim import VictimBuffer
+
+__all__ = [
+    "AbortReason",
+    "CacheAccess",
+    "CacheGeometry",
+    "CoherentHTM",
+    "CoreStats",
+    "ExecutionMode",
+    "HTMContext",
+    "HTMOverflow",
+    "HybridOutcome",
+    "HybridTM",
+    "SetAssociativeCache",
+    "TxAbort",
+    "TxFootprint",
+    "VictimBuffer",
+]

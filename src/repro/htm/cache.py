@@ -1,0 +1,157 @@
+"""Set-associative cache simulator.
+
+Models exactly what §2.3 needs: which block a reference hits or evicts,
+under true LRU replacement, for a configurable geometry (default: the
+paper's 32 KB, 4-way, 64-byte-line L1). Tag/data contents are irrelevant
+— the simulator tracks only block residency.
+
+Block addresses are already line-granular (byte address / line size), so
+the set index is ``block mod n_sets`` and the "tag" is the block address
+itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.units import CACHE_LINE_BYTES, KiB, is_power_of_two
+
+__all__ = ["CacheAccess", "CacheGeometry", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Cache shape: capacity, associativity, line size.
+
+    The default is the paper's configuration: "a 32 KB 4-way set
+    associative cache with 64-byte cache lines ... representative of L1
+    data caches of contemporary microprocessor implementations."
+    """
+
+    size_bytes: int = 32 * KiB
+    ways: int = 4
+    line_bytes: int = CACHE_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"all geometry fields must be positive: {self}")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"size {self.size_bytes} not divisible by ways*line "
+                f"({self.ways} * {self.line_bytes})"
+            )
+        if not is_power_of_two(self.n_sets):
+            raise ValueError(f"number of sets must be a power of two, got {self.n_sets}")
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def n_blocks(self) -> int:
+        """Total block capacity (the paper's 512 for the default)."""
+        return self.n_sets * self.ways
+
+
+@dataclass(frozen=True)
+class CacheAccess:
+    """Result of one reference.
+
+    ``evicted`` is the block pushed out to make room on a miss, or None
+    when the set had a free way (or the access hit).
+    """
+
+    block: int
+    hit: bool
+    evicted: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """True-LRU set-associative cache over block addresses.
+
+    Each set is an ordered list, most-recently-used last. ``access``
+    returns hit/miss and any eviction; ``contains``/``resident_blocks``
+    expose state for the HTM layer's footprint accounting.
+    """
+
+    def __init__(self, geometry: Optional[CacheGeometry] = None) -> None:
+        self.geometry = geometry if geometry is not None else CacheGeometry()
+        self._sets: List[List[int]] = [[] for _ in range(self.geometry.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def set_index(self, block: int) -> int:
+        """Set a block maps to (``block mod n_sets``)."""
+        if block < 0:
+            raise ValueError(f"block address must be non-negative, got {block}")
+        return block % self.geometry.n_sets
+
+    def access(self, block: int) -> CacheAccess:
+        """Reference ``block``: update LRU, possibly evict.
+
+        Loads and stores are identical at this layer — §2.3's overflow
+        condition cares only about residency of transactional lines.
+        """
+        idx = self.set_index(block)
+        ways = self._sets[idx]
+        if block in ways:
+            ways.remove(block)
+            ways.append(block)
+            self.hits += 1
+            return CacheAccess(block, hit=True)
+        self.misses += 1
+        evicted: Optional[int] = None
+        if len(ways) >= self.geometry.ways:
+            evicted = ways.pop(0)
+            self.evictions += 1
+        ways.append(block)
+        return CacheAccess(block, hit=False, evicted=evicted)
+
+    def contains(self, block: int) -> bool:
+        """Is ``block`` currently resident?"""
+        return block in self._sets[self.set_index(block)]
+
+    def invalidate(self, block: int) -> bool:
+        """Remove ``block`` if resident; returns True if it was."""
+        ways = self._sets[self.set_index(block)]
+        if block in ways:
+            ways.remove(block)
+            return True
+        return False
+
+    def resident_blocks(self) -> list[int]:
+        """All currently resident blocks (unordered across sets)."""
+        out: list[int] = []
+        for ways in self._sets:
+            out.extend(ways)
+        return out
+
+    def occupancy(self) -> int:
+        """Number of resident blocks."""
+        return sum(len(ways) for ways in self._sets)
+
+    def utilization(self) -> float:
+        """Occupancy over total capacity — Figure 3(a)'s y-axis basis."""
+        return self.occupancy() / self.geometry.n_blocks
+
+    def set_occupancy(self) -> Dict[int, int]:
+        """Per-set resident counts (hot-set diagnosis)."""
+        return {i: len(ways) for i, ways in enumerate(self._sets) if ways}
+
+    def reset(self) -> None:
+        """Empty the cache and zero statistics."""
+        for ways in self._sets:
+            ways.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        g = self.geometry
+        return (
+            f"SetAssociativeCache({g.size_bytes // KiB}KiB, {g.ways}-way, "
+            f"{g.line_bytes}B lines, occupancy={self.occupancy()}/{g.n_blocks})"
+        )

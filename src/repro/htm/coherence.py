@@ -1,0 +1,260 @@
+"""Multi-core HTM conflict detection through cache coherence.
+
+§2.3: "Because HTMs in a hybrid TM uniquely use the data itself for
+conflict checking (by using the coherence protocol), the HTMs do not
+suffer from false conflicts (except due to the second order effect of
+false sharing)." This module builds that substrate: per-core caches, an
+invalidation-based protocol at cache-line granularity, and transactional
+read/write-set tracking whose conflicts are raised by remote coherence
+requests — exactly how proposed HTMs detect them.
+
+Because coherence acts on whole lines, two cores touching *different
+words of the same line* still conflict: **false sharing**, the HTM
+analogue of the STM's hash aliasing (a granularity artifact rather than
+a hashing artifact). Accesses here carry word addresses so every
+conflict can be classified true vs false-shared, and
+``benchmarks/test_ablation_false_sharing.py`` measures the rate as a
+function of line size.
+
+Protocol model (simplified MSI, requester wins):
+
+* a core's **write** to a line invalidates it everywhere else; any
+  remote in-flight transaction holding that line in its read or write
+  set aborts;
+* a core's **read** of a line downgrades remote exclusive copies; a
+  remote transaction that has *written* the line aborts (its speculative
+  data cannot be shared);
+* eviction of a transactional line from its own cache overflows the
+  transaction (capacity abort), as in :mod:`repro.htm.htm`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.htm.cache import CacheGeometry, SetAssociativeCache
+
+__all__ = ["AbortReason", "CoherentHTM", "CoreStats", "TxAbort"]
+
+#: bytes per word for word-granularity conflict classification
+WORD_BYTES = 8
+
+
+class AbortReason(enum.Enum):
+    """Why a transaction died."""
+
+    TRUE_CONFLICT = "true-conflict"
+    FALSE_SHARING = "false-sharing"
+    CAPACITY = "capacity"
+
+
+@dataclass(frozen=True)
+class TxAbort:
+    """One transactional abort event.
+
+    ``victim`` lost its transaction because of ``requester``'s access to
+    ``line`` (or its own eviction, for capacity aborts).
+    """
+
+    victim: int
+    requester: Optional[int]
+    line: int
+    reason: AbortReason
+
+
+@dataclass
+class CoreStats:
+    """Per-core transactional statistics."""
+
+    begun: int = 0
+    committed: int = 0
+    aborts_true: int = 0
+    aborts_false_sharing: int = 0
+    aborts_capacity: int = 0
+
+    @property
+    def aborted(self) -> int:
+        """Total aborts."""
+        return self.aborts_true + self.aborts_false_sharing + self.aborts_capacity
+
+
+@dataclass
+class _CoreTx:
+    active: bool = False
+    read_lines: Set[int] = field(default_factory=set)
+    write_lines: Set[int] = field(default_factory=set)
+    # line -> word offsets actually touched (for classification)
+    read_words: Dict[int, Set[int]] = field(default_factory=dict)
+    write_words: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.active = False
+        self.read_lines.clear()
+        self.write_lines.clear()
+        self.read_words.clear()
+        self.write_words.clear()
+
+
+class CoherentHTM:
+    """``n_cores`` HTM-capable cores under an invalidation protocol.
+
+    Drive it with :meth:`begin`/:meth:`access`/:meth:`commit`; aborts are
+    *returned* (as :class:`TxAbort` events), not raised, because a single
+    access can kill several remote transactions at once.
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        geometry: Optional[CacheGeometry] = None,
+        *,
+        word_bytes: int = WORD_BYTES,
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError(f"n_cores must be positive, got {n_cores}")
+        if word_bytes <= 0:
+            raise ValueError(f"word_bytes must be positive, got {word_bytes}")
+        self.geometry = geometry if geometry is not None else CacheGeometry()
+        if self.geometry.line_bytes % word_bytes != 0:
+            raise ValueError(
+                f"line size {self.geometry.line_bytes} not a multiple of word size {word_bytes}"
+            )
+        self.n_cores = n_cores
+        self.word_bytes = word_bytes
+        self.caches = [SetAssociativeCache(self.geometry) for _ in range(n_cores)]
+        self._tx = [_CoreTx() for _ in range(n_cores)]
+        self.stats = [CoreStats() for _ in range(n_cores)]
+        self.abort_log: list[TxAbort] = []
+
+    # ------------------------------------------------------------------
+    # address helpers
+
+    def line_of(self, word_addr: int) -> int:
+        """Cache line (block) index of a word address."""
+        if word_addr < 0:
+            raise ValueError(f"word address must be non-negative, got {word_addr}")
+        return (word_addr * self.word_bytes) // self.geometry.line_bytes
+
+    def word_offset(self, word_addr: int) -> int:
+        """Word offset within its line."""
+        words_per_line = self.geometry.line_bytes // self.word_bytes
+        return word_addr % words_per_line
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+
+    def begin(self, core: int) -> None:
+        """Start a transaction on ``core``."""
+        tx = self._tx_of(core)
+        if tx.active:
+            raise RuntimeError(f"core {core} already has an active transaction")
+        tx.reset()
+        tx.active = True
+        self.stats[core].begun += 1
+
+    def in_transaction(self, core: int) -> bool:
+        """True while ``core`` has an active transaction."""
+        return self._tx_of(core).active
+
+    def commit(self, core: int) -> None:
+        """Commit ``core``'s transaction (mass-clear of speculative bits)."""
+        tx = self._tx_of(core)
+        if not tx.active:
+            raise RuntimeError(f"core {core} has no active transaction")
+        tx.reset()
+        self.stats[core].committed += 1
+
+    # ------------------------------------------------------------------
+    # memory accesses
+
+    def access(self, core: int, word_addr: int, is_write: bool) -> list[TxAbort]:
+        """Perform one access; returns abort events it caused (possibly
+        including ``core``'s own capacity abort)."""
+        tx = self._tx_of(core)
+        line = self.line_of(word_addr)
+        word = self.word_offset(word_addr)
+        events: list[TxAbort] = []
+
+        # -- coherence action against remote cores -----------------------
+        for other in range(self.n_cores):
+            if other == core:
+                continue
+            other_tx = self._tx[other]
+            if is_write:
+                self.caches[other].invalidate(line)
+                if other_tx.active and (
+                    line in other_tx.read_lines or line in other_tx.write_lines
+                ):
+                    events.append(self._conflict_abort(other, core, line, word, is_write))
+            else:
+                if other_tx.active and line in other_tx.write_lines:
+                    events.append(self._conflict_abort(other, core, line, word, is_write))
+
+        # -- local cache + transactional tracking -------------------------
+        result = self.caches[core].access(line)
+        if tx.active:
+            if is_write:
+                tx.write_lines.add(line)
+                tx.write_words.setdefault(line, set()).add(word)
+                tx.read_lines.discard(line)
+            elif line not in tx.write_lines:
+                tx.read_lines.add(line)
+                tx.read_words.setdefault(line, set()).add(word)
+            if result.evicted is not None and (
+                result.evicted in tx.read_lines or result.evicted in tx.write_lines
+            ):
+                events.append(self._capacity_abort(core, result.evicted))
+        return events
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _tx_of(self, core: int) -> _CoreTx:
+        if not 0 <= core < self.n_cores:
+            raise IndexError(f"core {core} out of range for {self.n_cores} cores")
+        return self._tx[core]
+
+    def _conflict_abort(
+        self, victim: int, requester: int, line: int, word: int, requester_writes: bool
+    ) -> TxAbort:
+        tx = self._tx[victim]
+        victim_words: Set[int] = set()
+        victim_words |= tx.write_words.get(line, set())
+        if requester_writes:
+            victim_words |= tx.read_words.get(line, set())
+        reason = AbortReason.TRUE_CONFLICT if word in victim_words else AbortReason.FALSE_SHARING
+        tx.reset()
+        if reason is AbortReason.TRUE_CONFLICT:
+            self.stats[victim].aborts_true += 1
+        else:
+            self.stats[victim].aborts_false_sharing += 1
+        event = TxAbort(victim=victim, requester=requester, line=line, reason=reason)
+        self.abort_log.append(event)
+        return event
+
+    def _capacity_abort(self, core: int, line: int) -> TxAbort:
+        self._tx[core].reset()
+        self.stats[core].aborts_capacity += 1
+        event = TxAbort(victim=core, requester=None, line=line, reason=AbortReason.CAPACITY)
+        self.abort_log.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+
+    def total_aborts(self) -> dict[AbortReason, int]:
+        """Abort counts by reason across all cores."""
+        out = {reason: 0 for reason in AbortReason}
+        for event in self.abort_log:
+            out[event.reason] += 1
+        return out
+
+    def false_sharing_fraction(self) -> float:
+        """False-sharing share of all conflict aborts (capacity excluded)."""
+        totals = self.total_aborts()
+        conflicts = totals[AbortReason.TRUE_CONFLICT] + totals[AbortReason.FALSE_SHARING]
+        if conflicts == 0:
+            return 0.0
+        return totals[AbortReason.FALSE_SHARING] / conflicts

@@ -1,0 +1,161 @@
+"""HTM-mode transaction tracking and overflow detection (§2.3).
+
+An HTM "uses the processor's data cache(s) to track which data an atomic
+block has read and to hold speculative data". Tracking is lost the moment
+a line belonging to the transaction's footprint leaves the cache (and the
+victim buffer, when present) — that eviction *is* the overflow event, and
+the paper measures the footprint and dynamic-instruction count at that
+point.
+
+:class:`HTMContext` replays an :class:`~repro.traces.events.AccessTrace`
+as one transaction against a cache + optional victim buffer and reports
+either clean completion or an :class:`HTMOverflow` describing the state
+at the overflow point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.htm.cache import CacheGeometry, SetAssociativeCache
+from repro.htm.victim import VictimBuffer
+from repro.traces.events import AccessTrace
+
+__all__ = ["HTMContext", "HTMOverflow", "TxFootprint"]
+
+
+@dataclass(frozen=True)
+class TxFootprint:
+    """Distinct-block footprint of a (partial) transaction.
+
+    ``read_blocks`` counts blocks only ever read; ``write_blocks`` counts
+    blocks written at least once (matching Figure 3(a)'s two bars: at
+    overflow "about one-third of the footprint is blocks that have been
+    written ... and the other two-thirds have only been read").
+    """
+
+    read_blocks: int
+    write_blocks: int
+
+    @property
+    def total(self) -> int:
+        """Total distinct blocks."""
+        return self.read_blocks + self.write_blocks
+
+    @property
+    def read_write_ratio(self) -> float:
+        """Read-only blocks per written block (paper: ≈ 2)."""
+        if self.write_blocks == 0:
+            return float("inf") if self.read_blocks else 0.0
+        return self.read_blocks / self.write_blocks
+
+
+@dataclass(frozen=True)
+class HTMOverflow:
+    """The overflow event: where and how large the transaction was.
+
+    Attributes
+    ----------
+    access_index:
+        Index into the trace of the access that caused the overflow.
+    instructions:
+        Dynamic instructions executed up to (and including) that access.
+    footprint:
+        Footprint at the overflow point (the evicting access included).
+    lost_block:
+        The transactional block whose tracking was lost.
+    utilization:
+        Footprint over cache block capacity — Figure 3(a)'s ~36 %.
+    """
+
+    access_index: int
+    instructions: int
+    footprint: TxFootprint
+    lost_block: int
+    utilization: float
+
+
+class HTMContext:
+    """Replays a trace as one hardware transaction.
+
+    Parameters
+    ----------
+    geometry:
+        Cache shape (defaults to the paper's 32 KB 4-way).
+    victim_entries:
+        Victim-buffer capacity; 0 disables it (the Figure 3 baseline).
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[CacheGeometry] = None,
+        *,
+        victim_entries: int = 0,
+    ) -> None:
+        self.cache = SetAssociativeCache(geometry)
+        self.victim = VictimBuffer(victim_entries)
+
+    def run(self, trace: AccessTrace) -> Optional[HTMOverflow]:
+        """Execute ``trace`` transactionally; None means it fit.
+
+        The cache starts cold (the transaction's own footprint is what
+        competes for the sets; §2.3 measures maximum *transaction* size,
+        so pre-existing dirt would only shrink it).
+        """
+        self.cache.reset()
+        self.victim.reset()
+
+        read_only: Set[int] = set()
+        written: Set[int] = set()
+
+        for i in range(len(trace)):
+            block = int(trace.blocks[i])
+            is_write = bool(trace.is_write[i])
+
+            # Track footprint first: the access that triggers the
+            # eviction is itself part of the transaction.
+            if is_write:
+                written.add(block)
+                read_only.discard(block)
+            elif block not in written:
+                read_only.add(block)
+
+            # Victim-buffer hit: swap the block back into the cache.
+            if not self.cache.contains(block) and self.victim.extract(block):
+                pass  # re-insert below via normal access
+
+            result = self.cache.access(block)
+            lost = self._handle_eviction(result.evicted, read_only, written)
+            if lost is not None:
+                footprint = TxFootprint(len(read_only), len(written))
+                return HTMOverflow(
+                    access_index=i,
+                    instructions=int(trace.instr[i]),
+                    footprint=footprint,
+                    lost_block=lost,
+                    utilization=footprint.total / self.cache.geometry.n_blocks,
+                )
+        return None
+
+    def _handle_eviction(
+        self, evicted: Optional[int], read_only: Set[int], written: Set[int]
+    ) -> Optional[int]:
+        """Route an eviction; return the transactional block lost, if any."""
+        if evicted is None:
+            return None
+        transactional = evicted in read_only or evicted in written
+        if not transactional:
+            return None
+        if self.victim.capacity == 0:
+            return evicted
+        displaced = self.victim.insert(evicted)
+        if displaced is None:
+            return None
+        if displaced in read_only or displaced in written:
+            return displaced
+        return None
+
+    def footprint_capacity(self) -> int:
+        """Upper bound on trackable footprint (cache + victim blocks)."""
+        return self.cache.geometry.n_blocks + self.victim.capacity

@@ -1,0 +1,139 @@
+"""Hybrid TM: HTM first, STM fallback on overflow (§1, §2.3).
+
+"Numerous hybrid proposals have emerged where a hardware transactional
+memory is used for the common case where a transaction fits in the local
+caches and software support is invoked for cases where a transaction
+exceeds local buffering." This module wires the two halves of this
+library together the same way: an :class:`~repro.htm.htm.HTMContext`
+attempts each transaction; on overflow the access trace re-executes on
+the word-based :class:`~repro.stm.runtime.STM`, where the ownership-table
+organization decides its fate — which is precisely why the paper cares
+about that organization for *large* transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.htm.cache import CacheGeometry
+from repro.htm.htm import HTMContext, HTMOverflow
+from repro.stm.conflict import TransactionAborted
+from repro.stm.runtime import STM
+from repro.traces.events import AccessTrace
+
+__all__ = ["ExecutionMode", "HybridOutcome", "HybridTM"]
+
+
+class ExecutionMode(enum.Enum):
+    """How a transaction ultimately executed."""
+
+    HTM = "htm"
+    STM = "stm"
+
+
+@dataclass(frozen=True)
+class HybridOutcome:
+    """Result of one hybrid transaction execution.
+
+    Attributes
+    ----------
+    mode:
+        HTM if it fit in hardware, STM if it overflowed and fell back.
+    committed:
+        Whether the transaction eventually committed (an STM fallback may
+        exhaust its retry budget under contention).
+    overflow:
+        The HTM overflow event, when one occurred.
+    stm_restarts:
+        Retries consumed in STM mode (0 in HTM mode).
+    """
+
+    mode: ExecutionMode
+    committed: bool
+    overflow: Optional[HTMOverflow] = None
+    stm_restarts: int = 0
+
+
+class HybridTM:
+    """An HTM/STM hybrid executing trace-described transactions.
+
+    Parameters
+    ----------
+    stm:
+        The software fallback (its ownership table determines false-
+        conflict behaviour for overflowed transactions).
+    geometry:
+        HTM cache geometry.
+    victim_entries:
+        HTM victim-buffer capacity.
+    max_stm_restarts:
+        Retry budget for the STM fallback before giving up.
+    """
+
+    def __init__(
+        self,
+        stm: STM,
+        *,
+        geometry: Optional[CacheGeometry] = None,
+        victim_entries: int = 0,
+        max_stm_restarts: int = 64,
+    ) -> None:
+        if max_stm_restarts < 0:
+            raise ValueError(f"max_stm_restarts must be non-negative, got {max_stm_restarts}")
+        self.stm = stm
+        self.htm = HTMContext(geometry, victim_entries=victim_entries)
+        self.max_stm_restarts = max_stm_restarts
+        self.htm_commits = 0
+        self.stm_commits = 0
+        self.stm_failures = 0
+
+    def execute(self, thread_id: int, trace: AccessTrace) -> HybridOutcome:
+        """Run one transaction (described by ``trace``) to completion.
+
+        Note: the HTM attempt models a single-threaded capacity check —
+        HTM *conflicts* are handled by coherence and are outside this
+        paper's scope ("HTMs do not suffer from false conflicts").
+        """
+        overflow = self.htm.run(trace)
+        if overflow is None:
+            self.htm_commits += 1
+            return HybridOutcome(mode=ExecutionMode.HTM, committed=True)
+
+        restarts = 0
+        while True:
+            self.stm.begin(thread_id)
+            try:
+                for access in trace:
+                    if access.is_write:
+                        self.stm.write(thread_id, access.block, None)
+                    else:
+                        self.stm.read(thread_id, access.block)
+            except TransactionAborted:
+                restarts += 1
+                if restarts > self.max_stm_restarts:
+                    self.stm_failures += 1
+                    return HybridOutcome(
+                        mode=ExecutionMode.STM,
+                        committed=False,
+                        overflow=overflow,
+                        stm_restarts=restarts,
+                    )
+                continue
+            self.stm.commit(thread_id)
+            self.stm_commits += 1
+            return HybridOutcome(
+                mode=ExecutionMode.STM,
+                committed=True,
+                overflow=overflow,
+                stm_restarts=restarts,
+            )
+
+    @property
+    def stm_fallback_rate(self) -> float:
+        """Fraction of executed transactions that needed the STM."""
+        total = self.htm_commits + self.stm_commits + self.stm_failures
+        if total == 0:
+            return 0.0
+        return (self.stm_commits + self.stm_failures) / total

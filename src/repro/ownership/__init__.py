@@ -1,0 +1,65 @@
+"""Ownership-table substrates for word-based STMs.
+
+This package implements the two metadata organizations the paper
+contrasts:
+
+* :class:`~repro.ownership.tagless.TaglessOwnershipTable` — the Figure 1
+  design used by prior word-based STMs: a hash-indexed table whose entries
+  carry only ``(mode, owner | sharer-count)``. Aliasing addresses are
+  indistinguishable, so cross-transaction aliases involving a write become
+  **false conflicts**.
+* :class:`~repro.ownership.tagged.TaggedOwnershipTable` — the Figure 7
+  design: entries store address tags and chain on collision, so conflicts
+  are only ever reported for true same-block contention.
+
+Both implement the :class:`~repro.ownership.base.OwnershipTable` interface
+so the STM runtime (:mod:`repro.stm`) and the simulators (:mod:`repro.sim`)
+are organization-agnostic.
+"""
+
+from repro.ownership.adaptive import AdaptiveTaglessTable, ResizeEvent
+from repro.ownership.base import (
+    AccessMode,
+    AcquireResult,
+    Conflict,
+    ConflictKind,
+    EntryState,
+    OwnershipTable,
+)
+from repro.ownership.hashing import (
+    HashFunction,
+    MaskHash,
+    MultiplicativeHash,
+    XorFoldHash,
+    make_hash,
+)
+from repro.ownership.stats import (
+    ChainStats,
+    OccupancyStats,
+    poisson_chain_pmf,
+    expected_max_chain_length,
+)
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+
+__all__ = [
+    "AccessMode",
+    "AcquireResult",
+    "AdaptiveTaglessTable",
+    "ChainStats",
+    "Conflict",
+    "ConflictKind",
+    "EntryState",
+    "HashFunction",
+    "MaskHash",
+    "MultiplicativeHash",
+    "OccupancyStats",
+    "OwnershipTable",
+    "ResizeEvent",
+    "TaggedOwnershipTable",
+    "TaglessOwnershipTable",
+    "XorFoldHash",
+    "expected_max_chain_length",
+    "make_hash",
+    "poisson_chain_pmf",
+]

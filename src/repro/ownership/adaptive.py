@@ -1,0 +1,204 @@
+"""A self-resizing tagless ownership table.
+
+§2.2's dilemma: a tagless table must be sized for the *worst* workload
+(quadratic in footprint and concurrency) or it throttles concurrency —
+but the worst workload is rarely known in advance. The pragmatic
+engineering response is adaptation: monitor the observed false-conflict
+rate and grow the table when it crosses a threshold.
+
+The catch this module makes explicit: a tagless table cannot be rehashed
+under load. Entries carry no tags, so permissions cannot be migrated to
+the new index space — every in-flight transaction must drain (abort)
+across a resize. :class:`AdaptiveTaglessTable` models that cost: `grow`
+releases all permissions and reports the casualties, and the adaptation
+statistics record how much concurrency each resize destroyed. The
+comparison with a tagged table (which needs no such resizing for
+*correctness*, only for chain length) is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ownership.base import AccessMode, AcquireResult
+from repro.ownership.hashing import MaskHash
+from repro.ownership.tagless import TaglessOwnershipTable
+
+__all__ = ["AdaptiveTaglessTable", "ResizeEvent"]
+
+
+@dataclass(frozen=True)
+class ResizeEvent:
+    """One growth step: sizes, trigger statistics, casualties."""
+
+    old_entries: int
+    new_entries: int
+    window_acquires: int
+    window_conflicts: int
+    aborted_holders: tuple[int, ...]
+
+    @property
+    def trigger_rate(self) -> float:
+        """Observed conflict rate that tripped the resize."""
+        if self.window_acquires == 0:
+            return 0.0
+        return self.window_conflicts / self.window_acquires
+
+
+class AdaptiveTaglessTable:
+    """Tagless table that doubles when conflicts get too frequent.
+
+    Parameters
+    ----------
+    initial_entries:
+        Starting size (power of two).
+    max_entries:
+        Growth ceiling; the table never exceeds it.
+    conflict_threshold:
+        Conflict fraction over the monitoring window that triggers
+        growth (e.g. 0.05 = grow when >5 % of acquires are refused).
+    window:
+        Acquires per monitoring window.
+    track_addresses:
+        Forwarded to the underlying table (conflict classification).
+
+    Notes
+    -----
+    Implements the :class:`~repro.ownership.base.OwnershipTable`
+    protocol; a resize mid-run aborts every current holder (they appear
+    in the :class:`ResizeEvent`), mirroring the quiescence a real
+    tagless resize needs.
+    """
+
+    def __init__(
+        self,
+        initial_entries: int,
+        *,
+        max_entries: int = 1 << 22,
+        conflict_threshold: float = 0.05,
+        window: int = 512,
+        track_addresses: bool = False,
+    ) -> None:
+        if initial_entries <= 0:
+            raise ValueError(f"initial_entries must be positive, got {initial_entries}")
+        if max_entries < initial_entries:
+            raise ValueError(
+                f"max_entries {max_entries} below initial_entries {initial_entries}"
+            )
+        if not 0.0 < conflict_threshold < 1.0:
+            raise ValueError(f"conflict_threshold must be in (0, 1), got {conflict_threshold}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.max_entries = max_entries
+        self.conflict_threshold = conflict_threshold
+        self.window = window
+        self.track_addresses = track_addresses
+        self._inner = TaglessOwnershipTable(
+            initial_entries, MaskHash(initial_entries), track_addresses=track_addresses
+        )
+        self._window_acquires = 0
+        self._window_conflicts = 0
+        self.resize_log: list[ResizeEvent] = []
+
+    # -- protocol surface ----------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        """Current table size."""
+        return self._inner.n_entries
+
+    @property
+    def hash_fn(self):
+        """Current hash function (changes across resizes)."""
+        return self._inner.hash_fn
+
+    @property
+    def counters(self):
+        """Underlying lifetime counters."""
+        return self._inner.counters
+
+    def entry_of(self, block: int) -> int:
+        """Current index for ``block`` (resizes remap everything)."""
+        return self._inner.entry_of(block)
+
+    def acquire(self, thread_id: int, block: int, mode: AccessMode) -> AcquireResult:
+        """Acquire; may trigger a growth step *after* responding."""
+        result = self._inner.acquire(thread_id, block, mode)
+        self._window_acquires += 1
+        if not result.granted:
+            self._window_conflicts += 1
+        if self._window_acquires >= self.window:
+            self._maybe_grow()
+            self._window_acquires = 0
+            self._window_conflicts = 0
+        return result
+
+    def release_all(self, thread_id: int) -> int:
+        """Release a thread's permissions."""
+        return self._inner.release_all(thread_id)
+
+    def holders_of(self, block: int) -> tuple[int, ...]:
+        """Holders of the entry ``block`` currently maps to."""
+        return self._inner.holders_of(block)
+
+    def occupied_entries(self) -> int:
+        """Occupied entries in the current table."""
+        return self._inner.occupied_entries()
+
+    def reset(self) -> None:
+        """Clear permissions and window statistics (size is kept)."""
+        self._inner.reset()
+        self._window_acquires = 0
+        self._window_conflicts = 0
+
+    def held_by(self, thread_id: int):
+        """Entries held by ``thread_id``."""
+        return self._inner.held_by(thread_id)
+
+    # -- adaptation ------------------------------------------------------
+
+    @property
+    def window_conflict_rate(self) -> float:
+        """Conflict fraction of the in-progress window."""
+        if self._window_acquires == 0:
+            return 0.0
+        return self._window_conflicts / self._window_acquires
+
+    def _current_holders(self) -> tuple[int, ...]:
+        holders = {tid for tid, entries in self._inner._held.items() if entries}
+        return tuple(sorted(holders))
+
+    def _maybe_grow(self) -> None:
+        rate = self.window_conflict_rate
+        if rate <= self.conflict_threshold:
+            return
+        if self._inner.n_entries >= self.max_entries:
+            return
+        new_size = min(self._inner.n_entries * 2, self.max_entries)
+        casualties = self._current_holders()
+        self.resize_log.append(
+            ResizeEvent(
+                old_entries=self._inner.n_entries,
+                new_entries=new_size,
+                window_acquires=self._window_acquires,
+                window_conflicts=self._window_conflicts,
+                aborted_holders=casualties,
+            )
+        )
+        # Quiescence: every holder is forcibly drained; the caller's STM
+        # must treat the casualties as aborted transactions.
+        self._inner = TaglessOwnershipTable(
+            new_size, MaskHash(new_size), track_addresses=self.track_addresses
+        )
+
+    @property
+    def total_growth_aborts(self) -> int:
+        """Transactions destroyed by resizes over the table's lifetime."""
+        return sum(len(event.aborted_holders) for event in self.resize_log)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdaptiveTaglessTable(n_entries={self.n_entries}, "
+            f"resizes={len(self.resize_log)}, max={self.max_entries})"
+        )

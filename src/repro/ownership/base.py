@@ -1,0 +1,201 @@
+"""Common vocabulary and interface for ownership tables.
+
+An ownership table (§2.1) grants transactions *read* or *write*
+permission on memory at cache-block granularity. The STM runtime asks the
+table to :meth:`~OwnershipTable.acquire` permission on every transactional
+access; the table either grants it or reports a :class:`Conflict`, and the
+runtime's arbitration policy decides who aborts.
+
+Conflicts are classified as **true** (both parties touched the very same
+block) or **false** (distinct blocks aliased onto one tagless entry) —
+the paper's subject. A tagless table can only classify conflicts when
+address tracking is enabled for instrumentation; a tagged table never
+produces false conflicts at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "AccessMode",
+    "AcquireResult",
+    "Conflict",
+    "ConflictKind",
+    "EntryState",
+    "OwnershipTable",
+]
+
+
+class AccessMode(enum.Enum):
+    """The permission a transaction requests on a block."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class EntryState(enum.IntEnum):
+    """State of one ownership-table entry (Figure 1's ``mode`` field)."""
+
+    FREE = 0
+    READ = 1
+    WRITE = 2
+
+
+class ConflictKind(enum.Enum):
+    """Why an acquire was refused.
+
+    ``READ_WRITE``  — requester wants WRITE, entry is held for READ by others.
+    ``WRITE_WRITE`` — requester wants WRITE, entry is owned for WRITE.
+    ``WRITE_READ``  — requester wants READ, entry is owned for WRITE.
+    """
+
+    READ_WRITE = "read-write"
+    WRITE_WRITE = "write-write"
+    WRITE_READ = "write-read"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A refused acquire.
+
+    Attributes
+    ----------
+    kind:
+        The mode combination that clashed.
+    entry:
+        Index of the ownership-table entry involved.
+    requester:
+        Thread id whose acquire was refused.
+    holders:
+        Thread ids currently holding the entry (the write owner, or all
+        readers for a READ entry).
+    block:
+        The block address the requester was accessing.
+    is_false:
+        True when the conflict is alias-induced (no holder actually
+        touched ``block``); ``None`` when the table cannot classify
+        (tagless table without address tracking).
+    """
+
+    kind: ConflictKind
+    entry: int
+    requester: int
+    holders: tuple[int, ...]
+    block: int
+    is_false: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class AcquireResult:
+    """Outcome of :meth:`OwnershipTable.acquire`.
+
+    ``granted`` is True when the permission was installed; otherwise
+    ``conflict`` describes the refusal and the table state is unchanged.
+    ``entry`` always reports the table index the block hashed to.
+    """
+
+    granted: bool
+    entry: int
+    conflict: Optional[Conflict] = None
+
+    def __bool__(self) -> bool:
+        return self.granted
+
+
+@runtime_checkable
+class OwnershipTable(Protocol):
+    """Interface shared by the tagless and tagged organizations.
+
+    Implementations must be *eager* (encounter-time) lock tables: a grant
+    installs the permission immediately, and a transaction's permissions
+    persist until :meth:`release_all`.
+    """
+
+    n_entries: int
+
+    def acquire(self, thread_id: int, block: int, mode: AccessMode) -> AcquireResult:
+        """Request ``mode`` permission on ``block`` for ``thread_id``.
+
+        Re-acquiring a permission already held (or upgrading READ→WRITE
+        when the requester is the sole reader) must succeed.
+        """
+        ...
+
+    def release_all(self, thread_id: int) -> int:
+        """Drop every permission held by ``thread_id``; return count dropped."""
+        ...
+
+    def holders_of(self, block: int) -> tuple[int, ...]:
+        """Thread ids with any permission on the entry ``block`` maps to."""
+        ...
+
+    def entry_of(self, block: int) -> int:
+        """The table index ``block`` hashes to."""
+        ...
+
+    def occupied_entries(self) -> int:
+        """Number of entries not in the FREE state."""
+        ...
+
+    def reset(self) -> None:
+        """Return the table to the all-FREE state."""
+        ...
+
+
+@dataclass
+class TableCounters:
+    """Instrumentation counters shared by both table implementations.
+
+    These are what the experiments read out: how many acquires were
+    granted, how many conflicts of each classification occurred.
+    """
+
+    acquires: int = 0
+    grants: int = 0
+    true_conflicts: int = 0
+    false_conflicts: int = 0
+    unclassified_conflicts: int = 0
+    upgrades: int = 0
+
+    def record(self, result: AcquireResult) -> None:
+        """Fold one acquire outcome into the counters."""
+        self.acquires += 1
+        if result.granted:
+            self.grants += 1
+            return
+        assert result.conflict is not None
+        if result.conflict.is_false is True:
+            self.false_conflicts += 1
+        elif result.conflict.is_false is False:
+            self.true_conflicts += 1
+        else:
+            self.unclassified_conflicts += 1
+
+    @property
+    def conflicts(self) -> int:
+        """Total refused acquires."""
+        return self.true_conflicts + self.false_conflicts + self.unclassified_conflicts
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.acquires = 0
+        self.grants = 0
+        self.true_conflicts = 0
+        self.false_conflicts = 0
+        self.unclassified_conflicts = 0
+        self.upgrades = 0
+
+
+def validate_thread_id(thread_id: int) -> None:
+    """Reject negative thread ids early (they index bitmask words)."""
+    if thread_id < 0:
+        raise ValueError(f"thread_id must be non-negative, got {thread_id}")
+
+
+def validate_block(block: int) -> None:
+    """Reject negative block addresses."""
+    if block < 0:
+        raise ValueError(f"block address must be non-negative, got {block}")

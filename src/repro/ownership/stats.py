@@ -1,0 +1,161 @@
+"""Occupancy and chain-length statistics for ownership tables.
+
+The §5 argument for tagged tables rests on chain lengths being short in
+expectation: throwing ``m`` resident blocks into ``n`` entries uniformly
+gives per-entry counts that are approximately Poisson(``m/n``), so at the
+load factors a sanely sized table runs at (``m/n`` well under 1), almost
+every entry holds 0 or 1 records and the chain pointer is rarely
+followed. These helpers compute the theoretical distribution the tests
+compare measured chains against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ChainStats",
+    "OccupancyStats",
+    "expected_max_chain_length",
+    "poisson_chain_pmf",
+]
+
+
+@dataclass(frozen=True)
+class ChainStats:
+    """Summary of chain lengths in a tagged table.
+
+    ``histogram[k]`` counts first-level entries whose chain holds exactly
+    ``k`` records, with ``histogram[0]`` counting empty entries.
+    """
+
+    n_entries: int
+    total_records: int
+    histogram: tuple[int, ...]
+
+    @classmethod
+    def from_lengths(cls, lengths: Sequence[int], n_entries: int) -> "ChainStats":
+        """Build stats from the list of non-empty chain lengths."""
+        if any(length <= 0 for length in lengths):
+            raise ValueError("chain lengths must be positive (empty chains are implicit)")
+        if len(lengths) > n_entries:
+            raise ValueError(
+                f"{len(lengths)} non-empty chains cannot fit a table of {n_entries} entries"
+            )
+        max_len = max(lengths, default=0)
+        hist = [0] * (max_len + 1)
+        for length in lengths:
+            hist[length] += 1
+        hist[0] = n_entries - len(lengths)
+        return cls(n_entries=n_entries, total_records=sum(lengths), histogram=tuple(hist))
+
+    @property
+    def load_factor(self) -> float:
+        """Resident records per table entry (the Poisson rate ``m/n``)."""
+        return self.total_records / self.n_entries
+
+    @property
+    def max_chain(self) -> int:
+        """Longest chain observed."""
+        return len(self.histogram) - 1
+
+    @property
+    def fraction_chained(self) -> float:
+        """Fraction of *occupied* entries with more than one record.
+
+        This is §5's key quantity: how often the pointer indirection is
+        present at all. Returns 0 for an empty table.
+        """
+        occupied = self.n_entries - self.histogram[0]
+        if occupied == 0:
+            return 0.0
+        multi = sum(self.histogram[2:])
+        return multi / occupied
+
+    @property
+    def fraction_entries_simple(self) -> float:
+        """Fraction of all entries holding 0 or 1 records (§5's claim)."""
+        simple = self.histogram[0] + (self.histogram[1] if len(self.histogram) > 1 else 0)
+        return simple / self.n_entries
+
+
+@dataclass(frozen=True)
+class OccupancyStats:
+    """Occupancy trajectory summary for the closed-system probe (§4).
+
+    The model expects steady-state occupancy ≈ ``C·F/2`` (each of ``C``
+    in-flight transactions is on average halfway through its footprint
+    ``F``); high conflict rates depress this, which is the paper's
+    "actual concurrency" correction.
+    """
+
+    mean: float
+    expected: float
+
+    @property
+    def ratio(self) -> float:
+        """Measured over expected occupancy; 1.0 when conflicts are rare."""
+        if self.expected == 0:
+            return 1.0
+        return self.mean / self.expected
+
+    def actual_concurrency(self, applied: int) -> float:
+        """Concurrency after compensating for abort-induced depopulation.
+
+        Defined so that at zero conflicts ``actual == applied``; the
+        Figure 6(b) x-axis.
+        """
+        return applied * self.ratio
+
+
+def poisson_chain_pmf(load_factor: float, max_k: int) -> np.ndarray:
+    """Poisson(``load_factor``) pmf for chain lengths ``0..max_k``.
+
+    The balls-in-bins occupancy of a uniformly hashed table converges to
+    this as the table grows (law of rare events).
+    """
+    if load_factor < 0:
+        raise ValueError(f"load_factor must be non-negative, got {load_factor}")
+    if max_k < 0:
+        raise ValueError(f"max_k must be non-negative, got {max_k}")
+    ks = np.arange(max_k + 1)
+    # Work in log space to stay stable for large k.
+    log_pmf = ks * math.log(load_factor) - load_factor - np.array(
+        [math.lgamma(k + 1) for k in ks]
+    ) if load_factor > 0 else None
+    if load_factor == 0:
+        pmf = np.zeros(max_k + 1)
+        pmf[0] = 1.0
+        return pmf
+    assert log_pmf is not None
+    return np.exp(log_pmf)
+
+
+def expected_max_chain_length(n_entries: int, n_records: int) -> float:
+    """Rough expected longest chain for ``n_records`` balls in ``n_entries`` bins.
+
+    For load factor around 1 the classical result is
+    ``Θ(ln n / ln ln n)``; for sparse tables (``m << n``) the maximum is
+    small and we approximate by finding the smallest ``k`` whose expected
+    number of bins with ≥ k balls drops below 1. Good enough for sizing
+    sanity checks; not a tight bound.
+    """
+    if n_entries <= 0:
+        raise ValueError(f"n_entries must be positive, got {n_entries}")
+    if n_records < 0:
+        raise ValueError(f"n_records must be non-negative, got {n_records}")
+    if n_records == 0:
+        return 0.0
+    lam = n_records / n_entries
+    pmf_len = 64
+    pmf = poisson_chain_pmf(lam, pmf_len)
+    tail = 1.0 - np.cumsum(pmf)  # tail[k] = P(chain > k)
+    for k in range(pmf_len):
+        expected_bins = n_entries * tail[k]
+        if expected_bins < 1.0:
+            return float(k + expected_bins)  # interpolate a little
+    return float(pmf_len)

@@ -1,0 +1,246 @@
+"""The tagless ownership table of Figure 1.
+
+Each entry stores only ``(mode, owner | #sharers)``. Because the entry
+does **not** record which block address populated it, *any* two accesses
+from distinct transactions that hash to the same entry must be treated
+conservatively as a conflict whenever one of them is a write — even when
+the underlying blocks are different. Those are the paper's **false
+conflicts**, and quantifying them is the point of this library.
+
+For instrumentation, the table can optionally remember which blocks each
+holder actually touched (``track_addresses=True``); the protocol behaviour
+is unchanged, but refusals are then classified true vs false so the
+experiments in :mod:`repro.sim` can report alias-induced conflict rates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Set
+
+from repro.ownership.base import (
+    AccessMode,
+    AcquireResult,
+    Conflict,
+    ConflictKind,
+    EntryState,
+    TableCounters,
+    validate_block,
+    validate_thread_id,
+)
+from repro.ownership.hashing import HashFunction, MaskHash
+
+__all__ = ["TaglessOwnershipTable"]
+
+
+class TaglessOwnershipTable:
+    """Hash-indexed, tag-free permission table (the Figure 1 design).
+
+    Parameters
+    ----------
+    n_entries:
+        Table size; the paper sweeps 1k–256k entries.
+    hash_fn:
+        Block-address hash; defaults to the mask hash (low index bits),
+        the organization prior STM proposals use.
+    track_addresses:
+        When True, record per-entry, per-thread touched-block sets so
+        conflicts can be classified true vs false. Costs memory and a set
+        lookup per acquire; used by the instrumented experiments, not by
+        the "deployed" table.
+
+    Notes
+    -----
+    Permission semantics (encounter-time, multi-reader/single-writer):
+
+    * READ on FREE → entry becomes READ with one sharer.
+    * READ on READ → sharer added (idempotent per thread).
+    * READ on WRITE by self → allowed (owner may read its own entry).
+    * READ on WRITE by other → ``WRITE_READ`` conflict.
+    * WRITE on FREE → entry becomes WRITE.
+    * WRITE on READ, sole sharer is self → upgrade to WRITE.
+    * WRITE on READ with other sharers → ``READ_WRITE`` conflict.
+    * WRITE on WRITE by self → allowed.
+    * WRITE on WRITE by other → ``WRITE_WRITE`` conflict.
+    """
+
+    def __init__(
+        self,
+        n_entries: int,
+        hash_fn: Optional[HashFunction] = None,
+        *,
+        track_addresses: bool = False,
+    ) -> None:
+        if n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {n_entries}")
+        if hash_fn is not None and hash_fn.n_entries != n_entries:
+            raise ValueError(
+                f"hash_fn is sized for {hash_fn.n_entries} entries, table has {n_entries}"
+            )
+        self.n_entries = n_entries
+        self.hash_fn: HashFunction = hash_fn if hash_fn is not None else MaskHash(n_entries)
+        self.track_addresses = track_addresses
+        self.counters = TableCounters()
+
+        # Entry state. A dict-of-state keeps memory proportional to
+        # occupancy, which the closed-system simulator measures directly.
+        self._state: Dict[int, EntryState] = {}
+        self._writer: Dict[int, int] = {}
+        self._readers: Dict[int, Set[int]] = {}
+        # thread -> set of entry indices it holds (for release_all)
+        self._held: Dict[int, Set[int]] = defaultdict(set)
+        # (entry, thread) -> touched blocks, only when track_addresses
+        self._touched: Dict[tuple[int, int], Set[int]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Core protocol
+
+    def entry_of(self, block: int) -> int:
+        """Hash ``block`` to its table index."""
+        validate_block(block)
+        return int(self.hash_fn(block))
+
+    def acquire(self, thread_id: int, block: int, mode: AccessMode) -> AcquireResult:
+        """Request permission; see class docstring for the state machine."""
+        validate_thread_id(thread_id)
+        entry = self.entry_of(block)
+        state = self._state.get(entry, EntryState.FREE)
+
+        result: AcquireResult
+        if mode is AccessMode.READ:
+            result = self._acquire_read(thread_id, block, entry, state)
+        elif mode is AccessMode.WRITE:
+            result = self._acquire_write(thread_id, block, entry, state)
+        else:  # pragma: no cover - enum is closed
+            raise TypeError(f"unknown access mode {mode!r}")
+
+        self.counters.record(result)
+        if result.granted and self.track_addresses:
+            self._touched[(entry, thread_id)].add(block)
+        return result
+
+    def _acquire_read(
+        self, thread_id: int, block: int, entry: int, state: EntryState
+    ) -> AcquireResult:
+        if state is EntryState.WRITE:
+            owner = self._writer[entry]
+            if owner != thread_id:
+                return self._refuse(ConflictKind.WRITE_READ, entry, thread_id, (owner,), block)
+            return AcquireResult(True, entry)  # owner reads its own entry
+        # FREE or READ: join the sharer set.
+        if state is EntryState.FREE:
+            self._state[entry] = EntryState.READ
+            self._readers[entry] = set()
+        self._readers[entry].add(thread_id)
+        self._held[thread_id].add(entry)
+        return AcquireResult(True, entry)
+
+    def _acquire_write(
+        self, thread_id: int, block: int, entry: int, state: EntryState
+    ) -> AcquireResult:
+        if state is EntryState.FREE:
+            self._state[entry] = EntryState.WRITE
+            self._writer[entry] = thread_id
+            self._held[thread_id].add(entry)
+            return AcquireResult(True, entry)
+        if state is EntryState.WRITE:
+            owner = self._writer[entry]
+            if owner != thread_id:
+                return self._refuse(ConflictKind.WRITE_WRITE, entry, thread_id, (owner,), block)
+            return AcquireResult(True, entry)
+        # READ state: upgrade allowed only for a sole self reader.
+        readers = self._readers[entry]
+        others = readers - {thread_id}
+        if others:
+            return self._refuse(
+                ConflictKind.READ_WRITE, entry, thread_id, tuple(sorted(others)), block
+            )
+        self._state[entry] = EntryState.WRITE
+        self._writer[entry] = thread_id
+        del self._readers[entry]
+        self._held[thread_id].add(entry)
+        self.counters.upgrades += 1
+        return AcquireResult(True, entry)
+
+    def _refuse(
+        self,
+        kind: ConflictKind,
+        entry: int,
+        requester: int,
+        holders: tuple[int, ...],
+        block: int,
+    ) -> AcquireResult:
+        is_false: Optional[bool] = None
+        if self.track_addresses:
+            # The conflict is *true* only if some holder actually touched
+            # this very block; otherwise it is alias-induced.
+            is_false = not any(block in self._touched.get((entry, h), ()) for h in holders)
+        conflict = Conflict(kind, entry, requester, holders, block, is_false)
+        return AcquireResult(False, entry, conflict)
+
+    def release_all(self, thread_id: int) -> int:
+        """Drop every permission ``thread_id`` holds (commit or abort)."""
+        validate_thread_id(thread_id)
+        entries = self._held.pop(thread_id, set())
+        for entry in entries:
+            state = self._state.get(entry)
+            if state is EntryState.WRITE and self._writer.get(entry) == thread_id:
+                del self._state[entry]
+                del self._writer[entry]
+            elif state is EntryState.READ:
+                readers = self._readers[entry]
+                readers.discard(thread_id)
+                if not readers:
+                    del self._state[entry]
+                    del self._readers[entry]
+            if self.track_addresses:
+                self._touched.pop((entry, thread_id), None)
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def state_of_entry(self, entry: int) -> EntryState:
+        """Current :class:`EntryState` of a table index."""
+        if not 0 <= entry < self.n_entries:
+            raise IndexError(f"entry {entry} out of range for table of {self.n_entries}")
+        return self._state.get(entry, EntryState.FREE)
+
+    def holders_of(self, block: int) -> tuple[int, ...]:
+        """Thread ids holding the entry ``block`` maps to."""
+        entry = self.entry_of(block)
+        state = self._state.get(entry, EntryState.FREE)
+        if state is EntryState.WRITE:
+            return (self._writer[entry],)
+        if state is EntryState.READ:
+            return tuple(sorted(self._readers[entry]))
+        return ()
+
+    def sharers_of_entry(self, entry: int) -> int:
+        """Number of reader threads on a READ entry (0 otherwise)."""
+        if self._state.get(entry) is EntryState.READ:
+            return len(self._readers[entry])
+        return 0
+
+    def occupied_entries(self) -> int:
+        """Entries not in the FREE state — the §4 occupancy probe."""
+        return len(self._state)
+
+    def held_by(self, thread_id: int) -> frozenset[int]:
+        """Entry indices currently held by ``thread_id``."""
+        return frozenset(self._held.get(thread_id, ()))
+
+    def reset(self) -> None:
+        """Clear all permissions and counters."""
+        self._state.clear()
+        self._writer.clear()
+        self._readers.clear()
+        self._held.clear()
+        self._touched.clear()
+        self.counters.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaglessOwnershipTable(n_entries={self.n_entries}, "
+            f"occupied={self.occupied_entries()}, hash={type(self.hash_fn).__name__})"
+        )

@@ -1,0 +1,98 @@
+"""Experiment engines.
+
+Each engine reproduces one of the paper's measurement protocols:
+
+* :mod:`repro.sim.open_system` — §4's first simulation set (Figure 4):
+  ``C`` lock-step transactions of random table entries; measure the
+  probability that any false conflict occurs before all complete.
+* :mod:`repro.sim.closed_system` — §4's second set (Figures 5–6):
+  staggered threads executing fixed-size transactions back-to-back,
+  restarting on conflict, over a fixed time horizon; count conflicts and
+  measure table occupancy / actual concurrency.
+* :mod:`repro.sim.trace_driven` — §2.2's study (Figure 2): the same
+  conflict question driven by real-structured address streams with true
+  conflicts removed.
+* :mod:`repro.sim.overflow` — §2.3's characterization (Figure 3):
+  HTM overflow points over the benchmark-profile fleet.
+* :mod:`repro.sim.montecarlo` — the vectorized collision kernels shared
+  by the above.
+* :mod:`repro.sim.sweep` — parameter-grid utilities.
+"""
+
+from repro.sim.closed_system import ClosedSystemConfig, ClosedSystemResult, simulate_closed_system
+from repro.sim.montecarlo import (
+    collision_probability_estimate,
+    cross_thread_conflicts,
+    intra_thread_alias_counts,
+)
+from repro.sim.hybrid_pipeline import (
+    HybridPipelineConfig,
+    HybridPipelineResult,
+    simulate_hybrid_pipeline,
+)
+from repro.sim.isolation_cost import (
+    IsolationCostConfig,
+    IsolationCostResult,
+    plain_read_violation_rate,
+    plain_write_violation_rate,
+    simulate_isolation_cost,
+)
+from repro.sim.open_system import (
+    OpenSystemConfig,
+    OpenSystemResult,
+    simulate_open_system,
+    simulate_open_system_heterogeneous,
+)
+from repro.sim.overflow import (
+    OverflowConfig,
+    OverflowDistribution,
+    OverflowResult,
+    characterize_overflow,
+    fleet_summary,
+    overflow_distribution,
+)
+from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
+from repro.sim.throughput import (
+    ThroughputConfig,
+    ThroughputResult,
+    simulate_throughput,
+    throughput_curve,
+)
+from repro.sim.trace_driven import TraceAliasConfig, TraceAliasResult, simulate_trace_aliasing
+
+__all__ = [
+    "ClosedSystemConfig",
+    "ClosedSystemResult",
+    "HybridPipelineConfig",
+    "HybridPipelineResult",
+    "IsolationCostConfig",
+    "IsolationCostResult",
+    "OpenSystemConfig",
+    "OpenSystemResult",
+    "OverflowConfig",
+    "OverflowDistribution",
+    "OverflowResult",
+    "SweepResult",
+    "ThroughputConfig",
+    "ThroughputResult",
+    "TraceAliasConfig",
+    "TraceAliasResult",
+    "characterize_overflow",
+    "collision_probability_estimate",
+    "cross_thread_conflicts",
+    "fleet_summary",
+    "intra_thread_alias_counts",
+    "overflow_distribution",
+    "plain_read_violation_rate",
+    "plain_write_violation_rate",
+    "run_sweep",
+    "simulate_closed_system",
+    "simulate_hybrid_pipeline",
+    "simulate_isolation_cost",
+    "simulate_open_system",
+    "simulate_open_system_heterogeneous",
+    "simulate_throughput",
+    "simulate_trace_aliasing",
+    "sweep_grid",
+    "throughput_curve",
+]

@@ -1,0 +1,256 @@
+"""Closed-system simulation (§4, second set → Figures 5 and 6).
+
+Protocol, per the paper: "C 'threads' attempt to complete as many
+(fixed-size) transactions in a given amount of time by executing them one
+after another; when no conflicts occur, our simulations complete 650
+transactions. The start times of the threads are randomly staggered and,
+when conflicts occur, transactions are restarted."
+
+Each scheduler tick advances every active thread by one block access
+(α reads then a write, repeating). Accesses claim uniformly random
+ownership-table entries; a refused claim counts one conflict, aborts the
+requester (releasing its entries — the table-depopulation effect §4
+discovers), and the thread restarts a fresh transaction. The run lasts
+exactly the number of ticks that would complete 650 transactions
+system-wide at zero conflicts.
+
+Besides the conflict count (Figures 5, 6a), the simulator tracks mean
+table occupancy, from which the paper's *actual concurrency* correction
+is computed (Figure 6b): occupancy at low conflict averages ``C·F/2``
+filled entries; conflicts depress it by depopulating the table, and
+plotting against ``C_actual = occupancy/(F/2)`` recovers the model's
+relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import stream_rng
+
+__all__ = ["ClosedSystemConfig", "ClosedSystemResult", "simulate_closed_system"]
+
+_FREE, _READ, _WRITE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ClosedSystemConfig:
+    """Parameters of one closed-system run.
+
+    Attributes
+    ----------
+    n_entries:
+        Ownership-table size ``N``.
+    concurrency:
+        Applied concurrency ``C`` (number of threads).
+    write_footprint:
+        Writes per transaction ``W``; footprint ``F = (1+α)W`` blocks.
+    alpha:
+        Reads per write.
+    target_transactions:
+        System-wide commits at zero conflicts (paper: 650); sets the
+        time horizon.
+    seed:
+        Master seed (stagger offsets and entry draws derive from it).
+    """
+
+    n_entries: int
+    concurrency: int = 2
+    write_footprint: int = 10
+    alpha: int = 2
+    target_transactions: int = 650
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {self.n_entries}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.write_footprint <= 0:
+            raise ValueError(f"write_footprint must be positive, got {self.write_footprint}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.target_transactions <= 0:
+            raise ValueError(
+                f"target_transactions must be positive, got {self.target_transactions}"
+            )
+
+    @property
+    def footprint(self) -> int:
+        """Blocks per transaction ``F = (1 + α) W``."""
+        return (1 + self.alpha) * self.write_footprint
+
+    @property
+    def horizon_ticks(self) -> int:
+        """Scheduler ticks giving ``target_transactions`` at no conflict."""
+        return int(np.ceil(self.target_transactions * self.footprint / self.concurrency))
+
+
+@dataclass(frozen=True)
+class ClosedSystemResult:
+    """Measured outcome of one closed-system run.
+
+    Attributes
+    ----------
+    config:
+        The run's parameters.
+    conflicts:
+        Total refused acquires (the Figures 5/6 y-axis).
+    committed:
+        Transactions committed within the horizon.
+    mean_occupancy:
+        Time-averaged occupied table entries.
+    expected_occupancy:
+        The no-conflict expectation ``C·F/2``.
+    """
+
+    config: ClosedSystemConfig
+    conflicts: int
+    committed: int
+    mean_occupancy: float
+    expected_occupancy: float
+
+    @property
+    def occupancy_ratio(self) -> float:
+        """Measured over expected occupancy (≤ 1; §4's up-to-40 % drop)."""
+        if self.expected_occupancy == 0:
+            return 1.0
+        return self.mean_occupancy / self.expected_occupancy
+
+    @property
+    def actual_concurrency(self) -> float:
+        """Concurrency after the §4 depopulation compensation (Fig 6b)."""
+        return self.config.concurrency * self.occupancy_ratio
+
+
+class _Thread:
+    """Per-thread transaction progress within the closed system."""
+
+    __slots__ = ("entries", "pattern", "pos", "held", "wait")
+
+    def __init__(self, wait: int) -> None:
+        self.entries: np.ndarray | None = None
+        self.pattern: np.ndarray | None = None
+        self.pos = 0
+        self.held: list[int] = []
+        self.wait = wait
+
+
+def simulate_closed_system(cfg: ClosedSystemConfig) -> ClosedSystemResult:
+    """Run one closed-system experiment to its tick horizon."""
+    rng = stream_rng(
+        cfg.seed,
+        "closed-system",
+        n=cfg.n_entries,
+        c=cfg.concurrency,
+        w=cfg.write_footprint,
+        alpha=cfg.alpha,
+    )
+    n, c, f = cfg.n_entries, cfg.concurrency, cfg.footprint
+
+    # Table state (C <= 63 readers encoded in a bitmask word).
+    if c > 63:
+        raise ValueError(f"closed system supports at most 63 threads, got {c}")
+    mode = np.zeros(n, dtype=np.int8)
+    writer = np.full(n, -1, dtype=np.int16)
+    readers = np.zeros(n, dtype=np.int64)
+
+    # The fixed access pattern: alpha reads then one write, W times.
+    base_pattern = np.zeros(f, dtype=bool)
+    base_pattern[cfg.alpha :: cfg.alpha + 1] = True
+
+    threads = [_Thread(wait=int(rng.integers(0, f))) for _ in range(c)]
+
+    occupied = 0
+    occupancy_sum = 0
+    conflicts = 0
+    committed = 0
+
+    def begin(t: _Thread) -> None:
+        t.entries = rng.integers(0, n, size=f, dtype=np.int64)
+        t.pattern = base_pattern
+        t.pos = 0
+        t.held = []
+
+    def release(t: _Thread, tid: int) -> None:
+        nonlocal occupied
+        bit = np.int64(1 << tid)
+        for e in t.held:
+            if mode[e] == _WRITE and writer[e] == tid:
+                mode[e] = _FREE
+                writer[e] = -1
+                occupied -= 1
+            elif mode[e] == _READ and readers[e] & bit:
+                readers[e] &= ~bit
+                if readers[e] == 0:
+                    mode[e] = _FREE
+                    occupied -= 1
+        t.held = []
+        t.entries = None
+
+    horizon = cfg.horizon_ticks
+    for _tick in range(horizon):
+        for tid, t in enumerate(threads):
+            if t.wait > 0:
+                t.wait -= 1
+                continue
+            if t.entries is None:
+                begin(t)
+            assert t.entries is not None and t.pattern is not None
+            e = int(t.entries[t.pos])
+            is_write = bool(t.pattern[t.pos])
+            bit = np.int64(1 << tid)
+
+            refused = False
+            if is_write:
+                if mode[e] == _WRITE:
+                    refused = writer[e] != tid
+                elif mode[e] == _READ:
+                    refused = bool(readers[e] & ~bit)
+                    if not refused:
+                        # upgrade own sole read
+                        readers[e] = 0
+                        mode[e] = _WRITE
+                        writer[e] = tid
+                        t.held.append(e)
+                else:
+                    mode[e] = _WRITE
+                    writer[e] = tid
+                    occupied += 1
+                    t.held.append(e)
+                if not refused and mode[e] == _WRITE and writer[e] == tid and e not in t.held:
+                    t.held.append(e)
+            else:
+                if mode[e] == _WRITE:
+                    refused = writer[e] != tid
+                elif mode[e] == _READ:
+                    if not (readers[e] & bit):
+                        readers[e] |= bit
+                        t.held.append(e)
+                else:
+                    mode[e] = _READ
+                    readers[e] = bit
+                    occupied += 1
+                    t.held.append(e)
+
+            if refused:
+                conflicts += 1
+                release(t, tid)  # abort: depopulate, restart next tick
+                continue
+
+            t.pos += 1
+            if t.pos >= f:
+                release(t, tid)  # commit: permissions drop
+                committed += 1
+        occupancy_sum += occupied
+
+    mean_occupancy = occupancy_sum / horizon if horizon else 0.0
+    return ClosedSystemResult(
+        config=cfg,
+        conflicts=conflicts,
+        committed=committed,
+        mean_occupancy=mean_occupancy,
+        expected_occupancy=c * f / 2.0,
+    )

@@ -1,0 +1,187 @@
+"""End-to-end hybrid-TM pipeline simulation.
+
+The integration experiment the whole library builds toward: an
+application (a benchmark-profile trace sliced into transactions) runs on
+a hybrid TM — HTM first, STM fallback on overflow — and the fallback
+table's organization decides the outcome. §6's thesis in one number:
+with a tagless table, *exactly the overflowed transactions* (the ones
+the STM exists to serve) get starved by false conflicts; with a tagged
+table they just commit.
+
+Concurrency model: ``n_threads`` application threads each run their own
+transaction stream. HTM-mode transactions are capacity-checked
+individually (the paper's §2.3 framing; HTM *conflicts* are handled by
+coherence and out of scope here). Overflowed transactions execute on the
+shared word-based STM with op-level round-robin interleaving against
+other concurrently-overflowed transactions, retrying up to a budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.htm.cache import CacheGeometry
+from repro.htm.htm import HTMContext
+from repro.ownership.base import OwnershipTable
+from repro.stm.conflict import TransactionAborted
+from repro.stm.runtime import STM
+from repro.traces.transactions import TransactionWorkload
+from repro.util.rng import stream_rng
+
+__all__ = ["HybridPipelineConfig", "HybridPipelineResult", "simulate_hybrid_pipeline"]
+
+
+@dataclass(frozen=True)
+class HybridPipelineConfig:
+    """Parameters of one pipeline run.
+
+    Attributes
+    ----------
+    geometry:
+        HTM cache shape (None = the paper's 32 KB 4-way).
+    victim_entries:
+        HTM victim-buffer capacity.
+    max_stm_restarts:
+        Retry budget per overflowed transaction before it is abandoned.
+    seed:
+        Master seed (governs interleaving stagger only; workloads carry
+        their own randomness).
+    """
+
+    geometry: Optional[CacheGeometry] = None
+    victim_entries: int = 1
+    max_stm_restarts: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.victim_entries < 0:
+            raise ValueError(f"victim_entries must be non-negative, got {self.victim_entries}")
+        if self.max_stm_restarts < 0:
+            raise ValueError(f"max_stm_restarts must be non-negative, got {self.max_stm_restarts}")
+
+
+@dataclass
+class HybridPipelineResult:
+    """Outcome of one pipeline run.
+
+    ``failed`` counts overflowed transactions that exhausted their retry
+    budget — §6's "maximum concurrency of 1" made concrete.
+    """
+
+    htm_commits: int = 0
+    stm_commits: int = 0
+    failed: int = 0
+    stm_restarts: int = 0
+    false_conflicts: int = 0
+    true_conflicts: int = 0
+    overflow_footprints: list[int] = field(default_factory=list)
+
+    @property
+    def total_transactions(self) -> int:
+        """Transactions offered to the system."""
+        return self.htm_commits + self.stm_commits + self.failed
+
+    @property
+    def overflow_rate(self) -> float:
+        """Fraction of transactions exceeding HTM capacity."""
+        total = self.total_transactions
+        if total == 0:
+            return 0.0
+        return (self.stm_commits + self.failed) / total
+
+    @property
+    def goodput(self) -> float:
+        """Committed fraction of offered transactions."""
+        total = self.total_transactions
+        if total == 0:
+            return 1.0
+        return (self.htm_commits + self.stm_commits) / total
+
+
+def simulate_hybrid_pipeline(
+    workloads: list[TransactionWorkload],
+    table: OwnershipTable,
+    cfg: Optional[HybridPipelineConfig] = None,
+) -> HybridPipelineResult:
+    """Run per-thread transaction streams through the hybrid TM.
+
+    ``workloads[t]`` is thread ``t``'s ordered transaction stream; the
+    shared ``table`` backs the STM fallback.
+    """
+    cfg = cfg if cfg is not None else HybridPipelineConfig()
+    if not workloads:
+        raise ValueError("need at least one thread workload")
+
+    rng = stream_rng(cfg.seed, "hybrid-pipeline")
+    result = HybridPipelineResult()
+    stm = STM(table)
+    htm = HTMContext(cfg.geometry, victim_entries=cfg.victim_entries)
+
+    n_threads = len(workloads)
+    # Classify each thread's transactions up front (HTM capacity is a
+    # per-transaction property, independent of interleaving).
+    overflow_queues: list[list] = []
+    for tid, workload in enumerate(workloads):
+        queue = []
+        for tx in workload:
+            overflow = htm.run(tx)
+            if overflow is None:
+                result.htm_commits += 1
+            else:
+                queue.append(tx)
+                result.overflow_footprints.append(overflow.footprint.total)
+        overflow_queues.append(queue)
+
+    # Interleave the overflowed transactions on the shared STM: each
+    # thread replays its queue, one access per scheduler turn.
+    tx_idx = [0] * n_threads
+    pos = [0] * n_threads
+    attempts = [0] * n_threads
+    active = [False] * n_threads
+    stagger = [int(rng.integers(0, 64)) for _ in range(n_threads)]
+    guard = 0
+    while any(tx_idx[t] < len(overflow_queues[t]) for t in range(n_threads)):
+        guard += 1
+        if guard > 5_000_000:
+            raise RuntimeError("hybrid pipeline exceeded its scheduling guard")
+        for tid in range(n_threads):
+            if tx_idx[tid] >= len(overflow_queues[tid]):
+                continue
+            if stagger[tid] > 0:
+                stagger[tid] -= 1
+                continue
+            tx = overflow_queues[tid][tx_idx[tid]]
+            if not active[tid]:
+                stm.begin(tid)
+                active[tid] = True
+                pos[tid] = 0
+            access = tx[pos[tid]]
+            try:
+                if access.is_write:
+                    stm.write(tid, access.block, None)
+                else:
+                    stm.read(tid, access.block)
+            except TransactionAborted as exc:
+                active[tid] = False
+                result.stm_restarts += 1
+                if exc.conflict.is_false is True:
+                    result.false_conflicts += 1
+                elif exc.conflict.is_false is False:
+                    result.true_conflicts += 1
+                attempts[tid] += 1
+                if attempts[tid] > cfg.max_stm_restarts:
+                    result.failed += 1
+                    tx_idx[tid] += 1
+                    attempts[tid] = 0
+                continue
+            pos[tid] += 1
+            if pos[tid] >= len(tx):
+                stm.commit(tid)
+                active[tid] = False
+                result.stm_commits += 1
+                tx_idx[tid] += 1
+                attempts[tid] = 0
+    return result

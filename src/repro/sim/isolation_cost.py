@@ -1,0 +1,168 @@
+"""Strong-isolation cost simulation (§6, quantified).
+
+The paper closes: under strong isolation "even threads outside of
+isolation regions must perform ownership table look-ups to ensure they
+are not violating the isolation of a transaction. This additional
+concurrency makes the use of tagless ownership tables even more
+untenable."
+
+A non-transactional access is a one-block transaction for conflict
+purposes, so the model extends directly: with ``C`` transactions
+mid-flight (average footprint ``F/2``, of which writes are
+``W/2 = F/(2(1+α))``), a plain **read** falsely conflicts with
+probability ≈ ``C·W/(2N)`` and a plain **write** with probability
+≈ ``C·F/(2N)`` (it may hit read or write entries). The engine measures
+those rates against random mid-flight transactions; the model functions
+below predict them; the bench sweeps both.
+
+Violation responses are policy: a real system would stall or abort the
+transaction; we count events, which is what sizing needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import stream_rng
+
+__all__ = [
+    "IsolationCostConfig",
+    "IsolationCostResult",
+    "plain_read_violation_rate",
+    "plain_write_violation_rate",
+    "simulate_isolation_cost",
+]
+
+
+def plain_read_violation_rate(
+    n_entries: int, concurrency: int, write_footprint: int, alpha: float = 2.0
+) -> float:
+    """Model: P(a plain read hits a write-mode entry) ≈ C·W/(2N).
+
+    Mid-flight transactions hold on average half their write footprint.
+    """
+    if n_entries <= 0:
+        raise ValueError(f"n_entries must be positive, got {n_entries}")
+    if concurrency < 0 or write_footprint < 0:
+        raise ValueError("concurrency and write_footprint must be non-negative")
+    _ = alpha  # reads don't conflict with read entries
+    return min(1.0, concurrency * write_footprint / (2.0 * n_entries))
+
+
+def plain_write_violation_rate(
+    n_entries: int, concurrency: int, write_footprint: int, alpha: float = 2.0
+) -> float:
+    """Model: P(a plain write hits any held entry) ≈ C·(1+α)·W/(2N)."""
+    if n_entries <= 0:
+        raise ValueError(f"n_entries must be positive, got {n_entries}")
+    if concurrency < 0 or write_footprint < 0:
+        raise ValueError("concurrency and write_footprint must be non-negative")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    return min(1.0, concurrency * (1.0 + alpha) * write_footprint / (2.0 * n_entries))
+
+
+@dataclass(frozen=True)
+class IsolationCostConfig:
+    """Parameters of one strong-isolation cost measurement.
+
+    ``plain_accesses`` plain operations are issued against a table
+    populated by ``concurrency`` transactions, each frozen at a uniform
+    random point of its ``(1+α)·W``-block execution (the steady-state
+    mid-flight picture).
+    """
+
+    n_entries: int
+    concurrency: int = 4
+    write_footprint: int = 20
+    alpha: int = 2
+    plain_accesses: int = 10_000
+    plain_write_fraction: float = 0.3
+    snapshots: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {self.n_entries}")
+        if self.concurrency < 0:
+            raise ValueError(f"concurrency must be non-negative, got {self.concurrency}")
+        if self.write_footprint <= 0:
+            raise ValueError(f"write_footprint must be positive, got {self.write_footprint}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.plain_accesses <= 0:
+            raise ValueError(f"plain_accesses must be positive, got {self.plain_accesses}")
+        if not 0.0 <= self.plain_write_fraction <= 1.0:
+            raise ValueError(
+                f"plain_write_fraction must be in [0, 1], got {self.plain_write_fraction}"
+            )
+        if self.snapshots <= 0:
+            raise ValueError(f"snapshots must be positive, got {self.snapshots}")
+
+
+@dataclass(frozen=True)
+class IsolationCostResult:
+    """Measured violation rates for plain reads and writes."""
+
+    config: IsolationCostConfig
+    read_violation_rate: float
+    write_violation_rate: float
+    probes: int
+
+    @property
+    def overall_rate(self) -> float:
+        """Mix-weighted violation rate per plain access."""
+        q = self.config.plain_write_fraction
+        return (1.0 - q) * self.read_violation_rate + q * self.write_violation_rate
+
+
+def simulate_isolation_cost(cfg: IsolationCostConfig) -> IsolationCostResult:
+    """Measure plain-access violation rates against mid-flight footprints.
+
+    Vectorized: the table's held-entry modes are materialized once per
+    transaction snapshot, and all plain accesses are tested in bulk.
+    """
+    rng = stream_rng(
+        cfg.seed,
+        "isolation-cost",
+        n=cfg.n_entries,
+        c=cfg.concurrency,
+        w=cfg.write_footprint,
+    )
+    n = cfg.n_entries
+    f = (1 + cfg.alpha) * cfg.write_footprint
+    pattern = np.zeros(f, dtype=bool)
+    pattern[cfg.alpha :: cfg.alpha + 1] = True
+
+    per_snapshot = max(1, cfg.plain_accesses // cfg.snapshots)
+    read_hits = read_total = write_hits = write_total = 0
+    for _ in range(cfg.snapshots):
+        # Snapshot: each transaction frozen at a uniform progress point.
+        write_held = np.zeros(n, dtype=bool)
+        any_held = np.zeros(n, dtype=bool)
+        for _tx in range(cfg.concurrency):
+            progress = int(rng.integers(1, f + 1))
+            entries = rng.integers(0, n, size=progress, dtype=np.int64)
+            modes = pattern[:progress]
+            any_held[entries] = True
+            write_held[entries[modes]] = True
+
+        plain = rng.integers(0, n, size=per_snapshot, dtype=np.int64)
+        is_write = rng.random(per_snapshot) < cfg.plain_write_fraction
+        reads = plain[~is_write]
+        writes = plain[is_write]
+        read_hits += int(write_held[reads].sum())
+        read_total += len(reads)
+        write_hits += int(any_held[writes].sum())
+        write_total += len(writes)
+
+    read_viol = read_hits / read_total if read_total else 0.0
+    write_viol = write_hits / write_total if write_total else 0.0
+    return IsolationCostResult(
+        config=cfg,
+        read_violation_rate=read_viol,
+        write_violation_rate=write_viol,
+        probes=per_snapshot * cfg.snapshots,
+    )

@@ -1,0 +1,239 @@
+"""Open-system statistical simulation (§4, first set → Figure 4).
+
+Protocol, per the paper: "we simulate a set number of threads, each
+executing transactions consisting of a fixed number of cache blocks in
+the pattern of α reads followed by a single write. These cache blocks
+are assigned to random entries of the ownership table. ... we begin
+execution of C transactions at the same time and determine whether any
+conflicts occur before all transactions complete. By performing 1000
+experiments for each data point we can compute conflict rates."
+
+Because permissions only accumulate until completion, "a conflict occurs
+at some point" is equivalent to "the completed footprints collide with
+≥ 1 write" (see :mod:`repro.sim.montecarlo`), which lets all samples be
+evaluated in one vectorized batch.
+
+The same batch also measures the **intra-transaction aliasing rate**,
+validating §3 assumption 5: the model treats ``(1+α)W`` as the distinct
+footprint; the paper reports the aliasing that breaks this "is below 3 %
+as long as the conflict rate is below 50 %".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.montecarlo import (
+    collision_probability_estimate,
+    cross_thread_conflicts,
+    intra_thread_alias_counts,
+)
+from repro.util.rng import stream_rng
+
+__all__ = [
+    "OpenSystemConfig",
+    "OpenSystemResult",
+    "simulate_open_system",
+    "simulate_open_system_heterogeneous",
+]
+
+
+@dataclass(frozen=True)
+class OpenSystemConfig:
+    """Parameters of one open-system data point.
+
+    Attributes
+    ----------
+    n_entries:
+        Ownership-table size ``N``.
+    concurrency:
+        Simultaneous transactions ``C``.
+    write_footprint:
+        Writes per transaction ``W``; total blocks = ``(1+α)W``.
+    alpha:
+        Reads per write (integer in the simulation, as in the paper's
+        [read read write]* pattern).
+    samples:
+        Monte Carlo experiments per data point (paper: 1000).
+    seed:
+        Master seed for the data point's RNG stream.
+    """
+
+    n_entries: int
+    concurrency: int = 2
+    write_footprint: int = 10
+    alpha: int = 2
+    samples: int = 1000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {self.n_entries}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.write_footprint < 0:
+            raise ValueError(f"write_footprint must be non-negative, got {self.write_footprint}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.samples <= 0:
+            raise ValueError(f"samples must be positive, got {self.samples}")
+
+    @property
+    def blocks_per_tx(self) -> int:
+        """Total blocks a transaction touches: ``(1 + α) W``."""
+        return (1 + self.alpha) * self.write_footprint
+
+
+@dataclass(frozen=True)
+class OpenSystemResult:
+    """Measured outcome of one open-system data point.
+
+    Attributes
+    ----------
+    config:
+        The parameters that produced this result.
+    conflict_probability:
+        Fraction of samples in which any false conflict occurred before
+        all ``C`` transactions completed.
+    stderr:
+        Binomial standard error of that fraction.
+    intra_alias_rate:
+        Mean intra-transaction aliases per transaction, normalized by
+        footprint — the §3 assumption-5 validation quantity.
+    """
+
+    config: OpenSystemConfig
+    conflict_probability: float
+    stderr: float
+    intra_alias_rate: float
+
+
+def _draw_footprints(cfg: OpenSystemConfig, rng: np.random.Generator) -> np.ndarray:
+    """Entries for all samples/threads/blocks: shape (S, C·B)."""
+    size = (cfg.samples, cfg.concurrency * cfg.blocks_per_tx)
+    return rng.integers(0, cfg.n_entries, size=size, dtype=np.int64)
+
+
+def _access_pattern(cfg: OpenSystemConfig) -> tuple[np.ndarray, np.ndarray]:
+    """(thread_of, is_write) access metadata for the concatenated axis.
+
+    Each thread contributes ``blocks_per_tx`` accesses in the repeating
+    pattern [read×α, write]; the write flags mark each (α+1)-th block.
+    """
+    per_tx = cfg.blocks_per_tx
+    thread_of = np.repeat(np.arange(cfg.concurrency, dtype=np.int64), per_tx)
+    pattern = np.zeros(per_tx, dtype=bool)
+    if cfg.write_footprint > 0:
+        pattern[cfg.alpha :: cfg.alpha + 1] = True
+    is_write = np.tile(pattern, cfg.concurrency)
+    return thread_of, is_write
+
+
+def simulate_open_system(cfg: OpenSystemConfig) -> OpenSystemResult:
+    """Run one open-system data point (vectorized over samples)."""
+    rng = stream_rng(
+        cfg.seed,
+        "open-system",
+        n=cfg.n_entries,
+        c=cfg.concurrency,
+        w=cfg.write_footprint,
+        alpha=cfg.alpha,
+    )
+    if cfg.write_footprint == 0 or cfg.concurrency < 2:
+        return OpenSystemResult(cfg, 0.0, 0.0, 0.0)
+
+    entries = _draw_footprints(cfg, rng)
+    thread_of, is_write = _access_pattern(cfg)
+    is_write_matrix = np.broadcast_to(is_write, entries.shape)
+
+    conflicts = cross_thread_conflicts(entries, is_write_matrix, thread_of)
+    p, stderr = collision_probability_estimate(conflicts)
+
+    # Intra-transaction aliasing: repeated entries within one thread's
+    # footprint, averaged per transaction and normalized by footprint.
+    per_tx = cfg.blocks_per_tx
+    first_thread = entries[:, :per_tx]
+    alias_counts = intra_thread_alias_counts(first_thread)
+    intra_rate = float(alias_counts.mean() / per_tx)
+
+    return OpenSystemResult(cfg, p, stderr, intra_rate)
+
+
+def simulate_open_system_heterogeneous(
+    footprints: "list[int]",
+    n_entries: int,
+    *,
+    alpha: int = 2,
+    samples: int = 1000,
+    seed: int = 0,
+) -> OpenSystemResult:
+    """Open-system point with per-transaction write footprints.
+
+    Relaxes §3 assumption 4 (equal lock-step footprints): transaction
+    ``i`` draws ``(1+α)·footprints[i]`` random entries in the usual
+    [read×α, write] pattern. The same completed-footprint equivalence
+    applies, so the vectorized kernel still answers "did any conflict
+    occur". Validated against
+    :func:`repro.core.heterogeneous.conflict_likelihood_heterogeneous`.
+
+    Returns an :class:`OpenSystemResult` whose config records the *mean*
+    footprint (the per-thread list does not fit the frozen config; the
+    caller holds it).
+    """
+    if not footprints or any(w < 0 for w in footprints):
+        raise ValueError(f"footprints must be non-empty and non-negative, got {footprints}")
+    if n_entries <= 0:
+        raise ValueError(f"n_entries must be positive, got {n_entries}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+
+    rng = stream_rng(
+        seed,
+        "open-system-hetero",
+        n=n_entries,
+        ws=tuple(footprints),
+        alpha=alpha,
+    )
+    c = len(footprints)
+    mean_w = max(1, int(round(sum(footprints) / c)))
+    cfg = OpenSystemConfig(
+        n_entries=n_entries,
+        concurrency=c,
+        write_footprint=mean_w,
+        alpha=alpha,
+        samples=samples,
+        seed=seed,
+    )
+    sizes = [(1 + alpha) * w for w in footprints]
+    total = sum(sizes)
+    if total == 0 or c < 2:
+        return OpenSystemResult(cfg, 0.0, 0.0, 0.0)
+
+    thread_of = np.concatenate(
+        [np.full(size, tid, dtype=np.int64) for tid, size in enumerate(sizes)]
+    )
+    pattern_parts = []
+    for size, w in zip(sizes, footprints):
+        part = np.zeros(size, dtype=bool)
+        if w > 0:
+            part[alpha :: alpha + 1] = True
+        pattern_parts.append(part)
+    is_write = np.concatenate(pattern_parts) if pattern_parts else np.empty(0, dtype=bool)
+
+    entries = rng.integers(0, n_entries, size=(samples, total), dtype=np.int64)
+    conflicts = cross_thread_conflicts(
+        entries, np.broadcast_to(is_write, entries.shape), thread_of
+    )
+    p, stderr = collision_probability_estimate(conflicts)
+
+    # intra-alias rate of the largest transaction (the §3-assumption-5
+    # check is most stressed by the biggest footprint)
+    largest = int(np.argmax(sizes))
+    lo = sum(sizes[:largest])
+    intra = intra_thread_alias_counts(entries[:, lo : lo + sizes[largest]])
+    intra_rate = float(intra.mean() / max(sizes[largest], 1))
+    return OpenSystemResult(cfg, p, stderr, intra_rate)

@@ -1,0 +1,245 @@
+"""HTM overflow characterization (§2.3 → Figure 3).
+
+"We extract traces synthetically representing transactions from
+sequential applications and execute each trace on a cache simulator to
+identify the point at which an eviction of a data item touched by the
+trace occurs. ... For each benchmark, we collected ... at least 20
+traces from at least two randomly selected checkpoints per benchmark.
+The data plotted is a simple arithmetic mean."
+
+:func:`characterize_overflow` measures one benchmark profile;
+:func:`fleet_summary` runs the whole Figure 3 fleet and the AVG column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.htm.cache import CacheGeometry
+from repro.htm.htm import HTMContext
+from repro.traces.workloads import SPEC2000_PROFILES, BenchmarkProfile, synthesize_trace
+from repro.util.rng import stream_rng
+
+__all__ = [
+    "OverflowConfig",
+    "OverflowDistribution",
+    "OverflowResult",
+    "characterize_overflow",
+    "fleet_summary",
+    "overflow_distribution",
+]
+
+
+@dataclass(frozen=True)
+class OverflowConfig:
+    """Parameters of an overflow characterization run.
+
+    Attributes
+    ----------
+    n_traces:
+        Traces per benchmark (paper: ≥ 20, from ≥ 2 checkpoints — our
+        checkpoints are independent seeds).
+    trace_accesses:
+        Length of each synthesized trace; must be long enough that every
+        trace overflows (traces that fit are reported separately).
+    victim_entries:
+        Victim-buffer capacity (0 = the baseline bars; 1 = the "w/VB"
+        bars of Figure 3).
+    geometry:
+        Cache geometry; defaults to the paper's 32 KB 4-way.
+    seed:
+        Master seed.
+    """
+
+    n_traces: int = 20
+    trace_accesses: int = 200_000
+    victim_entries: int = 0
+    geometry: Optional[CacheGeometry] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_traces <= 0:
+            raise ValueError(f"n_traces must be positive, got {self.n_traces}")
+        if self.trace_accesses <= 0:
+            raise ValueError(f"trace_accesses must be positive, got {self.trace_accesses}")
+        if self.victim_entries < 0:
+            raise ValueError(f"victim_entries must be non-negative, got {self.victim_entries}")
+
+
+@dataclass(frozen=True)
+class OverflowResult:
+    """Per-benchmark overflow averages (one Figure 3 bar group).
+
+    All fields are arithmetic means over the overflowing traces, matching
+    the paper's aggregation.
+    """
+
+    benchmark: str
+    mean_read_blocks: float
+    mean_write_blocks: float
+    mean_instructions: float
+    mean_utilization: float
+    traces_overflowed: int
+    traces_fit: int
+
+    @property
+    def mean_footprint(self) -> float:
+        """Mean distinct blocks at overflow (reads + writes)."""
+        return self.mean_read_blocks + self.mean_write_blocks
+
+    @property
+    def write_fraction(self) -> float:
+        """Written share of the footprint (paper: about one-third)."""
+        total = self.mean_footprint
+        return self.mean_write_blocks / total if total else 0.0
+
+
+def characterize_overflow(
+    profile: BenchmarkProfile,
+    cfg: OverflowConfig,
+) -> OverflowResult:
+    """Measure mean overflow footprint/instructions for one benchmark."""
+    reads: list[int] = []
+    writes: list[int] = []
+    instrs: list[int] = []
+    utils: list[float] = []
+    fit = 0
+    for k in range(cfg.n_traces):
+        rng = stream_rng(cfg.seed, "overflow", bench=profile.name, trace=k)
+        trace = synthesize_trace(profile, cfg.trace_accesses, rng)
+        ctx = HTMContext(cfg.geometry, victim_entries=cfg.victim_entries)
+        ov = ctx.run(trace)
+        if ov is None:
+            fit += 1
+            continue
+        reads.append(ov.footprint.read_blocks)
+        writes.append(ov.footprint.write_blocks)
+        instrs.append(ov.instructions)
+        utils.append(ov.utilization)
+    if not reads:
+        return OverflowResult(profile.name, 0.0, 0.0, 0.0, 0.0, 0, fit)
+    return OverflowResult(
+        benchmark=profile.name,
+        mean_read_blocks=float(np.mean(reads)),
+        mean_write_blocks=float(np.mean(writes)),
+        mean_instructions=float(np.mean(instrs)),
+        mean_utilization=float(np.mean(utils)),
+        traces_overflowed=len(reads),
+        traces_fit=fit,
+    )
+
+
+def fleet_summary(
+    cfg: OverflowConfig,
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    profiles: Optional[Mapping[str, BenchmarkProfile]] = None,
+) -> dict[str, OverflowResult]:
+    """Characterize every benchmark plus the paper's ``AVG`` column.
+
+    Returns an ordered mapping benchmark → result, with a final ``"AVG"``
+    entry holding the arithmetic mean of the per-benchmark means (the
+    paper's aggregation).
+    """
+    table = dict(profiles if profiles is not None else SPEC2000_PROFILES)
+    names = list(benchmarks) if benchmarks is not None else list(table)
+    unknown = [n for n in names if n not in table]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}; available: {sorted(table)}")
+
+    out: dict[str, OverflowResult] = {}
+    for name in names:
+        out[name] = characterize_overflow(table[name], cfg)
+
+    measured = [r for r in out.values() if r.traces_overflowed > 0]
+    if measured:
+        out["AVG"] = OverflowResult(
+            benchmark="AVG",
+            mean_read_blocks=float(np.mean([r.mean_read_blocks for r in measured])),
+            mean_write_blocks=float(np.mean([r.mean_write_blocks for r in measured])),
+            mean_instructions=float(np.mean([r.mean_instructions for r in measured])),
+            mean_utilization=float(np.mean([r.mean_utilization for r in measured])),
+            traces_overflowed=sum(r.traces_overflowed for r in measured),
+            traces_fit=sum(r.traces_fit for r in measured),
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class OverflowDistribution:
+    """Raw per-trace overflow samples for one benchmark.
+
+    Figure 3 plots arithmetic means; the *distribution* matters for
+    hybrid-TM design too (the STM must handle the tail, not the mean).
+    Arrays are aligned: sample ``i`` is one trace's overflow point.
+    """
+
+    benchmark: str
+    footprints: np.ndarray
+    write_blocks: np.ndarray
+    instructions: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.footprints) == len(self.write_blocks) == len(self.instructions)
+        ):
+            raise ValueError("sample arrays must be aligned")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of overflowing traces measured."""
+        return len(self.footprints)
+
+    def footprint_percentile(self, q: float) -> float:
+        """Footprint percentile (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.n_samples == 0:
+            raise ValueError("no overflow samples")
+        return float(np.percentile(self.footprints, q))
+
+    def instruction_percentile(self, q: float) -> float:
+        """Dynamic-instruction percentile (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.n_samples == 0:
+            raise ValueError("no overflow samples")
+        return float(np.percentile(self.instructions, q))
+
+    @property
+    def tail_ratio(self) -> float:
+        """p90 / median footprint — how heavy the design-relevant tail is."""
+        return self.footprint_percentile(90) / max(self.footprint_percentile(50), 1.0)
+
+
+def overflow_distribution(
+    profile: BenchmarkProfile,
+    cfg: OverflowConfig,
+) -> OverflowDistribution:
+    """Collect the raw overflow samples behind :func:`characterize_overflow`.
+
+    Uses the same per-trace seeds, so the distribution's means equal the
+    summary's means exactly.
+    """
+    footprints: list[int] = []
+    writes: list[int] = []
+    instrs: list[int] = []
+    for k in range(cfg.n_traces):
+        rng = stream_rng(cfg.seed, "overflow", bench=profile.name, trace=k)
+        trace = synthesize_trace(profile, cfg.trace_accesses, rng)
+        ctx = HTMContext(cfg.geometry, victim_entries=cfg.victim_entries)
+        ov = ctx.run(trace)
+        if ov is None:
+            continue
+        footprints.append(ov.footprint.total)
+        writes.append(ov.footprint.write_blocks)
+        instrs.append(ov.instructions)
+    return OverflowDistribution(
+        benchmark=profile.name,
+        footprints=np.asarray(footprints, dtype=np.int64),
+        write_blocks=np.asarray(writes, dtype=np.int64),
+        instructions=np.asarray(instrs, dtype=np.int64),
+    )

@@ -1,0 +1,92 @@
+"""Parameter-sweep utilities.
+
+The paper "exhaustively evaluates the space spanned by" N × C × W grids;
+these helpers express that as data: build the grid, run a function at
+every point, and collect results keyed by their coordinates so reports
+can slice by any axis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = ["SweepResult", "run_sweep", "sweep_grid"]
+
+
+def sweep_grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named axes as a list of parameter dicts.
+
+    ``sweep_grid(n=[1024, 4096], w=[5, 10])`` yields four dicts in
+    row-major (last axis fastest) order. Axis order follows keyword
+    order, so reports iterate deterministically.
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    for name, values in axes.items():
+        if len(values) == 0:
+            raise ValueError(f"axis {name!r} has no values")
+    return [dict(zip(names, combo)) for combo in itertools.product(*axes.values())]
+
+
+@dataclass
+class SweepResult:
+    """Results of a sweep: parallel lists of points and outcomes."""
+
+    points: list[dict[str, Any]] = field(default_factory=list)
+    outcomes: list[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(zip(self.points, self.outcomes))
+
+    def where(self, **criteria: Any) -> "SweepResult":
+        """Sub-sweep matching all ``criteria`` exactly.
+
+        ``sweep.where(c=2)`` selects one Figure 4(a) line family.
+        """
+        out = SweepResult()
+        for point, outcome in self:
+            if all(point.get(k) == v for k, v in criteria.items()):
+                out.points.append(point)
+                out.outcomes.append(outcome)
+        return out
+
+    def series(self, x: str, y: Callable[[Any], float]) -> tuple[list[Any], list[float]]:
+        """Extract an (x-values, y-values) series for plotting/printing.
+
+        ``y`` maps each outcome to a number, e.g.
+        ``lambda r: r.conflict_probability``.
+        """
+        xs = [point[x] for point in self.points]
+        ys = [y(outcome) for outcome in self.outcomes]
+        return xs, ys
+
+    def axis_values(self, name: str) -> list[Any]:
+        """Distinct values of one axis, in first-seen order."""
+        seen: list[Any] = []
+        for point in self.points:
+            value = point.get(name)
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+
+def run_sweep(
+    fn: Callable[..., Any],
+    points: Iterable[Mapping[str, Any]],
+) -> SweepResult:
+    """Evaluate ``fn(**point)`` at every grid point, collecting results.
+
+    Serial by design: each point's engine is already NumPy-vectorized,
+    and serial execution keeps RNG streams trivially reproducible.
+    """
+    result = SweepResult()
+    for point in points:
+        result.points.append(dict(point))
+        result.outcomes.append(fn(**point))
+    return result

@@ -1,0 +1,233 @@
+"""Throughput scaling under false conflicts (the §2.1 Damron anecdote).
+
+"In Damron et al.'s presented results, performance for their Berkeley DB
+lock subsystem benchmark actually decreases when scaling from 32 to 48
+processors due to hash collisions in the ownership table." (§2.1)
+
+This engine measures exactly that effect: committed-transaction
+throughput as a function of applied concurrency, for a fixed table
+organization and size. Threads run fixed-size transactions back to back
+over a fixed time horizon (per-thread ticks are constant, so total
+offered work scales with C); with a tagless table, rising concurrency
+inflates the false-conflict rate quadratically until added threads
+*reduce* completed work — the scalability collapse. A tagged table, or a
+much larger table, pushes the collapse point out.
+
+Unlike :mod:`repro.sim.closed_system` (which fixes system throughput to
+isolate model validation), this engine fixes per-thread time, which is
+what a speedup curve measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.util.rng import stream_rng
+
+__all__ = ["ThroughputConfig", "ThroughputResult", "simulate_throughput", "throughput_curve"]
+
+_FREE, _READ, _WRITE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ThroughputConfig:
+    """Parameters of one throughput measurement.
+
+    Attributes
+    ----------
+    n_entries:
+        Ownership-table size ``N``.
+    concurrency:
+        Applied concurrency ``C`` (threads).
+    write_footprint:
+        Writes per transaction; footprint ``(1+α)W``.
+    alpha:
+        Reads per write.
+    ticks_per_thread:
+        Scheduler ticks each thread runs (the fixed wall-clock).
+    tagged:
+        True simulates a tagged table (no false conflicts — random
+        entries never truly conflict here, so transactions only restart
+        on genuine same-entry same-block collisions, which the random
+        disjoint-block workload never produces).
+    seed:
+        Master seed.
+    """
+
+    n_entries: int
+    concurrency: int
+    write_footprint: int = 10
+    alpha: int = 2
+    ticks_per_thread: int = 5000
+    tagged: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {self.n_entries}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.write_footprint <= 0:
+            raise ValueError(f"write_footprint must be positive, got {self.write_footprint}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.ticks_per_thread <= 0:
+            raise ValueError(f"ticks_per_thread must be positive, got {self.ticks_per_thread}")
+        if self.concurrency > 63:
+            raise ValueError(f"at most 63 threads supported, got {self.concurrency}")
+
+    @property
+    def footprint(self) -> int:
+        """Blocks per transaction."""
+        return (1 + self.alpha) * self.write_footprint
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of one throughput run."""
+
+    config: ThroughputConfig
+    committed: int
+    conflicts: int
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per thousand ticks (system-wide)."""
+        return 1000.0 * self.committed / self.config.ticks_per_thread
+
+    @property
+    def speedup(self) -> float:
+        """Throughput normalized to the zero-conflict single-thread rate."""
+        per_thread_ideal = self.config.ticks_per_thread / self.config.footprint
+        return self.committed / per_thread_ideal
+
+
+def simulate_throughput(cfg: ThroughputConfig) -> ThroughputResult:
+    """Run one fixed-wall-clock throughput measurement.
+
+    In tagged mode the workload's blocks are disjoint by construction
+    (each thread draws entries for *distinct logical blocks*), so no
+    conflicts occur and throughput is the ideal ``C · ticks/F`` — the
+    comparison baseline. In tagless mode the drawn entries ARE the
+    conflict surface, as in the closed-system engine.
+    """
+    rng = stream_rng(
+        cfg.seed,
+        "throughput",
+        n=cfg.n_entries,
+        c=cfg.concurrency,
+        w=cfg.write_footprint,
+        tagged=cfg.tagged,
+    )
+    if cfg.tagged:
+        # Disjoint logical blocks: a tagged table never refuses them.
+        committed = cfg.concurrency * (cfg.ticks_per_thread // cfg.footprint)
+        return ThroughputResult(cfg, committed, 0)
+
+    n, c, f = cfg.n_entries, cfg.concurrency, cfg.footprint
+    mode = np.zeros(n, dtype=np.int8)
+    writer = np.full(n, -1, dtype=np.int16)
+    readers = np.zeros(n, dtype=np.int64)
+
+    pattern = np.zeros(f, dtype=bool)
+    pattern[cfg.alpha :: cfg.alpha + 1] = True
+
+    entries = [None] * c
+    pos = [0] * c
+    held: list[list[int]] = [[] for _ in range(c)]
+    waits = [int(rng.integers(0, f)) for _ in range(c)]
+
+    committed = 0
+    conflicts = 0
+
+    def release(tid: int) -> None:
+        bit = np.int64(1 << tid)
+        for e in held[tid]:
+            if mode[e] == _WRITE and writer[e] == tid:
+                mode[e] = _FREE
+                writer[e] = -1
+            elif mode[e] == _READ and readers[e] & bit:
+                readers[e] &= ~bit
+                if readers[e] == 0:
+                    mode[e] = _FREE
+        held[tid].clear()
+        entries[tid] = None
+
+    for _tick in range(cfg.ticks_per_thread):
+        for tid in range(c):
+            if waits[tid] > 0:
+                waits[tid] -= 1
+                continue
+            if entries[tid] is None:
+                entries[tid] = rng.integers(0, n, size=f, dtype=np.int64)
+                pos[tid] = 0
+            e = int(entries[tid][pos[tid]])
+            is_write = bool(pattern[pos[tid]])
+            bit = np.int64(1 << tid)
+
+            refused = False
+            if is_write:
+                if mode[e] == _WRITE:
+                    refused = writer[e] != tid
+                elif mode[e] == _READ:
+                    refused = bool(readers[e] & ~bit)
+                    if not refused:
+                        readers[e] = 0
+                        mode[e] = _WRITE
+                        writer[e] = tid
+                        held[tid].append(e)
+                else:
+                    mode[e] = _WRITE
+                    writer[e] = tid
+                    held[tid].append(e)
+            else:
+                if mode[e] == _WRITE:
+                    refused = writer[e] != tid
+                elif mode[e] == _READ:
+                    if not (readers[e] & bit):
+                        readers[e] |= bit
+                        held[tid].append(e)
+                else:
+                    mode[e] = _READ
+                    readers[e] = bit
+                    held[tid].append(e)
+
+            if refused:
+                conflicts += 1
+                release(tid)
+                continue
+            pos[tid] += 1
+            if pos[tid] >= f:
+                release(tid)
+                committed += 1
+
+    return ThroughputResult(cfg, committed, conflicts)
+
+
+def throughput_curve(
+    concurrencies: list[int],
+    *,
+    n_entries: int,
+    write_footprint: int = 10,
+    alpha: int = 2,
+    ticks_per_thread: int = 5000,
+    tagged: bool = False,
+    seed: int = 0,
+) -> list[ThroughputResult]:
+    """Measure the speedup curve over a concurrency sweep."""
+    results = []
+    for c in concurrencies:
+        cfg = ThroughputConfig(
+            n_entries=n_entries,
+            concurrency=c,
+            write_footprint=write_footprint,
+            alpha=alpha,
+            ticks_per_thread=ticks_per_thread,
+            tagged=tagged,
+            seed=seed,
+        )
+        results.append(simulate_throughput(cfg))
+    return results

@@ -1,0 +1,207 @@
+"""Trace-driven aliasing study (§2.2 → Figure 2).
+
+Protocol, per the paper: "Using these traces, we populate an ownership
+table (with N entries) using C concurrent address streams until each
+stream has written to W cache blocks. As we consume these traces, we
+remove any true conflicts so we can focus on the aliasing-induced
+conflicts found in real address streams. ... for each data point, we run
+roughly 10,000 trace samples to compute a likelihood of an alias
+occurring before all traces complete W writes."
+
+Sampling: each sample starts every stream at an independent random
+offset into its (true-conflict-free) trace, consumes it until W distinct
+blocks have been written, hashes the window's distinct blocks into the
+table, and asks whether any cross-stream collision involves a write.
+The collision test batches all samples through the vectorized kernel of
+:mod:`repro.sim.montecarlo` by padding windows with non-colliding
+read-only sentinel entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ownership.hashing import HashFunction, MaskHash
+from repro.sim.montecarlo import collision_probability_estimate, cross_thread_conflicts
+from repro.traces.events import ThreadedTrace
+from repro.util.rng import stream_rng
+
+__all__ = ["TraceAliasConfig", "TraceAliasResult", "simulate_trace_aliasing"]
+
+
+@dataclass(frozen=True)
+class TraceAliasConfig:
+    """Parameters of one Figure 2 data point.
+
+    Attributes
+    ----------
+    n_entries:
+        Ownership-table size ``N`` (the paper sweeps 1k–256k).
+    concurrency:
+        Number of streams ``C`` drawn from the threaded trace.
+    write_footprint:
+        Distinct written blocks per stream ``W`` (the stopping rule).
+    samples:
+        Trace samples per data point (paper: ~10 000).
+    seed:
+        Master seed for offsets.
+    hash_kind:
+        Hash-function name (``mask``/``multiplicative``/``xorfold``);
+        ``mask`` reproduces the consecutive-entry structure §4 notes.
+    """
+
+    n_entries: int
+    concurrency: int = 2
+    write_footprint: int = 10
+    samples: int = 2000
+    seed: int = 0
+    hash_kind: str = "mask"
+
+    def __post_init__(self) -> None:
+        if self.n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {self.n_entries}")
+        if self.concurrency < 2:
+            raise ValueError(f"concurrency must be >= 2, got {self.concurrency}")
+        if self.write_footprint <= 0:
+            raise ValueError(f"write_footprint must be positive, got {self.write_footprint}")
+        if self.samples <= 0:
+            raise ValueError(f"samples must be positive, got {self.samples}")
+
+
+@dataclass(frozen=True)
+class TraceAliasResult:
+    """Measured alias likelihood for one data point."""
+
+    config: TraceAliasConfig
+    alias_probability: float
+    stderr: float
+    mean_window_accesses: float
+
+
+def _window_footprint(
+    blocks: np.ndarray,
+    is_write: np.ndarray,
+    start: int,
+    w: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Distinct (blocks, written-flag, window-length) reaching ``w`` writes.
+
+    Scans forward from ``start`` (wrapping around the trace) until ``w``
+    distinct blocks have been written; returns the distinct blocks of the
+    whole window and whether each was written. A block both read and
+    written is a write entry (the write dominates for conflict purposes).
+    """
+    n = len(blocks)
+    if n == 0:
+        raise ValueError("empty trace stream")
+    # Work on a wrapped view long enough to reach w distinct writes; grow
+    # geometrically if the first guess falls short.
+    span = max(64, 8 * w)
+    while True:
+        idx = (start + np.arange(span)) % n
+        win_blocks = blocks[idx]
+        win_writes = is_write[idx]
+        written = win_blocks[win_writes]
+        distinct_written, first_pos = np.unique(written, return_index=True)
+        if len(distinct_written) >= w:
+            # Cut the window at the w-th distinct write.
+            write_positions = np.flatnonzero(win_writes)
+            cutoff = write_positions[np.sort(first_pos)[w - 1]]
+            win_blocks = win_blocks[: cutoff + 1]
+            win_writes = win_writes[: cutoff + 1]
+            break
+        if span >= 4 * n and len(distinct_written) < w:
+            raise ValueError(
+                f"stream has only {len(distinct_written)} distinct written blocks; "
+                f"cannot reach W={w}"
+            )
+        span *= 2
+
+    distinct, inverse = np.unique(win_blocks, return_inverse=True)
+    written_flag = np.zeros(len(distinct), dtype=bool)
+    np.logical_or.at(written_flag, inverse, win_writes)
+    return distinct, written_flag, len(win_blocks)
+
+
+def simulate_trace_aliasing(
+    trace: ThreadedTrace,
+    cfg: TraceAliasConfig,
+    *,
+    hash_fn: Optional[HashFunction] = None,
+    batch: int = 1000,
+) -> TraceAliasResult:
+    """Run one Figure 2 data point against a (cleaned) threaded trace.
+
+    ``trace`` should already be true-conflict-free
+    (:func:`repro.traces.dedup.remove_true_conflicts`); any conflict this
+    function observes is then alias-induced by construction. Streams are
+    assigned round-robin when ``cfg.concurrency`` exceeds the trace's
+    thread count.
+    """
+    if trace.n_threads == 0:
+        raise ValueError("threaded trace has no streams")
+    if hash_fn is None:
+        from repro.ownership.hashing import make_hash
+
+        hash_fn = make_hash(cfg.hash_kind, cfg.n_entries)
+    elif hash_fn.n_entries != cfg.n_entries:
+        raise ValueError(
+            f"hash_fn sized for {hash_fn.n_entries} entries, config says {cfg.n_entries}"
+        )
+
+    streams = [trace[i % trace.n_threads] for i in range(cfg.concurrency)]
+    rng = stream_rng(
+        cfg.seed,
+        "trace-alias",
+        n=cfg.n_entries,
+        c=cfg.concurrency,
+        w=cfg.write_footprint,
+        hash=cfg.hash_kind,
+    )
+
+    outcomes = np.zeros(cfg.samples, dtype=bool)
+    window_lengths: list[int] = []
+    done = 0
+    while done < cfg.samples:
+        todo = min(batch, cfg.samples - done)
+        per_sample: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        width = 0
+        for _ in range(todo):
+            thread_fps = []
+            for s in streams:
+                start = int(rng.integers(0, len(s.blocks)))
+                distinct, written, win_len = _window_footprint(
+                    s.blocks, s.is_write, start, cfg.write_footprint
+                )
+                entries = np.asarray(hash_fn(distinct), dtype=np.int64)
+                thread_fps.append((entries, written))
+                window_lengths.append(win_len)
+                width = max(width, len(entries))
+            per_sample.append(thread_fps)
+
+        # Assemble the padded batch: shape (todo, C * width). Pads are
+        # read-only entries >= n_entries, so they can never conflict.
+        c = cfg.concurrency
+        entries_mat = np.tile(
+            cfg.n_entries + np.arange(c * width, dtype=np.int64), (todo, 1)
+        )
+        writes_mat = np.zeros((todo, c * width), dtype=bool)
+        thread_of = np.repeat(np.arange(c, dtype=np.int64), width)
+        for i, thread_fps in enumerate(per_sample):
+            for t, (entries, written) in enumerate(thread_fps):
+                lo = t * width
+                entries_mat[i, lo : lo + len(entries)] = entries
+                writes_mat[i, lo : lo + len(entries)] = written
+        outcomes[done : done + todo] = cross_thread_conflicts(entries_mat, writes_mat, thread_of)
+        done += todo
+
+    p, stderr = collision_probability_estimate(outcomes)
+    return TraceAliasResult(
+        config=cfg,
+        alias_probability=p,
+        stderr=stderr,
+        mean_window_accesses=float(np.mean(window_lengths)),
+    )

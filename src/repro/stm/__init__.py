@@ -1,0 +1,57 @@
+"""Word-based STM runtime.
+
+A minimal-but-complete encounter-time STM of the kind the paper's
+ownership tables serve (§1, §2.1): per-thread transactions keep private
+logs with speculative write values, acquire read/write permissions from a
+pluggable :class:`~repro.ownership.base.OwnershipTable` on every access,
+and commit by atomically publishing the write log. On conflict, an
+arbitration policy decides who aborts; aborted transactions roll back and
+may retry.
+
+The runtime is deliberately organization-agnostic: run it over a
+:class:`~repro.ownership.tagless.TaglessOwnershipTable` and aliasing
+blocks false-conflict each other; run it over a
+:class:`~repro.ownership.tagged.TaggedOwnershipTable` and only true
+conflicts abort — the paper's comparison, executable.
+"""
+
+from repro.stm.conflict import Arbitration, ConflictError, TransactionAborted
+from repro.stm.isolation import IsolationLevel, IsolationViolation
+from repro.stm.object_based import FieldAddr, ObjectHeap, ObjectSTM, ObjectTxAborted
+from repro.stm.runtime import STM, TxHandle, atomic, run_atomically
+from repro.stm.scheduler import InterleavedRun, Op, OpKind, TxProgram, run_interleaved
+from repro.stm.transaction import Transaction, TxStats, TxStatus
+from repro.stm.versioned import (
+    ValidationAborted,
+    VersionTable,
+    VersionedSTM,
+    run_lazy_atomically,
+)
+
+__all__ = [
+    "Arbitration",
+    "ConflictError",
+    "FieldAddr",
+    "InterleavedRun",
+    "IsolationLevel",
+    "IsolationViolation",
+    "ObjectHeap",
+    "ObjectSTM",
+    "ObjectTxAborted",
+    "Op",
+    "OpKind",
+    "STM",
+    "Transaction",
+    "TransactionAborted",
+    "TxHandle",
+    "TxProgram",
+    "TxStats",
+    "TxStatus",
+    "ValidationAborted",
+    "VersionTable",
+    "VersionedSTM",
+    "atomic",
+    "run_atomically",
+    "run_interleaved",
+    "run_lazy_atomically",
+]

@@ -1,0 +1,69 @@
+"""Conflict arbitration.
+
+When the ownership table refuses an acquire, someone must yield: "a
+single conflict forces a transaction to either abort or stall until the
+conflicting transaction commits" (§2.1). The runtime supports the three
+classical contention-management responses; the simulators use
+``ABORT_REQUESTER`` (self-abort and retry), matching the paper's closed
+system where "when conflicts occur, transactions are restarted".
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ownership.base import Conflict
+
+__all__ = ["Arbitration", "ConflictError", "TransactionAborted"]
+
+
+class Arbitration(enum.Enum):
+    """Who yields on conflict.
+
+    ``ABORT_REQUESTER``
+        The transaction whose access hit the conflict aborts (and will
+        typically retry). Simple, livelock-prone under heavy contention.
+    ``ABORT_HOLDERS``
+        The holders of the contested entry abort; the requester proceeds.
+        An "attacker wins" policy (cf. eager HTM conflict resolution).
+    ``STALL``
+        The requester neither aborts nor proceeds; the runtime raises
+        :class:`ConflictError` so the caller can retry the access later.
+        Deadlock-prone if used symmetrically; provided for the ablation.
+    """
+
+    ABORT_REQUESTER = "abort-requester"
+    ABORT_HOLDERS = "abort-holders"
+    STALL = "stall"
+
+
+class TransactionAborted(Exception):
+    """Raised by STM operations when the calling transaction aborts.
+
+    Carries the table-level :class:`~repro.ownership.base.Conflict` that
+    caused the abort so experiments can classify it.
+    """
+
+    def __init__(self, thread_id: int, conflict: Conflict) -> None:
+        self.thread_id = thread_id
+        self.conflict = conflict
+        kind = "false" if conflict.is_false else ("true" if conflict.is_false is False else "unclassified")
+        super().__init__(
+            f"transaction on thread {thread_id} aborted: {kind} {conflict.kind.value} "
+            f"conflict on entry {conflict.entry} (block {conflict.block:#x}) "
+            f"with holders {conflict.holders}"
+        )
+
+
+class ConflictError(Exception):
+    """Raised under :attr:`Arbitration.STALL` — access refused, tx alive.
+
+    The caller may re-issue the access after other transactions commit.
+    """
+
+    def __init__(self, thread_id: int, conflict: Conflict) -> None:
+        self.thread_id = thread_id
+        self.conflict = conflict
+        super().__init__(
+            f"thread {thread_id} stalled on entry {conflict.entry} held by {conflict.holders}"
+        )

@@ -1,0 +1,42 @@
+"""Isolation levels (§6).
+
+Under **weak isolation**, only threads inside transactions consult the
+ownership table; a plain (non-transactional) access can race with a
+transaction unnoticed. Under **strong isolation**, "even threads outside
+of isolation regions must perform ownership table look-ups to ensure they
+are not violating the isolation of a transaction" — every plain access
+costs a table probe, and the added probe traffic makes tagless tables
+even less tenable (the paper's closing observation, quantified by the
+isolation ablation bench).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ownership.base import Conflict
+
+__all__ = ["IsolationLevel", "IsolationViolation"]
+
+
+class IsolationLevel(enum.Enum):
+    """How non-transactional accesses interact with the ownership table."""
+
+    WEAK = "weak"
+    STRONG = "strong"
+
+
+class IsolationViolation(Exception):
+    """A non-transactional access touched an entry owned by a transaction.
+
+    Only raised under :attr:`IsolationLevel.STRONG`; under weak isolation
+    the same access silently races (which is the point of the contrast).
+    """
+
+    def __init__(self, thread_id: int, conflict: Conflict) -> None:
+        self.thread_id = thread_id
+        self.conflict = conflict
+        super().__init__(
+            f"non-transactional access by thread {thread_id} hit entry "
+            f"{conflict.entry} held by transaction(s) {conflict.holders}"
+        )

@@ -1,0 +1,224 @@
+"""An object-based STM — the §1 comparator organization.
+
+§1: "Object-based designs, generally found in object-oriented languages,
+track conflicts at the granularity of objects. The language allocates a
+field within each object ... used by the STM for tracking readers and
+writers to that object." Object tables have *no hash aliasing* — each
+object carries its own ownership record — but they trade it for a
+different false-conflict source: **granularity**. Two transactions
+touching different fields of the same (large) object conflict even
+though they share no data, exactly analogous to false sharing in HTM
+lines and hash aliasing in word tables.
+
+This module implements that design so the three metadata organizations
+can be compared on one workload (``benchmarks/test_ablation_object_stm.py``):
+
+* word-tagless — aliasing false conflicts (∝ footprint²/N),
+* word-tagged  — no false conflicts, chaining cost,
+* object-based — granularity false conflicts (∝ object size), no table.
+
+Addresses here are ``(object id, field index)`` pairs; the
+:class:`ObjectHeap` records object sizes so conflicts can be classified
+true (same field) vs false (same object, different fields).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.stm.transaction import TxStats
+
+__all__ = ["FieldAddr", "ObjectHeap", "ObjectSTM", "ObjectTxAborted"]
+
+#: an address is (object id, field index)
+FieldAddr = Tuple[int, int]
+
+
+class ObjectTxAborted(Exception):
+    """An object-granularity conflict aborted the requester.
+
+    ``is_false`` is True when the holders touched only *other fields* of
+    the contested object — the granularity analogue of hash aliasing.
+    """
+
+    def __init__(self, thread_id: int, addr: FieldAddr, holders: tuple[int, ...], is_false: bool):
+        self.thread_id = thread_id
+        self.addr = addr
+        self.holders = holders
+        self.is_false = is_false
+        kind = "false (field-granularity)" if is_false else "true"
+        super().__init__(
+            f"transaction on thread {thread_id} aborted: {kind} conflict on object "
+            f"{addr[0]} field {addr[1]} with holders {holders}"
+        )
+
+
+@dataclass
+class ObjectHeap:
+    """Object-size registry: object id → field count.
+
+    The STM only needs sizes for statistics and validation; allocation
+    is explicit so workloads control object granularity (the knob this
+    organization's false conflicts scale with).
+    """
+
+    sizes: Dict[int, int] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def allocate(self, n_fields: int) -> int:
+        """Create an object with ``n_fields`` fields; returns its id."""
+        if n_fields <= 0:
+            raise ValueError(f"objects need at least one field, got {n_fields}")
+        oid = self._next_id
+        self._next_id += 1
+        self.sizes[oid] = n_fields
+        return oid
+
+    def check(self, addr: FieldAddr) -> None:
+        """Validate that ``addr`` names an allocated field."""
+        oid, fidx = addr
+        size = self.sizes.get(oid)
+        if size is None:
+            raise KeyError(f"object {oid} was never allocated")
+        if not 0 <= fidx < size:
+            raise IndexError(f"field {fidx} out of range for object {oid} of {size} fields")
+
+
+@dataclass
+class _ObjectRecord:
+    """Per-object ownership record (the field §1 says the language adds)."""
+
+    writer: Optional[int] = None
+    readers: Set[int] = field(default_factory=set)
+    # thread -> exact fields touched (for true/false classification)
+    touched: Dict[int, Set[int]] = field(default_factory=dict)
+
+    @property
+    def free(self) -> bool:
+        return self.writer is None and not self.readers
+
+
+class ObjectSTM:
+    """Encounter-time STM with per-object ownership records.
+
+    Mirrors :class:`repro.stm.runtime.STM`'s semantics (multi-reader /
+    single-writer, requester aborts on conflict) at object granularity.
+    """
+
+    def __init__(self, heap: ObjectHeap) -> None:
+        self.heap = heap
+        self.memory: Dict[FieldAddr, Any] = {}
+        self._records: Dict[int, _ObjectRecord] = defaultdict(_ObjectRecord)
+        self._tx_writes: Dict[int, Dict[FieldAddr, Any]] = {}
+        self._held_objects: Dict[int, Set[int]] = defaultdict(set)
+        self.stats: Dict[int, TxStats] = {}
+
+    def _stats_for(self, thread_id: int) -> TxStats:
+        if thread_id not in self.stats:
+            self.stats[thread_id] = TxStats()
+        return self.stats[thread_id]
+
+    def begin(self, thread_id: int) -> None:
+        """Start a transaction."""
+        if thread_id in self._tx_writes:
+            raise RuntimeError(f"thread {thread_id} already has an active transaction")
+        self._tx_writes[thread_id] = {}
+        self._stats_for(thread_id).started += 1
+
+    def in_transaction(self, thread_id: int) -> bool:
+        """True while ``thread_id``'s transaction is active."""
+        return thread_id in self._tx_writes
+
+    def read(self, thread_id: int, addr: FieldAddr) -> Any:
+        """Transactional read of one field (acquires the whole object)."""
+        self._require_tx(thread_id)
+        self.heap.check(addr)
+        oid, fidx = addr
+        buffered = self._tx_writes[thread_id]
+        if addr in buffered:
+            return buffered[addr]
+        record = self._records[oid]
+        if record.writer is not None and record.writer != thread_id:
+            self._abort_with_conflict(thread_id, addr, (record.writer,), record)
+        record.readers.add(thread_id)
+        record.touched.setdefault(thread_id, set()).add(fidx)
+        self._held_objects[thread_id].add(oid)
+        self._stats_for(thread_id).reads += 1
+        return self.memory.get(addr)
+
+    def write(self, thread_id: int, addr: FieldAddr, value: Any) -> None:
+        """Transactional write of one field (exclusive on the object)."""
+        self._require_tx(thread_id)
+        self.heap.check(addr)
+        oid, fidx = addr
+        record = self._records[oid]
+        if record.writer is not None and record.writer != thread_id:
+            self._abort_with_conflict(thread_id, addr, (record.writer,), record)
+        others = record.readers - {thread_id}
+        if others:
+            self._abort_with_conflict(thread_id, addr, tuple(sorted(others)), record)
+        record.readers.discard(thread_id)
+        record.writer = thread_id
+        record.touched.setdefault(thread_id, set()).add(fidx)
+        self._held_objects[thread_id].add(oid)
+        self._tx_writes[thread_id][addr] = value
+        self._stats_for(thread_id).writes += 1
+
+    def commit(self, thread_id: int) -> None:
+        """Publish buffered field writes and release objects."""
+        self._require_tx(thread_id)
+        self.memory.update(self._tx_writes.pop(thread_id))
+        self._release(thread_id)
+        self._stats_for(thread_id).committed += 1
+
+    def abort(self, thread_id: int) -> None:
+        """Discard the transaction."""
+        self._require_tx(thread_id)
+        self._tx_writes.pop(thread_id)
+        self._release(thread_id)
+        self._stats_for(thread_id).aborted += 1
+
+    # ------------------------------------------------------------------
+
+    def holders_of(self, oid: int) -> tuple[int, ...]:
+        """Threads holding object ``oid``."""
+        record = self._records.get(oid)
+        if record is None:
+            return ()
+        if record.writer is not None:
+            return (record.writer,)
+        return tuple(sorted(record.readers))
+
+    def _require_tx(self, thread_id: int) -> None:
+        if thread_id not in self._tx_writes:
+            raise RuntimeError(f"thread {thread_id} has no active transaction")
+
+    def _release(self, thread_id: int) -> None:
+        for oid in self._held_objects.pop(thread_id, set()):
+            record = self._records.get(oid)
+            if record is None:
+                continue
+            if record.writer == thread_id:
+                record.writer = None
+            record.readers.discard(thread_id)
+            record.touched.pop(thread_id, None)
+            if record.free:
+                del self._records[oid]
+
+    def _abort_with_conflict(
+        self, thread_id: int, addr: FieldAddr, holders: tuple[int, ...], record: _ObjectRecord
+    ) -> None:
+        _oid, fidx = addr
+        # False iff no holder touched this very field.
+        is_false = not any(fidx in record.touched.get(h, ()) for h in holders)
+        stats = self._stats_for(thread_id)
+        if is_false:
+            stats.false_conflicts += 1
+        else:
+            stats.true_conflicts += 1
+        self._tx_writes.pop(thread_id)
+        self._release(thread_id)
+        stats.aborted += 1
+        raise ObjectTxAborted(thread_id, addr, holders, is_false)

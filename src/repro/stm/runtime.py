@@ -1,0 +1,334 @@
+"""The STM engine.
+
+Encounter-time (eager) conflict detection with write buffering:
+
+* ``read`` acquires READ permission on the block's ownership-table entry,
+  then returns the transaction's own speculative value if it wrote the
+  block, else committed memory.
+* ``write`` acquires WRITE permission and buffers the value in the
+  per-thread log.
+* ``commit`` atomically publishes the write log into committed memory and
+  releases all permissions.
+* a refused acquire invokes the arbitration policy
+  (:class:`~repro.stm.conflict.Arbitration`).
+
+The engine works against any :class:`~repro.ownership.base.OwnershipTable`
+— this is where tagless false conflicts become *visible aborts*.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional
+
+from repro.ownership.base import AccessMode, AcquireResult, OwnershipTable
+from repro.stm.conflict import Arbitration, ConflictError, TransactionAborted
+from repro.stm.isolation import IsolationLevel, IsolationViolation
+from repro.stm.transaction import Transaction, TxStats, TxStatus
+
+__all__ = ["STM", "TxHandle"]
+
+
+class STM:
+    """A word-based software transactional memory.
+
+    Parameters
+    ----------
+    table:
+        The ownership table (tagless or tagged).
+    arbitration:
+        Conflict response policy; default aborts the requester.
+    isolation:
+        WEAK (default) or STRONG (§6) — affects non-transactional
+        accesses only.
+
+    Notes
+    -----
+    Thread ids are logical: the engine is single-OS-thread and models
+    concurrency by interleaving calls from different ids (see
+    :mod:`repro.stm.scheduler`). That makes every experiment exactly
+    reproducible, which a pthread-racing STM could never be.
+    """
+
+    def __init__(
+        self,
+        table: OwnershipTable,
+        *,
+        arbitration: Arbitration = Arbitration.ABORT_REQUESTER,
+        isolation: IsolationLevel = IsolationLevel.WEAK,
+        initial_memory: Optional[Dict[int, Any]] = None,
+    ) -> None:
+        self.table = table
+        self.arbitration = arbitration
+        self.isolation = isolation
+        self.memory: Dict[int, Any] = dict(initial_memory or {})
+        self._tx: Dict[int, Transaction] = {}
+        self.stats: Dict[int, TxStats] = {}
+        #: Table probes made by non-transactional accesses (strong
+        #: isolation overhead; stays 0 under weak isolation).
+        self.non_tx_probes: int = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def begin(self, thread_id: int) -> "TxHandle":
+        """Start a transaction for ``thread_id``.
+
+        Raises
+        ------
+        RuntimeError
+            If the thread already has an active transaction (no nesting;
+            flat transactions as in the proposals the paper surveys).
+        """
+        current = self._tx.get(thread_id)
+        if current is not None and current.is_active:
+            raise RuntimeError(f"thread {thread_id} already has an active transaction")
+        self._tx[thread_id] = Transaction(thread_id)
+        self._stats_for(thread_id).started += 1
+        return TxHandle(self, thread_id)
+
+    def read(self, thread_id: int, block: int) -> Any:
+        """Transactionally read ``block``; may abort the transaction."""
+        tx = self._active_tx(thread_id)
+        hit, value = tx.speculative_value(block)
+        if hit:
+            return value
+        self._acquire_or_arbitrate(tx, block, AccessMode.READ)
+        tx.record_read(block)
+        self._stats_for(thread_id).reads += 1
+        return self.memory.get(block)
+
+    def write(self, thread_id: int, block: int, value: Any) -> None:
+        """Transactionally write ``value`` to ``block``; may abort."""
+        tx = self._active_tx(thread_id)
+        self._acquire_or_arbitrate(tx, block, AccessMode.WRITE)
+        tx.record_write(block, value)
+        self._stats_for(thread_id).writes += 1
+
+    def commit(self, thread_id: int) -> None:
+        """Publish the write log and release permissions.
+
+        With encounter-time locking, a transaction that reaches commit
+        holds every permission it needs, so commit never fails.
+        """
+        tx = self._active_tx(thread_id)
+        self.memory.update(tx.write_log)
+        tx.mark_committed()
+        self.table.release_all(thread_id)
+        self._stats_for(thread_id).committed += 1
+
+    def abort(self, thread_id: int) -> None:
+        """Explicitly abort the active transaction (user-requested retry)."""
+        tx = self._active_tx(thread_id)
+        tx.mark_aborted()
+        self.table.release_all(thread_id)
+        self._stats_for(thread_id).aborted += 1
+
+    # ------------------------------------------------------------------
+    # Non-transactional accesses (§6)
+
+    def plain_read(self, thread_id: int, block: int) -> Any:
+        """Non-transactional read; probes the table under strong isolation."""
+        self._strong_isolation_check(thread_id, block, AccessMode.READ)
+        return self.memory.get(block)
+
+    def plain_write(self, thread_id: int, block: int, value: Any) -> None:
+        """Non-transactional write; probes the table under strong isolation."""
+        self._strong_isolation_check(thread_id, block, AccessMode.WRITE)
+        self.memory[block] = value
+
+    def _strong_isolation_check(self, thread_id: int, block: int, mode: AccessMode) -> None:
+        if self.in_transaction(thread_id):
+            raise RuntimeError(
+                f"thread {thread_id} has an active transaction; use transactional accesses"
+            )
+        if self.isolation is not IsolationLevel.STRONG:
+            return
+        self.non_tx_probes += 1
+        holders = self.table.holders_of(block)
+        others = tuple(h for h in holders if h != thread_id)
+        if not others:
+            return
+        # A plain read only violates a WRITE owner; a plain write
+        # violates any holder. Probe via a throwaway acquire to classify.
+        result = self.table.acquire(thread_id, block, mode)
+        if result.granted:
+            # We must not actually retain a permission for a plain access.
+            self.table.release_all(thread_id)
+            return
+        assert result.conflict is not None
+        raise IsolationViolation(thread_id, result.conflict)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def transaction_of(self, thread_id: int) -> Optional[Transaction]:
+        """The thread's most recent transaction (any status)."""
+        return self._tx.get(thread_id)
+
+    def in_transaction(self, thread_id: int) -> bool:
+        """True when the thread has an ACTIVE transaction."""
+        tx = self._tx.get(thread_id)
+        return tx is not None and tx.is_active
+
+    def total_stats(self) -> TxStats:
+        """Aggregate statistics over all threads."""
+        total = TxStats()
+        for stats in self.stats.values():
+            total.started += stats.started
+            total.committed += stats.committed
+            total.aborted += stats.aborted
+            total.reads += stats.reads
+            total.writes += stats.writes
+            total.false_conflicts += stats.false_conflicts
+            total.true_conflicts += stats.true_conflicts
+        return total
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _stats_for(self, thread_id: int) -> TxStats:
+        if thread_id not in self.stats:
+            self.stats[thread_id] = TxStats()
+        return self.stats[thread_id]
+
+    def _active_tx(self, thread_id: int) -> Transaction:
+        tx = self._tx.get(thread_id)
+        if tx is None or not tx.is_active:
+            raise RuntimeError(f"thread {thread_id} has no active transaction")
+        return tx
+
+    def _acquire_or_arbitrate(self, tx: Transaction, block: int, mode: AccessMode) -> None:
+        result = self.table.acquire(tx.thread_id, block, mode)
+        if result.granted:
+            return
+        assert result.conflict is not None
+        self._count_conflict(tx.thread_id, result)
+
+        if self.arbitration is Arbitration.STALL:
+            raise ConflictError(tx.thread_id, result.conflict)
+
+        if self.arbitration is Arbitration.ABORT_HOLDERS:
+            for holder in result.conflict.holders:
+                self._force_abort(holder)
+            retry = self.table.acquire(tx.thread_id, block, mode)
+            if not retry.granted:  # pragma: no cover - holders were just evicted
+                raise AssertionError("acquire failed after aborting all holders")
+            return
+
+        # ABORT_REQUESTER
+        tx.mark_aborted()
+        self.table.release_all(tx.thread_id)
+        self._stats_for(tx.thread_id).aborted += 1
+        raise TransactionAborted(tx.thread_id, result.conflict)
+
+    def _count_conflict(self, thread_id: int, result: AcquireResult) -> None:
+        assert result.conflict is not None
+        stats = self._stats_for(thread_id)
+        if result.conflict.is_false is True:
+            stats.false_conflicts += 1
+        elif result.conflict.is_false is False:
+            stats.true_conflicts += 1
+
+    def _force_abort(self, thread_id: int) -> None:
+        tx = self._tx.get(thread_id)
+        if tx is not None and tx.is_active:
+            tx.mark_aborted()
+            self.table.release_all(thread_id)
+            self._stats_for(thread_id).aborted += 1
+
+
+class TxHandle:
+    """Thin convenience view of one thread's transaction on an STM."""
+
+    __slots__ = ("_stm", "thread_id")
+
+    def __init__(self, stm: STM, thread_id: int) -> None:
+        self._stm = stm
+        self.thread_id = thread_id
+
+    def read(self, block: int) -> Any:
+        """Transactional read via this handle's thread."""
+        return self._stm.read(self.thread_id, block)
+
+    def write(self, block: int, value: Any) -> None:
+        """Transactional write via this handle's thread."""
+        self._stm.write(self.thread_id, block, value)
+
+    def commit(self) -> None:
+        """Commit this thread's transaction."""
+        self._stm.commit(self.thread_id)
+
+    def abort(self) -> None:
+        """Abort this thread's transaction."""
+        self._stm.abort(self.thread_id)
+
+    @property
+    def status(self) -> TxStatus:
+        """Status of the underlying transaction."""
+        tx = self._stm.transaction_of(self.thread_id)
+        assert tx is not None
+        return tx.status
+
+
+@contextlib.contextmanager
+def atomic(stm: STM, thread_id: int, *, max_retries: int = 64) -> Iterator[TxHandle]:
+    """Run a block as a transaction, retrying on abort.
+
+    Usage::
+
+        with atomic(stm, thread_id=0) as tx:
+            v = tx.read(100)
+            tx.write(100, v + 1)
+
+    The body re-executes from the top on :class:`TransactionAborted`, up
+    to ``max_retries`` times; commit is implicit on normal exit.
+
+    Note: as a generator-based context manager this cannot literally
+    re-run the ``with`` body; callers who need automatic re-execution
+    should use :func:`run_atomically` with a callable. This form is kept
+    for the single-attempt ergonomic case and raises on abort.
+    """
+    handle = stm.begin(thread_id)
+    try:
+        yield handle
+    except TransactionAborted:
+        raise
+    except BaseException:
+        if stm.in_transaction(thread_id):
+            stm.abort(thread_id)
+        raise
+    else:
+        if stm.in_transaction(thread_id):
+            handle.commit()
+
+
+def run_atomically(stm: STM, thread_id: int, body, *, max_retries: int = 64) -> Any:
+    """Execute ``body(tx_handle)`` as a transaction, retrying on abort.
+
+    Returns the body's return value from the attempt that committed.
+
+    Raises
+    ------
+    TransactionAborted
+        If the transaction still aborts after ``max_retries`` attempts.
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+    last: Optional[TransactionAborted] = None
+    for _ in range(max_retries + 1):
+        handle = stm.begin(thread_id)
+        try:
+            result = body(handle)
+        except TransactionAborted as exc:
+            last = exc
+            continue
+        except BaseException:
+            if stm.in_transaction(thread_id):
+                stm.abort(thread_id)
+            raise
+        if stm.in_transaction(thread_id):
+            handle.commit()
+        return result
+    assert last is not None
+    raise last

@@ -1,0 +1,113 @@
+"""Transaction state: the per-thread log of §2.1.
+
+"Each thread executing transactions maintains a (private) per-thread log
+that tracks the state of the transaction (e.g., active, committed) and
+the transaction's footprint including speculative values for writes."
+This module is that log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Set
+
+__all__ = ["Transaction", "TxStats", "TxStatus"]
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TxStats:
+    """Cumulative per-thread statistics across transactions and retries."""
+
+    started: int = 0
+    committed: int = 0
+    aborted: int = 0
+    reads: int = 0
+    writes: int = 0
+    false_conflicts: int = 0
+    true_conflicts: int = 0
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborts per started transaction (0 when none started)."""
+        if self.started == 0:
+            return 0.0
+        return self.aborted / self.started
+
+
+@dataclass
+class Transaction:
+    """One in-flight atomic region.
+
+    Attributes
+    ----------
+    thread_id:
+        Owning thread.
+    status:
+        Current :class:`TxStatus`.
+    read_set:
+        Blocks read so far (distinct).
+    write_set:
+        Blocks written so far (distinct).
+    write_log:
+        Speculative values, keyed by block — published on commit,
+        discarded on abort (a write-buffering / lazy-versioning STM).
+    """
+
+    thread_id: int
+    status: TxStatus = TxStatus.ACTIVE
+    read_set: Set[int] = field(default_factory=set)
+    write_set: Set[int] = field(default_factory=set)
+    write_log: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def footprint(self) -> int:
+        """Distinct blocks touched (reads ∪ writes)."""
+        return len(self.read_set | self.write_set)
+
+    @property
+    def is_active(self) -> bool:
+        """True while the transaction may still read/write/commit."""
+        return self.status is TxStatus.ACTIVE
+
+    def record_read(self, block: int) -> None:
+        """Add ``block`` to the read set."""
+        self._require_active()
+        self.read_set.add(block)
+
+    def record_write(self, block: int, value: Any) -> None:
+        """Buffer a speculative write of ``value`` to ``block``."""
+        self._require_active()
+        self.write_set.add(block)
+        self.write_log[block] = value
+
+    def speculative_value(self, block: int) -> tuple[bool, Any]:
+        """(hit, value) of the transaction's own buffered write, if any."""
+        if block in self.write_log:
+            return True, self.write_log[block]
+        return False, None
+
+    def mark_committed(self) -> None:
+        """Transition ACTIVE → COMMITTED."""
+        self._require_active()
+        self.status = TxStatus.COMMITTED
+
+    def mark_aborted(self) -> None:
+        """Transition ACTIVE → ABORTED and discard the write log."""
+        self._require_active()
+        self.status = TxStatus.ABORTED
+        self.write_log.clear()
+
+    def _require_active(self) -> None:
+        if self.status is not TxStatus.ACTIVE:
+            raise RuntimeError(
+                f"transaction on thread {self.thread_id} is {self.status.value}, not active"
+            )

@@ -1,0 +1,314 @@
+"""A lazy-validation (TL2-style) word-based STM.
+
+§2.1 notes that "even STM implementations that do not visibly track
+readers would need to assign an ownership table entry for the read
+location to record version numbers". This module makes that concrete:
+a global-version-clock STM in the style of Transactional Locking II
+(Dice/Shalev/Shavit — reference [19] of the paper), whose metadata is a
+**versioned lock table** indexed by hashing block addresses.
+
+The paper's false-conflict argument applies unchanged, just through a
+different mechanism: in a *tagless* version table, a commit that bumps
+an entry's version invalidates every reader of every block aliasing that
+entry — a **false validation abort** — while a *tagged* version table
+(per-block version records, chained) only aborts true conflicts.
+``benchmarks/test_ablation_lazy_stm.py`` measures the two side by side.
+
+Protocol summary (single global clock ``gv``):
+
+* ``begin`` — read ``rv = gv``.
+* ``read`` — return own buffered write if present; else check the
+  block's version entry is unlocked with ``version ≤ rv``; record it in
+  the read set; return committed memory. A newer version or a foreign
+  lock dooms the transaction immediately.
+* ``write`` — buffer locally (lazy versioning: no global effect).
+* ``commit`` — lock the write set's entries in canonical order, bump
+  the clock, re-validate the read set, publish the write buffer, stamp
+  written entries with the new version, unlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+from repro.ownership.hashing import HashFunction, MaskHash
+from repro.stm.transaction import TxStats
+
+__all__ = ["ValidationAborted", "VersionTable", "VersionedSTM", "run_lazy_atomically"]
+
+
+class ValidationAborted(Exception):
+    """A lazy transaction failed read validation or lock acquisition.
+
+    ``is_false`` classifies the failure when the table can tell
+    (tagged: always true conflicts; tagless with tracking: alias check).
+    """
+
+    def __init__(self, thread_id: int, block: int, reason: str, is_false: Optional[bool]) -> None:
+        self.thread_id = thread_id
+        self.block = block
+        self.reason = reason
+        self.is_false = is_false
+        kind = {True: "false", False: "true", None: "unclassified"}[is_false]
+        super().__init__(
+            f"transaction on thread {thread_id} aborted at block {block:#x}: {reason} ({kind})"
+        )
+
+
+class VersionTable:
+    """Versioned lock table — the lazy STM's ownership metadata.
+
+    ``tagged=False`` models the Figure 1 organization: one
+    ``(version, lock owner)`` pair per hash entry, shared by every
+    aliasing block. ``tagged=True`` models the Figure 7 organization:
+    per-block version records chained under each entry.
+
+    When ``track_writers=True`` the tagless table remembers which block
+    last bumped each entry so validation failures can be classified true
+    vs false (instrumentation only).
+    """
+
+    def __init__(
+        self,
+        n_entries: int,
+        hash_fn: Optional[HashFunction] = None,
+        *,
+        tagged: bool = False,
+        track_writers: bool = False,
+    ) -> None:
+        if n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {n_entries}")
+        if hash_fn is not None and hash_fn.n_entries != n_entries:
+            raise ValueError(
+                f"hash_fn is sized for {hash_fn.n_entries} entries, table has {n_entries}"
+            )
+        self.n_entries = n_entries
+        self.hash_fn: HashFunction = hash_fn if hash_fn is not None else MaskHash(n_entries)
+        self.tagged = tagged
+        self.track_writers = track_writers
+        # tagless state, keyed by entry index
+        self._version: Dict[int, int] = {}
+        self._lock: Dict[int, int] = {}  # entry -> owning thread
+        # entry -> (version, blocks stamped at that version); only the
+        # most recent version's writer blocks are kept, so false/true
+        # classification reflects the *current* generation of the entry.
+        self._last_writer_blocks: Dict[int, tuple[int, Set[int]]] = {}
+        # tagged state, keyed by (entry, tag)
+        self._t_version: Dict[tuple[int, int], int] = {}
+        self._t_lock: Dict[tuple[int, int], int] = {}
+
+    def _key(self, block: int):
+        entry = int(self.hash_fn(block))
+        if self.tagged:
+            return (entry, int(self.hash_fn.tag_of(block)))
+        return entry
+
+    # -- reads ----------------------------------------------------------
+
+    def version_of(self, block: int) -> int:
+        """Current version stamped on the block's metadata slot."""
+        key = self._key(block)
+        return (self._t_version if self.tagged else self._version).get(key, 0)
+
+    def lock_owner(self, block: int) -> Optional[int]:
+        """Thread holding the block's lock slot, or None."""
+        key = self._key(block)
+        return (self._t_lock if self.tagged else self._lock).get(key)
+
+    # -- commit-time operations ------------------------------------------
+
+    def try_lock(self, thread_id: int, block: int) -> bool:
+        """Acquire the block's lock slot; reentrant per thread."""
+        key = self._key(block)
+        locks = self._t_lock if self.tagged else self._lock
+        owner = locks.get(key)
+        if owner is None or owner == thread_id:
+            locks[key] = thread_id
+            return True
+        return False
+
+    def unlock_all(self, thread_id: int) -> int:
+        """Release every lock slot ``thread_id`` holds; returns count."""
+        locks = self._t_lock if self.tagged else self._lock
+        mine = [k for k, owner in locks.items() if owner == thread_id]
+        for k in mine:
+            del locks[k]
+        return len(mine)
+
+    def publish(self, thread_id: int, block: int, version: int) -> None:
+        """Stamp ``version`` on the block's slot (must hold its lock)."""
+        key = self._key(block)
+        locks = self._t_lock if self.tagged else self._lock
+        if locks.get(key) != thread_id:
+            raise RuntimeError(f"thread {thread_id} publishing without lock on {key}")
+        if self.tagged:
+            self._t_version[key] = version
+        else:
+            self._version[key] = version
+            if self.track_writers:
+                stored = self._last_writer_blocks.get(key)
+                if stored is not None and stored[0] == version:
+                    stored[1].add(block)
+                else:
+                    self._last_writer_blocks[key] = (version, {block})
+
+    def classify_stale_read(self, block: int) -> Optional[bool]:
+        """Was a stale read of ``block`` alias-induced?
+
+        Tagged tables always report a true conflict (False). A tagless
+        table with writer tracking reports True (false conflict) when no
+        recorded writer of the entry ever wrote this exact block.
+        Without tracking: None.
+        """
+        if self.tagged:
+            return False
+        if not self.track_writers:
+            return None
+        key = self._key(block)
+        stored = self._last_writer_blocks.get(key)
+        if stored is None:
+            return None  # no writer recorded (e.g. lock-busy abort)
+        return block not in stored[1]
+
+
+@dataclass
+class _LazyTx:
+    thread_id: int
+    rv: int
+    read_set: Dict[int, int] = field(default_factory=dict)  # block -> observed version
+    write_buffer: Dict[int, Any] = field(default_factory=dict)
+    active: bool = True
+
+
+class VersionedSTM:
+    """The TL2-style engine over a :class:`VersionTable`.
+
+    Same logical-thread interleaving model as
+    :class:`repro.stm.runtime.STM`: calls from different thread ids
+    interleave deterministically, making aborts exactly reproducible.
+    """
+
+    def __init__(self, table: VersionTable) -> None:
+        self.table = table
+        self.memory: Dict[int, Any] = {}
+        self.clock = 0
+        self._tx: Dict[int, _LazyTx] = {}
+        self.stats: Dict[int, TxStats] = {}
+
+    def _stats_for(self, thread_id: int) -> TxStats:
+        if thread_id not in self.stats:
+            self.stats[thread_id] = TxStats()
+        return self.stats[thread_id]
+
+    def _active(self, thread_id: int) -> _LazyTx:
+        tx = self._tx.get(thread_id)
+        if tx is None or not tx.active:
+            raise RuntimeError(f"thread {thread_id} has no active transaction")
+        return tx
+
+    def begin(self, thread_id: int) -> None:
+        """Start a transaction: sample the global clock."""
+        current = self._tx.get(thread_id)
+        if current is not None and current.active:
+            raise RuntimeError(f"thread {thread_id} already has an active transaction")
+        self._tx[thread_id] = _LazyTx(thread_id=thread_id, rv=self.clock)
+        self._stats_for(thread_id).started += 1
+
+    def read(self, thread_id: int, block: int) -> Any:
+        """Transactional read with immediate consistency check."""
+        tx = self._active(thread_id)
+        if block in tx.write_buffer:
+            return tx.write_buffer[block]
+        owner = self.table.lock_owner(block)
+        version = self.table.version_of(block)
+        if (owner is not None and owner != thread_id) or version > tx.rv:
+            self._abort(tx, block, "stale or locked at read")
+        tx.read_set[block] = version
+        self._stats_for(thread_id).reads += 1
+        return self.memory.get(block)
+
+    def write(self, thread_id: int, block: int, value: Any) -> None:
+        """Buffer a write; nothing global happens until commit."""
+        tx = self._active(thread_id)
+        tx.write_buffer[block] = value
+        self._stats_for(thread_id).writes += 1
+
+    def commit(self, thread_id: int) -> None:
+        """Lock, validate, publish — the TL2 commit sequence."""
+        tx = self._active(thread_id)
+        stats = self._stats_for(thread_id)
+
+        # 1. lock the write set in canonical (sorted-block) order
+        for block in sorted(tx.write_buffer):
+            if not self.table.try_lock(thread_id, block):
+                self.table.unlock_all(thread_id)
+                self._abort(tx, block, "write-lock busy at commit")
+
+        # 2. bump the clock
+        self.clock += 1
+        wv = self.clock
+
+        # 3. validate the read set: versions unchanged, no foreign locks
+        for block, _observed in tx.read_set.items():
+            owner = self.table.lock_owner(block)
+            if owner is not None and owner != thread_id:
+                self.table.unlock_all(thread_id)
+                self._abort(tx, block, "read entry locked at validation")
+            if self.table.version_of(block) > tx.rv:
+                self.table.unlock_all(thread_id)
+                self._abort(tx, block, "read invalidated")
+
+        # 4. publish and release
+        for block, value in tx.write_buffer.items():
+            self.memory[block] = value
+            self.table.publish(thread_id, block, wv)
+        self.table.unlock_all(thread_id)
+        tx.active = False
+        stats.committed += 1
+
+    def abort(self, thread_id: int) -> None:
+        """Explicitly abandon the active transaction."""
+        tx = self._active(thread_id)
+        tx.active = False
+        self.table.unlock_all(thread_id)
+        self._stats_for(thread_id).aborted += 1
+
+    def in_transaction(self, thread_id: int) -> bool:
+        """True while the thread's transaction is active."""
+        tx = self._tx.get(thread_id)
+        return tx is not None and tx.active
+
+    def _abort(self, tx: _LazyTx, block: int, reason: str) -> None:
+        tx.active = False
+        stats = self._stats_for(tx.thread_id)
+        stats.aborted += 1
+        is_false = self.table.classify_stale_read(block)
+        if is_false is True:
+            stats.false_conflicts += 1
+        elif is_false is False:
+            stats.true_conflicts += 1
+        raise ValidationAborted(tx.thread_id, block, reason, is_false)
+
+
+def run_lazy_atomically(stm: VersionedSTM, thread_id: int, body, *, max_retries: int = 64) -> Any:
+    """Execute ``body(stm, thread_id)`` lazily, retrying on abort."""
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+    last: Optional[ValidationAborted] = None
+    for _ in range(max_retries + 1):
+        stm.begin(thread_id)
+        try:
+            result = body(stm, thread_id)
+            if stm.in_transaction(thread_id):
+                stm.commit(thread_id)
+        except ValidationAborted as exc:
+            last = exc
+            continue
+        except BaseException:
+            if stm.in_transaction(thread_id):
+                stm.abort(thread_id)
+            raise
+        return result
+    assert last is not None
+    raise last

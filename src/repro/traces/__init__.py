@@ -1,0 +1,67 @@
+"""Address-trace substrate.
+
+The paper's experiments are trace-driven, using SPECJBB2005 (for the
+§2.2 aliasing study) and SPEC2000int Alpha traces (for the §2.3 overflow
+characterization). Neither trace set is distributable, so this package
+provides the documented substitution (DESIGN.md §3): synthetic trace
+generators that reproduce the structural properties the paper's analysis
+depends on — sequential runs mapping to consecutive table entries,
+working-set reuse, true sharing between threads, and realistic
+read/write mixes — parameterized per benchmark.
+
+Contents
+--------
+* :mod:`repro.traces.events` — trace containers (NumPy-backed).
+* :mod:`repro.traces.synthetic` — primitive access-pattern generators.
+* :mod:`repro.traces.workloads` — benchmark-profile compositions:
+  the 12 SPEC2000int-like profiles and the SPECJBB-like multithreaded
+  workload.
+* :mod:`repro.traces.dedup` — the §2.2 true-conflict removal filter.
+* :mod:`repro.traces.io` — save/load traces as ``.npz``.
+"""
+
+from repro.traces.dedup import remove_true_conflicts, shared_blocks
+from repro.traces.events import AccessTrace, MemoryAccess, ThreadedTrace
+from repro.traces.synthetic import (
+    interleave,
+    pointer_chase,
+    sequential_run,
+    strided_walk,
+    zipf_working_set,
+)
+from repro.traces.workloads import (
+    SPEC2000_PROFILES,
+    BenchmarkProfile,
+    specjbb_like,
+    synthesize_trace,
+)
+from repro.traces.transactions import (
+    TransactionWorkload,
+    slice_by_accesses,
+    slice_by_instructions,
+)
+from repro.traces.io import load_threaded_trace, load_trace, save_threaded_trace, save_trace
+
+__all__ = [
+    "AccessTrace",
+    "BenchmarkProfile",
+    "MemoryAccess",
+    "SPEC2000_PROFILES",
+    "ThreadedTrace",
+    "TransactionWorkload",
+    "interleave",
+    "load_threaded_trace",
+    "load_trace",
+    "pointer_chase",
+    "remove_true_conflicts",
+    "save_threaded_trace",
+    "save_trace",
+    "sequential_run",
+    "shared_blocks",
+    "slice_by_accesses",
+    "slice_by_instructions",
+    "specjbb_like",
+    "strided_walk",
+    "synthesize_trace",
+    "zipf_working_set",
+]

@@ -1,0 +1,77 @@
+"""True-conflict removal for concurrent streams (§2.2).
+
+"As we consume these traces, we remove any true conflicts so we can focus
+on the aliasing-induced conflicts found in real address streams." — a
+true conflict is two threads touching the *same block* with at least one
+write. We remove them by dropping, from every stream, accesses to blocks
+that would truly conflict across the stream set; what remains can only
+conflict through hash aliasing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.events import AccessTrace, ThreadedTrace
+
+__all__ = ["remove_true_conflicts", "shared_blocks"]
+
+
+def shared_blocks(trace: ThreadedTrace) -> np.ndarray:
+    """Blocks touched by more than one thread, regardless of mode."""
+    if trace.n_threads == 0:
+        return np.empty(0, dtype=np.int64)
+    seen_once: set[int] = set()
+    seen_multi: set[int] = set()
+    for thread in trace:
+        for block in np.unique(thread.blocks):
+            b = int(block)
+            if b in seen_once:
+                seen_multi.add(b)
+            else:
+                seen_once.add(b)
+    return np.array(sorted(seen_multi), dtype=np.int64)
+
+
+def _truly_conflicting_blocks(trace: ThreadedTrace) -> np.ndarray:
+    """Blocks where a cross-thread true conflict (≥1 write) exists."""
+    # A block truly conflicts iff it is touched by >= 2 threads and at
+    # least one of those threads writes it. Compute per-block reader and
+    # writer thread counts.
+    toucher_count: dict[int, int] = {}
+    writer_count: dict[int, int] = {}
+    for thread in trace:
+        touched = np.unique(thread.blocks)
+        written = thread.write_blocks
+        for block in touched:
+            toucher_count[int(block)] = toucher_count.get(int(block), 0) + 1
+        for block in written:
+            writer_count[int(block)] = writer_count.get(int(block), 0) + 1
+    conflicting = [
+        block
+        for block, touchers in toucher_count.items()
+        if touchers >= 2 and writer_count.get(block, 0) >= 1
+    ]
+    return np.array(sorted(conflicting), dtype=np.int64)
+
+
+def remove_true_conflicts(trace: ThreadedTrace) -> ThreadedTrace:
+    """Drop every access to a truly conflicting block from all streams.
+
+    The returned streams are guaranteed free of cross-thread same-block
+    conflicts: any conflict observed when replaying them against a
+    tagless ownership table is alias-induced (false) by construction.
+    Instruction indices of surviving accesses are preserved.
+    """
+    conflicting = _truly_conflicting_blocks(trace)
+    if len(conflicting) == 0:
+        return trace
+    conflict_set = conflicting  # sorted array for searchsorted membership
+    cleaned: list[AccessTrace] = []
+    for thread in trace:
+        pos = np.searchsorted(conflict_set, thread.blocks)
+        pos = np.clip(pos, 0, len(conflict_set) - 1)
+        is_conflicting = conflict_set[pos] == thread.blocks
+        keep = ~is_conflicting
+        cleaned.append(AccessTrace(thread.blocks[keep], thread.is_write[keep], thread.instr[keep]))
+    return ThreadedTrace(cleaned)

@@ -1,0 +1,200 @@
+"""Trace containers.
+
+A trace is a sequence of memory accesses at cache-block granularity:
+``(block address, is_write, instruction index)``. Traces are stored as
+parallel NumPy arrays (structure-of-arrays) because the simulators hash
+and filter whole traces vectorized; :class:`MemoryAccess` is the scalar
+view for protocol-level code (the STM runtime replays accesses one by
+one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["AccessTrace", "MemoryAccess", "ThreadedTrace"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory access at cache-block granularity.
+
+    Attributes
+    ----------
+    block:
+        Cache-block address (byte address / line size).
+    is_write:
+        True for stores, False for loads.
+    instr:
+        Dynamic-instruction index at which the access occurs; used by the
+        §2.3 overflow study to report "dynamic instructions at overflow".
+    """
+
+    block: int
+    is_write: bool
+    instr: int = 0
+
+
+class AccessTrace:
+    """An ordered sequence of accesses from one thread.
+
+    Backed by three aligned arrays (``blocks``: int64, ``is_write``:
+    bool, ``instr``: int64). Instances are immutable views; slicing
+    returns new traces sharing the underlying arrays.
+    """
+
+    __slots__ = ("blocks", "is_write", "instr")
+
+    def __init__(
+        self,
+        blocks: np.ndarray | Sequence[int],
+        is_write: np.ndarray | Sequence[bool],
+        instr: np.ndarray | Sequence[int] | None = None,
+    ) -> None:
+        self.blocks = np.ascontiguousarray(blocks, dtype=np.int64)
+        self.is_write = np.ascontiguousarray(is_write, dtype=bool)
+        if self.blocks.ndim != 1:
+            raise ValueError("blocks must be one-dimensional")
+        if self.blocks.shape != self.is_write.shape:
+            raise ValueError(
+                f"blocks and is_write lengths differ: {self.blocks.shape} vs {self.is_write.shape}"
+            )
+        if instr is None:
+            # Default: one instruction per access (a pure memory trace).
+            self.instr = np.arange(len(self.blocks), dtype=np.int64)
+        else:
+            self.instr = np.ascontiguousarray(instr, dtype=np.int64)
+            if self.instr.shape != self.blocks.shape:
+                raise ValueError("instr must align with blocks")
+        if np.any(self.blocks < 0):
+            raise ValueError("block addresses must be non-negative")
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for block, write, instr in zip(self.blocks, self.is_write, self.instr):
+            yield MemoryAccess(int(block), bool(write), int(instr))
+
+    def __getitem__(self, index: int | slice) -> "MemoryAccess | AccessTrace":
+        if isinstance(index, slice):
+            return AccessTrace(self.blocks[index], self.is_write[index], self.instr[index])
+        return MemoryAccess(int(self.blocks[index]), bool(self.is_write[index]), int(self.instr[index]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessTrace):
+            return NotImplemented
+        return (
+            np.array_equal(self.blocks, other.blocks)
+            and np.array_equal(self.is_write, other.is_write)
+            and np.array_equal(self.instr, other.instr)
+        )
+
+    # -- summary properties --------------------------------------------------
+
+    @property
+    def n_writes(self) -> int:
+        """Number of store accesses."""
+        return int(np.count_nonzero(self.is_write))
+
+    @property
+    def n_reads(self) -> int:
+        """Number of load accesses."""
+        return len(self) - self.n_writes
+
+    @property
+    def write_blocks(self) -> np.ndarray:
+        """Unique blocks that are written at least once."""
+        return np.unique(self.blocks[self.is_write])
+
+    @property
+    def read_blocks(self) -> np.ndarray:
+        """Unique blocks that are read at least once."""
+        return np.unique(self.blocks[~self.is_write])
+
+    @property
+    def unique_blocks(self) -> np.ndarray:
+        """Unique blocks touched (the data footprint)."""
+        return np.unique(self.blocks)
+
+    @property
+    def footprint(self) -> int:
+        """Number of distinct blocks touched."""
+        return len(self.unique_blocks)
+
+    def prefix_until_writes(self, w: int) -> "AccessTrace":
+        """Shortest prefix containing ``w`` writes to *distinct* blocks.
+
+        This is the §2.2 stopping rule: each stream is consumed "until
+        each stream has written to W cache blocks".
+
+        Raises
+        ------
+        ValueError
+            If the trace never reaches ``w`` distinct written blocks.
+        """
+        if w <= 0:
+            return AccessTrace(self.blocks[:0], self.is_write[:0], self.instr[:0])
+        write_positions = np.flatnonzero(self.is_write)
+        if len(write_positions) == 0:
+            raise ValueError(f"trace has no writes; cannot reach W={w}")
+        written = self.blocks[write_positions]
+        # index of first occurrence of each distinct written block
+        _, first_idx = np.unique(written, return_index=True)
+        if len(first_idx) < w:
+            raise ValueError(
+                f"trace only writes {len(first_idx)} distinct blocks; cannot reach W={w}"
+            )
+        # position (within write_positions) of the w-th distinct write
+        cutoff_write = np.sort(first_idx)[w - 1]
+        end = write_positions[cutoff_write] + 1
+        return AccessTrace(self.blocks[:end], self.is_write[:end], self.instr[:end])
+
+    def concat(self, other: "AccessTrace") -> "AccessTrace":
+        """Concatenate two traces, offsetting the second's instr indices."""
+        offset = int(self.instr[-1]) + 1 if len(self) else 0
+        return AccessTrace(
+            np.concatenate([self.blocks, other.blocks]),
+            np.concatenate([self.is_write, other.is_write]),
+            np.concatenate([self.instr, other.instr + offset]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AccessTrace(len={len(self)}, footprint={self.footprint}, "
+            f"writes={self.n_writes})"
+        )
+
+
+@dataclass
+class ThreadedTrace:
+    """Per-thread traces of one multithreaded execution (§2.2 input)."""
+
+    threads: list[AccessTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(t, AccessTrace) for t in self.threads):
+            raise TypeError("threads must be AccessTrace instances")
+
+    @property
+    def n_threads(self) -> int:
+        """Number of per-thread streams."""
+        return len(self.threads)
+
+    def __getitem__(self, thread_id: int) -> AccessTrace:
+        return self.threads[thread_id]
+
+    def __iter__(self) -> Iterator[AccessTrace]:
+        return iter(self.threads)
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+    def total_accesses(self) -> int:
+        """Accesses across all threads."""
+        return sum(len(t) for t in self.threads)

@@ -1,0 +1,61 @@
+"""Trace persistence as ``.npz`` archives.
+
+Trace synthesis is cheap but the Figure 2 sweep consumes the same
+SPECJBB-like trace thousands of times; persisting generated traces lets
+benchmark runs (and users with their own traces) share inputs. The format
+is plain NumPy arrays: portable, mmap-able, dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.traces.events import AccessTrace, ThreadedTrace
+
+__all__ = ["load_threaded_trace", "load_trace", "save_threaded_trace", "save_trace"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_trace(path: PathLike, trace: AccessTrace) -> None:
+    """Write one trace to ``path`` (``.npz`` appended if missing)."""
+    np.savez_compressed(path, blocks=trace.blocks, is_write=trace.is_write, instr=trace.instr)
+
+
+def load_trace(path: PathLike) -> AccessTrace:
+    """Load a trace written by :func:`save_trace`."""
+    with np.load(path) as data:
+        missing = {"blocks", "is_write", "instr"} - set(data.files)
+        if missing:
+            raise ValueError(f"{path!s} is not a trace archive; missing arrays: {sorted(missing)}")
+        return AccessTrace(data["blocks"], data["is_write"], data["instr"])
+
+
+def save_threaded_trace(path: PathLike, trace: ThreadedTrace) -> None:
+    """Write a multithreaded trace: per-thread arrays with indexed keys."""
+    arrays: dict[str, np.ndarray] = {"n_threads": np.array([trace.n_threads], dtype=np.int64)}
+    for tid, thread in enumerate(trace):
+        arrays[f"blocks_{tid}"] = thread.blocks
+        arrays[f"is_write_{tid}"] = thread.is_write
+        arrays[f"instr_{tid}"] = thread.instr
+    np.savez_compressed(path, **arrays)
+
+
+def load_threaded_trace(path: PathLike) -> ThreadedTrace:
+    """Load a multithreaded trace written by :func:`save_threaded_trace`."""
+    with np.load(path) as data:
+        if "n_threads" not in data.files:
+            raise ValueError(f"{path!s} is not a threaded-trace archive (no n_threads)")
+        n_threads = int(data["n_threads"][0])
+        threads = []
+        for tid in range(n_threads):
+            try:
+                threads.append(
+                    AccessTrace(data[f"blocks_{tid}"], data[f"is_write_{tid}"], data[f"instr_{tid}"])
+                )
+            except KeyError as exc:
+                raise ValueError(f"{path!s} is missing arrays for thread {tid}") from exc
+        return ThreadedTrace(threads)

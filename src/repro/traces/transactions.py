@@ -1,0 +1,122 @@
+"""Transaction workloads: slicing traces into atomic regions.
+
+The paper treats a transaction as a contiguous region of a program's
+access stream (§2.3 extracts "traces synthetically representing
+transactions from sequential applications"). This module makes that a
+first-class object: a :class:`TransactionWorkload` slices an
+:class:`~repro.traces.events.AccessTrace` into back-to-back transactions
+by dynamic-instruction length or access count, optionally with a
+size distribution — so the hybrid-TM pipeline
+(:mod:`repro.sim.hybrid_pipeline`) can run *applications*, not just
+footprint parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.traces.events import AccessTrace
+
+__all__ = ["TransactionWorkload", "slice_by_accesses", "slice_by_instructions"]
+
+
+@dataclass(frozen=True)
+class TransactionWorkload:
+    """An ordered sequence of transactions (each an AccessTrace slice)."""
+
+    transactions: tuple[AccessTrace, ...]
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(t, AccessTrace) for t in self.transactions):
+            raise TypeError("transactions must be AccessTrace instances")
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[AccessTrace]:
+        return iter(self.transactions)
+
+    def __getitem__(self, index: int) -> AccessTrace:
+        return self.transactions[index]
+
+    @property
+    def footprints(self) -> np.ndarray:
+        """Distinct-block footprint of every transaction."""
+        return np.array([t.footprint for t in self.transactions], dtype=np.int64)
+
+    @property
+    def mean_footprint(self) -> float:
+        """Average footprint across transactions."""
+        if not self.transactions:
+            return 0.0
+        return float(self.footprints.mean())
+
+    def filter_min_accesses(self, minimum: int) -> "TransactionWorkload":
+        """Drop trailing/fragmentary transactions below ``minimum`` accesses."""
+        return TransactionWorkload(
+            tuple(t for t in self.transactions if len(t) >= minimum)
+        )
+
+
+def slice_by_accesses(
+    trace: AccessTrace,
+    accesses_per_tx: int | Sequence[int],
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> TransactionWorkload:
+    """Slice a trace into transactions of ``accesses_per_tx`` accesses.
+
+    ``accesses_per_tx`` may be a constant or a sequence of candidate
+    sizes sampled per transaction (requires ``rng``) — real workloads mix
+    small and large atomic regions, which is exactly what stresses a
+    hybrid TM's HTM/STM split.
+    """
+    if isinstance(accesses_per_tx, int):
+        if accesses_per_tx <= 0:
+            raise ValueError(f"accesses_per_tx must be positive, got {accesses_per_tx}")
+        sizes_iter: Optional[Sequence[int]] = None
+        constant = accesses_per_tx
+    else:
+        sizes = [int(s) for s in accesses_per_tx]
+        if not sizes or any(s <= 0 for s in sizes):
+            raise ValueError(f"sizes must be positive and non-empty, got {sizes}")
+        if rng is None:
+            raise ValueError("sampling from a size list requires an rng")
+        sizes_iter = sizes
+        constant = 0
+
+    out: list[AccessTrace] = []
+    pos = 0
+    n = len(trace)
+    while pos < n:
+        size = constant if sizes_iter is None else int(rng.choice(sizes_iter))
+        out.append(trace[pos : pos + size])
+        pos += size
+    return TransactionWorkload(tuple(t for t in out if len(t) > 0))
+
+
+def slice_by_instructions(trace: AccessTrace, instructions_per_tx: int) -> TransactionWorkload:
+    """Slice by dynamic-instruction budget (the §2.3 notion of size).
+
+    Each transaction spans approximately ``instructions_per_tx`` dynamic
+    instructions of the underlying program.
+    """
+    if instructions_per_tx <= 0:
+        raise ValueError(f"instructions_per_tx must be positive, got {instructions_per_tx}")
+    if len(trace) == 0:
+        return TransactionWorkload(())
+    out: list[AccessTrace] = []
+    start = 0
+    budget = int(trace.instr[0]) + instructions_per_tx
+    for i in range(len(trace)):
+        if trace.instr[i] >= budget:
+            if i > start:
+                out.append(trace[start:i])
+            start = i
+            budget = int(trace.instr[i]) + instructions_per_tx
+    if start < len(trace):
+        out.append(trace[start:])
+    return TransactionWorkload(tuple(out))

@@ -1,0 +1,36 @@
+"""Shared utilities: seeded RNG streams, size/unit helpers, and logging.
+
+These are deliberately small and dependency-light; every stochastic
+component in :mod:`repro` builds its randomness on :mod:`repro.util.rng`
+so that experiments are reproducible and sweep-order independent.
+"""
+
+from repro.util.log import get_logger
+from repro.util.rng import RngStream, spawn_rngs, stream_rng
+from repro.util.units import (
+    CACHE_LINE_BYTES,
+    KiB,
+    MiB,
+    block_address,
+    block_index,
+    format_count,
+    format_size,
+    is_power_of_two,
+    log2_int,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "KiB",
+    "MiB",
+    "RngStream",
+    "block_address",
+    "block_index",
+    "format_count",
+    "format_size",
+    "get_logger",
+    "is_power_of_two",
+    "log2_int",
+    "spawn_rngs",
+    "stream_rng",
+]

@@ -1,0 +1,39 @@
+"""Lightweight logging setup shared by all repro modules.
+
+We use the stdlib :mod:`logging` with a single namespaced hierarchy
+(``repro.*``) and a null handler by default so that importing the library
+never configures global logging. Benchmarks and examples may call
+:func:`enable_console_logging` to see progress lines.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy.
+
+    ``name`` may be a bare suffix (``"sim.open"``) or a fully qualified
+    module name (``"repro.sim.open_system"``); both land under ``repro.``.
+    """
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` hierarchy (idempotent)."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in root.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s"))
+        root.addHandler(handler)

@@ -1,0 +1,80 @@
+"""Size and address arithmetic helpers.
+
+The paper works in units of 64-byte cache blocks throughout (§2.1 shows a
+32-byte-granularity example figure, but all experiments use 64-byte
+blocks). These helpers centralize the block/byte conversions and the
+power-of-two checks that cache and table geometry rely on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "KiB",
+    "MiB",
+    "block_address",
+    "block_index",
+    "format_count",
+    "format_size",
+    "is_power_of_two",
+    "log2_int",
+]
+
+#: Bytes per cache block in every experiment of the paper (§2.2, §2.3).
+CACHE_LINE_BYTES: int = 64
+
+#: One kibibyte.
+KiB: int = 1024
+
+#: One mebibyte.
+MiB: int = 1024 * 1024
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+def block_index(address: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Map a byte address to its cache-block index (address // line size)."""
+    if line_bytes <= 0:
+        raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+    return address // line_bytes
+
+
+def block_address(index: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Map a cache-block index back to the block's base byte address."""
+    if line_bytes <= 0:
+        raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+    return index * line_bytes
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count as a human-friendly string (``32.0 KiB``)."""
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(size) < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(count: int) -> str:
+    """Render an entry count the way the paper labels table sizes (``64k``)."""
+    if count >= 1_000_000 and count % 1_000_000 == 0:
+        return f"{count // 1_000_000}M"
+    if count >= 1024 and count % 1024 == 0:
+        return f"{count // 1024}k"
+    return str(count)

@@ -1,0 +1,84 @@
+"""Tests for power-law fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import fit_power_law, pairwise_ratios
+
+
+class TestFitPowerLaw:
+    def test_exact_square_law(self):
+        x = [1, 2, 4, 8, 16]
+        y = [3 * v**2 for v in x]
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_inverse_law(self):
+        x = [1, 2, 4, 8]
+        y = [10 / v for v in x]
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(-1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 8, 32])
+        assert fit.predict(8) == pytest.approx(128.0)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(1)
+        x = np.array([2.0, 4, 8, 16, 32, 64])
+        y = 5 * x**2 * np.exp(rng.normal(0, 0.05, len(x)))
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(2.0, abs=0.15)
+        assert fit.r_squared > 0.98
+
+    def test_zero_y_points_excluded(self):
+        fit = fit_power_law([1, 2, 4, 8], [0, 4, 16, 64])
+        assert fit.exponent == pytest.approx(2.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match=">= 2 positive"):
+            fit_power_law([1, 2], [0, 5])
+
+    def test_nonpositive_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, 2])
+
+    @given(
+        exponent=st.floats(min_value=-3, max_value=3),
+        prefactor=st.floats(min_value=0.01, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_recovers_arbitrary_law(self, exponent, prefactor):
+        x = np.array([1.0, 2, 4, 8, 16])
+        y = prefactor * x**exponent
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+        assert fit.prefactor == pytest.approx(prefactor, rel=1e-6)
+
+
+class TestPairwiseRatios:
+    def test_basic(self):
+        ratios = pairwise_ratios([1, 4, 16], [30, 10, 3.3])
+        assert ratios[0] == (4.0, pytest.approx(1 / 3))
+        assert ratios[1][0] == 4.0
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            pairwise_ratios([0, 1], [1, 2])
+
+    def test_single_point_no_ratios(self):
+        assert pairwise_ratios([1], [1]) == []
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_ratios([1, 2], [1])

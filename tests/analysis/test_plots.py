@@ -1,0 +1,95 @@
+"""Tests for ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import ascii_bars, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot({"sq": ([1, 2, 3], [1, 4, 9])}, width=20, height=8)
+        assert "o = sq" in out
+        assert out.count("\n") >= 8
+        assert "o" in out
+
+    def test_title(self):
+        out = ascii_plot({"a": ([1], [1])}, title="My Plot")
+        assert out.splitlines()[0] == "My Plot"
+
+    def test_log_axes_straight_line(self):
+        """A power law on log-log axes occupies the diagonal: the marker
+        column should increase with the row."""
+        xs = [1, 10, 100, 1000]
+        ys = [2, 20, 200, 2000]
+        out = ascii_plot({"lin": (xs, ys)}, width=30, height=10, logx=True, logy=True)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        cols = []
+        for i, row in enumerate(rows):
+            if "o" in row:
+                cols.append((i, row.index("o")))
+        # top row (small i) has the largest x
+        assert all(c1[1] > c2[1] for c1, c2 in zip(cols, cols[1:]))
+
+    def test_multiple_series_markers(self):
+        out = ascii_plot(
+            {"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])}, width=12, height=6
+        )
+        assert "o = a" in out and "x = b" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot({"a": ([0, 1], [1, 2])}, logx=True)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="x values"):
+            ascii_plot({"a": ([1, 2], [1])})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ascii_plot({"a": ([], [])})
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_plot({})
+
+    def test_too_small_area(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_plot({"a": ([1], [1])}, width=2, height=2)
+
+    def test_too_many_series(self):
+        series = {f"s{i}": ([1], [i + 1]) for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            ascii_plot(series)
+
+    def test_constant_series_no_crash(self):
+        out = ascii_plot({"flat": ([1, 2, 3], [5, 5, 5])})
+        assert "flat" in out
+
+
+class TestAsciiBars:
+    def test_peak_spans_width(self):
+        out = ascii_bars({"a": 10.0, "b": 5.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        out = ascii_bars({"short": 1.0, "longer-label": 2.0})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_value_formatting(self):
+        out = ascii_bars({"a": 0.123456}, fmt="{:.1%}")
+        assert "12.3%" in out
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ascii_bars({"a": -1.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+
+    def test_all_zero_no_crash(self):
+        out = ascii_bars({"a": 0.0})
+        assert "a |" in out

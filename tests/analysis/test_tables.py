@@ -1,0 +1,50 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[2].split() == ["1", "2"]
+        assert lines[3].split() == ["333", "4"]
+        # all lines equal width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_columns_per_line(self):
+        out = format_series("W", [5, 10], {"N=1k": [0.1, 0.4], "N=4k": [0.02, 0.1]})
+        lines = out.splitlines()
+        assert lines[0].split() == ["W", "N=1k", "N=4k"]
+        assert lines[2].split() == ["5", "0.1", "0.02"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values for"):
+            format_series("W", [5, 10], {"bad": [0.1]})
+
+    def test_custom_y_format(self):
+        out = format_series("x", [1], {"y": [0.5]}, y_format=lambda v: f"{v:.0%}")
+        assert "50%" in out

@@ -1,0 +1,65 @@
+"""Tests for scaling-law validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validate import (
+    compare_exponent,
+    validate_concurrency_scaling,
+    validate_footprint_scaling,
+    validate_table_size_scaling,
+)
+from repro.core.model import ModelParams, conflict_likelihood
+
+
+class TestValidators:
+    def test_footprint_on_model_data(self):
+        """The validators must certify the model's own output."""
+        ws = [5, 10, 20, 40]
+        params = ModelParams(1 << 16)
+        conflicts = [conflict_likelihood(float(w), params) for w in ws]
+        report = validate_footprint_scaling(ws, conflicts)
+        assert report.passed
+        assert report.fitted.exponent == pytest.approx(2.0, abs=1e-9)
+
+    def test_table_size_on_model_data(self):
+        ns = [1024, 4096, 16384]
+        conflicts = [conflict_likelihood(10.0, ModelParams(n)) for n in ns]
+        report = validate_table_size_scaling(ns, conflicts)
+        assert report.passed
+        assert report.fitted.exponent == pytest.approx(-1.0, abs=1e-9)
+
+    def test_concurrency_exact_law(self):
+        cs = [2, 4, 8]
+        conflicts = [conflict_likelihood(10.0, ModelParams(1 << 18, concurrency=c)) for c in cs]
+        report = validate_concurrency_scaling(cs, conflicts)
+        assert report.passed
+        assert report.law == "C(C-1)"
+        assert report.fitted.exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_concurrency_raw_axis(self):
+        cs = [2, 4, 8]
+        conflicts = [conflict_likelihood(10.0, ModelParams(1 << 18, concurrency=c)) for c in cs]
+        report = validate_concurrency_scaling(cs, conflicts, use_c_c_minus_1=False)
+        # raw C fit over-shoots 2 at small C (the §4 observation)
+        assert report.fitted.exponent > 2.0
+
+    def test_failure_detected(self):
+        """A linear series must fail the quadratic check."""
+        ws = [5, 10, 20, 40]
+        conflicts = [0.01 * w for w in ws]
+        report = validate_footprint_scaling(ws, conflicts)
+        assert not report.passed
+        assert report.deviation == pytest.approx(-1.0, abs=1e-9)
+
+    def test_report_str(self):
+        report = compare_exponent([1, 2, 4], [1, 4, 16], 2.0, law="W")
+        text = str(report)
+        assert "PASS" in text and "W-scaling" in text
+
+    def test_tolerance_respected(self):
+        report = compare_exponent([1, 2, 4], [1, 2.1, 4.4], 1.0, law="lin", tolerance=0.2)
+        assert report.passed
+        tight = compare_exponent([1, 2, 4], [1, 3, 9], 1.0, law="lin", tolerance=0.2)
+        assert not tight.passed

@@ -1,0 +1,37 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ownership import TaggedOwnershipTable, TaglessOwnershipTable
+from repro.traces import remove_true_conflicts, specjbb_like
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_tagless() -> TaglessOwnershipTable:
+    """A tiny tagless table with address tracking, for conflict tests."""
+    return TaglessOwnershipTable(8, track_addresses=True)
+
+
+@pytest.fixture
+def small_tagged() -> TaggedOwnershipTable:
+    """A tiny tagged table, for alias-freedom tests."""
+    return TaggedOwnershipTable(8)
+
+
+@pytest.fixture(scope="session")
+def cleaned_jbb_trace():
+    """A small SPECJBB-like 4-thread trace with true conflicts removed.
+
+    Session-scoped: generation is the expensive part and the trace is
+    read-only for every consumer.
+    """
+    return remove_true_conflicts(specjbb_like(4, 30_000, seed=1234))

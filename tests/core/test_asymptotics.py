@@ -1,0 +1,62 @@
+"""Tests for repro.core.asymptotics: scaling-law objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asymptotics import (
+    concurrency_law,
+    footprint_law,
+    predicted_ratio,
+    table_size_law,
+)
+
+
+class TestFootprintLaw:
+    def test_exponent(self):
+        assert footprint_law().exponent == 2.0
+
+    def test_ratio_quadratic(self):
+        assert footprint_law().ratio(5, 10) == pytest.approx(4.0)
+
+    def test_variable_name(self):
+        assert footprint_law().variable == "W"
+
+
+class TestConcurrencyLaw:
+    def test_exact_beats_asymptote_at_small_c(self):
+        """C=2→4 is 6×, not the asymptotic 4× — the §4 separation."""
+        assert concurrency_law().ratio(2, 4) == pytest.approx(6.0)
+
+    def test_large_c_approaches_quadratic(self):
+        ratio = concurrency_law().ratio(16, 32)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_exponent(self):
+        assert concurrency_law().exponent == 2.0
+
+
+class TestTableSizeLaw:
+    def test_inverse(self):
+        assert table_size_law().ratio(1024, 4096) == pytest.approx(0.25)
+
+    def test_exponent(self):
+        assert table_size_law().exponent == -1.0
+
+
+class TestPredictedRatio:
+    def test_wrapper_matches_method(self):
+        law = concurrency_law()
+        assert predicted_ratio(law, 2, 8) == law.ratio(2, 8)
+
+    def test_zero_base_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            footprint_law().ratio(0, 10)
+
+    def test_figure4b_clusters(self):
+        """⟨C, N⟩ = ⟨2, N⟩ vs ⟨4, 4N⟩: C(C−1) grows 6× but N only 4×,
+        so the C=2 line sits *below* its cluster — the paper's observed
+        separation within clusters."""
+        c_factor = concurrency_law().ratio(2, 4)
+        n_factor = 1 / table_size_law().ratio(1024, 4096)
+        assert c_factor > n_factor  # 6 > 4: residual separation remains

@@ -1,0 +1,128 @@
+"""Tests for repro.core.birthday: the classical paradox numbers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.birthday import (
+    birthday_collision_probability,
+    birthday_collision_probability_approx,
+    expected_collisions,
+    people_for_collision_probability,
+)
+
+
+class TestExactProbability:
+    def test_famous_23(self):
+        assert birthday_collision_probability(23) > 0.5
+        assert birthday_collision_probability(22) < 0.5
+
+    def test_exact_value_for_23(self):
+        # Known closed-form value 0.5072972...
+        assert birthday_collision_probability(23) == pytest.approx(0.507297, abs=1e-6)
+
+    def test_zero_and_one_person(self):
+        assert birthday_collision_probability(0) == 0.0
+        assert birthday_collision_probability(1) == 0.0
+
+    def test_two_people(self):
+        assert birthday_collision_probability(2) == pytest.approx(1 / 365)
+
+    def test_pigeonhole(self):
+        assert birthday_collision_probability(366) == 1.0
+        assert birthday_collision_probability(1000) == 1.0
+
+    def test_custom_days(self):
+        assert birthday_collision_probability(2, days=10) == pytest.approx(0.1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            birthday_collision_probability(-1)
+        with pytest.raises(ValueError):
+            birthday_collision_probability(5, days=0)
+
+    @given(people=st.integers(min_value=0, max_value=365))
+    def test_monotone_in_people(self, people: int):
+        assert birthday_collision_probability(people + 1) >= birthday_collision_probability(people)
+
+    @given(people=st.integers(min_value=2, max_value=200), days=st.integers(min_value=50, max_value=5000))
+    def test_probability_bounds(self, people: int, days: int):
+        p = birthday_collision_probability(people, days)
+        assert 0.0 <= p <= 1.0
+
+
+class TestApproximation:
+    @given(people=st.integers(min_value=2, max_value=60))
+    def test_close_to_exact_in_small_regime(self, people: int):
+        exact = birthday_collision_probability(people)
+        approx = birthday_collision_probability_approx(people)
+        assert approx == pytest.approx(exact, abs=0.02)
+
+    def test_trivial_cases(self):
+        assert birthday_collision_probability_approx(0) == 0.0
+        assert birthday_collision_probability_approx(1) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            birthday_collision_probability_approx(-2)
+        with pytest.raises(ValueError):
+            birthday_collision_probability_approx(5, days=-1)
+
+
+class TestExpectedCollisions:
+    def test_pair_count_formula(self):
+        assert expected_collisions(23) == pytest.approx(23 * 22 / (2 * 365))
+
+    def test_zero_people(self):
+        assert expected_collisions(0) == 0.0
+
+    def test_rejects_bad_days(self):
+        with pytest.raises(ValueError):
+            expected_collisions(10, days=0)
+
+
+class TestInverse:
+    def test_fifty_percent_is_23(self):
+        assert people_for_collision_probability(0.5) == 23
+
+    def test_ninety_nine_percent(self):
+        # Known result: 57 people give > 99 %.
+        assert people_for_collision_probability(0.99) == 57
+
+    def test_returns_threshold_exactly(self):
+        k = people_for_collision_probability(0.7, days=1000)
+        assert birthday_collision_probability(k, 1000) >= 0.7
+        assert birthday_collision_probability(k - 1, 1000) < 0.7
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_targets(self, bad):
+        with pytest.raises(ValueError):
+            people_for_collision_probability(bad)
+
+    @given(
+        target=st.floats(min_value=0.01, max_value=0.99),
+        days=st.integers(min_value=10, max_value=100_000),
+    )
+    def test_inverse_property(self, target: float, days: int):
+        k = people_for_collision_probability(target, days)
+        assert birthday_collision_probability(k, days) >= target
+        if k > 2:
+            assert birthday_collision_probability(k - 1, days) < target
+
+
+class TestScalingInsight:
+    def test_sqrt_scaling(self):
+        """Collision threshold grows ~ sqrt(days) — the paper's framing."""
+        k1 = people_for_collision_probability(0.5, days=1000)
+        k2 = people_for_collision_probability(0.5, days=4000)
+        assert k2 / k1 == pytest.approx(2.0, rel=0.1)
+
+    def test_collision_long_before_full(self):
+        """The table is far from full when collision becomes likely."""
+        days = 1 << 16
+        k = people_for_collision_probability(0.5, days=days)
+        assert k / days < 0.01  # occupancy under 1 % at 50 % collision

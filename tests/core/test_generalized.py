@@ -1,0 +1,121 @@
+"""Tests for the generalized birthday problem (and its cache reading)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.birthday import birthday_collision_probability
+from repro.core.generalized import (
+    blocks_until_set_overflow,
+    generalized_birthday_probability,
+    generalized_birthday_threshold,
+)
+
+
+class TestReducesToClassical:
+    @given(people=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_k2_equals_classical(self, people):
+        exact = birthday_collision_probability(people, days=365)
+        general = generalized_birthday_probability(people, 365, 2)
+        assert general == pytest.approx(exact, abs=1e-9)
+
+    def test_threshold_k2_is_23(self):
+        assert generalized_birthday_threshold(365, 2) == 23
+
+
+class TestExactness:
+    def test_matches_monte_carlo(self, rng):
+        days, k = 32, 3
+        for people in (10, 20, 30):
+            hits = 0
+            trials = 4000
+            for _ in range(trials):
+                counts = np.bincount(rng.integers(0, days, people), minlength=days)
+                if counts.max() >= k:
+                    hits += 1
+            mc = hits / trials
+            exact = generalized_birthday_probability(people, days, k)
+            assert exact == pytest.approx(mc, abs=0.03), (people, exact, mc)
+
+    def test_pigeonhole(self):
+        # 5 bins, k=3: 11 balls force some bin to 3
+        assert generalized_birthday_probability(11, 5, 3) == 1.0
+
+    def test_below_k_impossible(self):
+        assert generalized_birthday_probability(4, 100, 5) == 0.0
+
+    @given(
+        days=st.integers(min_value=2, max_value=64),
+        k=st.integers(min_value=2, max_value=5),
+        people=st.integers(min_value=0, max_value=80),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_probability_bounds_and_monotonicity(self, days, k, people):
+        p = generalized_birthday_probability(people, days, k)
+        p_next = generalized_birthday_probability(people + 1, days, k)
+        assert 0.0 <= p <= 1.0
+        assert p_next >= p - 1e-12
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"people": -1, "days": 10, "k": 2},
+            {"people": 5, "days": 0, "k": 2},
+            {"people": 5, "days": 10, "k": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            generalized_birthday_probability(**kwargs)
+
+
+class TestThreshold:
+    def test_inverse_property(self):
+        t = generalized_birthday_threshold(128, 5, 0.5)
+        assert generalized_birthday_probability(t, 128, 5) >= 0.5
+        assert generalized_birthday_probability(t - 1, 128, 5) < 0.5
+
+    def test_higher_k_needs_more_people(self):
+        t2 = generalized_birthday_threshold(128, 2)
+        t3 = generalized_birthday_threshold(128, 3)
+        t5 = generalized_birthday_threshold(128, 5)
+        assert t2 < t3 < t5
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            generalized_birthday_threshold(128, 5, 1.0)
+
+
+class TestCacheReading:
+    def test_paper_geometry_median(self):
+        """128 sets, 4-way: uniform overflow at 141 blocks (≈28 %)."""
+        assert blocks_until_set_overflow(128, 4) == 141
+
+    def test_matches_cache_simulator(self, rng):
+        """The DP predicts the actual cache model's overflow point for
+        uniformly random distinct blocks."""
+        from repro.htm.cache import CacheGeometry
+        from repro.htm.htm import HTMContext
+        from repro.traces.events import AccessTrace
+
+        geometry = CacheGeometry(size_bytes=32 * 1024, ways=4)
+        overflow_points = []
+        for _ in range(120):
+            blocks = rng.choice(1_000_000, size=400, replace=False).astype(np.int64)
+            trace = AccessTrace(blocks, np.zeros(400, dtype=bool))
+            ov = HTMContext(geometry).run(trace)
+            assert ov is not None
+            overflow_points.append(ov.footprint.total)
+        median = float(np.median(overflow_points))
+        assert median == pytest.approx(141, abs=12)
+
+    def test_more_ways_more_capacity(self):
+        assert blocks_until_set_overflow(128, 8) > blocks_until_set_overflow(128, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocks_until_set_overflow(0, 4)

@@ -1,0 +1,126 @@
+"""Tests for the heterogeneous-footprint model extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heterogeneous import (
+    conflict_likelihood_heterogeneous,
+    conflict_likelihood_heterogeneous_product_form,
+    pairwise_rate_matrix,
+)
+from repro.core.model import ModelParams, conflict_likelihood
+from repro.sim.open_system import simulate_open_system_heterogeneous
+
+
+class TestReducesToEq8:
+    @given(
+        w=st.integers(min_value=1, max_value=60),
+        c=st.integers(min_value=2, max_value=10),
+        alpha=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equal_footprints_match(self, w, c, alpha):
+        n = 1 << 16
+        hetero = conflict_likelihood_heterogeneous([w] * c, n, alpha)
+        eq8 = conflict_likelihood(float(w), ModelParams(n, c, alpha))
+        assert hetero == pytest.approx(eq8, rel=1e-9)
+
+
+class TestVarianceCorollary:
+    def test_spread_reduces_conflicts_at_fixed_total(self):
+        """Σ_{i<j} W_i W_j is maximized by equal parts: skewed splits of
+        the same write volume conflict LESS."""
+        n = 4096
+        uniform = conflict_likelihood_heterogeneous([20, 20, 20], n)
+        skewed = conflict_likelihood_heterogeneous([50, 5, 5], n)
+        extreme = conflict_likelihood_heterogeneous([58, 1, 1], n)
+        assert uniform > skewed > extreme
+
+    @given(
+        ws=st.lists(st.integers(min_value=0, max_value=40), min_size=2, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_is_worst_case(self, ws):
+        n = 1 << 14
+        total = sum(ws)
+        c = len(ws)
+        uniform_equivalent = conflict_likelihood_heterogeneous([total / c] * c, n)
+        actual = conflict_likelihood_heterogeneous(ws, n)
+        assert actual <= uniform_equivalent + 1e-9
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"footprints": [], "n_entries": 64},
+            {"footprints": [-1, 2], "n_entries": 64},
+            {"footprints": [1, 2], "n_entries": 0},
+            {"footprints": [1, 2], "n_entries": 64, "alpha": -1},
+        ],
+    )
+    def test_rejects_bad_inputs(self, kwargs):
+        with pytest.raises(ValueError):
+            conflict_likelihood_heterogeneous(**kwargs)
+
+    def test_single_transaction_zero(self):
+        assert conflict_likelihood_heterogeneous([10], 64) == 0.0
+
+    def test_product_form_bounded(self):
+        p = conflict_likelihood_heterogeneous_product_form([100, 100], 64)
+        assert 0.0 <= p <= 1.0
+
+
+class TestRateMatrix:
+    def test_symmetry_and_diagonal(self):
+        m = pairwise_rate_matrix([5, 10, 20], 1024)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diag(m) == 0.0)
+
+    def test_sums_to_total_rate(self):
+        ws = [5, 10, 20]
+        m = pairwise_rate_matrix(ws, 1024)
+        total = conflict_likelihood_heterogeneous(ws, 1024)
+        assert m.sum() / 2 == pytest.approx(total)
+
+    def test_biggest_pair_dominates(self):
+        m = pairwise_rate_matrix([2, 30, 40], 1024)
+        assert m[1, 2] == m.max()
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize(
+        "footprints,n",
+        [([5, 10, 20], 4096), ([40, 2], 2048), ([8, 8, 8, 8], 8192)],
+    )
+    def test_model_matches_simulation(self, footprints, n):
+        sim = simulate_open_system_heterogeneous(
+            footprints, n, samples=6000, seed=3
+        )
+        model = conflict_likelihood_heterogeneous_product_form(footprints, n)
+        assert sim.conflict_probability == pytest.approx(
+            model, abs=max(5 * sim.stderr, 0.02)
+        )
+
+    def test_simulation_validation(self):
+        with pytest.raises(ValueError):
+            simulate_open_system_heterogeneous([], 64)
+        with pytest.raises(ValueError):
+            simulate_open_system_heterogeneous([5], 0)
+
+    def test_single_transaction_no_conflicts(self):
+        r = simulate_open_system_heterogeneous([10], 64, samples=100)
+        assert r.conflict_probability == 0.0
+
+    def test_skew_effect_visible_in_simulation(self):
+        uniform = simulate_open_system_heterogeneous(
+            [20, 20, 20], 4096, samples=8000, seed=5
+        )
+        skewed = simulate_open_system_heterogeneous(
+            [50, 5, 5], 4096, samples=8000, seed=5
+        )
+        assert skewed.conflict_probability < uniform.conflict_probability

@@ -1,0 +1,186 @@
+"""Tests for repro.core.model: the §3 equations and their algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    ModelParams,
+    commit_probability,
+    conflict_likelihood,
+    conflict_likelihood_clipped,
+    conflict_likelihood_product_form,
+    conflict_likelihood_sum,
+    delta_conflict_likelihood,
+    footprint_blocks,
+)
+
+params_strategy = st.builds(
+    ModelParams,
+    n_entries=st.integers(min_value=64, max_value=1 << 20),
+    concurrency=st.integers(min_value=2, max_value=16),
+    alpha=st.floats(min_value=0.0, max_value=8.0),
+)
+
+
+class TestModelParams:
+    def test_defaults(self):
+        p = ModelParams(1024)
+        assert p.concurrency == 2
+        assert p.alpha == 2.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_entries": 0},
+        {"n_entries": -5},
+        {"n_entries": 10, "concurrency": 0},
+        {"n_entries": 10, "alpha": -1.0},
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            ModelParams(**kwargs)
+
+
+class TestClosedFormEqualsSum:
+    """Eq. 4 and Eq. 8 must equal the literal Eq. 3 / Eq. 7 summations —
+    the algebra the paper performs between those equations."""
+
+    @given(
+        params=params_strategy,
+        w=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_equality_general(self, params: ModelParams, w: int):
+        closed = conflict_likelihood(float(w), params)
+        summed = conflict_likelihood_sum(w, params)
+        assert closed == pytest.approx(summed, rel=1e-9, abs=1e-12)
+
+    def test_c2_reduces_to_eq4(self):
+        """Eq. 8 at C=2 must equal Eq. 4: (1+2α)W²/N."""
+        p = ModelParams(4096, concurrency=2, alpha=2.0)
+        w = 20
+        assert conflict_likelihood(w, p) == pytest.approx((1 + 2 * 2.0) * w * w / 4096)
+
+    def test_paper_example_value(self):
+        """W=71, α=2, C=2, N=50410 ⇒ conflict exactly 0.5 (the §3.1 claim)."""
+        p = ModelParams(50410, concurrency=2, alpha=2.0)
+        assert conflict_likelihood(71, p) == pytest.approx(0.5, rel=1e-3)
+
+
+class TestDelta:
+    def test_eq2_literal(self):
+        """Δ(W_B) = ((1+2α)W − α)/N for C=2 — Eq. 2."""
+        p = ModelParams(1000, concurrency=2, alpha=2.0)
+        assert delta_conflict_likelihood(7, p) == pytest.approx((5 * 7 - 2) / 1000)
+
+    def test_eq6_concurrency_factor(self):
+        """Eq. 6 carries the (C−1) factor over Eq. 2."""
+        p2 = ModelParams(1000, concurrency=2)
+        p5 = ModelParams(1000, concurrency=5)
+        assert delta_conflict_likelihood(10, p5) == pytest.approx(
+            4 * delta_conflict_likelihood(10, p2)
+        )
+
+    def test_never_negative(self):
+        p = ModelParams(1000, alpha=5.0)
+        assert delta_conflict_likelihood(0, p) == 0.0
+
+    def test_array_broadcast(self):
+        p = ModelParams(1000)
+        out = delta_conflict_likelihood(np.array([1.0, 2.0, 3.0]), p)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3,)
+
+
+class TestScalingRelations:
+    @given(params=params_strategy, w=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_quadratic_in_w(self, params: ModelParams, w: int):
+        """Doubling W exactly quadruples Eq. 8."""
+        assert conflict_likelihood(2.0 * w, params) == pytest.approx(
+            4.0 * conflict_likelihood(float(w), params), rel=1e-9
+        )
+
+    @given(
+        n=st.integers(min_value=64, max_value=1 << 18),
+        w=st.integers(min_value=1, max_value=100),
+        k=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_in_n(self, n: int, w: int, k: int):
+        """Multiplying N by k divides Eq. 8 by k."""
+        p1 = ModelParams(n)
+        pk = ModelParams(n * k)
+        assert conflict_likelihood(float(w), pk) == pytest.approx(
+            conflict_likelihood(float(w), p1) / k, rel=1e-9
+        )
+
+    def test_c_c_minus_1_in_concurrency(self):
+        """C=2→4 multiplies by 6; C=2→8 by 28 (the C(C−1) law)."""
+        base = conflict_likelihood(10, ModelParams(1 << 16, concurrency=2))
+        assert conflict_likelihood(10, ModelParams(1 << 16, concurrency=4)) == pytest.approx(
+            6 * base
+        )
+        assert conflict_likelihood(10, ModelParams(1 << 16, concurrency=8)) == pytest.approx(
+            28 * base
+        )
+
+    def test_alpha_increases_conflicts(self):
+        """More reads per write enlarge the footprint and the rate."""
+        lo = conflict_likelihood(10, ModelParams(4096, alpha=1.0))
+        hi = conflict_likelihood(10, ModelParams(4096, alpha=3.0))
+        assert hi > lo
+
+
+class TestBoundedForms:
+    @given(params=params_strategy, w=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=150, deadline=None)
+    def test_clipped_in_unit_interval(self, params: ModelParams, w: int):
+        v = conflict_likelihood_clipped(float(w), params)
+        assert 0.0 <= v <= 1.0
+
+    @given(params=params_strategy, w=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=150, deadline=None)
+    def test_product_form_in_unit_interval(self, params: ModelParams, w: int):
+        v = conflict_likelihood_product_form(float(w), params)
+        assert 0.0 <= v <= 1.0
+
+    @given(params=params_strategy, w=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=150, deadline=None)
+    def test_product_below_raw(self, params: ModelParams, w: int):
+        """1 − exp(−x) ≤ x: the product form never exceeds the raw sum."""
+        raw = conflict_likelihood(float(w), params)
+        prod = conflict_likelihood_product_form(float(w), params)
+        assert prod <= raw + 1e-12
+
+    def test_product_matches_raw_at_low_rate(self):
+        """First-order agreement where §3 assumption 6 holds."""
+        p = ModelParams(1 << 20)
+        raw = conflict_likelihood(5, p)
+        prod = conflict_likelihood_product_form(5, p)
+        assert prod == pytest.approx(raw, rel=0.01)
+
+    @given(params=params_strategy, w=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=100, deadline=None)
+    def test_commit_complements_product(self, params: ModelParams, w: int):
+        assert commit_probability(float(w), params) == pytest.approx(
+            1.0 - conflict_likelihood_product_form(float(w), params), abs=1e-12
+        )
+
+
+class TestFootprint:
+    def test_default_alpha(self):
+        assert footprint_blocks(10) == 30.0
+
+    def test_alpha_zero(self):
+        assert footprint_blocks(10, alpha=0.0) == 10.0
+
+    def test_rejects_negative_w(self):
+        with pytest.raises(ValueError):
+            footprint_blocks(-1)
+
+    def test_array_input(self):
+        out = footprint_blocks(np.array([1.0, 2.0]), alpha=1.0)
+        assert np.allclose(out, [2.0, 4.0])

@@ -1,0 +1,153 @@
+"""Tests for the model refinements (exact pairwise model, asymptote)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ModelParams, conflict_likelihood_product_form
+from repro.core.refinement import (
+    StructuralAliasModel,
+    footprint_distribution,
+    pairwise_exact_conflict_probability,
+)
+from repro.sim.open_system import OpenSystemConfig, simulate_open_system
+
+
+class TestFootprintDistribution:
+    def test_sums_to_one(self):
+        pmf = footprint_distribution(8, ModelParams(256))
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_w_zero(self):
+        pmf = footprint_distribution(0, ModelParams(256))
+        assert pmf[0, 0] == 1.0
+
+    def test_write_count_bounded_by_w(self):
+        pmf = footprint_distribution(5, ModelParams(64, alpha=2.0))
+        assert pmf.shape == (6, 11)
+        # exactly W=5 writes happen, so distinct write entries <= 5 with
+        # equality when no write self-collides
+        assert pmf[5, :].sum() > 0.0
+
+    def test_huge_table_all_distinct(self):
+        """With N → ∞ every draw is fresh: (W, αW) with probability ~1."""
+        pmf = footprint_distribution(5, ModelParams(1 << 30, alpha=2.0))
+        assert pmf[5, 10] == pytest.approx(1.0, abs=1e-6)
+
+    def test_mean_distinct_matches_simulation(self, rng):
+        n, w, alpha = 128, 6, 2
+        pmf = footprint_distribution(w, ModelParams(n, alpha=float(alpha)))
+        i, j = np.meshgrid(
+            np.arange(pmf.shape[0]), np.arange(pmf.shape[1]), indexing="ij"
+        )
+        model_mean = float((pmf * (i + j)).sum())
+        sims = []
+        for _ in range(400):
+            draws = rng.integers(0, n, size=(1 + alpha) * w)
+            sims.append(len(np.unique(draws)))
+        assert model_mean == pytest.approx(np.mean(sims), abs=0.35)
+
+    def test_rejects_non_integer_alpha(self):
+        with pytest.raises(ValueError, match="integer alpha"):
+            footprint_distribution(5, ModelParams(64, alpha=1.5))
+
+    def test_rejects_negative_w(self):
+        with pytest.raises(ValueError):
+            footprint_distribution(-1, ModelParams(64))
+
+
+class TestPairwiseExact:
+    def test_degenerate_cases(self):
+        assert pairwise_exact_conflict_probability(0, ModelParams(64)) == 0.0
+        assert pairwise_exact_conflict_probability(5, ModelParams(64, concurrency=1)) == 0.0
+
+    def test_probability_bounds(self):
+        for w in (1, 5, 20):
+            p = pairwise_exact_conflict_probability(w, ModelParams(256, concurrency=4))
+            assert 0.0 <= p <= 1.0
+
+    def test_matches_simulation_at_high_conflict(self):
+        """Where raw Eq. 8 exceeds 1, the exact model still tracks the
+        simulation closely."""
+        for n, c, w in [(512, 2, 16), (256, 2, 10), (1024, 4, 10)]:
+            exact = pairwise_exact_conflict_probability(w, ModelParams(n, c, 2.0))
+            sim = simulate_open_system(
+                OpenSystemConfig(n, c, w, samples=6000, seed=3)
+            ).conflict_probability
+            assert exact == pytest.approx(sim, abs=0.03), (n, c, w)
+
+    def test_close_to_product_form_at_low_conflict(self):
+        p = ModelParams(1 << 16, concurrency=2)
+        exact = pairwise_exact_conflict_probability(8, p)
+        prod = conflict_likelihood_product_form(8.0, p)
+        assert exact == pytest.approx(prod, rel=0.05)
+
+    @given(w=st.integers(min_value=1, max_value=12), c=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_w_and_c(self, w, c):
+        params = ModelParams(512, concurrency=c)
+        p1 = pairwise_exact_conflict_probability(w, params)
+        p2 = pairwise_exact_conflict_probability(w + 1, params)
+        assert p2 >= p1 - 1e-12
+        bigger_c = ModelParams(512, concurrency=c + 1)
+        assert pairwise_exact_conflict_probability(w, bigger_c) >= p1 - 1e-12
+
+
+class TestStructuralAliasModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StructuralAliasModel(concurrency=1, alpha=2.0, structural_rate=0.0)
+        with pytest.raises(ValueError):
+            StructuralAliasModel(concurrency=2, alpha=-1.0, structural_rate=0.0)
+        with pytest.raises(ValueError):
+            StructuralAliasModel(concurrency=2, alpha=2.0, structural_rate=-0.1)
+
+    def test_zero_structure_is_pure_birthday(self):
+        m = StructuralAliasModel(concurrency=2, alpha=2.0, structural_rate=0.0)
+        assert m.asymptote(20) == 0.0
+        # rate = k W^2 / N with k = 5
+        assert m.rate(10, 1000) == pytest.approx(5 * 100 / 1000)
+
+    def test_asymptote_is_large_n_limit(self):
+        m = StructuralAliasModel(concurrency=2, alpha=2.0, structural_rate=1e-4)
+        assert m.alias_probability(20, 1 << 30) == pytest.approx(m.asymptote(20), abs=1e-5)
+
+    def test_probability_monotone_decreasing_in_n(self):
+        m = StructuralAliasModel(concurrency=2, alpha=2.0, structural_rate=1e-5)
+        probs = [m.alias_probability(20, n) for n in (1024, 4096, 65536)]
+        assert probs[0] > probs[1] > probs[2] > m.asymptote(20)
+
+    def test_fit_recovers_known_rate(self):
+        truth = StructuralAliasModel(concurrency=2, alpha=2.0, structural_rate=3e-5)
+        points = [(n, truth.alias_probability(20, n)) for n in (65536, 262144)]
+        fitted = StructuralAliasModel.fit(20, points)
+        assert fitted.structural_rate == pytest.approx(3e-5, rel=1e-6)
+
+    def test_fit_clamps_to_zero(self):
+        """Measurements below the pure birthday prediction fit s = 0."""
+        pure = StructuralAliasModel(concurrency=2, alpha=2.0, structural_rate=0.0)
+        points = [(4096, 0.5 * pure.alias_probability(20, 4096))]
+        fitted = StructuralAliasModel.fit(20, points)
+        assert fitted.structural_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"w": 0, "measurements": [(1024, 0.1)]},
+            {"w": 10, "measurements": []},
+            {"w": 10, "measurements": [(0, 0.1)]},
+            {"w": 10, "measurements": [(1024, 1.0)]},
+            {"w": 10, "measurements": [(1024, -0.1)]},
+        ],
+    )
+    def test_fit_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StructuralAliasModel.fit(kwargs["w"], kwargs["measurements"])
+
+    def test_rate_rejects_bad_n(self):
+        m = StructuralAliasModel(concurrency=2, alpha=2.0, structural_rate=0.0)
+        with pytest.raises(ValueError):
+            m.rate(10, 0)

@@ -1,0 +1,130 @@
+"""Tests for repro.core.sizing: the paper's design arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ModelParams, conflict_likelihood
+from repro.core.sizing import (
+    concurrency_scaling_factor,
+    max_footprint_for_table,
+    table_entries_for_commit_probability,
+    table_growth_for_concurrency,
+)
+
+
+class TestPaperClaims:
+    """The §3.1/§3.2 back-of-envelope numbers, exactly."""
+
+    def test_50_percent_commit_needs_over_50k(self):
+        n = table_entries_for_commit_probability(71, 0.5)
+        assert n == 50410  # "more than 50,000 entries"
+
+    def test_95_percent_commit_needs_over_half_million(self):
+        n = table_entries_for_commit_probability(71, 0.95)
+        assert n == 504100  # "over a half million entries"
+
+    def test_c8_95_percent_needs_over_14_million(self):
+        n = table_entries_for_commit_probability(71, 0.95, concurrency=8)
+        assert n == 14114800  # "over 14 million entries"
+
+    def test_sixfold_c2_to_c4(self):
+        assert concurrency_scaling_factor(2, 4) == pytest.approx(6.0)
+
+    def test_table_growth_matches_scaling(self):
+        assert table_growth_for_concurrency(2, 8) == pytest.approx(28.0)
+
+
+class TestTableEntriesInversion:
+    @given(
+        w=st.integers(min_value=1, max_value=300),
+        commit=st.floats(min_value=0.05, max_value=0.99),
+        c=st.integers(min_value=2, max_value=12),
+        alpha=st.floats(min_value=0.0, max_value=6.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_returned_size_meets_budget(self, w, commit, c, alpha):
+        n = table_entries_for_commit_probability(w, commit, concurrency=c, alpha=alpha)
+        budget = 1.0 - commit
+        params = ModelParams(n, concurrency=c, alpha=alpha)
+        assert conflict_likelihood(float(w), params) <= budget + 1e-9
+        if n > 1:
+            smaller = ModelParams(n - 1, concurrency=c, alpha=alpha)
+            assert conflict_likelihood(float(w), smaller) > budget - 1e-9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"w": 0, "commit_probability": 0.5},
+            {"w": -3, "commit_probability": 0.5},
+            {"w": 10, "commit_probability": 0.0},
+            {"w": 10, "commit_probability": 1.0},
+            {"w": 10, "commit_probability": 0.5, "concurrency": 1},
+        ],
+    )
+    def test_rejects_bad_inputs(self, kwargs):
+        with pytest.raises(ValueError):
+            table_entries_for_commit_probability(**kwargs)
+
+
+class TestMaxFootprint:
+    @given(
+        n=st.integers(min_value=256, max_value=1 << 20),
+        commit=st.floats(min_value=0.1, max_value=0.95),
+        c=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_footprint_fits_budget(self, n, commit, c):
+        w = max_footprint_for_table(n, commit, concurrency=c)
+        budget = 1.0 - commit
+        params = ModelParams(n, concurrency=c)
+        if w > 0:
+            assert conflict_likelihood(float(w), params) <= budget + 1e-9
+        assert conflict_likelihood(float(w + 1), params) > budget - 1e-9
+
+    def test_sqrt_scaling_in_table_size(self):
+        """4× table → only 2× footprint: the sub-linear payoff."""
+        w1 = max_footprint_for_table(1 << 14, 0.5)
+        w4 = max_footprint_for_table(1 << 16, 0.5)
+        assert w4 / w1 == pytest.approx(2.0, rel=0.05)
+
+    def test_round_trip_with_entries(self):
+        n = table_entries_for_commit_probability(50, 0.8)
+        assert max_footprint_for_table(n, 0.8) >= 50
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_entries": 0, "commit_probability": 0.5},
+            {"n_entries": 100, "commit_probability": 1.0},
+            {"n_entries": 100, "commit_probability": 0.5, "concurrency": 1},
+        ],
+    )
+    def test_rejects_bad_inputs(self, kwargs):
+        with pytest.raises(ValueError):
+            max_footprint_for_table(**kwargs)
+
+
+class TestScalingFactor:
+    def test_identity(self):
+        assert concurrency_scaling_factor(4, 4) == 1.0
+
+    def test_inverse_pairs(self):
+        up = concurrency_scaling_factor(2, 8)
+        down = concurrency_scaling_factor(8, 2)
+        assert up * down == pytest.approx(1.0)
+
+    def test_rejects_c_below_2(self):
+        with pytest.raises(ValueError):
+            concurrency_scaling_factor(1, 4)
+        with pytest.raises(ValueError):
+            concurrency_scaling_factor(2, 0)
+
+    @given(c=st.integers(min_value=2, max_value=32))
+    def test_asymptotically_quadratic(self, c: int):
+        """C→2C approaches ×4 from above as C grows."""
+        ratio = concurrency_scaling_factor(c, 2 * c)
+        assert ratio >= 4.0
+        assert ratio <= 6.0  # worst case at C=2

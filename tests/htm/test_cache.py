@@ -1,0 +1,186 @@
+"""Tests for the set-associative cache simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htm.cache import CacheAccess, CacheGeometry, SetAssociativeCache
+from repro.util.units import KiB
+
+
+class TestGeometry:
+    def test_paper_default(self):
+        g = CacheGeometry()
+        assert g.size_bytes == 32 * KiB
+        assert g.ways == 4
+        assert g.line_bytes == 64
+        assert g.n_sets == 128
+        assert g.n_blocks == 512  # "the cache's 512 blocks"
+
+    def test_custom(self):
+        g = CacheGeometry(size_bytes=16 * KiB, ways=2, line_bytes=32)
+        assert g.n_sets == 256
+        assert g.n_blocks == 512
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 0},
+            {"ways": 0},
+            {"line_bytes": -64},
+            {"size_bytes": 1000, "ways": 3, "line_bytes": 64},  # not divisible
+            {"size_bytes": 3 * 4 * 64, "ways": 4, "line_bytes": 64},  # 3 sets: not pow2
+        ],
+    )
+    def test_rejects_bad_geometry(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheGeometry(**kwargs)
+
+
+class TestAccessSemantics:
+    def test_first_access_misses(self):
+        c = SetAssociativeCache()
+        res = c.access(5)
+        assert not res.hit
+        assert res.evicted is None
+
+    def test_second_access_hits(self):
+        c = SetAssociativeCache()
+        c.access(5)
+        assert c.access(5).hit
+
+    def test_set_fills_without_eviction(self):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=4 * 4 * 64, ways=4))
+        # 4 sets; blocks 0,4,8,12 all map to set 0 (stride = n_sets)
+        for block in (0, 4, 8, 12):
+            assert c.access(block).evicted is None
+        assert c.occupancy() == 4
+
+    def test_fifth_block_evicts_lru(self):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=4 * 4 * 64, ways=4))
+        for block in (0, 4, 8, 12):
+            c.access(block)
+        res = c.access(16)  # set 0 again
+        assert res.evicted == 0  # least recently used
+
+    def test_lru_refresh_on_hit(self):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=4 * 4 * 64, ways=4))
+        for block in (0, 4, 8, 12):
+            c.access(block)
+        c.access(0)  # refresh 0 to MRU
+        res = c.access(16)
+        assert res.evicted == 4  # now 4 is LRU
+
+    def test_distinct_sets_independent(self):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=4 * 4 * 64, ways=4))
+        for block in range(4):  # blocks 0..3 go to sets 0..3
+            c.access(block)
+        assert c.occupancy() == 4
+        assert c.evictions == 0
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache().access(-1)
+
+
+class TestStateIntrospection:
+    def test_contains(self):
+        c = SetAssociativeCache()
+        c.access(7)
+        assert c.contains(7)
+        assert not c.contains(8)
+
+    def test_invalidate(self):
+        c = SetAssociativeCache()
+        c.access(7)
+        assert c.invalidate(7)
+        assert not c.contains(7)
+        assert not c.invalidate(7)
+
+    def test_utilization(self):
+        c = SetAssociativeCache()
+        for b in range(256):
+            c.access(b)
+        assert c.utilization() == pytest.approx(0.5)
+
+    def test_resident_blocks(self):
+        c = SetAssociativeCache()
+        for b in (1, 2, 3):
+            c.access(b)
+        assert sorted(c.resident_blocks()) == [1, 2, 3]
+
+    def test_set_occupancy(self):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=4 * 4 * 64, ways=4))
+        c.access(0)
+        c.access(4)
+        c.access(1)
+        assert c.set_occupancy() == {0: 2, 1: 1}
+
+    def test_reset(self):
+        c = SetAssociativeCache()
+        c.access(1)
+        c.access(1)
+        c.reset()
+        assert c.occupancy() == 0
+        assert (c.hits, c.misses, c.evictions) == (0, 0, 0)
+
+
+class TestStatistics:
+    def test_hit_miss_counts(self):
+        c = SetAssociativeCache()
+        c.access(1)
+        c.access(1)
+        c.access(2)
+        assert c.hits == 1
+        assert c.misses == 2
+
+
+class TestCacheInvariants:
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=400)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=8 * 4 * 64, ways=4))
+        for b in blocks:
+            c.access(b)
+            assert c.occupancy() <= c.geometry.n_blocks
+            per_set = c.set_occupancy()
+            assert all(v <= c.geometry.ways for v in per_set.values())
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=300)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_accessed_block_always_resident_after(self, blocks):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=8 * 4 * 64, ways=4))
+        for b in blocks:
+            c.access(b)
+            assert c.contains(b)
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_eviction_victim_was_resident(self, blocks):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=8 * 4 * 64, ways=4))
+        resident: set[int] = set()
+        for b in blocks:
+            res = c.access(b)
+            if res.evicted is not None:
+                assert res.evicted in resident
+                resident.discard(res.evicted)
+            resident.add(b)
+        assert resident == set(c.resident_blocks())
+
+    @given(blocks=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_counter_consistency(self, blocks):
+        c = SetAssociativeCache(CacheGeometry(size_bytes=4 * 4 * 64, ways=4))
+        for b in blocks:
+            c.access(b)
+        assert c.hits + c.misses == len(blocks)
+        assert c.misses - c.evictions == c.occupancy()

@@ -1,0 +1,73 @@
+"""Differential test: the cache model vs an independent reference LRU.
+
+The Figure 3 results hang off the cache simulator's exact eviction
+behaviour, so we verify it against a second, deliberately different
+implementation (an OrderedDict-per-set reference) over random access
+streams.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htm.cache import CacheGeometry, SetAssociativeCache
+
+
+class ReferenceLRUCache:
+    """Independent set-associative true-LRU model (OrderedDict-based)."""
+
+    def __init__(self, n_sets: int, ways: int) -> None:
+        self.n_sets = n_sets
+        self.ways = ways
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+
+    def access(self, block: int):
+        s = self.sets[block % self.n_sets]
+        if block in s:
+            s.move_to_end(block)
+            return True, None
+        evicted = None
+        if len(s) >= self.ways:
+            evicted, _ = s.popitem(last=False)
+        s[block] = True
+        return False, evicted
+
+    def resident(self) -> set[int]:
+        out: set[int] = set()
+        for s in self.sets:
+            out |= set(s.keys())
+        return out
+
+
+class TestAgainstReference:
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=400),
+        ways=st.integers(min_value=1, max_value=8),
+        set_bits=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_identical_hit_and_eviction_sequence(self, blocks, ways, set_bits):
+        n_sets = 1 << set_bits
+        geometry = CacheGeometry(size_bytes=n_sets * ways * 64, ways=ways)
+        cache = SetAssociativeCache(geometry)
+        reference = ReferenceLRUCache(n_sets, ways)
+        for block in blocks:
+            result = cache.access(block)
+            ref_hit, ref_evicted = reference.access(block)
+            assert result.hit == ref_hit, block
+            assert result.evicted == ref_evicted, block
+        assert set(cache.resident_blocks()) == reference.resident()
+
+    def test_long_random_stream(self, rng):
+        geometry = CacheGeometry(size_bytes=8 * 4 * 64, ways=4)
+        cache = SetAssociativeCache(geometry)
+        reference = ReferenceLRUCache(8, 4)
+        for block in rng.integers(0, 200, size=20_000):
+            result = cache.access(int(block))
+            ref_hit, ref_evicted = reference.access(int(block))
+            assert result.hit == ref_hit
+            assert result.evicted == ref_evicted

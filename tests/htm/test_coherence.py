@@ -1,0 +1,163 @@
+"""Tests for coherence-based HTM conflict detection and false sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htm.cache import CacheGeometry
+from repro.htm.coherence import AbortReason, CoherentHTM
+
+TINY = CacheGeometry(size_bytes=4 * 4 * 64, ways=4)  # 16 lines
+
+
+def words_per_line(htm: CoherentHTM) -> int:
+    return htm.geometry.line_bytes // htm.word_bytes
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_cores": 0}, {"n_cores": 2, "word_bytes": 0}, {"n_cores": 2, "word_bytes": 7}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CoherentHTM(geometry=TINY, **kwargs)
+
+    def test_address_mapping(self):
+        htm = CoherentHTM(2, TINY)
+        wpl = words_per_line(htm)
+        assert htm.line_of(0) == 0
+        assert htm.line_of(wpl) == 1
+        assert htm.word_offset(wpl + 3) == 3
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            CoherentHTM(2, TINY).line_of(-1)
+
+
+class TestLifecycle:
+    def test_begin_commit(self):
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        assert htm.in_transaction(0)
+        htm.commit(0)
+        assert not htm.in_transaction(0)
+        assert htm.stats[0].committed == 1
+
+    def test_no_nested_begin(self):
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        with pytest.raises(RuntimeError):
+            htm.begin(0)
+
+    def test_commit_requires_tx(self):
+        with pytest.raises(RuntimeError):
+            CoherentHTM(2, TINY).commit(0)
+
+    def test_bad_core_index(self):
+        with pytest.raises(IndexError):
+            CoherentHTM(2, TINY).begin(5)
+
+
+class TestTrueConflicts:
+    def test_remote_write_to_read_word_aborts(self):
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        htm.access(0, 10, is_write=False)
+        events = htm.access(1, 10, is_write=True)  # same word
+        assert len(events) == 1
+        assert events[0].reason is AbortReason.TRUE_CONFLICT
+        assert events[0].victim == 0
+        assert not htm.in_transaction(0)
+
+    def test_remote_read_of_written_word_aborts(self):
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        htm.access(0, 10, is_write=True)
+        events = htm.access(1, 10, is_write=False)
+        assert events[0].reason is AbortReason.TRUE_CONFLICT
+
+    def test_read_read_sharing_fine(self):
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        htm.access(0, 10, is_write=False)
+        htm.begin(1)
+        assert htm.access(1, 10, is_write=False) == []
+        assert htm.in_transaction(0) and htm.in_transaction(1)
+
+    def test_non_transactional_remote_unaffected(self):
+        htm = CoherentHTM(2, TINY)
+        # core 0 not in a transaction: writes from core 1 cause no abort
+        htm.access(0, 10, is_write=False)
+        assert htm.access(1, 10, is_write=True) == []
+
+
+class TestFalseSharing:
+    def test_different_words_same_line(self):
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        htm.access(0, 0, is_write=False)  # word 0 of line 0
+        events = htm.access(1, 1, is_write=True)  # word 1 of line 0
+        assert len(events) == 1
+        assert events[0].reason is AbortReason.FALSE_SHARING
+        assert htm.stats[0].aborts_false_sharing == 1
+
+    def test_different_lines_no_conflict(self):
+        htm = CoherentHTM(2, TINY)
+        wpl = words_per_line(htm)
+        htm.begin(0)
+        htm.access(0, 0, is_write=False)
+        assert htm.access(1, wpl, is_write=True) == []  # next line
+
+    def test_reader_write_set_word_overlap_is_true(self):
+        """Victim wrote word 3; requester reads word 3: true conflict."""
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        htm.access(0, 3, is_write=True)
+        events = htm.access(1, 3, is_write=False)
+        assert events[0].reason is AbortReason.TRUE_CONFLICT
+
+    def test_reader_of_unwritten_word_is_false_sharing(self):
+        """Victim wrote word 3; requester reads word 4 of the same line."""
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        htm.access(0, 3, is_write=True)
+        events = htm.access(1, 4, is_write=False)
+        assert events[0].reason is AbortReason.FALSE_SHARING
+
+    def test_fraction_accounting(self):
+        htm = CoherentHTM(2, TINY)
+        htm.begin(0)
+        htm.access(0, 0, is_write=False)
+        htm.access(1, 1, is_write=True)  # false sharing
+        htm.begin(0)
+        htm.access(0, 16, is_write=False)
+        htm.access(1, 16, is_write=True)  # true conflict
+        assert htm.false_sharing_fraction() == pytest.approx(0.5)
+
+    def test_no_conflicts_fraction_zero(self):
+        assert CoherentHTM(2, TINY).false_sharing_fraction() == 0.0
+
+
+class TestCapacityAborts:
+    def test_own_eviction_aborts(self):
+        htm = CoherentHTM(1, TINY)
+        wpl = words_per_line(htm)
+        htm.begin(0)
+        # 5 lines mapping to set 0 (16-line cache: 4 sets): lines 0,4,8,12,16
+        for line in (0, 4, 8, 12):
+            assert htm.access(0, line * wpl, is_write=False) == []
+        events = htm.access(0, 16 * wpl, is_write=False)
+        assert len(events) == 1
+        assert events[0].reason is AbortReason.CAPACITY
+        assert not htm.in_transaction(0)
+
+    def test_multi_victim_write(self):
+        """One write can abort several remote transactions at once."""
+        htm = CoherentHTM(3, TINY)
+        htm.begin(0)
+        htm.access(0, 5, is_write=False)
+        htm.begin(1)
+        htm.access(1, 5, is_write=False)
+        events = htm.access(2, 5, is_write=True)
+        assert {e.victim for e in events} == {0, 1}
+        assert all(e.reason is AbortReason.TRUE_CONFLICT for e in events)

@@ -1,0 +1,121 @@
+"""Tests for HTM transactional tracking and overflow detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.htm.cache import CacheGeometry
+from repro.htm.htm import HTMContext, TxFootprint
+from repro.traces.events import AccessTrace
+
+TINY = CacheGeometry(size_bytes=4 * 4 * 64, ways=4)  # 4 sets, 16 blocks
+
+
+def trace(blocks, writes=None, instr=None):
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if writes is None:
+        writes = np.zeros(len(blocks), dtype=bool)
+    return AccessTrace(blocks, writes, instr)
+
+
+class TestFootprintDataclass:
+    def test_totals(self):
+        fp = TxFootprint(read_blocks=10, write_blocks=5)
+        assert fp.total == 15
+        assert fp.read_write_ratio == pytest.approx(2.0)
+
+    def test_ratio_edge_cases(self):
+        assert TxFootprint(0, 0).read_write_ratio == 0.0
+        assert TxFootprint(5, 0).read_write_ratio == float("inf")
+
+
+class TestNoOverflow:
+    def test_small_trace_fits(self):
+        ctx = HTMContext(TINY)
+        assert ctx.run(trace([0, 1, 2, 3])) is None
+
+    def test_repeated_accesses_never_overflow(self):
+        ctx = HTMContext(TINY)
+        assert ctx.run(trace([5] * 1000)) is None
+
+    def test_exactly_full_set_fits(self):
+        # 4 blocks in set 0: at capacity, no eviction
+        ctx = HTMContext(TINY)
+        assert ctx.run(trace([0, 4, 8, 12])) is None
+
+    def test_empty_trace(self):
+        assert HTMContext(TINY).run(trace([])) is None
+
+
+class TestOverflow:
+    def test_fifth_same_set_block_overflows(self):
+        ctx = HTMContext(TINY)
+        ov = ctx.run(trace([0, 4, 8, 12, 16]))
+        assert ov is not None
+        assert ov.access_index == 4
+        assert ov.lost_block == 0  # LRU of set 0
+        assert ov.footprint.total == 5  # the evicting access counts
+
+    def test_overflow_reports_instructions(self):
+        instr = np.array([3, 10, 20, 31, 47], dtype=np.int64)
+        ov = HTMContext(TINY).run(trace([0, 4, 8, 12, 16], instr=instr))
+        assert ov.instructions == 47
+
+    def test_read_write_split(self):
+        writes = np.array([True, False, True, False, False])
+        ov = HTMContext(TINY).run(trace([0, 4, 8, 12, 16], writes))
+        assert ov.footprint.write_blocks == 2
+        assert ov.footprint.read_blocks == 3
+
+    def test_block_read_then_written_counts_as_write(self):
+        writes = np.array([False, True, False, False, False, False])
+        ov = HTMContext(TINY).run(trace([0, 0, 4, 8, 12, 16], writes))
+        assert ov.footprint.write_blocks == 1
+
+    def test_utilization(self):
+        ov = HTMContext(TINY).run(trace([0, 4, 8, 12, 16]))
+        assert ov.utilization == pytest.approx(5 / 16)
+
+    def test_non_transactional_warmup_irrelevant(self):
+        """Overflow is about the transaction's own footprint; a cold
+        start is the right model and all accesses are transactional."""
+        ov = HTMContext(TINY).run(trace(list(range(100))))
+        # 4 sets × 4 ways = 16 capacity; block 16 evicts block 0
+        assert ov is not None
+        assert ov.footprint.total == 17
+
+
+class TestVictimBufferInteraction:
+    def test_single_victim_buffer_postpones_overflow(self):
+        base = HTMContext(TINY)
+        with_vb = HTMContext(TINY, victim_entries=1)
+        t = trace([0, 4, 8, 12, 16, 20])
+        assert base.run(t).access_index == 4
+        ov = with_vb.run(t)
+        assert ov.access_index == 5  # one extra block absorbed
+
+    def test_victim_swap_back(self):
+        """A block parked in the victim buffer can be re-accessed without
+        overflow (it swaps back into the cache)."""
+        ctx = HTMContext(TINY, victim_entries=1)
+        # evict 0 into VB, then touch 0 again: swap back, no overflow
+        ov = ctx.run(trace([0, 4, 8, 12, 16, 0]))
+        assert ov is None or ov.access_index > 5
+
+    def test_large_vb_absorbs_everything(self):
+        ctx = HTMContext(TINY, victim_entries=64)
+        assert ctx.run(trace([0, 4, 8, 12, 16, 20, 24])) is None
+
+    def test_footprint_capacity(self):
+        assert HTMContext(TINY, victim_entries=3).footprint_capacity() == 19
+
+
+class TestRepeatedRuns:
+    def test_context_reusable(self):
+        ctx = HTMContext(TINY)
+        t = trace([0, 4, 8, 12, 16])
+        first = ctx.run(t)
+        second = ctx.run(t)
+        assert first.access_index == second.access_index
+        assert first.footprint == second.footprint

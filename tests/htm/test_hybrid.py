@@ -1,0 +1,111 @@
+"""Tests for the hybrid HTM→STM fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.htm.cache import CacheGeometry
+from repro.htm.hybrid import ExecutionMode, HybridTM
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.stm.runtime import STM
+from repro.traces.events import AccessTrace
+
+TINY = CacheGeometry(size_bytes=4 * 4 * 64, ways=4)  # 16 blocks
+
+
+def trace(blocks, writes=None):
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if writes is None:
+        writes = np.ones(len(blocks), dtype=bool)
+    return AccessTrace(blocks, writes)
+
+
+def hybrid(table=None, **kwargs):
+    stm = STM(table if table is not None else TaggedOwnershipTable(1024))
+    return HybridTM(stm, geometry=TINY, **kwargs)
+
+
+class TestModeSelection:
+    def test_small_transaction_stays_in_htm(self):
+        h = hybrid()
+        out = h.execute(0, trace([1, 2, 3]))
+        assert out.mode is ExecutionMode.HTM
+        assert out.committed
+        assert out.overflow is None
+        assert h.htm_commits == 1
+
+    def test_overflowing_transaction_falls_back(self):
+        h = hybrid()
+        out = h.execute(0, trace([0, 4, 8, 12, 16]))  # 5 blocks, one set
+        assert out.mode is ExecutionMode.STM
+        assert out.committed
+        assert out.overflow is not None
+        assert h.stm_commits == 1
+
+    def test_fallback_rate(self):
+        h = hybrid()
+        h.execute(0, trace([1]))
+        h.execute(0, trace([0, 4, 8, 12, 16]))
+        assert h.stm_fallback_rate == pytest.approx(0.5)
+
+    def test_fallback_rate_empty(self):
+        assert hybrid().stm_fallback_rate == 0.0
+
+
+class TestSTMFallbackSemantics:
+    def test_stm_publishes_writes(self):
+        h = hybrid()
+        h.execute(3, trace([0, 4, 8, 12, 16]))
+        # all five blocks written through the STM and committed
+        for block in (0, 4, 8, 12, 16):
+            assert block in h.stm.memory
+
+    def test_contention_in_fallback_retries(self):
+        """A tagless fallback table with heavy aliasing: the overflowed
+        transaction retries until the blocker releases — here the blocker
+        never releases, so the budget is exhausted."""
+        table = TaglessOwnershipTable(4, track_addresses=True)
+        stm = STM(table)
+        stm.begin(7)
+        stm.write(7, 1, "blocker")  # holds entry 1 forever
+        h = HybridTM(stm, geometry=TINY, max_stm_restarts=3)
+        out = h.execute(0, trace([0, 4, 8, 12, 16, 5]))  # block 5 aliases 1
+        assert out.mode is ExecutionMode.STM
+        assert not out.committed
+        assert out.stm_restarts == 4
+        assert h.stm_failures == 1
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            HybridTM(STM(TaggedOwnershipTable(8)), max_stm_restarts=-1)
+
+
+class TestPaperScenario:
+    def test_large_tx_on_small_tagless_table_struggles(self):
+        """§6: 'a tagless organization will almost guarantee a maximum
+        concurrency of 1 for overflowed transactions' — with another
+        transaction in flight, a large overflow transaction on a small
+        tagless table keeps aborting."""
+        table = TaglessOwnershipTable(64, track_addresses=True)
+        stm = STM(table)
+        stm.begin(9)
+        for b in range(30):  # the competing transaction's footprint
+            stm.write(9, 10_000 + b * 3, "w")
+        h = HybridTM(stm, geometry=TINY, max_stm_restarts=2)
+        big = trace(list(range(0, 2048, 16)))  # 128 blocks -> overflow
+        out = h.execute(0, big)
+        assert out.mode is ExecutionMode.STM
+        assert not out.committed  # false conflicts exhaust the budget
+
+    def test_same_workload_commits_on_tagged_table(self):
+        table = TaggedOwnershipTable(64)
+        stm = STM(table)
+        stm.begin(9)
+        for b in range(30):
+            stm.write(9, 10_000 + b * 3, "w")
+        h = HybridTM(stm, geometry=TINY, max_stm_restarts=2)
+        big = trace(list(range(0, 2048, 16)))
+        out = h.execute(0, big)
+        assert out.committed  # no aliasing, no false conflicts

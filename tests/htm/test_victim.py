@@ -1,0 +1,100 @@
+"""Tests for the victim buffer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htm.victim import VictimBuffer
+
+
+class TestBasics:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            VictimBuffer(-1)
+
+    def test_zero_capacity_rejects_everything(self):
+        vb = VictimBuffer(0)
+        assert vb.insert(5) == 5  # immediately the casualty
+        assert not vb.contains(5)
+
+    def test_insert_and_extract(self):
+        vb = VictimBuffer(2)
+        assert vb.insert(5) is None
+        assert vb.contains(5)
+        assert vb.extract(5)
+        assert not vb.contains(5)
+
+    def test_extract_missing(self):
+        vb = VictimBuffer(2)
+        assert not vb.extract(9)
+
+    def test_lru_displacement(self):
+        vb = VictimBuffer(2)
+        vb.insert(1)
+        vb.insert(2)
+        displaced = vb.insert(3)
+        assert displaced == 1  # oldest out
+        assert vb.contains(2) and vb.contains(3)
+
+    def test_reinsert_refreshes(self):
+        vb = VictimBuffer(2)
+        vb.insert(1)
+        vb.insert(2)
+        vb.insert(1)  # refresh 1
+        assert vb.insert(3) == 2
+
+    def test_len(self):
+        vb = VictimBuffer(3)
+        vb.insert(1)
+        vb.insert(2)
+        assert len(vb) == 2
+
+    def test_reset(self):
+        vb = VictimBuffer(2)
+        vb.insert(1)
+        vb.extract(1)
+        vb.reset()
+        assert len(vb) == 0
+        assert (vb.inserts, vb.hits, vb.displaced) == (0, 0, 0)
+
+
+class TestStatistics:
+    def test_counts(self):
+        vb = VictimBuffer(1)
+        vb.insert(1)
+        vb.insert(2)  # displaces 1
+        vb.extract(2)
+        assert vb.inserts == 2
+        assert vb.displaced == 1
+        assert vb.hits == 1
+
+
+class TestInvariants:
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        ops=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_capacity(self, capacity, ops):
+        vb = VictimBuffer(capacity)
+        for block in ops:
+            vb.insert(block)
+            assert len(vb) <= capacity
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        ops=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_displaced_block_was_held(self, capacity, ops):
+        vb = VictimBuffer(capacity)
+        held: set[int] = set()
+        for block in ops:
+            displaced = vb.insert(block)
+            if displaced is not None:
+                assert displaced in held
+                held.discard(displaced)
+            held.add(block)
+            assert all(vb.contains(b) for b in held)

@@ -1,0 +1,80 @@
+"""Integration: independent engines agree on shared physics.
+
+The closed-system and throughput engines implement the same tagless
+protocol with different normalizations; the open-system engine and the
+analytical model answer the same probability question. Cross-checking
+them catches protocol drift that per-engine tests cannot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import ModelParams, conflict_likelihood_product_form
+from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.open_system import OpenSystemConfig, simulate_open_system
+from repro.sim.throughput import ThroughputConfig, simulate_throughput
+
+
+class TestClosedVsThroughput:
+    """Same protocol, different horizon bookkeeping: the conflict count
+    per *offered* transaction must agree within Monte Carlo noise."""
+
+    @pytest.mark.parametrize("n,c,w", [(2048, 4, 10), (8192, 8, 10), (4096, 2, 20)])
+    def test_conflicts_per_offered_transaction(self, n, c, w):
+        closed = simulate_closed_system(
+            ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=1)
+        )
+        f = closed.config.footprint
+        # Match offered work: ticks so each thread offers ~ target/c txns.
+        ticks = closed.config.horizon_ticks
+        through = simulate_throughput(
+            ThroughputConfig(
+                n_entries=n, concurrency=c, write_footprint=w, ticks_per_thread=ticks, seed=2
+            )
+        )
+        offered_closed = closed.committed + closed.conflicts  # attempts
+        offered_through = through.committed + through.conflicts
+        rate_closed = closed.conflicts / max(offered_closed, 1)
+        rate_through = through.conflicts / max(offered_through, 1)
+        assert rate_through == pytest.approx(rate_closed, rel=0.35, abs=0.01)
+        _ = f
+
+
+class TestOpenVsModelGrid:
+    """Open-system engine vs product-form model across a whole grid —
+    the §4 agreement as a wide assertion rather than spot checks."""
+
+    def test_grid_agreement(self):
+        worst = 0.0
+        for n in (512, 2048, 8192):
+            for c in (2, 4):
+                for w in (4, 8, 16):
+                    sim = simulate_open_system(
+                        OpenSystemConfig(n, c, w, samples=3000, seed=5)
+                    ).conflict_probability
+                    model = conflict_likelihood_product_form(
+                        w, ModelParams(n, c, 2.0)
+                    )
+                    worst = max(worst, abs(sim - model))
+        assert worst < 0.04, f"worst |sim - model| deviation {worst:.3f}"
+
+
+class TestClosedVsOpenConsistency:
+    """A closed-system run's per-transaction conflict incidence should
+    track the open-system conflict probability in the low-rate regime
+    (where restarts barely perturb table occupancy)."""
+
+    def test_low_rate_regime(self):
+        n, c, w = 65536, 2, 10
+        open_p = simulate_open_system(
+            OpenSystemConfig(n, c, w, samples=20000, seed=3)
+        ).conflict_probability
+        closed = simulate_closed_system(
+            ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=3)
+        )
+        # Each committed transaction ran alongside one other (C=2); the
+        # open-system P is for "any of C conflicts", i.e. ~2 transactions,
+        # so per-transaction incidence ~ P/2.
+        per_tx = closed.conflicts / max(closed.committed, 1)
+        assert per_tx == pytest.approx(open_p / 2, rel=0.6, abs=0.01)

@@ -1,0 +1,81 @@
+"""Integration: the two hybrid-TM implementations agree.
+
+`repro.htm.hybrid.HybridTM` (single-transaction API) and
+`repro.sim.hybrid_pipeline` (multi-thread pipeline) both classify
+transactions HTM-vs-overflow with the same cache model; on a
+single-thread workload with an uncontended table they must agree
+exactly on classification and all-commit outcomes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htm.cache import CacheGeometry
+from repro.htm.hybrid import ExecutionMode, HybridTM
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.sim.hybrid_pipeline import HybridPipelineConfig, simulate_hybrid_pipeline
+from repro.stm.runtime import STM
+from repro.traces.events import AccessTrace
+from repro.traces.transactions import TransactionWorkload
+
+TINY = CacheGeometry(size_bytes=4 * 4 * 64, ways=4)
+
+
+def make_tx(rng, size, span):
+    blocks = rng.integers(0, span, size=size).astype(np.int64)
+    writes = rng.random(size) < 0.3
+    return AccessTrace(blocks, writes)
+
+
+class TestClassificationAgreement:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        n_txs=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_htm_stm_split(self, seed, n_txs):
+        rng = np.random.default_rng(seed)
+        txs = [
+            make_tx(rng, int(rng.integers(2, 60)), int(rng.integers(8, 300)))
+            for _ in range(n_txs)
+        ]
+
+        # HybridTM, one transaction at a time.
+        hybrid = HybridTM(
+            STM(TaggedOwnershipTable(1 << 12)), geometry=TINY, victim_entries=1
+        )
+        modes = [hybrid.execute(0, tx).mode for tx in txs]
+
+        # Pipeline, same transactions as one thread's workload.
+        r = simulate_hybrid_pipeline(
+            [TransactionWorkload(tuple(txs))],
+            TaggedOwnershipTable(1 << 12),
+            HybridPipelineConfig(geometry=TINY, victim_entries=1),
+        )
+        assert r.htm_commits == sum(1 for m in modes if m is ExecutionMode.HTM)
+        assert r.stm_commits == sum(1 for m in modes if m is ExecutionMode.STM)
+        assert r.failed == 0
+        assert r.goodput == 1.0
+
+    def test_overflow_footprints_match_htm_context(self):
+        """The pipeline's recorded overflow footprints equal HTMContext's."""
+        from repro.htm.htm import HTMContext
+
+        rng = np.random.default_rng(11)
+        txs = [make_tx(rng, 80, 400) for _ in range(4)]
+        ctx = HTMContext(TINY, victim_entries=1)
+        expected = []
+        for tx in txs:
+            ov = ctx.run(tx)
+            if ov is not None:
+                expected.append(ov.footprint.total)
+        r = simulate_hybrid_pipeline(
+            [TransactionWorkload(tuple(txs))],
+            TaggedOwnershipTable(1 << 12),
+            HybridPipelineConfig(geometry=TINY, victim_entries=1),
+        )
+        assert r.overflow_footprints == expected

@@ -1,0 +1,129 @@
+"""Tests for the adaptive tagless table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ownership.adaptive import AdaptiveTaglessTable
+from repro.ownership.base import AccessMode, OwnershipTable
+
+R, W = AccessMode.READ, AccessMode.WRITE
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial_entries": 0},
+            {"initial_entries": 64, "max_entries": 32},
+            {"initial_entries": 64, "conflict_threshold": 0.0},
+            {"initial_entries": 64, "conflict_threshold": 1.0},
+            {"initial_entries": 64, "window": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveTaglessTable(**kwargs)
+
+    def test_protocol_conformance(self):
+        assert isinstance(AdaptiveTaglessTable(64), OwnershipTable)
+
+
+class TestDelegation:
+    def test_basic_acquire_release(self):
+        t = AdaptiveTaglessTable(64)
+        assert t.acquire(0, 5, W).granted
+        assert t.holders_of(5) == (0,)
+        assert t.release_all(0) == 1
+        assert t.occupied_entries() == 0
+
+    def test_conflict_still_refused(self):
+        t = AdaptiveTaglessTable(8, track_addresses=True)
+        t.acquire(0, 1, W)
+        res = t.acquire(1, 9, W)
+        assert not res.granted
+        assert res.conflict.is_false is True
+
+    def test_reset_keeps_size(self):
+        t = AdaptiveTaglessTable(64)
+        t.acquire(0, 5, W)
+        t.reset()
+        assert t.n_entries == 64
+        assert t.occupied_entries() == 0
+
+
+class TestGrowth:
+    def _hammer(self, table: AdaptiveTaglessTable, rng, rounds: int) -> None:
+        """Two threads acquiring random disjoint blocks, releasing often."""
+        for i in range(rounds):
+            for tid in (0, 1):
+                # disjoint per-thread ranges (all residues reachable, so
+                # mask-hash aliasing between threads is possible)
+                block = tid * 1_000_000 + int(rng.integers(0, 100_000))
+                table.acquire(tid, block, W)
+                if i % 10 == 9:
+                    table.release_all(tid)
+
+    def test_grows_under_conflict_pressure(self):
+        t = AdaptiveTaglessTable(64, conflict_threshold=0.02, window=128)
+        self._hammer(t, np.random.default_rng(1), 2000)
+        assert t.n_entries > 64
+        assert len(t.resize_log) >= 1
+        first = t.resize_log[0]
+        assert first.new_entries == 2 * first.old_entries
+        assert first.trigger_rate > 0.02
+
+    def test_growth_reduces_conflict_rate(self):
+        """Post-growth windows conflict less — the 1/N payoff."""
+        t = AdaptiveTaglessTable(64, conflict_threshold=0.02, window=256)
+        rng = np.random.default_rng(2)
+        self._hammer(t, rng, 6000)
+        early = t.resize_log[0]
+        assert t.counters.conflicts > 0
+        # final size much larger; window rate at the end below the first
+        # trigger rate (may still be above threshold if max reached)
+        assert t.n_entries >= 4 * 64
+        assert t.window_conflict_rate <= early.trigger_rate
+
+    def test_ceiling_respected(self):
+        t = AdaptiveTaglessTable(64, max_entries=128, conflict_threshold=0.01, window=64)
+        self._hammer(t, np.random.default_rng(3), 4000)
+        assert t.n_entries <= 128
+
+    def test_no_growth_without_conflicts(self):
+        t = AdaptiveTaglessTable(1 << 16, conflict_threshold=0.01, window=64)
+        rng = np.random.default_rng(4)
+        for i in range(500):
+            t.acquire(0, int(rng.integers(0, 1_000_000)), R)
+        assert len(t.resize_log) == 0
+        assert t.n_entries == 1 << 16
+
+    def test_resize_drains_holders(self):
+        """In-flight holders at a resize are reported as casualties and
+        lose their permissions."""
+        t = AdaptiveTaglessTable(8, conflict_threshold=0.05, window=32, track_addresses=True)
+        t.acquire(7, 3, W)  # long-running holder
+        rng = np.random.default_rng(5)
+        for i in range(200):
+            for tid in (0, 1):
+                block = tid * 1_000_000 + int(rng.integers(0, 100_000))
+                t.acquire(tid, block, W)
+                t.release_all(tid)
+            if t.resize_log:
+                break
+        assert t.resize_log, "expected a resize under this pressure"
+        assert 7 in t.resize_log[0].aborted_holders
+        assert t.holders_of(3) == ()  # permission gone
+
+    def test_growth_abort_accounting(self):
+        t = AdaptiveTaglessTable(8, conflict_threshold=0.05, window=32)
+        t.acquire(7, 3, W)
+        rng = np.random.default_rng(6)
+        for i in range(300):
+            for tid in (0, 1):
+                t.acquire(tid, tid * 1_000_000 + int(rng.integers(0, 100_000)), W)
+                t.release_all(tid)
+        assert t.total_growth_aborts >= len(t.resize_log) * 0  # defined
+        if t.resize_log:
+            assert t.total_growth_aborts >= 1  # thread 7 died at least once

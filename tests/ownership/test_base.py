@@ -1,0 +1,92 @@
+"""Tests for repro.ownership.base: shared vocabulary and counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ownership.base import (
+    AccessMode,
+    AcquireResult,
+    Conflict,
+    ConflictKind,
+    EntryState,
+    OwnershipTable,
+    TableCounters,
+)
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+
+
+class TestEnums:
+    def test_entry_states_ordered(self):
+        assert EntryState.FREE < EntryState.READ < EntryState.WRITE
+
+    def test_modes(self):
+        assert AccessMode.READ.value == "read"
+        assert AccessMode.WRITE.value == "write"
+
+    def test_conflict_kinds_distinct(self):
+        kinds = {k.value for k in ConflictKind}
+        assert len(kinds) == 3
+
+
+class TestAcquireResult:
+    def test_truthiness(self):
+        assert AcquireResult(True, 0)
+        assert not AcquireResult(False, 0)
+
+    def test_conflict_payload(self):
+        c = Conflict(ConflictKind.WRITE_WRITE, 3, requester=1, holders=(0,), block=11)
+        res = AcquireResult(False, 3, c)
+        assert res.conflict.block == 11
+        assert res.conflict.is_false is None
+
+
+class TestTableCounters:
+    def test_record_grant(self):
+        c = TableCounters()
+        c.record(AcquireResult(True, 0))
+        assert (c.acquires, c.grants, c.conflicts) == (1, 1, 0)
+
+    def test_record_classified_conflicts(self):
+        c = TableCounters()
+        base = Conflict(ConflictKind.WRITE_WRITE, 0, 1, (0,), 5, is_false=True)
+        c.record(AcquireResult(False, 0, base))
+        c.record(
+            AcquireResult(
+                False, 0, Conflict(ConflictKind.WRITE_WRITE, 0, 1, (0,), 5, is_false=False)
+            )
+        )
+        c.record(
+            AcquireResult(False, 0, Conflict(ConflictKind.WRITE_WRITE, 0, 1, (0,), 5))
+        )
+        assert c.false_conflicts == 1
+        assert c.true_conflicts == 1
+        assert c.unclassified_conflicts == 1
+        assert c.conflicts == 3
+
+    def test_reset(self):
+        c = TableCounters()
+        c.record(AcquireResult(True, 0))
+        c.reset()
+        assert c.acquires == 0
+
+
+class TestProtocolConformance:
+    """Both concrete tables satisfy the OwnershipTable protocol."""
+
+    @pytest.mark.parametrize(
+        "table",
+        [TaglessOwnershipTable(8), TaggedOwnershipTable(8)],
+        ids=["tagless", "tagged"],
+    )
+    def test_isinstance_protocol(self, table):
+        assert isinstance(table, OwnershipTable)
+
+    @pytest.mark.parametrize(
+        "table",
+        [TaglessOwnershipTable(8), TaggedOwnershipTable(8)],
+        ids=["tagless", "tagged"],
+    )
+    def test_entry_of_consistent_with_hash(self, table):
+        assert table.entry_of(13) == int(table.hash_fn(13))

@@ -1,0 +1,130 @@
+"""Tests for repro.ownership.stats: chain/occupancy mathematics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ownership.stats import (
+    ChainStats,
+    OccupancyStats,
+    expected_max_chain_length,
+    poisson_chain_pmf,
+)
+
+
+class TestChainStats:
+    def test_from_lengths(self):
+        stats = ChainStats.from_lengths([1, 1, 2, 3], n_entries=10)
+        assert stats.histogram == (6, 2, 1, 1)
+        assert stats.total_records == 7
+        assert stats.max_chain == 3
+
+    def test_load_factor(self):
+        stats = ChainStats.from_lengths([1, 1], n_entries=8)
+        assert stats.load_factor == pytest.approx(0.25)
+
+    def test_fraction_chained(self):
+        stats = ChainStats.from_lengths([1, 1, 2], n_entries=10)
+        assert stats.fraction_chained == pytest.approx(1 / 3)
+
+    def test_fraction_simple(self):
+        stats = ChainStats.from_lengths([1, 2], n_entries=4)
+        # entries: 2 empty + 1 single + 1 chained => 3/4 simple
+        assert stats.fraction_entries_simple == pytest.approx(0.75)
+
+    def test_empty(self):
+        stats = ChainStats.from_lengths([], n_entries=4)
+        assert stats.fraction_chained == 0.0
+        assert stats.fraction_entries_simple == 1.0
+
+    def test_rejects_zero_length_chain(self):
+        with pytest.raises(ValueError):
+            ChainStats.from_lengths([0, 1], n_entries=4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            ChainStats.from_lengths([1] * 5, n_entries=4)
+
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=6), max_size=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_histogram_consistency(self, lengths):
+        n_entries = max(32, len(lengths))
+        stats = ChainStats.from_lengths(lengths, n_entries)
+        assert sum(stats.histogram) == n_entries
+        assert sum(k * c for k, c in enumerate(stats.histogram)) == stats.total_records
+
+
+class TestOccupancyStats:
+    def test_ratio(self):
+        occ = OccupancyStats(mean=30.0, expected=60.0)
+        assert occ.ratio == pytest.approx(0.5)
+
+    def test_zero_expected(self):
+        assert OccupancyStats(mean=0.0, expected=0.0).ratio == 1.0
+
+    def test_actual_concurrency(self):
+        occ = OccupancyStats(mean=45.0, expected=60.0)
+        assert occ.actual_concurrency(applied=4) == pytest.approx(3.0)
+
+
+class TestPoissonPmf:
+    def test_sums_to_one(self):
+        pmf = poisson_chain_pmf(0.5, 40)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_load(self):
+        pmf = poisson_chain_pmf(0.0, 5)
+        assert pmf[0] == 1.0
+        assert pmf[1:].sum() == 0.0
+
+    def test_matches_scipy(self):
+        from scipy.stats import poisson
+
+        pmf = poisson_chain_pmf(1.3, 10)
+        assert np.allclose(pmf, poisson.pmf(np.arange(11), 1.3))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            poisson_chain_pmf(-1.0, 5)
+        with pytest.raises(ValueError):
+            poisson_chain_pmf(1.0, -1)
+
+    def test_sparse_table_mostly_empty_or_single(self):
+        """§5: at sane load factors, almost all entries hold 0 or 1."""
+        pmf = poisson_chain_pmf(0.1, 10)
+        assert pmf[0] + pmf[1] > 0.995
+
+
+class TestExpectedMaxChain:
+    def test_zero_records(self):
+        assert expected_max_chain_length(100, 0) == 0.0
+
+    def test_monotone_in_records(self):
+        a = expected_max_chain_length(1 << 12, 100)
+        b = expected_max_chain_length(1 << 12, 2000)
+        assert b >= a
+
+    def test_sparse_regime_small(self):
+        assert expected_max_chain_length(1 << 16, 100) < 3.0
+
+    def test_matches_simulation(self, rng):
+        """The analytic estimate should track a balls-in-bins draw."""
+        n, m = 4096, 2048
+        maxima = []
+        for _ in range(30):
+            counts = np.bincount(rng.integers(0, n, m), minlength=n)
+            maxima.append(counts.max())
+        sim = float(np.mean(maxima))
+        est = expected_max_chain_length(n, m)
+        assert est == pytest.approx(sim, abs=1.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            expected_max_chain_length(0, 5)
+        with pytest.raises(ValueError):
+            expected_max_chain_length(5, -1)

@@ -1,0 +1,197 @@
+"""Tests for the tagged chained ownership table (Figure 7 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ownership.base import AccessMode, ConflictKind
+from repro.ownership.hashing import MaskHash
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+
+R, W = AccessMode.READ, AccessMode.WRITE
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            TaggedOwnershipTable(0)
+
+    def test_rejects_mismatched_hash(self):
+        with pytest.raises(ValueError):
+            TaggedOwnershipTable(8, hash_fn=MaskHash(4))
+
+
+class TestAliasFreedom:
+    def test_aliasing_blocks_coexist(self):
+        """Blocks 1 and 9 share entry 1 of an 8-entry table; with tags
+        both writes succeed — the §5 point."""
+        t = TaggedOwnershipTable(8)
+        assert t.acquire(0, 1, W).granted
+        assert t.acquire(1, 9, W).granted
+        assert t.total_records() == 2
+        assert t.occupied_entries() == 1  # one chain of two records
+
+    def test_true_conflict_still_detected(self):
+        t = TaggedOwnershipTable(8)
+        t.acquire(0, 1, W)
+        res = t.acquire(1, 1, W)
+        assert not res.granted
+        assert res.conflict.kind is ConflictKind.WRITE_WRITE
+        assert res.conflict.is_false is False
+
+    def test_counters_never_false(self):
+        t = TaggedOwnershipTable(4)
+        t.acquire(0, 1, W)
+        t.acquire(1, 1, W)
+        t.acquire(1, 5, W)
+        assert t.counters.false_conflicts == 0
+        assert t.counters.true_conflicts == 1
+
+
+class TestProtocolParity:
+    """Same state machine as the tagless table for same-block contention."""
+
+    def test_read_sharing(self):
+        t = TaggedOwnershipTable(8)
+        assert t.acquire(0, 3, R).granted
+        assert t.acquire(1, 3, R).granted
+        assert t.holders_of(3) == (0, 1)
+
+    def test_upgrade_sole_reader(self):
+        t = TaggedOwnershipTable(8)
+        t.acquire(0, 3, R)
+        assert t.acquire(0, 3, W).granted
+        assert t.counters.upgrades == 1
+
+    def test_upgrade_blocked(self):
+        t = TaggedOwnershipTable(8)
+        t.acquire(0, 3, R)
+        t.acquire(1, 3, R)
+        assert not t.acquire(0, 3, W).granted
+
+    def test_owner_rereads(self):
+        t = TaggedOwnershipTable(8)
+        t.acquire(0, 3, W)
+        assert t.acquire(0, 3, R).granted
+
+    def test_write_read_conflict(self):
+        t = TaggedOwnershipTable(8)
+        t.acquire(0, 3, W)
+        res = t.acquire(1, 3, R)
+        assert res.conflict.kind is ConflictKind.WRITE_READ
+
+
+class TestRelease:
+    def test_release_removes_records(self):
+        t = TaggedOwnershipTable(8)
+        t.acquire(0, 1, W)
+        t.acquire(0, 9, W)
+        assert t.release_all(0) == 2
+        assert t.total_records() == 0
+        assert t.occupied_entries() == 0
+
+    def test_release_preserves_other_thread_records(self):
+        t = TaggedOwnershipTable(8)
+        t.acquire(0, 1, W)
+        t.acquire(1, 9, W)  # same chain
+        t.release_all(0)
+        assert t.holders_of(9) == (1,)
+        assert t.holders_of(1) == ()
+
+    def test_shared_read_record_survives_partial_release(self):
+        t = TaggedOwnershipTable(8)
+        t.acquire(0, 3, R)
+        t.acquire(1, 3, R)
+        t.release_all(0)
+        assert t.holders_of(3) == (1,)
+
+
+class TestChainStats:
+    def test_empty_table(self):
+        stats = TaggedOwnershipTable(8).chain_stats()
+        assert stats.total_records == 0
+        assert stats.max_chain == 0
+        assert stats.fraction_entries_simple == 1.0
+
+    def test_chain_of_three(self):
+        t = TaggedOwnershipTable(4)
+        for tid, block in enumerate([1, 5, 9]):  # all entry 1
+            t.acquire(tid, block, R)
+        stats = t.chain_stats()
+        assert stats.max_chain == 3
+        assert stats.histogram[3] == 1
+        assert stats.fraction_chained == 1.0
+
+    def test_indirection_rate(self):
+        t = TaggedOwnershipTable(4)
+        t.acquire(0, 1, R)
+        assert t.indirection_rate == 0.0  # single record: inline case
+        t.acquire(1, 5, R)
+        t.acquire(0, 1, R)  # probes a chain of length 2
+        assert t.indirection_rate > 0.0
+
+    def test_reset(self):
+        t = TaggedOwnershipTable(4)
+        t.acquire(0, 1, W)
+        t.reset()
+        assert t.total_records() == 0
+        assert t.indirection_rate == 0.0
+
+
+class TestTaggedNeverFalseConflicts:
+    """THE property of §5: conflicts require the same block."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=63),
+                st.booleans(),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_conflict_implies_same_block(self, ops):
+        t = TaggedOwnershipTable(8)
+        touched: dict[int, set[int]] = {}
+        for thread, block, is_write in ops:
+            res = t.acquire(thread, block, W if is_write else R)
+            if res.granted:
+                touched.setdefault(thread, set()).add(block)
+            else:
+                # every holder must actually hold this very block
+                for holder in res.conflict.holders:
+                    assert block in touched.get(holder, set())
+                assert res.conflict.is_false is False
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=63),
+                st.booleans(),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_grants_superset_of_tagless(self, ops):
+        """On any access sequence, the tagged table grants everything the
+        tagless table grants (it is strictly less conservative)."""
+        tagged = TaggedOwnershipTable(8)
+        tagless = TaglessOwnershipTable(8, track_addresses=True)
+        for thread, block, is_write in ops:
+            mode = W if is_write else R
+            g_tagless = tagless.acquire(thread, block, mode).granted
+            g_tagged = tagged.acquire(thread, block, mode).granted
+            if g_tagless:
+                assert g_tagged
+            # Keep both tables in lockstep: on a tagless refusal the
+            # requester "aborts" in both worlds so states stay comparable.
+            if not g_tagless:
+                tagless.release_all(thread)
+                tagged.release_all(thread)

@@ -1,0 +1,254 @@
+"""Tests for the tagless ownership table (Figure 1 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ownership.base import AccessMode, ConflictKind, EntryState
+from repro.ownership.hashing import MaskHash
+from repro.ownership.tagless import TaglessOwnershipTable
+
+R, W = AccessMode.READ, AccessMode.WRITE
+
+
+def table(n=8, track=True):
+    return TaglessOwnershipTable(n, track_addresses=track)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            TaglessOwnershipTable(0)
+
+    def test_rejects_mismatched_hash(self):
+        with pytest.raises(ValueError):
+            TaglessOwnershipTable(8, hash_fn=MaskHash(16))
+
+    def test_default_hash_is_mask(self):
+        t = table()
+        assert isinstance(t.hash_fn, MaskHash)
+
+
+class TestBasicGrants:
+    def test_read_free_entry(self):
+        t = table()
+        assert t.acquire(0, 3, R).granted
+        assert t.state_of_entry(3) is EntryState.READ
+
+    def test_write_free_entry(self):
+        t = table()
+        assert t.acquire(0, 3, W).granted
+        assert t.state_of_entry(3) is EntryState.WRITE
+
+    def test_multiple_readers_share(self):
+        t = table()
+        assert t.acquire(0, 3, R).granted
+        assert t.acquire(1, 3, R).granted
+        assert t.sharers_of_entry(3) == 2
+
+    def test_reacquire_idempotent(self):
+        t = table()
+        t.acquire(0, 3, W)
+        assert t.acquire(0, 3, W).granted
+        assert t.acquire(0, 3, R).granted  # owner reads own entry
+
+    def test_upgrade_sole_reader(self):
+        t = table()
+        t.acquire(0, 3, R)
+        assert t.acquire(0, 3, W).granted
+        assert t.state_of_entry(3) is EntryState.WRITE
+        assert t.counters.upgrades == 1
+
+    def test_negative_thread_rejected(self):
+        with pytest.raises(ValueError):
+            table().acquire(-1, 3, R)
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            table().acquire(0, -3, R)
+
+
+class TestConflicts:
+    def test_write_write(self):
+        t = table()
+        t.acquire(0, 3, W)
+        res = t.acquire(1, 3, W)
+        assert not res.granted
+        assert res.conflict.kind is ConflictKind.WRITE_WRITE
+        assert res.conflict.holders == (0,)
+
+    def test_write_read(self):
+        t = table()
+        t.acquire(0, 3, W)
+        res = t.acquire(1, 3, R)
+        assert not res.granted
+        assert res.conflict.kind is ConflictKind.WRITE_READ
+
+    def test_read_write(self):
+        t = table()
+        t.acquire(0, 3, R)
+        res = t.acquire(1, 3, W)
+        assert not res.granted
+        assert res.conflict.kind is ConflictKind.READ_WRITE
+
+    def test_upgrade_blocked_by_other_reader(self):
+        t = table()
+        t.acquire(0, 3, R)
+        t.acquire(1, 3, R)
+        res = t.acquire(0, 3, W)
+        assert not res.granted
+        assert res.conflict.holders == (1,)
+
+    def test_refusal_leaves_state_unchanged(self):
+        t = table()
+        t.acquire(0, 3, W)
+        t.acquire(1, 3, W)
+        assert t.state_of_entry(3) is EntryState.WRITE
+        assert t.holders_of(3) == (0,)
+
+    def test_read_read_never_conflicts(self):
+        t = table(n=2)
+        for tid in range(10):
+            assert t.acquire(tid, 0, R).granted
+
+
+class TestFalseConflictClassification:
+    def test_alias_is_false(self):
+        """Blocks 1 and 9 alias in an 8-entry table: a false conflict."""
+        t = table(n=8)
+        t.acquire(0, 1, W)
+        res = t.acquire(1, 9, W)
+        assert not res.granted
+        assert res.conflict.is_false is True
+
+    def test_same_block_is_true(self):
+        t = table(n=8)
+        t.acquire(0, 1, W)
+        res = t.acquire(1, 1, W)
+        assert res.conflict.is_false is False
+
+    def test_unclassified_without_tracking(self):
+        t = table(track=False)
+        t.acquire(0, 1, W)
+        res = t.acquire(1, 1, W)
+        assert res.conflict.is_false is None
+        assert t.counters.unclassified_conflicts == 1
+
+    def test_counters_split(self):
+        t = table(n=8)
+        t.acquire(0, 1, W)
+        t.acquire(1, 9, W)  # false
+        t.acquire(1, 1, W)  # true
+        assert t.counters.false_conflicts == 1
+        assert t.counters.true_conflicts == 1
+        assert t.counters.conflicts == 2
+
+
+class TestRelease:
+    def test_release_frees_entries(self):
+        t = table()
+        t.acquire(0, 1, W)
+        t.acquire(0, 2, R)
+        assert t.release_all(0) == 2
+        assert t.occupied_entries() == 0
+
+    def test_release_keeps_other_readers(self):
+        t = table()
+        t.acquire(0, 3, R)
+        t.acquire(1, 3, R)
+        t.release_all(0)
+        assert t.state_of_entry(3) is EntryState.READ
+        assert t.holders_of(3) == (1,)
+
+    def test_release_unknown_thread_is_noop(self):
+        t = table()
+        assert t.release_all(42) == 0
+
+    def test_after_release_entry_reusable(self):
+        t = table()
+        t.acquire(0, 3, W)
+        t.release_all(0)
+        assert t.acquire(1, 3, W).granted
+
+    def test_release_clears_address_tracking(self):
+        """A freed entry's history must not classify new conflicts."""
+        t = table(n=8)
+        t.acquire(0, 1, W)
+        t.release_all(0)
+        t.acquire(0, 9, W)  # same entry, different block
+        res = t.acquire(1, 1, W)
+        # holder 0 touched 9 (not 1) in its current life: false conflict
+        assert res.conflict.is_false is True
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        t = table()
+        t.acquire(0, 1, W)
+        t.acquire(1, 1, W)
+        t.reset()
+        assert t.occupied_entries() == 0
+        assert t.counters.acquires == 0
+        assert t.acquire(1, 1, W).granted
+
+
+class TestTaglessInvariants:
+    """Property: the tagless table is exactly as conservative as the
+    paper says — any cross-thread co-residence on an entry with ≥ 1
+    write is impossible; grants alone maintain per-entry exclusivity."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # thread
+                st.integers(min_value=0, max_value=31),  # block
+                st.booleans(),  # is_write
+                st.booleans(),  # release after?
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_single_writer_invariant(self, ops):
+        t = TaglessOwnershipTable(8, track_addresses=True)
+        holders_w: dict[int, int] = {}
+        holders_r: dict[int, set] = {}
+        for thread, block, is_write, release in ops:
+            res = t.acquire(thread, block, W if is_write else R)
+            entry = res.entry
+            if res.granted:
+                if is_write:
+                    # no other writer, no other reader may exist
+                    assert holders_w.get(entry, thread) == thread
+                    assert holders_r.get(entry, set()) <= {thread}
+                    holders_w[entry] = thread
+                    holders_r.pop(entry, None)
+                else:
+                    assert holders_w.get(entry, thread) == thread
+                    if holders_w.get(entry) != thread:
+                        holders_r.setdefault(entry, set()).add(thread)
+            if release:
+                t.release_all(thread)
+                holders_w = {e: h for e, h in holders_w.items() if h != thread}
+                for readers in holders_r.values():
+                    readers.discard(thread)
+                holders_r = {e: r for e, r in holders_r.items() if r}
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=2, unique=True)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_alias_always_conservative(self, blocks):
+        """Two *distinct* blocks from different threads: if they share an
+        entry, a write acquire must be refused (the false conflict)."""
+        t = TaglessOwnershipTable(16, track_addresses=True)
+        a, b = blocks
+        t.acquire(0, a, W)
+        res = t.acquire(1, b, W)
+        if t.entry_of(a) == t.entry_of(b):
+            assert not res.granted
+            assert res.conflict.is_false is True
+        else:
+            assert res.granted

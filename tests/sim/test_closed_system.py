@@ -1,0 +1,106 @@
+"""Tests for the closed-system simulator (Figures 5, 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_entries": 0},
+            {"n_entries": 8, "concurrency": 0},
+            {"n_entries": 8, "write_footprint": 0},
+            {"n_entries": 8, "alpha": -1},
+            {"n_entries": 8, "target_transactions": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ClosedSystemConfig(**kwargs)
+
+    def test_footprint_and_horizon(self):
+        cfg = ClosedSystemConfig(1024, concurrency=2, write_footprint=10, alpha=2)
+        assert cfg.footprint == 30
+        assert cfg.horizon_ticks == 650 * 30 // 2
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_closed_system(ClosedSystemConfig(1024, concurrency=64))
+
+
+class TestNoConflictBaseline:
+    def test_huge_table_completes_target(self):
+        """With a vast table, ~650 transactions commit and no conflicts
+        occur — the paper's calibration."""
+        cfg = ClosedSystemConfig(1 << 22, concurrency=2, write_footprint=5, seed=1)
+        r = simulate_closed_system(cfg)
+        assert r.conflicts <= 2  # vanishingly rare
+        assert r.committed == pytest.approx(650, abs=6)  # stagger rounding
+
+    def test_occupancy_matches_expectation_at_low_conflict(self):
+        """§4: low-conflict occupancy ≈ C · F/2."""
+        cfg = ClosedSystemConfig(1 << 20, concurrency=4, write_footprint=10, seed=2)
+        r = simulate_closed_system(cfg)
+        assert r.occupancy_ratio == pytest.approx(1.0, abs=0.08)
+        assert r.actual_concurrency == pytest.approx(4.0, abs=0.35)
+
+
+class TestConflictScaling:
+    def test_conflicts_grow_with_footprint(self):
+        base = dict(n_entries=4096, concurrency=4, seed=3)
+        c5 = simulate_closed_system(ClosedSystemConfig(write_footprint=5, **base)).conflicts
+        c10 = simulate_closed_system(ClosedSystemConfig(write_footprint=10, **base)).conflicts
+        c20 = simulate_closed_system(ClosedSystemConfig(write_footprint=20, **base)).conflicts
+        assert c5 < c10 < c20
+
+    def test_conflicts_shrink_with_table(self):
+        base = dict(concurrency=4, write_footprint=10, seed=3)
+        c1k = simulate_closed_system(ClosedSystemConfig(n_entries=1024, **base)).conflicts
+        c16k = simulate_closed_system(ClosedSystemConfig(n_entries=16384, **base)).conflicts
+        assert c16k < c1k
+
+    def test_conflicts_grow_with_concurrency(self):
+        base = dict(n_entries=4096, write_footprint=10, seed=3)
+        c2 = simulate_closed_system(ClosedSystemConfig(concurrency=2, **base)).conflicts
+        c8 = simulate_closed_system(ClosedSystemConfig(concurrency=8, **base)).conflicts
+        assert c8 > 3 * c2  # strongly superlinear
+
+    def test_linear_conflicts_in_w_squared(self):
+        """Per-transaction conflict probability ∝ W² at fixed commits:
+        W=8 → W=16 should give roughly 4× conflicts (moderate regime)."""
+        base = dict(n_entries=16384, concurrency=2, seed=5)
+        c8 = simulate_closed_system(ClosedSystemConfig(write_footprint=8, **base)).conflicts
+        c16 = simulate_closed_system(ClosedSystemConfig(write_footprint=16, **base)).conflicts
+        assert c16 / max(c8, 1) == pytest.approx(4.0, rel=0.6)
+
+
+class TestDepopulationEffect:
+    def test_high_conflict_depresses_occupancy(self):
+        """§4: at high conflict rates mean occupancy falls as much as
+        ~40% below C·F/2 because aborts depopulate the table."""
+        cfg = ClosedSystemConfig(512, concurrency=8, write_footprint=20, seed=4)
+        r = simulate_closed_system(cfg)
+        assert r.conflicts > 500
+        assert r.occupancy_ratio < 0.8
+        assert r.actual_concurrency < 6.5
+
+    def test_committed_falls_under_contention(self):
+        lo = simulate_closed_system(ClosedSystemConfig(1 << 18, 4, 10, seed=6))
+        hi = simulate_closed_system(ClosedSystemConfig(256, 4, 10, seed=6))
+        assert hi.committed < lo.committed
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        cfg = ClosedSystemConfig(2048, 4, 10, seed=8)
+        a = simulate_closed_system(cfg)
+        b = simulate_closed_system(cfg)
+        assert (a.conflicts, a.committed, a.mean_occupancy) == (
+            b.conflicts,
+            b.committed,
+            b.mean_occupancy,
+        )

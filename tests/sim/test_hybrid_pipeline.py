@@ -1,0 +1,141 @@
+"""Tests for the end-to-end hybrid-TM pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.htm.cache import CacheGeometry
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.sim.hybrid_pipeline import (
+    HybridPipelineConfig,
+    simulate_hybrid_pipeline,
+)
+from repro.traces.events import AccessTrace
+from repro.traces.transactions import TransactionWorkload, slice_by_accesses
+
+TINY = CacheGeometry(size_bytes=4 * 4 * 64, ways=4)  # 16 blocks
+
+
+def tx(blocks, writes=True):
+    arr = np.asarray(blocks, dtype=np.int64)
+    w = np.full(len(arr), bool(writes))
+    return AccessTrace(arr, w)
+
+
+def workload(*txs):
+    return TransactionWorkload(tuple(txs))
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [{"victim_entries": -1}, {"max_stm_restarts": -1}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HybridPipelineConfig(**kwargs)
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_hybrid_pipeline([], TaggedOwnershipTable(64))
+
+
+class TestHTMPath:
+    def test_small_transactions_stay_in_htm(self):
+        w = workload(tx([1, 2]), tx([3, 4]))
+        r = simulate_hybrid_pipeline([w], TaggedOwnershipTable(64), HybridPipelineConfig(geometry=TINY))
+        assert r.htm_commits == 2
+        assert r.stm_commits == 0
+        assert r.overflow_rate == 0.0
+        assert r.goodput == 1.0
+
+    def test_big_transaction_overflows(self):
+        big = tx([0, 4, 8, 12, 16, 20])  # one hot set of the tiny cache
+        r = simulate_hybrid_pipeline(
+            [workload(big)], TaggedOwnershipTable(1024), HybridPipelineConfig(geometry=TINY, victim_entries=0)
+        )
+        assert r.stm_commits == 1
+        assert r.overflow_rate == 1.0
+        assert r.overflow_footprints and r.overflow_footprints[0] >= 5
+
+
+class TestSTMPath:
+    def _big(self, base):
+        # 20 same-set blocks: guaranteed overflow on the tiny cache
+        return tx([base + 16 * k for k in range(20)])
+
+    def test_tagged_fallback_commits_everything(self):
+        w0 = workload(self._big(0), self._big(1000))
+        w1 = workload(self._big(2000), self._big(3000))
+        r = simulate_hybrid_pipeline(
+            [w0, w1], TaggedOwnershipTable(4096), HybridPipelineConfig(geometry=TINY, victim_entries=0)
+        )
+        assert r.failed == 0
+        assert r.stm_commits == 4
+        assert r.true_conflicts == 0
+
+    def test_tagless_fallback_false_conflicts(self):
+        """Disjoint big transactions on a tiny tagless table: heavy false
+        conflicts, possibly failures."""
+        w0 = workload(*[self._big(10_000 * (i + 1)) for i in range(4)])
+        w1 = workload(*[self._big(10_000 * (i + 51)) for i in range(4)])
+        table = TaglessOwnershipTable(64, track_addresses=True)
+        r = simulate_hybrid_pipeline(
+            [w0, w1],
+            table,
+            HybridPipelineConfig(geometry=TINY, victim_entries=0, max_stm_restarts=3, seed=1),
+        )
+        assert r.false_conflicts > 0
+        assert r.true_conflicts == 0
+        assert r.stm_restarts > 0
+
+    def test_failed_counts_toward_goodput(self):
+        """A transaction hammered by an undrainable conflict eventually
+        fails and goodput reflects it."""
+        # single thread whose transaction self-aliases? No — single
+        # thread never conflicts. Use two threads with full-range overlap
+        # on a 1-entry-ish table: N=1 makes every pair conflict.
+        w0 = workload(self._big(0))
+        w1 = workload(self._big(10_000))
+        table = TaglessOwnershipTable(1)
+        r = simulate_hybrid_pipeline(
+            [w0, w1],
+            table,
+            HybridPipelineConfig(geometry=TINY, victim_entries=0, max_stm_restarts=2, seed=2),
+        )
+        # with a 1-entry table one thread wins, the other exhausts retries
+        assert r.stm_commits >= 1
+        assert r.failed >= 1
+        assert r.goodput < 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        w0 = workload(tx([16 * k for k in range(20)]))
+        w1 = workload(tx([5000 + 16 * k for k in range(20)]))
+        cfg = HybridPipelineConfig(geometry=TINY, victim_entries=0, seed=3)
+        r1 = simulate_hybrid_pipeline([w0, w1], TaglessOwnershipTable(128), cfg)
+        r2 = simulate_hybrid_pipeline([w0, w1], TaglessOwnershipTable(128), cfg)
+        assert (r1.stm_commits, r1.failed, r1.stm_restarts) == (
+            r2.stm_commits,
+            r2.failed,
+            r2.stm_restarts,
+        )
+
+
+class TestRealisticWorkload:
+    def test_spec_profile_end_to_end(self):
+        from repro.traces.workloads import SPEC2000_PROFILES, synthesize_trace
+        from repro.util.rng import stream_rng
+
+        workloads = []
+        for tid in range(2):
+            t = synthesize_trace(
+                SPEC2000_PROFILES["gcc"], 30_000, stream_rng(4, "pipe", tid=tid), base=tid << 32
+            )
+            workloads.append(slice_by_accesses(t, 2000))
+        r = simulate_hybrid_pipeline(
+            workloads, TaggedOwnershipTable(1 << 16), HybridPipelineConfig()
+        )
+        assert r.total_transactions == sum(len(w) for w in workloads)
+        assert r.goodput == 1.0  # tagged table, disjoint address spaces
+        assert 0.0 <= r.overflow_rate <= 1.0

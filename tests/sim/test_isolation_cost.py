@@ -1,0 +1,99 @@
+"""Tests for the strong-isolation cost engine and model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.isolation_cost import (
+    IsolationCostConfig,
+    plain_read_violation_rate,
+    plain_write_violation_rate,
+    simulate_isolation_cost,
+)
+
+
+class TestModelFunctions:
+    def test_read_rate_formula(self):
+        # C W / 2N = 4 * 20 / (2 * 4096)
+        assert plain_read_violation_rate(4096, 4, 20) == pytest.approx(80 / 8192)
+
+    def test_write_rate_formula(self):
+        # C (1+a) W / 2N = 4 * 3 * 20 / 8192
+        assert plain_write_violation_rate(4096, 4, 20, alpha=2.0) == pytest.approx(240 / 8192)
+
+    def test_write_rate_exceeds_read_rate(self):
+        assert plain_write_violation_rate(1024, 4, 20) > plain_read_violation_rate(1024, 4, 20)
+
+    def test_clamped_at_one(self):
+        assert plain_write_violation_rate(10, 8, 100) == 1.0
+
+    def test_zero_concurrency(self):
+        assert plain_read_violation_rate(1024, 0, 20) == 0.0
+
+    @pytest.mark.parametrize("fn", [plain_read_violation_rate, plain_write_violation_rate])
+    def test_validation(self, fn):
+        with pytest.raises(ValueError):
+            fn(0, 2, 10)
+        with pytest.raises(ValueError):
+            fn(64, -1, 10)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_entries": 0},
+            {"n_entries": 64, "concurrency": -1},
+            {"n_entries": 64, "write_footprint": 0},
+            {"n_entries": 64, "plain_accesses": 0},
+            {"n_entries": 64, "plain_write_fraction": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            IsolationCostConfig(**kwargs)
+
+
+class TestEngine:
+    def test_no_transactions_no_violations(self):
+        r = simulate_isolation_cost(IsolationCostConfig(1024, concurrency=0))
+        assert r.read_violation_rate == 0.0
+        assert r.write_violation_rate == 0.0
+        assert r.overall_rate == 0.0
+
+    def test_matches_model(self):
+        cfg = IsolationCostConfig(
+            n_entries=4096, concurrency=4, write_footprint=20, plain_accesses=60_000, seed=1
+        )
+        r = simulate_isolation_cost(cfg)
+        model_read = plain_read_violation_rate(4096, 4, 20)
+        model_write = plain_write_violation_rate(4096, 4, 20)
+        assert r.read_violation_rate == pytest.approx(model_read, rel=0.5, abs=0.004)
+        assert r.write_violation_rate == pytest.approx(model_write, rel=0.4, abs=0.006)
+
+    def test_rates_grow_with_concurrency(self):
+        base = dict(n_entries=2048, write_footprint=20, plain_accesses=40_000, seed=2)
+        lo = simulate_isolation_cost(IsolationCostConfig(concurrency=2, **base))
+        hi = simulate_isolation_cost(IsolationCostConfig(concurrency=8, **base))
+        assert hi.overall_rate > 2 * lo.overall_rate
+
+    def test_rates_shrink_with_table(self):
+        base = dict(concurrency=4, write_footprint=20, plain_accesses=40_000, seed=2)
+        small = simulate_isolation_cost(IsolationCostConfig(n_entries=1024, **base))
+        big = simulate_isolation_cost(IsolationCostConfig(n_entries=16384, **base))
+        assert big.overall_rate < small.overall_rate / 4
+
+    def test_writes_violate_more_than_reads(self):
+        r = simulate_isolation_cost(
+            IsolationCostConfig(2048, concurrency=4, write_footprint=20, plain_accesses=50_000)
+        )
+        assert r.write_violation_rate > r.read_violation_rate
+
+    def test_deterministic(self):
+        cfg = IsolationCostConfig(2048, seed=7)
+        assert simulate_isolation_cost(cfg) == simulate_isolation_cost(cfg)
+
+    def test_overall_rate_mix(self):
+        cfg = IsolationCostConfig(1024, plain_write_fraction=0.0, plain_accesses=20_000)
+        r = simulate_isolation_cost(cfg)
+        assert r.overall_rate == r.read_violation_rate

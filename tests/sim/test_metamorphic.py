@@ -1,0 +1,84 @@
+"""Metamorphic tests on the simulation engines.
+
+Rather than comparing against fixed numbers, these tests check relations
+that must hold between *pairs* of runs: sample-size consistency,
+parameter monotonicity, seed independence of distributions, and
+symmetry under relabelings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.open_system import OpenSystemConfig, simulate_open_system
+
+
+class TestSampleSizeConsistency:
+    def test_bigger_sample_agrees_within_error(self):
+        """Quadrupling samples must keep the estimate within combined
+        confidence bands (binomial consistency)."""
+        small = simulate_open_system(OpenSystemConfig(1024, 2, 10, samples=1000, seed=1))
+        large = simulate_open_system(OpenSystemConfig(1024, 2, 10, samples=4000, seed=2))
+        gap = abs(small.conflict_probability - large.conflict_probability)
+        assert gap < 4 * (small.stderr + large.stderr)
+
+    def test_stderr_shrinks_with_samples(self):
+        small = simulate_open_system(OpenSystemConfig(1024, 2, 10, samples=500, seed=1))
+        large = simulate_open_system(OpenSystemConfig(1024, 2, 10, samples=8000, seed=1))
+        assert large.stderr < small.stderr
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("w_pair", [(5, 10), (10, 20), (20, 40)])
+    def test_open_system_monotone_in_w(self, w_pair):
+        lo, hi = w_pair
+        p_lo = simulate_open_system(OpenSystemConfig(4096, 2, lo, samples=3000, seed=3))
+        p_hi = simulate_open_system(OpenSystemConfig(4096, 2, hi, samples=3000, seed=3))
+        assert p_hi.conflict_probability > p_lo.conflict_probability - 0.02
+
+    def test_open_system_monotone_in_alpha(self):
+        p1 = simulate_open_system(OpenSystemConfig(2048, 2, 10, alpha=1, samples=3000, seed=4))
+        p3 = simulate_open_system(OpenSystemConfig(2048, 2, 10, alpha=3, samples=3000, seed=4))
+        assert p3.conflict_probability > p1.conflict_probability
+
+    def test_closed_system_horizon_scales_conflicts(self):
+        """Doubling the transaction target ≈ doubles conflicts (the run
+        is twice as long at the same rate)."""
+        base = simulate_closed_system(
+            ClosedSystemConfig(4096, 4, 10, target_transactions=650, seed=5)
+        )
+        double = simulate_closed_system(
+            ClosedSystemConfig(4096, 4, 10, target_transactions=1300, seed=5)
+        )
+        assert double.conflicts == pytest.approx(2 * base.conflicts, rel=0.35)
+        assert double.committed == pytest.approx(2 * base.committed, rel=0.1)
+
+
+class TestSeedIndependence:
+    def test_estimates_distribute_around_common_mean(self):
+        """Across seeds the point estimates scatter with the predicted
+        stderr (no systematic seed bias)."""
+        estimates = [
+            simulate_open_system(
+                OpenSystemConfig(2048, 2, 10, samples=2000, seed=s)
+            ).conflict_probability
+            for s in range(8)
+        ]
+        spread = float(np.std(estimates))
+        typical_stderr = simulate_open_system(
+            OpenSystemConfig(2048, 2, 10, samples=2000, seed=99)
+        ).stderr
+        assert spread < 3 * typical_stderr
+
+
+class TestDegenerateLimits:
+    def test_enormous_table_no_conflicts(self):
+        r = simulate_open_system(OpenSystemConfig(1 << 26, 2, 10, samples=500, seed=6))
+        assert r.conflict_probability < 0.01
+
+    def test_closed_enormous_table_full_commit(self):
+        r = simulate_closed_system(ClosedSystemConfig(1 << 22, 2, 5, seed=6))
+        assert r.conflicts <= 1
+        assert r.committed >= 640

@@ -1,0 +1,162 @@
+"""Tests for the vectorized collision kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.montecarlo import (
+    collision_probability_estimate,
+    cross_thread_conflicts,
+    intra_thread_alias_counts,
+)
+
+
+def check_reference(entries, is_write, thread_of):
+    """Brute-force oracle: any entry touched by >= 2 threads with >= 1 write."""
+    out = []
+    for s in range(entries.shape[0]):
+        conflict = False
+        by_entry: dict[int, list[tuple[int, bool]]] = {}
+        for j in range(entries.shape[1]):
+            by_entry.setdefault(int(entries[s, j]), []).append(
+                (int(thread_of[j]), bool(is_write[s, j]))
+            )
+        for tws in by_entry.values():
+            threads = {t for t, _ in tws}
+            writes = any(w for _, w in tws)
+            if len(threads) > 1 and writes:
+                conflict = True
+                break
+        out.append(conflict)
+    return np.array(out)
+
+
+class TestCrossThreadConflicts:
+    def test_no_collision(self):
+        entries = np.array([[0, 1, 2, 3]])
+        writes = np.ones((1, 4), dtype=bool)
+        thread_of = np.array([0, 0, 1, 1])
+        assert not cross_thread_conflicts(entries, writes, thread_of)[0]
+
+    def test_write_collision(self):
+        entries = np.array([[0, 1, 1, 3]])
+        writes = np.array([[False, True, False, False]])
+        thread_of = np.array([0, 0, 1, 1])
+        assert cross_thread_conflicts(entries, writes, thread_of)[0]
+
+    def test_read_read_collision_ignored(self):
+        entries = np.array([[5, 5]])
+        writes = np.zeros((1, 2), dtype=bool)
+        thread_of = np.array([0, 1])
+        assert not cross_thread_conflicts(entries, writes, thread_of)[0]
+
+    def test_same_thread_write_collision_ignored(self):
+        entries = np.array([[5, 5]])
+        writes = np.ones((1, 2), dtype=bool)
+        thread_of = np.array([0, 0])
+        assert not cross_thread_conflicts(entries, writes, thread_of)[0]
+
+    def test_run_spanning_threads_without_adjacent_pair(self):
+        """[t0-write, t0-read, t1-read] on one entry must conflict even
+        though no *adjacent sorted pair* has both properties."""
+        entries = np.array([[7, 7, 7]])
+        writes = np.array([[True, False, False]])
+        thread_of = np.array([0, 0, 1])
+        assert cross_thread_conflicts(entries, writes, thread_of)[0]
+
+    def test_multiple_samples_independent(self):
+        entries = np.array([[0, 0], [0, 1]])
+        writes = np.ones((2, 2), dtype=bool)
+        thread_of = np.array([0, 1])
+        out = cross_thread_conflicts(entries, writes, thread_of)
+        assert list(out) == [True, False]
+
+    def test_empty_accesses(self):
+        out = cross_thread_conflicts(
+            np.empty((3, 0), dtype=np.int64), np.empty((3, 0), dtype=bool), np.empty(0, dtype=np.int64)
+        )
+        assert list(out) == [False, False, False]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_thread_conflicts(np.zeros((2, 3)), np.zeros((2, 4), dtype=bool), np.zeros(3))
+        with pytest.raises(ValueError):
+            cross_thread_conflicts(
+                np.zeros((2, 3)), np.zeros((2, 3), dtype=bool), np.zeros(4)
+            )
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            cross_thread_conflicts(
+                np.array([[-1, 0]]), np.zeros((1, 2), dtype=bool), np.array([0, 1])
+            )
+
+    @given(
+        samples=st.integers(min_value=1, max_value=8),
+        accesses_per_thread=st.integers(min_value=1, max_value=6),
+        threads=st.integers(min_value=1, max_value=4),
+        n=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_bruteforce_oracle(self, samples, accesses_per_thread, threads, n, seed):
+        rng = np.random.default_rng(seed)
+        a = threads * accesses_per_thread
+        entries = rng.integers(0, n, size=(samples, a))
+        writes = rng.random((samples, a)) < 0.4
+        thread_of = np.repeat(np.arange(threads), accesses_per_thread)
+        fast = cross_thread_conflicts(entries, writes, thread_of)
+        slow = check_reference(entries, writes, thread_of)
+        assert np.array_equal(fast, slow)
+
+
+class TestIntraThreadAliases:
+    def test_no_repeats(self):
+        assert intra_thread_alias_counts(np.array([[0, 1, 2]]))[0] == 0
+
+    def test_counts_excess(self):
+        assert intra_thread_alias_counts(np.array([[5, 5, 5, 1]]))[0] == 2
+
+    def test_multiple_samples(self):
+        out = intra_thread_alias_counts(np.array([[0, 0], [0, 1]]))
+        assert list(out) == [1, 0]
+
+    def test_empty(self):
+        assert list(intra_thread_alias_counts(np.empty((2, 0)))) == [0, 0]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            intra_thread_alias_counts(np.array([1, 2, 3]))
+
+    @given(
+        rows=st.lists(
+            st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=12),
+            min_size=1,
+            max_size=5,
+        ).filter(lambda rs: len({len(r) for r in rs}) == 1)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equals_touched_minus_distinct(self, rows):
+        arr = np.array(rows)
+        out = intra_thread_alias_counts(arr)
+        for i, row in enumerate(rows):
+            assert out[i] == len(row) - len(set(row))
+
+
+class TestProbabilityEstimate:
+    def test_point_estimate(self):
+        p, se = collision_probability_estimate(np.array([True, True, False, False]))
+        assert p == 0.5
+        assert se == pytest.approx(0.25)
+
+    def test_degenerate_all_true(self):
+        p, se = collision_probability_estimate(np.ones(100, dtype=bool))
+        assert p == 1.0
+        assert se == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            collision_probability_estimate(np.array([], dtype=bool))

@@ -1,0 +1,106 @@
+"""Tests for the open-system simulator — including model agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import ModelParams, conflict_likelihood_product_form
+from repro.sim.open_system import OpenSystemConfig, OpenSystemResult, simulate_open_system
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_entries": 0},
+            {"n_entries": 8, "concurrency": 0},
+            {"n_entries": 8, "write_footprint": -1},
+            {"n_entries": 8, "alpha": -1},
+            {"n_entries": 8, "samples": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            OpenSystemConfig(**kwargs)
+
+    def test_blocks_per_tx(self):
+        assert OpenSystemConfig(8, write_footprint=10, alpha=2).blocks_per_tx == 30
+
+
+class TestDegenerateCases:
+    def test_zero_footprint_no_conflicts(self):
+        r = simulate_open_system(OpenSystemConfig(64, write_footprint=0))
+        assert r.conflict_probability == 0.0
+
+    def test_single_thread_no_conflicts(self):
+        r = simulate_open_system(OpenSystemConfig(64, concurrency=1, write_footprint=10))
+        assert r.conflict_probability == 0.0
+
+    def test_tiny_table_always_conflicts(self):
+        r = simulate_open_system(OpenSystemConfig(1, concurrency=2, write_footprint=2, samples=50))
+        assert r.conflict_probability == 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        cfg = OpenSystemConfig(1024, 2, 10, samples=500, seed=3)
+        assert simulate_open_system(cfg) == simulate_open_system(cfg)
+
+    def test_different_seed_different_draws(self):
+        a = simulate_open_system(OpenSystemConfig(1024, 2, 10, samples=500, seed=3))
+        b = simulate_open_system(OpenSystemConfig(1024, 2, 10, samples=500, seed=4))
+        # probabilities may coincide but the exact outcome vector rarely;
+        # allow equality of p only within a couple stderr
+        assert abs(a.conflict_probability - b.conflict_probability) < 6 * (a.stderr + b.stderr + 1e-3)
+
+
+class TestModelAgreement:
+    """The §4 validation, as an automated check: simulation within a few
+    standard errors of the product-form model in the moderate regime."""
+
+    @pytest.mark.parametrize("n", [512, 1024, 2048, 4096])
+    def test_figure4a_points(self, n):
+        cfg = OpenSystemConfig(n_entries=n, concurrency=2, write_footprint=8, samples=4000, seed=1)
+        r = simulate_open_system(cfg)
+        model = conflict_likelihood_product_form(8, ModelParams(n, 2, 2.0))
+        assert r.conflict_probability == pytest.approx(model, abs=max(5 * r.stderr, 0.02))
+
+    @pytest.mark.parametrize("c,n", [(2, 4096), (4, 16384), (8, 65536)])
+    def test_figure4b_cluster(self, c, n):
+        """⟨C, N⟩ pairs scaling N as C(C−1) give near-equal conflict rates
+        (the Figure 4b clusters)."""
+        cfg = OpenSystemConfig(n_entries=n, concurrency=c, write_footprint=10, samples=4000, seed=2)
+        r = simulate_open_system(cfg)
+        model = conflict_likelihood_product_form(10, ModelParams(n, c, 2.0))
+        assert r.conflict_probability == pytest.approx(model, abs=max(5 * r.stderr, 0.025))
+
+    def test_paper_sixfold_concurrency_claim(self):
+        r2 = simulate_open_system(OpenSystemConfig(65536, 2, 10, samples=30000, seed=7))
+        r4 = simulate_open_system(OpenSystemConfig(65536, 4, 10, samples=30000, seed=7))
+        ratio = r4.conflict_probability / r2.conflict_probability
+        assert ratio == pytest.approx(6.0, rel=0.25)
+
+    def test_intra_alias_rate_small_below_50pct_conflicts(self):
+        """§4: 'the aliasing rate is below 3% as long as the conflict
+        rate is below 50%'."""
+        cfg = OpenSystemConfig(1024, 2, 8, samples=4000, seed=9)  # ~48% conflicts
+        r = simulate_open_system(cfg)
+        assert r.conflict_probability < 0.55
+        assert r.intra_alias_rate < 0.03
+
+    def test_alpha_zero_supported(self):
+        """Pure-writer transactions (α = 0) still follow the model."""
+        cfg = OpenSystemConfig(2048, 2, 10, alpha=0, samples=4000, seed=11)
+        r = simulate_open_system(cfg)
+        model = conflict_likelihood_product_form(10, ModelParams(2048, 2, 0.0))
+        assert r.conflict_probability == pytest.approx(model, abs=max(5 * r.stderr, 0.02))
+
+
+class TestResultShape:
+    def test_result_fields(self):
+        r = simulate_open_system(OpenSystemConfig(256, samples=100))
+        assert isinstance(r, OpenSystemResult)
+        assert 0.0 <= r.conflict_probability <= 1.0
+        assert r.stderr >= 0.0
+        assert r.intra_alias_rate >= 0.0
+        assert r.config.n_entries == 256

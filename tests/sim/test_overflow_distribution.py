@@ -1,0 +1,74 @@
+"""Tests for raw overflow distributions (beyond Figure 3's means)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.overflow import (
+    OverflowConfig,
+    OverflowDistribution,
+    characterize_overflow,
+    overflow_distribution,
+)
+from repro.traces.workloads import SPEC2000_PROFILES
+
+CFG = OverflowConfig(n_traces=10, trace_accesses=150_000, seed=9)
+
+
+class TestConstruction:
+    def test_alignment_checked(self):
+        with pytest.raises(ValueError, match="aligned"):
+            OverflowDistribution(
+                "x",
+                np.array([1, 2]),
+                np.array([1]),
+                np.array([1, 2]),
+            )
+
+    def test_empty_percentile_rejected(self):
+        dist = OverflowDistribution(
+            "x", np.array([], dtype=np.int64), np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        with pytest.raises(ValueError, match="no overflow samples"):
+            dist.footprint_percentile(50)
+
+    def test_percentile_range_checked(self):
+        dist = overflow_distribution(SPEC2000_PROFILES["gcc"], CFG)
+        with pytest.raises(ValueError):
+            dist.footprint_percentile(101)
+        with pytest.raises(ValueError):
+            dist.instruction_percentile(-1)
+
+
+class TestConsistencyWithSummary:
+    def test_means_match_characterize(self):
+        """Same per-trace seeds: distribution means equal summary means."""
+        profile = SPEC2000_PROFILES["parser"]
+        summary = characterize_overflow(profile, CFG)
+        dist = overflow_distribution(profile, CFG)
+        assert dist.n_samples == summary.traces_overflowed
+        assert float(dist.footprints.mean()) == pytest.approx(summary.mean_footprint)
+        assert float(dist.write_blocks.mean()) == pytest.approx(summary.mean_write_blocks)
+        assert float(dist.instructions.mean()) == pytest.approx(summary.mean_instructions)
+
+
+class TestDistributionShape:
+    def test_percentiles_ordered(self):
+        dist = overflow_distribution(SPEC2000_PROFILES["gcc"], CFG)
+        p10 = dist.footprint_percentile(10)
+        p50 = dist.footprint_percentile(50)
+        p90 = dist.footprint_percentile(90)
+        assert p10 <= p50 <= p90
+
+    def test_tail_exists(self):
+        """Overflow points are spread, not a constant — the STM must be
+        sized for more than the mean."""
+        dist = overflow_distribution(SPEC2000_PROFILES["mcf"], CFG)
+        assert dist.tail_ratio > 1.02
+
+    def test_deterministic(self):
+        a = overflow_distribution(SPEC2000_PROFILES["vpr"], CFG)
+        b = overflow_distribution(SPEC2000_PROFILES["vpr"], CFG)
+        assert np.array_equal(a.footprints, b.footprints)
+        assert np.array_equal(a.instructions, b.instructions)

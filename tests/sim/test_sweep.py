@@ -1,0 +1,64 @@
+"""Tests for sweep utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        grid = sweep_grid(n=[1, 2], w=[10, 20, 30])
+        assert len(grid) == 6
+        assert grid[0] == {"n": 1, "w": 10}
+        assert grid[-1] == {"n": 2, "w": 30}
+
+    def test_last_axis_fastest(self):
+        grid = sweep_grid(a=[1, 2], b=[3, 4])
+        assert [g["b"] for g in grid[:2]] == [3, 4]
+
+    def test_empty_axes(self):
+        assert sweep_grid() == [{}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            sweep_grid(n=[])
+
+
+class TestRunSweep:
+    def test_collects_outcomes(self):
+        result = run_sweep(lambda n, w: n * w, sweep_grid(n=[2, 3], w=[10]))
+        assert result.outcomes == [20, 30]
+        assert len(result) == 2
+
+    def test_points_copied(self):
+        grid = sweep_grid(n=[1])
+        result = run_sweep(lambda n: n, grid)
+        result.points[0]["n"] = 99
+        assert grid[0]["n"] == 1
+
+
+class TestSweepResult:
+    def make(self):
+        return run_sweep(lambda n, w: n * w, sweep_grid(n=[1, 2], w=[10, 20]))
+
+    def test_where(self):
+        sub = self.make().where(n=2)
+        assert len(sub) == 2
+        assert all(p["n"] == 2 for p in sub.points)
+
+    def test_where_no_match(self):
+        assert len(self.make().where(n=99)) == 0
+
+    def test_series(self):
+        xs, ys = self.make().where(n=1).series("w", lambda v: float(v))
+        assert xs == [10, 20]
+        assert ys == [10.0, 20.0]
+
+    def test_axis_values(self):
+        assert self.make().axis_values("w") == [10, 20]
+
+    def test_iteration(self):
+        pairs = list(self.make())
+        assert pairs[0] == ({"n": 1, "w": 10}, 10)

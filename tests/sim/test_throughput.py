@@ -1,0 +1,86 @@
+"""Tests for the throughput-scaling engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.throughput import ThroughputConfig, simulate_throughput, throughput_curve
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_entries": 0, "concurrency": 2},
+            {"n_entries": 8, "concurrency": 0},
+            {"n_entries": 8, "concurrency": 2, "write_footprint": 0},
+            {"n_entries": 8, "concurrency": 2, "alpha": -1},
+            {"n_entries": 8, "concurrency": 2, "ticks_per_thread": 0},
+            {"n_entries": 8, "concurrency": 64},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ThroughputConfig(**kwargs)
+
+    def test_footprint(self):
+        assert ThroughputConfig(8, 2, write_footprint=10, alpha=2).footprint == 30
+
+
+class TestSingleThread:
+    def test_no_conflicts_alone(self):
+        r = simulate_throughput(ThroughputConfig(64, 1, write_footprint=5, ticks_per_thread=900))
+        assert r.conflicts == 0
+        # 900 ticks / 15-block transactions = 60 commits (minus stagger)
+        assert r.committed == pytest.approx(60, abs=2)
+        assert r.speedup == pytest.approx(1.0, abs=0.05)
+
+
+class TestTaggedBaseline:
+    def test_ideal_linear_scaling(self):
+        for c in (1, 2, 8, 32):
+            cfg = ThroughputConfig(64, c, tagged=True, ticks_per_thread=3000)
+            r = simulate_throughput(cfg)
+            assert r.conflicts == 0
+            assert r.speedup == pytest.approx(float(c), rel=0.02)
+
+
+class TestTaglessCollapse:
+    def test_small_table_sublinear(self):
+        lone = simulate_throughput(ThroughputConfig(1024, 1, ticks_per_thread=3000))
+        eight = simulate_throughput(ThroughputConfig(1024, 8, ticks_per_thread=3000))
+        assert eight.speedup < 8 * lone.speedup * 0.8
+
+    def test_scalability_collapse(self):
+        """The §2.1 Damron shape: throughput peaks then declines."""
+        curve = throughput_curve(
+            [1, 4, 16, 48], n_entries=1024, ticks_per_thread=3000, seed=3
+        )
+        speedups = [r.speedup for r in curve]
+        peak = max(speedups)
+        assert speedups[-1] < 0.8 * peak  # C=48 below the peak
+        assert speedups.index(peak) not in (0, len(speedups) - 1)
+
+    def test_larger_table_moves_collapse_out(self):
+        small = throughput_curve([32], n_entries=1024, ticks_per_thread=2000, seed=3)[0]
+        large = throughput_curve([32], n_entries=16384, ticks_per_thread=2000, seed=3)[0]
+        assert large.speedup > 2 * small.speedup
+        assert large.conflicts < small.conflicts
+
+    def test_conflicts_counted(self):
+        r = simulate_throughput(ThroughputConfig(256, 8, ticks_per_thread=2000))
+        assert r.conflicts > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        cfg = ThroughputConfig(1024, 4, ticks_per_thread=1500, seed=9)
+        a = simulate_throughput(cfg)
+        b = simulate_throughput(cfg)
+        assert (a.committed, a.conflicts) == (b.committed, b.conflicts)
+
+
+class TestResultProperties:
+    def test_throughput_normalization(self):
+        r = simulate_throughput(ThroughputConfig(64, 1, write_footprint=5, ticks_per_thread=1500))
+        assert r.throughput == pytest.approx(1000.0 * r.committed / 1500)

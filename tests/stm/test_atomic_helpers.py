@@ -1,0 +1,83 @@
+"""Tests for the atomic context manager and TxHandle ergonomics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.stm.conflict import TransactionAborted
+from repro.stm.runtime import STM, atomic
+from repro.stm.transaction import TxStatus
+
+
+def tagged_stm(**kwargs):
+    return STM(TaggedOwnershipTable(16), **kwargs)
+
+
+class TestAtomicContextManager:
+    def test_commits_on_clean_exit(self):
+        stm = tagged_stm()
+        with atomic(stm, 0) as tx:
+            tx.write(1, "v")
+        assert stm.memory[1] == "v"
+        assert not stm.in_transaction(0)
+
+    def test_aborts_on_exception(self):
+        stm = tagged_stm()
+        with pytest.raises(KeyError):
+            with atomic(stm, 0) as tx:
+                tx.write(1, "v")
+                raise KeyError("boom")
+        assert 1 not in stm.memory
+        assert not stm.in_transaction(0)
+
+    def test_transaction_aborted_propagates(self):
+        stm = STM(TaglessOwnershipTable(4, track_addresses=True))
+        stm.begin(9)
+        stm.write(9, 1, "blocker")
+        with pytest.raises(TransactionAborted):
+            with atomic(stm, 0) as tx:
+                tx.write(5, "x")  # aliases the blocker's entry
+        assert not stm.in_transaction(0)
+
+    def test_explicit_abort_inside_block(self):
+        stm = tagged_stm()
+        with atomic(stm, 0) as tx:
+            tx.write(1, "v")
+            tx.abort()
+        assert 1 not in stm.memory
+
+    def test_read_through_handle(self):
+        stm = tagged_stm(initial_memory={2: "init"})
+        with atomic(stm, 0) as tx:
+            assert tx.read(2) == "init"
+
+
+class TestTxHandle:
+    def test_status_reflects_lifecycle(self):
+        stm = tagged_stm()
+        handle = stm.begin(0)
+        assert handle.status is TxStatus.ACTIVE
+        handle.commit()
+        assert handle.status is TxStatus.COMMITTED
+
+    def test_status_after_abort(self):
+        stm = tagged_stm()
+        handle = stm.begin(0)
+        handle.abort()
+        assert handle.status is TxStatus.ABORTED
+
+    def test_thread_id_exposed(self):
+        stm = tagged_stm()
+        handle = stm.begin(7)
+        assert handle.thread_id == 7
+        handle.commit()
+
+    def test_handle_routes_to_engine(self):
+        stm = tagged_stm()
+        handle = stm.begin(0)
+        handle.write(3, "via-handle")
+        assert stm.read(0, 3) == "via-handle"
+        handle.commit()
+        assert stm.memory[3] == "via-handle"

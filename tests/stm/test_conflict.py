@@ -1,0 +1,54 @@
+"""Tests for conflict exceptions and arbitration vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ownership.base import Conflict, ConflictKind
+from repro.stm.conflict import Arbitration, ConflictError, TransactionAborted
+
+
+def conflict(is_false=None):
+    return Conflict(
+        kind=ConflictKind.WRITE_WRITE,
+        entry=3,
+        requester=1,
+        holders=(0,),
+        block=0x2C0,
+        is_false=is_false,
+    )
+
+
+class TestTransactionAborted:
+    def test_carries_conflict(self):
+        exc = TransactionAborted(1, conflict())
+        assert exc.thread_id == 1
+        assert exc.conflict.entry == 3
+
+    @pytest.mark.parametrize(
+        "is_false,word", [(True, "false"), (False, "true"), (None, "unclassified")]
+    )
+    def test_message_classifies(self, is_false, word):
+        exc = TransactionAborted(1, conflict(is_false))
+        assert word in str(exc)
+
+    def test_message_has_location(self):
+        exc = TransactionAborted(1, conflict())
+        msg = str(exc)
+        assert "entry 3" in msg and "0x2c0" in msg and "(0,)" in msg
+
+
+class TestConflictError:
+    def test_carries_conflict(self):
+        exc = ConflictError(2, conflict())
+        assert exc.thread_id == 2
+        assert "stalled" in str(exc)
+
+
+class TestArbitration:
+    def test_three_policies(self):
+        assert {p.value for p in Arbitration} == {
+            "abort-requester",
+            "abort-holders",
+            "stall",
+        }

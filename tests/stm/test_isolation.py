@@ -1,0 +1,89 @@
+"""Tests for isolation levels (§6): weak vs strong."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.stm.isolation import IsolationLevel, IsolationViolation
+from repro.stm.runtime import STM
+
+
+def make_stm(isolation, n=8):
+    return STM(TaglessOwnershipTable(n, track_addresses=True), isolation=isolation)
+
+
+class TestWeakIsolation:
+    def test_plain_access_skips_table(self):
+        stm = make_stm(IsolationLevel.WEAK)
+        stm.begin(0)
+        stm.write(0, 1, "tx")
+        # Plain write races silently — no exception, no probe.
+        stm.plain_write(1, 1, "racer")
+        assert stm.non_tx_probes == 0
+        assert stm.memory[1] == "racer"
+
+    def test_plain_read_sees_committed_state(self):
+        stm = make_stm(IsolationLevel.WEAK)
+        stm.plain_write(0, 2, "v")
+        assert stm.plain_read(1, 2) == "v"
+
+
+class TestStrongIsolation:
+    def test_plain_write_into_owned_entry_violates(self):
+        stm = make_stm(IsolationLevel.STRONG)
+        stm.begin(0)
+        stm.write(0, 1, "tx")
+        with pytest.raises(IsolationViolation):
+            stm.plain_write(1, 1, "racer")
+        assert stm.memory.get(1) is None  # the violating write was blocked
+
+    def test_plain_read_of_written_entry_violates(self):
+        stm = make_stm(IsolationLevel.STRONG)
+        stm.begin(0)
+        stm.write(0, 1, "tx")
+        with pytest.raises(IsolationViolation):
+            stm.plain_read(1, 1)
+
+    def test_plain_read_of_read_entry_allowed(self):
+        """Reads against a READ entry don't violate anyone."""
+        stm = make_stm(IsolationLevel.STRONG)
+        stm.begin(0)
+        stm.read(0, 1)
+        assert stm.plain_read(1, 1) is None  # no violation raised
+
+    def test_plain_write_against_alias_also_violates(self):
+        """Strong isolation inherits false conflicts too — the §6 point
+        that tagless tables get *worse* under strong isolation."""
+        stm = make_stm(IsolationLevel.STRONG, n=4)
+        stm.begin(0)
+        stm.write(0, 1, "tx")
+        with pytest.raises(IsolationViolation):
+            stm.plain_write(1, 5, "alias")  # different block, same entry
+
+    def test_probe_counter_increments(self):
+        stm = make_stm(IsolationLevel.STRONG)
+        stm.plain_read(0, 1)
+        stm.plain_write(0, 2, "x")
+        assert stm.non_tx_probes == 2
+
+    def test_plain_access_inside_own_transaction_rejected(self):
+        """A thread with an active transaction must use tx accesses."""
+        stm = make_stm(IsolationLevel.STRONG)
+        stm.begin(0)
+        stm.write(0, 1, "tx")
+        with pytest.raises(RuntimeError, match="active transaction"):
+            stm.plain_read(0, 1)
+
+    def test_probe_leaves_no_permission_behind(self):
+        stm = make_stm(IsolationLevel.STRONG)
+        stm.plain_write(0, 3, "x")  # probe acquires then releases
+        assert stm.table.occupied_entries() == 0
+
+    def test_after_commit_no_violation(self):
+        stm = make_stm(IsolationLevel.STRONG)
+        stm.begin(0)
+        stm.write(0, 1, "tx")
+        stm.commit(0)
+        stm.plain_write(1, 1, "after")  # entry is free again
+        assert stm.memory[1] == "after"

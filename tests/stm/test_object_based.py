@@ -1,0 +1,206 @@
+"""Tests for the object-based STM comparator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stm.object_based import ObjectHeap, ObjectSTM, ObjectTxAborted
+
+
+@pytest.fixture
+def heap():
+    return ObjectHeap()
+
+
+@pytest.fixture
+def stm(heap):
+    return ObjectSTM(heap)
+
+
+class TestHeap:
+    def test_allocate_ids_sequential(self, heap):
+        assert heap.allocate(4) == 0
+        assert heap.allocate(8) == 1
+        assert heap.sizes == {0: 4, 1: 8}
+
+    def test_zero_field_object_rejected(self, heap):
+        with pytest.raises(ValueError):
+            heap.allocate(0)
+
+    def test_check_unallocated(self, heap):
+        with pytest.raises(KeyError):
+            heap.check((5, 0))
+
+    def test_check_field_range(self, heap):
+        oid = heap.allocate(3)
+        heap.check((oid, 2))
+        with pytest.raises(IndexError):
+            heap.check((oid, 3))
+
+
+class TestBasicOperation:
+    def test_read_write_commit(self, stm, heap):
+        oid = heap.allocate(4)
+        stm.begin(0)
+        stm.write(0, (oid, 1), "v")
+        assert stm.read(0, (oid, 1)) == "v"
+        stm.commit(0)
+        assert stm.memory[(oid, 1)] == "v"
+
+    def test_abort_discards(self, stm, heap):
+        oid = heap.allocate(4)
+        stm.begin(0)
+        stm.write(0, (oid, 1), "v")
+        stm.abort(0)
+        assert (oid, 1) not in stm.memory
+        assert stm.holders_of(oid) == ()
+
+    def test_lifecycle_errors(self, stm, heap):
+        with pytest.raises(RuntimeError):
+            stm.read(0, (0, 0))
+        stm.begin(0)
+        with pytest.raises(RuntimeError):
+            stm.begin(0)
+
+    def test_records_released_on_commit(self, stm, heap):
+        oid = heap.allocate(2)
+        stm.begin(0)
+        stm.read(0, (oid, 0))
+        stm.commit(0)
+        assert stm.holders_of(oid) == ()
+
+
+class TestObjectGranularityConflicts:
+    def test_same_field_is_true_conflict(self, stm, heap):
+        oid = heap.allocate(8)
+        stm.begin(0)
+        stm.write(0, (oid, 3), "a")
+        stm.begin(1)
+        with pytest.raises(ObjectTxAborted) as exc:
+            stm.write(1, (oid, 3), "b")
+        assert exc.value.is_false is False
+
+    def test_different_fields_same_object_is_false_conflict(self, stm, heap):
+        """THE granularity pathology: disjoint fields still conflict."""
+        oid = heap.allocate(8)
+        stm.begin(0)
+        stm.write(0, (oid, 3), "a")
+        stm.begin(1)
+        with pytest.raises(ObjectTxAborted) as exc:
+            stm.write(1, (oid, 5), "b")
+        assert exc.value.is_false is True
+        assert stm.stats[1].false_conflicts == 1
+
+    def test_different_objects_never_conflict(self, stm, heap):
+        a, b = heap.allocate(64), heap.allocate(64)
+        stm.begin(0)
+        stm.write(0, (a, 3), "a")
+        stm.begin(1)
+        stm.write(1, (b, 3), "b")  # same field index, different object
+        stm.commit(0)
+        stm.commit(1)
+        assert len(stm.memory) == 2
+
+    def test_readers_share_object(self, stm, heap):
+        oid = heap.allocate(4)
+        stm.begin(0)
+        stm.read(0, (oid, 0))
+        stm.begin(1)
+        stm.read(1, (oid, 1))
+        assert stm.holders_of(oid) == (0, 1)
+
+    def test_writer_blocks_reader_of_other_field(self, stm, heap):
+        oid = heap.allocate(4)
+        stm.begin(0)
+        stm.write(0, (oid, 0), "x")
+        stm.begin(1)
+        with pytest.raises(ObjectTxAborted) as exc:
+            stm.read(1, (oid, 2))
+        assert exc.value.is_false is True
+
+    def test_read_write_upgrade_blocked_by_other_reader(self, stm, heap):
+        oid = heap.allocate(4)
+        stm.begin(0)
+        stm.read(0, (oid, 0))
+        stm.begin(1)
+        stm.read(1, (oid, 1))
+        with pytest.raises(ObjectTxAborted):
+            stm.write(0, (oid, 0), "x")
+
+    def test_sole_reader_upgrades(self, stm, heap):
+        oid = heap.allocate(4)
+        stm.begin(0)
+        stm.read(0, (oid, 0))
+        stm.write(0, (oid, 0), "x")
+        stm.commit(0)
+        assert stm.memory[(oid, 0)] == "x"
+
+
+class TestGranularityScaling:
+    """False-conflict probability grows with object size — the design
+    trade-off §1 alludes to."""
+
+    def test_bigger_objects_more_false_conflicts(self, heap):
+        import numpy as np
+
+        def run(n_fields: int) -> int:
+            stm = ObjectSTM(heap)
+            rng = np.random.default_rng(7)
+            oid = heap.allocate(n_fields)
+            false = 0
+            for _ in range(200):
+                f0 = int(rng.integers(0, n_fields))
+                f1 = int(rng.integers(0, n_fields))
+                stm.begin(0)
+                stm.write(0, (oid, f0), None)
+                stm.begin(1)
+                try:
+                    stm.write(1, (oid, f1), None)
+                    stm.commit(1)
+                except ObjectTxAborted as exc:
+                    if exc.is_false:
+                        false += 1
+                stm.commit(0)
+            return false
+
+        # one-field objects never false-conflict; large objects mostly do
+        assert run(1) == 0
+        assert run(64) > 150
+
+
+class TestInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # thread
+                st.integers(min_value=0, max_value=3),  # object
+                st.integers(min_value=0, max_value=7),  # field
+                st.booleans(),  # write?
+                st.booleans(),  # commit after?
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_single_writer_per_object(self, ops):
+        heap = ObjectHeap()
+        for _ in range(4):
+            heap.allocate(8)
+        stm = ObjectSTM(heap)
+        for thread, oid, fidx, is_write, commit in ops:
+            if not stm.in_transaction(thread):
+                stm.begin(thread)
+            try:
+                if is_write:
+                    stm.write(thread, (oid, fidx), None)
+                else:
+                    stm.read(thread, (oid, fidx))
+            except ObjectTxAborted:
+                continue
+            holders = stm.holders_of(oid)
+            assert thread in holders
+            if commit and stm.in_transaction(thread):
+                stm.commit(thread)
+                assert thread not in stm.holders_of(oid)

@@ -1,0 +1,281 @@
+"""Tests for repro.stm.runtime: STM engine semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.stm.conflict import Arbitration, ConflictError, TransactionAborted
+from repro.stm.runtime import STM, run_atomically
+from repro.stm.transaction import TxStatus
+
+
+def tagless_stm(n=16, **kwargs):
+    return STM(TaglessOwnershipTable(n, track_addresses=True), **kwargs)
+
+
+def tagged_stm(n=16, **kwargs):
+    return STM(TaggedOwnershipTable(n), **kwargs)
+
+
+class TestBasicOperation:
+    def test_read_your_own_write(self):
+        stm = tagged_stm()
+        stm.begin(0)
+        stm.write(0, 5, "hello")
+        assert stm.read(0, 5) == "hello"
+
+    def test_uncommitted_write_invisible(self):
+        stm = tagged_stm()
+        stm.begin(0)
+        stm.write(0, 5, "hidden")
+        assert stm.memory.get(5) is None  # not published
+
+    def test_commit_publishes(self):
+        stm = tagged_stm()
+        stm.begin(0)
+        stm.write(0, 5, "v")
+        stm.commit(0)
+        assert stm.memory[5] == "v"
+
+    def test_abort_discards(self):
+        stm = tagged_stm(initial_memory={5: "old"})
+        stm.begin(0)
+        stm.write(0, 5, "new")
+        stm.abort(0)
+        assert stm.memory[5] == "old"
+
+    def test_read_missing_block_returns_none(self):
+        stm = tagged_stm()
+        stm.begin(0)
+        assert stm.read(0, 99) is None
+
+    def test_initial_memory_copied(self):
+        init = {1: "a"}
+        stm = tagged_stm(initial_memory=init)
+        init[1] = "mutated"
+        assert stm.memory[1] == "a"
+
+
+class TestLifecycleErrors:
+    def test_no_nested_begin(self):
+        stm = tagged_stm()
+        stm.begin(0)
+        with pytest.raises(RuntimeError, match="already has an active"):
+            stm.begin(0)
+
+    def test_ops_require_transaction(self):
+        stm = tagged_stm()
+        for op in (lambda: stm.read(0, 1), lambda: stm.write(0, 1, "x"), lambda: stm.commit(0)):
+            with pytest.raises(RuntimeError, match="no active transaction"):
+                op()
+
+    def test_begin_after_commit_allowed(self):
+        stm = tagged_stm()
+        stm.begin(0)
+        stm.commit(0)
+        stm.begin(0)  # no raise
+
+
+class TestConflictHandling:
+    def test_false_conflict_aborts_requester(self):
+        stm = tagless_stm(n=4)
+        stm.begin(0)
+        stm.write(0, 1, "a")
+        stm.begin(1)
+        with pytest.raises(TransactionAborted) as exc:
+            stm.write(1, 5, "b")  # aliases entry 1
+        assert exc.value.conflict.is_false is True
+        assert stm.transaction_of(1).status is TxStatus.ABORTED
+        # thread 0 unaffected
+        stm.commit(0)
+        assert stm.memory[1] == "a"
+
+    def test_aborted_thread_permissions_released(self):
+        stm = tagless_stm(n=4)
+        stm.begin(0)
+        stm.write(0, 1, "a")
+        stm.begin(1)
+        with pytest.raises(TransactionAborted):
+            stm.write(1, 5, "b")
+        stm.commit(0)
+        # now thread 1 can retry and succeed
+        stm.begin(1)
+        stm.write(1, 5, "b")
+        stm.commit(1)
+        assert stm.memory[5] == "b"
+
+    def test_abort_holders_policy(self):
+        stm = tagless_stm(n=4, arbitration=Arbitration.ABORT_HOLDERS)
+        stm.begin(0)
+        stm.write(0, 1, "a")
+        stm.begin(1)
+        stm.write(1, 5, "b")  # evicts holder 0
+        assert stm.transaction_of(0).status is TxStatus.ABORTED
+        stm.commit(1)
+        assert stm.memory[5] == "b"
+        assert 1 not in stm.memory  # thread 0's write never committed
+
+    def test_stall_policy_raises_conflict_error(self):
+        stm = tagless_stm(n=4, arbitration=Arbitration.STALL)
+        stm.begin(0)
+        stm.write(0, 1, "a")
+        stm.begin(1)
+        with pytest.raises(ConflictError):
+            stm.write(1, 5, "b")
+        # requester still active and may retry after holder commits
+        assert stm.in_transaction(1)
+        stm.commit(0)
+        stm.write(1, 5, "b")
+        stm.commit(1)
+
+    def test_stats_classify_conflicts(self):
+        stm = tagless_stm(n=4)
+        stm.begin(0)
+        stm.write(0, 1, "a")
+        stm.begin(1)
+        with pytest.raises(TransactionAborted):
+            stm.write(1, 5, "b")
+        assert stm.stats[1].false_conflicts == 1
+        stm.begin(1)
+        with pytest.raises(TransactionAborted):
+            stm.write(1, 1, "b")
+        assert stm.stats[1].true_conflicts == 1
+
+
+class TestTaggedVsTagless:
+    def test_tagged_allows_what_tagless_refuses(self):
+        """The central comparison: identical workload, different tables."""
+        workload = [(0, 1), (1, 5), (2, 9)]  # all alias entry 1 of 4
+
+        stm_a = tagless_stm(n=4)
+        aborts = 0
+        for tid, block in workload:
+            stm_a.begin(tid)
+            try:
+                stm_a.write(tid, block, tid)
+            except TransactionAborted:
+                aborts += 1
+        assert aborts == 2  # both later threads false-conflict
+
+        stm_b = tagged_stm(n=4)
+        for tid, block in workload:
+            stm_b.begin(tid)
+            stm_b.write(tid, block, tid)
+        for tid, _ in workload:
+            stm_b.commit(tid)
+        assert aborts == 2 and len(stm_b.memory) == 3
+
+
+class TestRunAtomically:
+    def test_retries_until_commit(self):
+        stm = tagless_stm(n=4)
+        stm.begin(9)
+        stm.write(9, 1, "blocker")
+
+        calls = {"n": 0}
+
+        def body(tx):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # first attempt hits the blocker's entry
+                tx.write(5, "mine")
+            else:
+                tx.write(2, "mine")  # entry 2: free
+            return "done"
+
+        # attempt 1 aborts (alias with blocker); attempt 2 commits
+        assert run_atomically(stm, 0, body) == "done"
+        assert calls["n"] == 2
+
+    def test_exhausted_retries_reraise(self):
+        stm = tagless_stm(n=4)
+        stm.begin(9)
+        stm.write(9, 1, "blocker")
+
+        def body(tx):
+            tx.write(5, "x")  # always conflicts
+
+        with pytest.raises(TransactionAborted):
+            run_atomically(stm, 0, body, max_retries=3)
+        assert stm.stats[0].aborted == 4  # initial try + 3 retries
+
+    def test_non_tx_exception_aborts_and_propagates(self):
+        stm = tagged_stm()
+
+        def body(tx):
+            tx.write(1, "x")
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            run_atomically(stm, 0, body)
+        assert not stm.in_transaction(0)
+        assert 1 not in stm.memory
+
+    def test_returns_body_value(self):
+        stm = tagged_stm(initial_memory={0: 41})
+
+        def body(tx):
+            v = tx.read(0)
+            tx.write(0, v + 1)
+            return v + 1
+
+        assert run_atomically(stm, 0, body) == 42
+        assert stm.memory[0] == 42
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            run_atomically(tagged_stm(), 0, lambda tx: None, max_retries=-1)
+
+
+class TestSerializability:
+    """Counter increments through transactions never lose updates —
+    the mutual-exclusion guarantee TM exists to provide (§1)."""
+
+    @given(
+        schedule=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40),
+        table_bits=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_no_lost_updates_tagless(self, schedule, table_bits):
+        stm = tagless_stm(n=1 << table_bits)
+
+        def incr(tx):
+            v = tx.read(0) or 0
+            tx.write(0, v + 1)
+
+        for tid in schedule:
+            run_atomically(stm, tid, incr, max_retries=100)
+        assert stm.memory[0] == len(schedule)
+
+    @given(schedule=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_no_lost_updates_tagged(self, schedule):
+        stm = tagged_stm(n=8)
+
+        def incr(tx):
+            v = tx.read(0) or 0
+            tx.write(0, v + 1)
+
+        for tid in schedule:
+            run_atomically(stm, tid, incr, max_retries=100)
+        assert stm.memory[0] == len(schedule)
+
+
+class TestTotalStats:
+    def test_aggregation(self):
+        stm = tagged_stm()
+        stm.begin(0)
+        stm.write(0, 1, "a")
+        stm.commit(0)
+        stm.begin(1)
+        stm.read(1, 1)
+        stm.commit(1)
+        total = stm.total_stats()
+        assert total.started == 2
+        assert total.committed == 2
+        assert total.reads == 1
+        assert total.writes == 1

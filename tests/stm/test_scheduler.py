@@ -1,0 +1,154 @@
+"""Tests for the deterministic interleaving scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+from repro.stm.runtime import STM
+from repro.stm.scheduler import InterleavedRun, Op, OpKind, TxProgram, run_interleaved
+
+
+def tagless_stm(n=16):
+    return STM(TaglessOwnershipTable(n, track_addresses=True))
+
+
+class TestOp:
+    def test_factories(self):
+        r = Op.read(5)
+        w = Op.write(5, "x")
+        assert r.kind is OpKind.READ and r.block == 5
+        assert w.kind is OpKind.WRITE and w.value == "x"
+
+
+class TestBasicRuns:
+    def test_empty_programs(self):
+        result = run_interleaved(tagless_stm(), [])
+        assert result.steps == 0
+        assert result.all_committed
+
+    def test_single_program_commits(self):
+        stm = tagless_stm()
+        result = run_interleaved(stm, [TxProgram([Op.write(1, "a"), Op.read(2)])])
+        assert result.all_committed
+        assert result.total_restarts == 0
+        assert stm.memory[1] == "a"
+
+    def test_disjoint_programs_commit_without_restart(self):
+        stm = tagless_stm(n=16)
+        progs = [
+            TxProgram([Op.write(1, "a")]),
+            TxProgram([Op.write(2, "b")]),
+            TxProgram([Op.write(3, "c")]),
+        ]
+        result = run_interleaved(stm, progs)
+        assert result.all_committed
+        assert result.total_restarts == 0
+        assert stm.memory == {1: "a", 2: "b", 3: "c"}
+
+    def test_empty_op_list_commits_immediately(self):
+        result = run_interleaved(tagless_stm(), [TxProgram([])])
+        assert result.all_committed
+
+
+class TestConflictingPrograms:
+    def test_alias_conflict_forces_restart(self):
+        """Two lock-step writers to aliasing blocks: the later one must
+        restart at least once, but both eventually commit."""
+        stm = tagless_stm(n=4)
+        progs = [
+            TxProgram([Op.write(1, "a"), Op.read(2)]),
+            TxProgram([Op.write(5, "b"), Op.read(6)]),  # 5 aliases 1
+        ]
+        result = run_interleaved(stm, progs)
+        assert result.all_committed
+        assert result.total_restarts >= 1
+        assert stm.memory[1] == "a" and stm.memory[5] == "b"
+
+    def test_max_restarts_gives_up(self):
+        """A program whose every attempt conflicts stops after its restart
+        budget and is reported uncommitted."""
+        stm = tagless_stm(n=4)
+        # Program 0 holds entry 1 forever (long program); program 1 keeps
+        # trying to write an aliasing block with budget 2.
+        progs = [
+            TxProgram([Op.write(1, "hold")] + [Op.read(2)] * 50),
+            TxProgram([Op.write(5, "try")], max_restarts=2),
+        ]
+        result = run_interleaved(stm, progs)
+        assert result.committed[0] is True
+        assert result.committed[1] is False
+        assert result.restarts[1] == 3
+
+    def test_interleaved_increment_serializes(self):
+        """Two read-modify-write programs on the same block: tagged table,
+        true conflict; one restarts, final value reflects both."""
+        stm = STM(TaggedOwnershipTable(16), initial_memory={0: 0})
+
+        class IncrProgram(TxProgram):
+            pass
+
+        # read block 0 then write block 0; value computed via read is not
+        # expressible in the static op list, so emulate with two distinct
+        # one-op writers plus a reader check of serializability through
+        # restarts instead.
+        progs = [
+            TxProgram([Op.read(0), Op.write(0, "t0")]),
+            TxProgram([Op.read(0), Op.write(0, "t1")]),
+        ]
+        result = run_interleaved(stm, progs)
+        assert result.all_committed
+        assert result.total_restarts >= 1  # read-sharing forced an upgrade fight
+        assert stm.memory[0] in ("t0", "t1")
+
+
+class TestStaggering:
+    def test_explicit_offsets_respected(self):
+        stm = tagless_stm(n=4)
+        # With thread 1 delayed past thread 0's whole program, the alias
+        # conflict disappears.
+        progs = [
+            TxProgram([Op.write(1, "a")]),
+            TxProgram([Op.write(5, "b")]),
+        ]
+        result = run_interleaved(stm, progs, start_offsets=[0, 10])
+        assert result.all_committed
+        assert result.total_restarts == 0
+
+    def test_offsets_length_validated(self):
+        with pytest.raises(ValueError):
+            run_interleaved(tagless_stm(), [TxProgram([Op.read(0)])], start_offsets=[0, 1])
+
+    def test_rng_staggering_deterministic(self):
+        progs = [TxProgram([Op.write(1, "a")]), TxProgram([Op.write(5, "b")])]
+        r1 = run_interleaved(tagless_stm(4), progs, rng=np.random.default_rng(7))
+        r2 = run_interleaved(tagless_stm(4), progs, rng=np.random.default_rng(7))
+        assert r1.restarts == r2.restarts
+        assert r1.steps == r2.steps
+
+
+class TestLivelockGuard:
+    def test_max_steps_enforced(self):
+        stm = tagless_stm(n=4)
+        # Mutual aliasing with unlimited restarts can livelock in lock
+        # step; the guard must fire rather than hang.
+        progs = [
+            TxProgram([Op.write(1, "a"), Op.write(2, "x")]),
+            TxProgram([Op.write(5, "b"), Op.write(6, "y")]),
+        ]
+        try:
+            result = run_interleaved(stm, progs, max_steps=10_000)
+            assert result.all_committed  # if it resolves, fine
+        except RuntimeError as exc:
+            assert "exceeded" in str(exc)
+
+
+class TestInterleavedRunAccessors:
+    def test_totals(self):
+        run = InterleavedRun(committed=[True, False], restarts=[2, 3], steps=10)
+        assert run.total_restarts == 5
+        assert not run.all_committed

@@ -1,0 +1,79 @@
+"""Tests for repro.stm.transaction: the per-thread log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stm.transaction import Transaction, TxStats, TxStatus
+
+
+class TestLifecycle:
+    def test_starts_active(self):
+        tx = Transaction(0)
+        assert tx.status is TxStatus.ACTIVE
+        assert tx.is_active
+
+    def test_commit_transition(self):
+        tx = Transaction(0)
+        tx.mark_committed()
+        assert tx.status is TxStatus.COMMITTED
+        assert not tx.is_active
+
+    def test_abort_discards_write_log(self):
+        tx = Transaction(0)
+        tx.record_write(5, "v")
+        tx.mark_aborted()
+        assert tx.write_log == {}
+        assert tx.status is TxStatus.ABORTED
+
+    def test_no_double_transition(self):
+        tx = Transaction(0)
+        tx.mark_committed()
+        with pytest.raises(RuntimeError):
+            tx.mark_aborted()
+
+    def test_no_ops_after_finish(self):
+        tx = Transaction(0)
+        tx.mark_committed()
+        with pytest.raises(RuntimeError):
+            tx.record_read(1)
+        with pytest.raises(RuntimeError):
+            tx.record_write(1, "x")
+
+
+class TestFootprint:
+    def test_sets_track_distinct_blocks(self):
+        tx = Transaction(0)
+        tx.record_read(1)
+        tx.record_read(1)
+        tx.record_write(2, "a")
+        assert tx.read_set == {1}
+        assert tx.write_set == {2}
+        assert tx.footprint == 2
+
+    def test_read_then_write_same_block(self):
+        tx = Transaction(0)
+        tx.record_read(1)
+        tx.record_write(1, "a")
+        assert tx.footprint == 1
+
+    def test_speculative_value(self):
+        tx = Transaction(0)
+        assert tx.speculative_value(1) == (False, None)
+        tx.record_write(1, "a")
+        assert tx.speculative_value(1) == (True, "a")
+
+    def test_write_log_last_value_wins(self):
+        tx = Transaction(0)
+        tx.record_write(1, "a")
+        tx.record_write(1, "b")
+        assert tx.speculative_value(1) == (True, "b")
+
+
+class TestTxStats:
+    def test_abort_rate(self):
+        s = TxStats(started=10, aborted=3)
+        assert s.abort_rate == pytest.approx(0.3)
+
+    def test_abort_rate_no_starts(self):
+        assert TxStats().abort_rate == 0.0

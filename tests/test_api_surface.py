@@ -1,0 +1,86 @@
+"""Meta-tests on the public API surface.
+
+Every name a package exports must resolve and carry a docstring; the
+top-level package must re-export the documented entry points. These
+tests keep the public surface honest as the library grows.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.htm",
+    "repro.ownership",
+    "repro.sim",
+    "repro.stm",
+    "repro.traces",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestAllExports:
+    def test_all_names_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__"), f"{package} has no __all__"
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.{name} in __all__ but missing"
+
+    def test_all_sorted(self, package):
+        mod = importlib.import_module(package)
+        assert list(mod.__all__) == sorted(mod.__all__), f"{package}.__all__ not sorted"
+
+    def test_package_docstring(self, package):
+        mod = importlib.import_module(package)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 40
+
+    def test_exported_objects_documented(self, package):
+        mod = importlib.import_module(package)
+        undocumented = []
+        for name in mod.__all__:
+            obj = getattr(mod, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, f"{package}: undocumented exports {undocumented}"
+
+
+class TestPublicMethodsDocumented:
+    @pytest.mark.parametrize(
+        "cls_path",
+        [
+            "repro.ownership.tagless.TaglessOwnershipTable",
+            "repro.ownership.tagged.TaggedOwnershipTable",
+            "repro.ownership.adaptive.AdaptiveTaglessTable",
+            "repro.stm.runtime.STM",
+            "repro.stm.versioned.VersionedSTM",
+            "repro.stm.object_based.ObjectSTM",
+            "repro.htm.cache.SetAssociativeCache",
+            "repro.htm.coherence.CoherentHTM",
+        ],
+    )
+    def test_public_methods_have_docstrings(self, cls_path):
+        module_name, cls_name = cls_path.rsplit(".", 1)
+        cls = getattr(importlib.import_module(module_name), cls_name)
+        missing = []
+        for name, member in inspect.getmembers(cls, predicate=inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            if not (member.__doc__ and member.__doc__.strip()):
+                missing.append(name)
+        assert not missing, f"{cls_path}: undocumented methods {missing}"
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2

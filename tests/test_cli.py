@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_model_args(self):
+        args = build_parser().parse_args(["model", "--w", "20", "--n", "4096"])
+        assert args.command == "model"
+        assert args.w == 20
+        assert args.c == 2  # default
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "7", "birthday"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_model(self, capsys):
+        assert main(["model", "--w", "20", "--n", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "commit probability" in out
+        assert "0.48" in out  # raw Eq. 8 value for these params
+
+    def test_sizing_reproduces_paper(self, capsys):
+        assert main(["sizing", "--w", "71", "--commit", "0.95", "--c", "8"]) == 0
+        assert "14,114,800" in capsys.readouterr().out
+
+    def test_birthday(self, capsys):
+        assert main(["birthday"]) == 0
+        assert "23 people" in capsys.readouterr().out
+
+    def test_birthday_custom_days(self, capsys):
+        assert main(["birthday", "--days", "1000", "--target", "0.5"]) == 0
+        assert "1000 days" in capsys.readouterr().out
+
+    def test_closed(self, capsys):
+        assert main(["closed", "--n", "4096", "--c", "2", "--w", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "conflicts" in out
+        assert "actual concurrency" in out
+
+    def test_fig4a_small(self, capsys):
+        assert main(["fig4a", "--samples", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "N=512" in out and "N=4096" in out
+
+    def test_fig2a_small(self, capsys):
+        assert main(["fig2a", "--samples", "50", "--accesses", "20000"]) == 0
+        assert "Figure 2(a)" in capsys.readouterr().out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--traces", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "AVG" in out and "bzip2" in out
+
+    def test_error_exit_code(self, capsys):
+        # commit probability of 1.0 is invalid -> ValueError -> exit 2
+        assert main(["sizing", "--w", "71", "--commit", "1.0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "birthday"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "23 people" in proc.stdout
+
+    def test_deterministic_across_runs(self, capsys):
+        main(["--seed", "5", "closed", "--n", "2048", "--c", "4", "--w", "8"])
+        first = capsys.readouterr().out
+        main(["--seed", "5", "closed", "--n", "2048", "--c", "4", "--w", "8"])
+        second = capsys.readouterr().out
+        assert first == second

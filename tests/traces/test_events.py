@@ -1,0 +1,158 @@
+"""Tests for trace containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.events import AccessTrace, MemoryAccess, ThreadedTrace
+
+
+def trace(blocks, writes, instr=None):
+    return AccessTrace(np.asarray(blocks, dtype=np.int64), np.asarray(writes, dtype=bool), instr)
+
+
+class TestConstruction:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            trace([1, 2], [True])
+
+    def test_mismatched_instr_rejected(self):
+        with pytest.raises(ValueError):
+            trace([1, 2], [True, False], instr=[1])
+
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            trace([-1], [True])
+
+    def test_2d_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            AccessTrace(np.zeros((2, 2), dtype=np.int64), np.zeros((2, 2), dtype=bool))
+
+    def test_default_instr_is_arange(self):
+        t = trace([5, 6, 7], [False] * 3)
+        assert list(t.instr) == [0, 1, 2]
+
+
+class TestAccessors:
+    def test_len_and_iter(self):
+        t = trace([1, 2], [True, False])
+        assert len(t) == 2
+        accesses = list(t)
+        assert accesses[0] == MemoryAccess(1, True, 0)
+        assert accesses[1] == MemoryAccess(2, False, 1)
+
+    def test_indexing(self):
+        t = trace([1, 2, 3], [True, False, True])
+        assert t[1] == MemoryAccess(2, False, 1)
+
+    def test_slicing_returns_trace(self):
+        t = trace([1, 2, 3], [True, False, True])
+        sub = t[1:]
+        assert isinstance(sub, AccessTrace)
+        assert len(sub) == 2
+
+    def test_counts(self):
+        t = trace([1, 2, 1], [True, False, True])
+        assert t.n_writes == 2
+        assert t.n_reads == 1
+
+    def test_footprint_distinct(self):
+        t = trace([1, 1, 2, 3, 3], [False] * 5)
+        assert t.footprint == 3
+
+    def test_write_read_blocks(self):
+        t = trace([1, 2, 1], [True, False, False])
+        assert list(t.write_blocks) == [1]
+        assert list(t.read_blocks) == [1, 2]  # block 1 both read and written
+
+    def test_equality(self):
+        a = trace([1], [True])
+        b = trace([1], [True])
+        c = trace([2], [True])
+        assert a == b
+        assert a != c
+
+
+class TestPrefixUntilWrites:
+    def test_exact_cut(self):
+        t = trace([1, 2, 3, 4, 5], [True, False, True, True, False])
+        p = t.prefix_until_writes(2)
+        assert len(p) == 3  # ends at the write of block 3
+        assert len(p.write_blocks) == 2
+
+    def test_repeated_writes_dont_count_twice(self):
+        t = trace([1, 1, 2], [True, True, True])
+        p = t.prefix_until_writes(2)
+        assert len(p) == 3  # second distinct write is block 2
+
+    def test_zero_writes(self):
+        t = trace([1, 2], [True, True])
+        assert len(t.prefix_until_writes(0)) == 0
+
+    def test_insufficient_writes_raise(self):
+        t = trace([1, 2], [True, False])
+        with pytest.raises(ValueError, match="cannot reach"):
+            t.prefix_until_writes(2)
+
+    def test_no_writes_raise(self):
+        t = trace([1, 2], [False, False])
+        with pytest.raises(ValueError, match="no writes"):
+            t.prefix_until_writes(1)
+
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=10), st.booleans()),
+            min_size=1,
+            max_size=60,
+        ),
+        w=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_property(self, data, w):
+        blocks = [d[0] for d in data]
+        writes = [d[1] for d in data]
+        t = trace(blocks, writes)
+        distinct_written = len(set(b for b, iw in data if iw))
+        if distinct_written < w:
+            with pytest.raises(ValueError):
+                t.prefix_until_writes(w)
+        else:
+            p = t.prefix_until_writes(w)
+            assert len(p.write_blocks) == w
+            assert bool(p.is_write[-1])  # the cut lands on the w-th write
+            # minimality: one access fewer has < w distinct writes
+            assert len(p[:-1].write_blocks) == w - 1 if len(p) > 1 else w == 1
+
+
+class TestConcat:
+    def test_instr_offsets(self):
+        a = trace([1], [True], instr=[5])
+        b = trace([2], [False], instr=[3])
+        joined = a.concat(b)
+        assert list(joined.instr) == [5, 9]  # 3 offset by 5+1
+        assert len(joined) == 2
+
+    def test_concat_empty(self):
+        a = trace([], [])
+        b = trace([2], [False])
+        assert len(a.concat(b)) == 1
+
+
+class TestThreadedTrace:
+    def test_basic(self):
+        tt = ThreadedTrace([trace([1], [True]), trace([2, 3], [False, False])])
+        assert tt.n_threads == 2
+        assert len(tt) == 2
+        assert tt.total_accesses() == 3
+        assert tt[1].footprint == 2
+
+    def test_iteration(self):
+        tt = ThreadedTrace([trace([1], [True])])
+        assert [len(t) for t in tt] == [1]
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            ThreadedTrace([[1, 2, 3]])

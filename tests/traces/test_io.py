@@ -1,0 +1,72 @@
+"""Tests for trace persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.events import AccessTrace, ThreadedTrace
+from repro.traces.io import load_threaded_trace, load_trace, save_threaded_trace, save_trace
+from repro.traces.workloads import specjbb_like
+
+
+def sample_trace():
+    return AccessTrace(
+        np.array([1, 5, 2], dtype=np.int64),
+        np.array([True, False, True]),
+        np.array([3, 7, 9], dtype=np.int64),
+    )
+
+
+class TestSingleTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.npz"
+        original = sample_trace()
+        save_trace(path, original)
+        assert load_trace(path) == original
+
+    def test_load_rejects_wrong_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError, match="not a trace archive"):
+            load_trace(path)
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        empty = AccessTrace(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+        save_trace(path, empty)
+        assert len(load_trace(path)) == 0
+
+
+class TestThreadedTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "tt.npz"
+        original = specjbb_like(3, 500, seed=2)
+        save_threaded_trace(path, original)
+        loaded = load_threaded_trace(path)
+        assert loaded.n_threads == 3
+        for a, b in zip(original, loaded):
+            assert a == b
+
+    def test_load_rejects_wrong_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError, match="not a threaded-trace"):
+            load_threaded_trace(path)
+
+    def test_load_rejects_truncated_archive(self, tmp_path):
+        path = tmp_path / "trunc.npz"
+        np.savez(
+            path,
+            n_threads=np.array([2]),
+            blocks_0=np.array([1]),
+            is_write_0=np.array([True]),
+            instr_0=np.array([0]),
+        )
+        with pytest.raises(ValueError, match="missing arrays for thread 1"):
+            load_threaded_trace(path)
+
+    def test_zero_threads(self, tmp_path):
+        path = tmp_path / "zero.npz"
+        save_threaded_trace(path, ThreadedTrace([]))
+        assert load_threaded_trace(path).n_threads == 0

@@ -1,0 +1,74 @@
+"""Tests for the layout-correlation feature of specjbb_like.
+
+Layout correlation is the Figure 2(b)-asymptote mechanism: correlated
+threads place blocks at identical within-region offsets, so their
+accesses collide at the same mask-hash entry for any table size up to
+the base alignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.workloads import specjbb_like
+
+REGION_BITS = 28  # per-thread base alignment used by specjbb_like
+
+
+def offsets(trace, tid):
+    """Within-region offsets of a thread's private accesses."""
+    blocks = trace[tid].blocks
+    private = blocks[blocks < (1 << 40)]  # exclude the shared region
+    return private % (1 << REGION_BITS)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_range_checked(self, bad):
+        with pytest.raises(ValueError, match="layout_correlation"):
+            specjbb_like(2, 100, layout_correlation=bad)
+
+
+class TestCorrelationStructure:
+    def test_zero_correlation_no_offset_overlap(self):
+        tt = specjbb_like(2, 20_000, seed=3, shared_fraction=0.0, layout_correlation=0.0)
+        o0 = set(np.unique(offsets(tt, 0)).tolist())
+        o1 = set(np.unique(offsets(tt, 1)).tolist())
+        # random layouts over a 4M-block span: overlap is negligible
+        assert len(o0 & o1) < 0.01 * min(len(o0), len(o1))
+
+    def test_full_correlation_same_offsets(self):
+        tt = specjbb_like(2, 20_000, seed=3, shared_fraction=0.0, layout_correlation=1.0)
+        assert np.array_equal(offsets(tt, 0), offsets(tt, 1))
+        # but the actual blocks differ (different bases)
+        assert not np.array_equal(tt[0].blocks, tt[1].blocks)
+
+    def test_partial_correlation_partial_overlap(self):
+        tt = specjbb_like(2, 20_000, seed=3, shared_fraction=0.0, layout_correlation=0.5)
+        o0, o1 = offsets(tt, 0), offsets(tt, 1)
+        matched = float((o0 == o1).mean())
+        # A position matches when BOTH threads follow the template there:
+        # q² = 0.25 for q = 0.5.
+        assert 0.17 < matched < 0.33
+
+    def test_correlated_offsets_alias_at_any_table_size(self):
+        """The asymptote mechanism: matching offsets share a mask-hash
+        entry for every table size up to the region alignment."""
+        tt = specjbb_like(2, 5_000, seed=4, shared_fraction=0.0, layout_correlation=1.0)
+        o0, o1 = offsets(tt, 0), offsets(tt, 1)
+        for n_bits in (10, 14, 18, 24):
+            n = 1 << n_bits
+            assert np.array_equal(o0 % n, o1 % n)
+
+    def test_instruction_streams_stay_private(self):
+        """Correlation affects layout, not timing."""
+        corr = specjbb_like(2, 5_000, seed=5, layout_correlation=0.8)
+        free = specjbb_like(2, 5_000, seed=5, layout_correlation=0.0)
+        assert np.array_equal(corr[0].instr, free[0].instr)
+
+    def test_default_is_uncorrelated(self):
+        a = specjbb_like(2, 5_000, seed=6)
+        b = specjbb_like(2, 5_000, seed=6, layout_correlation=0.0)
+        for ta, tb in zip(a, b):
+            assert ta == tb

@@ -1,0 +1,110 @@
+"""Tests for transaction-workload slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.events import AccessTrace
+from repro.traces.transactions import (
+    TransactionWorkload,
+    slice_by_accesses,
+    slice_by_instructions,
+)
+from repro.traces.workloads import SPEC2000_PROFILES, synthesize_trace
+from repro.util.rng import stream_rng
+
+
+def trace(n=100):
+    return AccessTrace(
+        np.arange(n, dtype=np.int64),
+        np.zeros(n, dtype=bool),
+        np.arange(0, 3 * n, 3, dtype=np.int64),
+    )
+
+
+class TestSliceByAccesses:
+    def test_exact_division(self):
+        w = slice_by_accesses(trace(100), 25)
+        assert len(w) == 4
+        assert all(len(t) == 25 for t in w)
+
+    def test_remainder_kept(self):
+        w = slice_by_accesses(trace(103), 25)
+        assert len(w) == 5
+        assert len(w[4]) == 3
+
+    def test_accesses_preserved_in_order(self):
+        w = slice_by_accesses(trace(50), 20)
+        rebuilt = np.concatenate([t.blocks for t in w])
+        assert np.array_equal(rebuilt, trace(50).blocks)
+
+    def test_sampled_sizes(self):
+        rng = stream_rng(1, "slice")
+        w = slice_by_accesses(trace(200), [10, 30], rng=rng)
+        assert all(len(t) in (10, 30) or t is w[len(w) - 1] for t in w)
+        assert sum(len(t) for t in w) == 200
+
+    def test_sampled_sizes_require_rng(self):
+        with pytest.raises(ValueError, match="requires an rng"):
+            slice_by_accesses(trace(10), [5, 10])
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_bad_constant(self, bad):
+        with pytest.raises(ValueError):
+            slice_by_accesses(trace(10), bad)
+
+    def test_empty_size_list(self):
+        with pytest.raises(ValueError):
+            slice_by_accesses(trace(10), [], rng=stream_rng(1, "x"))
+
+
+class TestSliceByInstructions:
+    def test_budget_respected(self):
+        w = slice_by_instructions(trace(100), 30)
+        # instr gaps are 3 => ~10 accesses per transaction
+        assert all(8 <= len(t) <= 12 for t in w[:-1])
+
+    def test_accesses_preserved(self):
+        w = slice_by_instructions(trace(100), 30)
+        assert sum(len(t) for t in w) == 100
+
+    def test_empty_trace(self):
+        empty = AccessTrace(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+        assert len(slice_by_instructions(empty, 10)) == 0
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            slice_by_instructions(trace(10), 0)
+
+    def test_realistic_trace(self):
+        t = synthesize_trace(SPEC2000_PROFILES["gcc"], 10_000, stream_rng(2, "tx"))
+        w = slice_by_instructions(t, 3000)
+        assert len(w) > 5
+        # mean instructions per tx within 25 % of the budget
+        spans = [int(tx.instr[-1] - tx.instr[0]) for tx in w.transactions[:-1]]
+        assert np.mean(spans) == pytest.approx(3000, rel=0.25)
+
+
+class TestWorkloadAccessors:
+    def test_footprints(self):
+        w = slice_by_accesses(trace(40), 20)
+        assert list(w.footprints) == [20, 20]
+        assert w.mean_footprint == 20.0
+
+    def test_empty_mean(self):
+        assert TransactionWorkload(()).mean_footprint == 0.0
+
+    def test_filter_min(self):
+        w = slice_by_accesses(trace(45), 20)
+        filtered = w.filter_min_accesses(10)
+        assert len(filtered) == 2  # drops the 5-access tail
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            TransactionWorkload(("not a trace",))
+
+    def test_iteration_and_indexing(self):
+        w = slice_by_accesses(trace(40), 20)
+        assert len(list(w)) == 2
+        assert len(w[1]) == 20

@@ -1,0 +1,32 @@
+"""Tests for repro.util.log: logger naming and console setup."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.util.log import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_bare_suffix_lands_under_repro(self):
+        assert get_logger("sim.open").name == "repro.sim.open"
+
+    def test_qualified_name_unchanged(self):
+        assert get_logger("repro.core.model").name == "repro.core.model"
+
+    def test_root_has_null_handler(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestEnableConsoleLogging:
+    def test_idempotent(self):
+        enable_console_logging()
+        root = logging.getLogger("repro")
+        before = len(root.handlers)
+        enable_console_logging()
+        assert len(root.handlers) == before
+
+    def test_sets_level(self):
+        enable_console_logging(logging.DEBUG)
+        assert logging.getLogger("repro").level == logging.DEBUG

@@ -1,0 +1,77 @@
+"""Tests for repro.util.units: block arithmetic and formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    CACHE_LINE_BYTES,
+    block_address,
+    block_index,
+    format_count,
+    format_size,
+    is_power_of_two,
+    log2_int,
+)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 30])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -4, 3, 6, 1000, (1 << 30) - 1])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (4096, 12), (1 << 18, 18)])
+    def test_log2(self, value, expected):
+        assert log2_int(value) == expected
+
+    @pytest.mark.parametrize("value", [0, 3, -8])
+    def test_log2_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            log2_int(value)
+
+
+class TestBlockArithmetic:
+    def test_default_line_size(self):
+        assert CACHE_LINE_BYTES == 64
+
+    def test_round_trip_on_aligned(self):
+        assert block_address(block_index(0x1000)) == 0x1000
+
+    def test_index_floors(self):
+        assert block_index(0x100F) == block_index(0x1000)
+
+    def test_custom_line(self):
+        assert block_index(64, line_bytes=32) == 2
+
+    @pytest.mark.parametrize("bad", [0, -64])
+    def test_rejects_nonpositive_line(self, bad):
+        with pytest.raises(ValueError):
+            block_index(0, line_bytes=bad)
+        with pytest.raises(ValueError):
+            block_address(0, line_bytes=bad)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_index_inverse_property(self, addr: int):
+        idx = block_index(addr)
+        assert block_address(idx) <= addr < block_address(idx + 1)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1024, "1k"), (65536, "64k"), (262144, "256k"), (1_000_000, "1M"), (500, "500")],
+    )
+    def test_format_count(self, n, expected):
+        assert format_count(n) == expected
+
+    @pytest.mark.parametrize(
+        "n,expected", [(512, "512 B"), (32 * 1024, "32.0 KiB"), (2 * 1024 * 1024, "2.0 MiB")]
+    )
+    def test_format_size(self, n, expected):
+        assert format_size(n) == expected
