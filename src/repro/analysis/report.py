@@ -9,13 +9,19 @@ Quality levels trade Monte Carlo samples for wall-clock:
 
 * ``smoke``  — seconds; big error bars, still shape-correct.
 * ``normal`` — a couple of minutes; the EXPERIMENTS.md quality.
+
+Sweep-shaped sections run on the shared engine from
+:mod:`repro.sim.sweep`; setting ``jobs`` fans them out over a process
+pool (:mod:`repro.sim.parallel`) without changing a single digit of the
+output tables, and appends a telemetry section describing the runs.
 """
 
 from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Optional
+from functools import partial
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.analysis.tables import format_series, format_table
 from repro.core.model import ModelParams, conflict_likelihood_product_form
@@ -23,6 +29,7 @@ from repro.core.sizing import concurrency_scaling_factor, table_entries_for_comm
 from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
 from repro.sim.open_system import OpenSystemConfig, simulate_open_system
 from repro.sim.overflow import OverflowConfig, fleet_summary
+from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
 from repro.sim.throughput import throughput_curve
 from repro.sim.trace_driven import TraceAliasConfig, simulate_trace_aliasing
 from repro.traces.dedup import remove_true_conflicts
@@ -38,19 +45,56 @@ _QUALITY = {
 
 @dataclass(frozen=True)
 class ReportConfig:
-    """Report generation parameters."""
+    """Report generation parameters.
+
+    ``jobs`` parallelizes the sweep-shaped sections over that many
+    worker processes; ``None`` (the default) keeps them serial. The
+    report body is identical either way — parallel runs only add a
+    telemetry section at the end.
+    """
 
     quality: str = "smoke"
     seed: int = 20070609
+    jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.quality not in _QUALITY:
             raise ValueError(f"quality must be one of {sorted(_QUALITY)}, got {self.quality!r}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
 
     @property
     def knobs(self) -> dict:
         """Resolved sample counts for the chosen quality."""
         return _QUALITY[self.quality]
+
+
+class _SweepRunner:
+    """Dispatch report sweeps serially or onto the process pool.
+
+    Collects one telemetry record per parallel sweep so the report can
+    surface throughput and worker utilization at the end.
+    """
+
+    def __init__(self, jobs: Optional[int]) -> None:
+        self.jobs = jobs
+        self.telemetry: list[tuple[str, Any]] = []
+
+    def __call__(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        grid: Sequence[Mapping[str, Any]],
+    ) -> SweepResult:
+        """Run one named sweep and record its telemetry."""
+        if self.jobs is None:
+            return run_sweep(fn, grid)
+        from repro.sim.parallel import run_sweep_parallel
+
+        result = run_sweep_parallel(fn, grid, jobs=self.jobs)
+        if result.telemetry is not None:
+            self.telemetry.append((name, result.telemetry))
+        return result
 
 
 def _section_model(out: io.StringIO, cfg: ReportConfig) -> None:
@@ -65,38 +109,51 @@ def _section_model(out: io.StringIO, cfg: ReportConfig) -> None:
     out.write("\n\n")
 
 
-def _section_fig4(out: io.StringIO, cfg: ReportConfig) -> None:
+def _fig4_point(n: int, *, samples: int, seed: int) -> float:
+    """One Figure 4(a) W=8 report point: conflict probability."""
+    r = simulate_open_system(OpenSystemConfig(n, 2, 8, samples=samples, seed=seed))
+    return r.conflict_probability
+
+
+def _section_fig4(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
     out.write("## Open-system validation (Figure 4a, W=8 column)\n\n")
     paper = {512: 0.48, 1024: 0.27, 2048: 0.14, 4096: 0.077}
+    sweep = run(
+        "fig4a W=8 column",
+        partial(_fig4_point, samples=cfg.knobs["samples"], seed=cfg.seed),
+        sweep_grid(n=list(paper)),
+    )
     rows = []
-    for n, expected in paper.items():
-        r = simulate_open_system(
-            OpenSystemConfig(n, 2, 8, samples=cfg.knobs["samples"], seed=cfg.seed)
-        )
+    for (point, prob), expected in zip(sweep, paper.values()):
+        n = point["n"]
         model = conflict_likelihood_product_form(8, ModelParams(n, 2, 2.0))
-        rows.append([n, f"{expected:.1%}", f"{r.conflict_probability:.1%}", f"{model:.1%}"])
+        rows.append([n, f"{expected:.1%}", f"{prob:.1%}", f"{model:.1%}"])
     out.write(format_table(["N", "paper", "simulated", "model"], rows))
     out.write("\n\n")
 
 
-def _section_fig2(out: io.StringIO, cfg: ReportConfig) -> None:
+def _fig2_point(trace: Any, n: int, w: int, *, samples: int, seed: int) -> float:
+    """One Figure 2 report point: alias likelihood in percent."""
+    r = simulate_trace_aliasing(
+        trace,
+        TraceAliasConfig(n_entries=n, write_footprint=w, samples=samples, seed=seed),
+    )
+    return 100 * r.alias_probability
+
+
+def _section_fig2(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
     out.write("## Trace-driven aliasing (Figure 2 trends)\n\n")
     trace = remove_true_conflicts(
         specjbb_like(4, cfg.knobs["trace_accesses"], seed=cfg.seed)
     )
     w_values = [5, 10, 20]
-    series = {}
-    for n in (4096, 16384, 65536):
-        probs = []
-        for w in w_values:
-            r = simulate_trace_aliasing(
-                trace,
-                TraceAliasConfig(
-                    n_entries=n, write_footprint=w, samples=cfg.knobs["samples"], seed=cfg.seed
-                ),
-            )
-            probs.append(100 * r.alias_probability)
-        series[f"N={n}"] = probs
+    n_values = [4096, 16384, 65536]
+    sweep = run(
+        "fig2 aliasing grid",
+        partial(_fig2_point, trace, samples=cfg.knobs["samples"], seed=cfg.seed),
+        sweep_grid(n=n_values, w=w_values),
+    )
+    series = {f"N={n}": sweep.where(n=n).series("w", float)[1] for n in n_values}
     out.write(format_series("W", w_values, series, title="alias likelihood (%), C=2"))
     out.write("\n\n")
 
@@ -108,7 +165,8 @@ def _section_fig3(out: io.StringIO, cfg: ReportConfig) -> None:
             n_traces=cfg.knobs["traces"],
             trace_accesses=cfg.knobs["trace_accesses"],
             seed=cfg.seed,
-        )
+        ),
+        jobs=cfg.jobs,
     )["AVG"]
     rows = [
         ["cache utilization at overflow", "~36%", f"{base.mean_utilization:.0%}"],
@@ -119,14 +177,21 @@ def _section_fig3(out: io.StringIO, cfg: ReportConfig) -> None:
     out.write("\n\n")
 
 
-def _section_closed(out: io.StringIO, cfg: ReportConfig) -> None:
+def _closed_point(n: int, c: int, w: int, *, seed: int):
+    """One closed-system report point."""
+    return simulate_closed_system(
+        ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=seed)
+    )
+
+
+def _section_closed(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
     out.write("## Closed system (Figures 5-6 spot checks)\n\n")
-    rows = []
-    for n, c, w in [(1024, 2, 10), (1024, 8, 10), (16384, 8, 10)]:
-        r = simulate_closed_system(
-            ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=cfg.seed)
-        )
-        rows.append([f"{n}-{c}-{w}", r.conflicts, r.committed, f"{r.actual_concurrency:.2f}"])
+    grid = [{"n": n, "c": c, "w": w} for n, c, w in [(1024, 2, 10), (1024, 8, 10), (16384, 8, 10)]]
+    sweep = run("closed-system spot checks", partial(_closed_point, seed=cfg.seed), grid)
+    rows = [
+        [f"{p['n']}-{p['c']}-{p['w']}", r.conflicts, r.committed, f"{r.actual_concurrency:.2f}"]
+        for p, r in sweep
+    ]
     out.write(format_table(["N-C-W", "conflicts", "committed", "actual C"], rows))
     out.write("\n\n")
 
@@ -147,18 +212,40 @@ def _section_scalability(out: io.StringIO, cfg: ReportConfig) -> None:
     )
 
 
+def _section_telemetry(out: io.StringIO, run: _SweepRunner) -> None:
+    out.write("## Parallel execution telemetry\n\n")
+    rows = [
+        [
+            name,
+            t.jobs,
+            t.n_points,
+            f"{t.wall_seconds:.2f}s",
+            f"{t.points_per_second:.1f}",
+            f"{t.worker_utilization:.0%}",
+            t.retries,
+            t.failures,
+        ]
+        for name, t in run.telemetry
+    ]
+    out.write(format_table(["sweep", "jobs", "points", "wall", "pts/s", "util", "retries", "failures"], rows))
+    out.write("\n\n")
+
+
 def generate_report(cfg: Optional[ReportConfig] = None) -> str:
     """Run the suite and return the markdown report text."""
     cfg = cfg if cfg is not None else ReportConfig()
+    run = _SweepRunner(cfg.jobs)
     out = io.StringIO()
     out.write("# Reproduction report — Transactional Memory and the Birthday Paradox\n\n")
     out.write(f"quality: `{cfg.quality}`, seed: `{cfg.seed}`\n\n")
     _section_model(out, cfg)
-    _section_fig4(out, cfg)
-    _section_fig2(out, cfg)
+    _section_fig4(out, cfg, run)
+    _section_fig2(out, cfg, run)
     _section_fig3(out, cfg)
-    _section_closed(out, cfg)
+    _section_closed(out, cfg, run)
     _section_scalability(out, cfg)
+    if run.telemetry:
+        _section_telemetry(out, run)
     out.write(
         "Generated by `repro.analysis.report`. Full-resolution series: "
         "`pytest benchmarks/ --benchmark-only -s`.\n"

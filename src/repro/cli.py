@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from functools import partial
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.analysis.tables import format_series, format_table
 from repro.core.birthday import birthday_collision_probability, people_for_collision_probability
@@ -25,11 +26,61 @@ from repro.core.sizing import table_entries_for_commit_probability
 from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
 from repro.sim.open_system import OpenSystemConfig, simulate_open_system
 from repro.sim.overflow import OverflowConfig, fleet_summary
+from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
 from repro.sim.trace_driven import TraceAliasConfig, simulate_trace_aliasing
 from repro.traces.dedup import remove_true_conflicts
 from repro.traces.workloads import specjbb_like
 
 __all__ = ["main", "build_parser"]
+
+
+def _jobs_arg(value: str) -> int:
+    """argparse type for ``--jobs``: a strictly positive worker count."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (default: serial)",
+    )
+
+
+def _progress_line(done: int, total: int) -> None:
+    """CLI sweep progress: a carriage-return line on stderr."""
+    end = "\n" if done >= total else ""
+    print(f"\r[sweep] {done}/{total} points", end=end, file=sys.stderr, flush=True)
+
+
+def _run_grid(
+    fn: Callable[..., Any],
+    grid: Sequence[Mapping[str, Any]],
+    jobs: Optional[int],
+) -> SweepResult:
+    """Run one CLI sweep, serially (``jobs=None``) or on the pool.
+
+    Identical numbers either way: every point's randomness comes from
+    its own config seed, so sharding cannot perturb outcomes. Parallel
+    runs print a progress line and a telemetry summary on stderr,
+    keeping stdout byte-identical to the serial run.
+    """
+    if jobs is None:
+        return run_sweep(fn, grid)
+    from repro.sim.parallel import run_sweep_parallel
+
+    result = run_sweep_parallel(fn, grid, jobs=jobs, progress=_progress_line)
+    if result.telemetry is not None:
+        print(f"[sweep] {result.telemetry.summary()}", file=sys.stderr)
+    return result
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,23 +109,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=500)
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--accesses", type=int, default=100_000)
+    _add_jobs_flag(p)
 
     p = sub.add_parser("fig3", help="HTM overflow characterization (Figure 3)")
     p.add_argument("--traces", type=int, default=5, help="traces per benchmark")
     p.add_argument("--victim", type=int, default=0, help="victim-buffer entries")
+    _add_jobs_flag(p)
 
     p = sub.add_parser("fig4a", help="open-system conflict likelihood (Figure 4a)")
     p.add_argument("--samples", type=int, default=2000)
+    _add_jobs_flag(p)
 
     p = sub.add_parser("closed", help="one closed-system run (Figures 5-6 protocol)")
     p.add_argument("--n", type=int, required=True)
     p.add_argument("--c", type=int, default=2)
     p.add_argument("--w", type=int, default=10)
     p.add_argument("--alpha", type=int, default=2)
+    _add_jobs_flag(p)
 
     p = sub.add_parser("report", help="generate a full markdown reproduction report")
     p.add_argument("--quality", choices=["smoke", "normal"], default="smoke")
     p.add_argument("--output", type=str, default=None, help="write to file instead of stdout")
+    _add_jobs_flag(p)
 
     p = sub.add_parser("birthday", help="classical birthday-paradox numbers")
     p.add_argument("--target", type=float, default=0.5, help="collision probability target")
@@ -113,21 +169,24 @@ def _cmd_sizing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fig2a_point(trace: Any, n: int, w: int, *, samples: int, seed: int) -> float:
+    """One Figure 2(a) grid point: alias likelihood in percent."""
+    cfg = TraceAliasConfig(n_entries=n, write_footprint=w, samples=samples, seed=seed)
+    return 100 * simulate_trace_aliasing(trace, cfg).alias_probability
+
+
 def _cmd_fig2a(args: argparse.Namespace) -> int:
     trace = remove_true_conflicts(
         specjbb_like(args.threads, args.accesses, seed=args.seed)
     )
     w_values = [5, 10, 20, 40]
     n_values = [4096, 16384, 65536]
-    series = {}
-    for n in n_values:
-        probs = []
-        for w in w_values:
-            cfg = TraceAliasConfig(
-                n_entries=n, write_footprint=w, samples=args.samples, seed=args.seed
-            )
-            probs.append(100 * simulate_trace_aliasing(trace, cfg).alias_probability)
-        series[f"N={n}"] = probs
+    sweep = _run_grid(
+        partial(_fig2a_point, trace, samples=args.samples, seed=args.seed),
+        sweep_grid(n=n_values, w=w_values),
+        args.jobs,
+    )
+    series = {f"N={n}": sweep.where(n=n).series("w", float)[1] for n in n_values}
     print(format_series("W", w_values, series,
                         title=f"Figure 2(a): alias likelihood (%), C=2, seed={args.seed}"))
     return 0
@@ -137,7 +196,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     cfg = OverflowConfig(
         n_traces=args.traces, trace_accesses=200_000, victim_entries=args.victim, seed=args.seed
     )
-    out = fleet_summary(cfg)
+    out = fleet_summary(cfg, jobs=args.jobs)
     rows = [
         [
             name,
@@ -158,31 +217,50 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fig4a_point(n: int, w: int, *, samples: int, seed: int) -> float:
+    """One Figure 4(a) grid point: conflict likelihood in percent."""
+    r = simulate_open_system(OpenSystemConfig(n, 2, w, samples=samples, seed=seed))
+    return 100 * r.conflict_probability
+
+
 def _cmd_fig4a(args: argparse.Namespace) -> int:
     w_values = [4, 8, 16, 24, 32]
-    series = {}
-    for n in (512, 1024, 2048, 4096):
-        probs = []
-        for w in w_values:
-            r = simulate_open_system(
-                OpenSystemConfig(n, 2, w, samples=args.samples, seed=args.seed)
-            )
-            probs.append(100 * r.conflict_probability)
-        series[f"N={n}"] = probs
+    n_values = [512, 1024, 2048, 4096]
+    sweep = _run_grid(
+        partial(_fig4a_point, samples=args.samples, seed=args.seed),
+        sweep_grid(n=n_values, w=w_values),
+        args.jobs,
+    )
+    series = {f"N={n}": sweep.where(n=n).series("w", float)[1] for n in n_values}
     print(format_series("W", w_values, series,
                         title=f"Figure 4(a): conflict likelihood (%), C=2, seed={args.seed}"))
     return 0
 
 
-def _cmd_closed(args: argparse.Namespace) -> int:
-    cfg = ClosedSystemConfig(
-        n_entries=args.n,
-        concurrency=args.c,
-        write_footprint=args.w,
-        alpha=args.alpha,
-        seed=args.seed,
+def _closed_point(n_entries: int, concurrency: int, write_footprint: int, alpha: int, seed: int):
+    """One closed-system grid point (picklable sweep adapter)."""
+    return simulate_closed_system(
+        ClosedSystemConfig(
+            n_entries=n_entries,
+            concurrency=concurrency,
+            write_footprint=write_footprint,
+            alpha=alpha,
+            seed=seed,
+        )
     )
-    r = simulate_closed_system(cfg)
+
+
+def _cmd_closed(args: argparse.Namespace) -> int:
+    grid = [
+        dict(
+            n_entries=args.n,
+            concurrency=args.c,
+            write_footprint=args.w,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+    ]
+    r = _run_grid(_closed_point, grid, args.jobs).outcomes[0]
     print(
         format_table(
             ["quantity", "value"],
@@ -212,7 +290,7 @@ def _cmd_birthday(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import ReportConfig, generate_report
 
-    text = generate_report(ReportConfig(quality=args.quality, seed=args.seed))
+    text = generate_report(ReportConfig(quality=args.quality, seed=args.seed, jobs=args.jobs))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)

@@ -17,6 +17,8 @@ Each engine reproduces one of the paper's measurement protocols:
 * :mod:`repro.sim.montecarlo` — the vectorized collision kernels shared
   by the above.
 * :mod:`repro.sim.sweep` — parameter-grid utilities.
+* :mod:`repro.sim.parallel` — process-pool sweep engine, bit-identical
+  to the serial runner via coordinate-sharded RNG streams.
 """
 
 from repro.sim.closed_system import ClosedSystemConfig, ClosedSystemResult, simulate_closed_system
@@ -51,6 +53,7 @@ from repro.sim.overflow import (
     fleet_summary,
     overflow_distribution,
 )
+from repro.sim.parallel import SweepFailure, SweepTelemetry, run_sweep_parallel
 from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
 from repro.sim.throughput import (
     ThroughputConfig,
@@ -72,7 +75,9 @@ __all__ = [
     "OverflowConfig",
     "OverflowDistribution",
     "OverflowResult",
+    "SweepFailure",
     "SweepResult",
+    "SweepTelemetry",
     "ThroughputConfig",
     "ThroughputResult",
     "TraceAliasConfig",
@@ -86,6 +91,7 @@ __all__ = [
     "plain_read_violation_rate",
     "plain_write_violation_rate",
     "run_sweep",
+    "run_sweep_parallel",
     "simulate_closed_system",
     "simulate_hybrid_pipeline",
     "simulate_isolation_cost",

@@ -14,12 +14,14 @@ The data plotted is a simple arithmetic mean."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.htm.cache import CacheGeometry
 from repro.htm.htm import HTMContext
+from repro.sim.sweep import run_sweep
 from repro.traces.workloads import SPEC2000_PROFILES, BenchmarkProfile, synthesize_trace
 from repro.util.rng import stream_rng
 
@@ -132,17 +134,30 @@ def characterize_overflow(
     )
 
 
+def _characterize_named(
+    bench: str,
+    *,
+    profile_table: Mapping[str, BenchmarkProfile],
+    cfg: OverflowConfig,
+) -> OverflowResult:
+    """Sweep-point adapter: characterize one benchmark by name."""
+    return characterize_overflow(profile_table[bench], cfg)
+
+
 def fleet_summary(
     cfg: OverflowConfig,
     *,
     benchmarks: Optional[Sequence[str]] = None,
     profiles: Optional[Mapping[str, BenchmarkProfile]] = None,
+    jobs: Optional[int] = None,
 ) -> dict[str, OverflowResult]:
     """Characterize every benchmark plus the paper's ``AVG`` column.
 
     Returns an ordered mapping benchmark → result, with a final ``"AVG"``
     entry holding the arithmetic mean of the per-benchmark means (the
-    paper's aggregation).
+    paper's aggregation). ``jobs`` fans the per-benchmark runs out over
+    a process pool; each benchmark's RNG streams are keyed by its name,
+    so results are identical to the serial default.
     """
     table = dict(profiles if profiles is not None else SPEC2000_PROFILES)
     names = list(benchmarks) if benchmarks is not None else list(table)
@@ -150,9 +165,15 @@ def fleet_summary(
     if unknown:
         raise KeyError(f"unknown benchmarks: {unknown}; available: {sorted(table)}")
 
-    out: dict[str, OverflowResult] = {}
-    for name in names:
-        out[name] = characterize_overflow(table[name], cfg)
+    grid = [{"bench": name} for name in names]
+    fn = partial(_characterize_named, profile_table=table, cfg=cfg)
+    if jobs is None or jobs == 1:
+        sweep = run_sweep(fn, grid)
+    else:
+        from repro.sim.parallel import run_sweep_parallel
+
+        sweep = run_sweep_parallel(fn, grid, jobs=jobs)
+    out: dict[str, OverflowResult] = {point["bench"]: result for point, result in sweep}
 
     measured = [r for r in out.values() if r.traces_overflowed > 0]
     if measured:

@@ -4,13 +4,25 @@ The paper "exhaustively evaluates the space spanned by" N × C × W grids;
 these helpers express that as data: build the grid, run a function at
 every point, and collect results keyed by their coordinates so reports
 can slice by any axis.
+
+Two execution strategies share one contract:
+
+* :func:`run_sweep` (here) evaluates points serially.
+* :func:`repro.sim.parallel.run_sweep_parallel` shards the same grid
+  across a process pool and reassembles results in grid order.
+
+Both derive each point's randomness only from the point's coordinates
+(via :func:`repro.util.rng.point_seed` when ``seed`` is given), so the
+two strategies return bit-identical :class:`SweepResult` objects.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.util.rng import point_seed
 
 __all__ = ["SweepResult", "run_sweep", "sweep_grid"]
 
@@ -33,10 +45,16 @@ def sweep_grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
 
 @dataclass
 class SweepResult:
-    """Results of a sweep: parallel lists of points and outcomes."""
+    """Results of a sweep: parallel lists of points and outcomes.
+
+    ``telemetry`` is ``None`` for serial sweeps; the parallel engine
+    attaches a :class:`repro.sim.parallel.SweepTelemetry` describing the
+    run (wall time, throughput, worker utilization, retries).
+    """
 
     points: list[dict[str, Any]] = field(default_factory=list)
     outcomes: list[Any] = field(default_factory=list)
+    telemetry: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self.points)
@@ -68,25 +86,54 @@ class SweepResult:
 
     def axis_values(self, name: str) -> list[Any]:
         """Distinct values of one axis, in first-seen order."""
-        seen: list[Any] = []
+        seen: set[Any] = set()
+        ordered: list[Any] = []
         for point in self.points:
             value = point.get(name)
-            if value not in seen:
-                seen.append(value)
-        return seen
+            try:
+                fresh = value not in seen
+                if fresh:
+                    seen.add(value)
+            except TypeError:  # unhashable axis value: fall back to a scan
+                fresh = value not in ordered
+            if fresh:
+                ordered.append(value)
+        return ordered
+
+
+def _call_point(
+    fn: Callable[..., Any],
+    point: Mapping[str, Any],
+    seed: Optional[int],
+    label: str,
+) -> Any:
+    """Evaluate ``fn`` at one grid point, injecting a per-point seed.
+
+    Shared by the serial and parallel runners so both make the exact
+    same call — the determinism contract between them lives here.
+    """
+    kwargs = dict(point)
+    if seed is not None:
+        kwargs["seed"] = point_seed(seed, label, **point)
+    return fn(**kwargs)
 
 
 def run_sweep(
     fn: Callable[..., Any],
     points: Iterable[Mapping[str, Any]],
+    *,
+    seed: Optional[int] = None,
+    label: str = "sweep-point",
 ) -> SweepResult:
     """Evaluate ``fn(**point)`` at every grid point, collecting results.
 
-    Serial by design: each point's engine is already NumPy-vectorized,
-    and serial execution keeps RNG streams trivially reproducible.
+    When ``seed`` is given, each call also receives an independent
+    ``seed=`` keyword derived from :func:`repro.util.rng.point_seed`
+    keyed by the point's coordinates, so outcomes are independent of
+    evaluation order (and identical to the parallel engine's).
     """
     result = SweepResult()
     for point in points:
         result.points.append(dict(point))
-        result.outcomes.append(fn(**point))
+        result.outcomes.append(_call_point(fn, point, seed, label))
     return result

@@ -6,7 +6,7 @@ so that experiments are reproducible and sweep-order independent.
 """
 
 from repro.util.log import get_logger
-from repro.util.rng import RngStream, spawn_rngs, stream_rng
+from repro.util.rng import RngStream, point_seed, spawn_rngs, stream_rng
 from repro.util.units import (
     CACHE_LINE_BYTES,
     KiB,
@@ -31,6 +31,7 @@ __all__ = [
     "get_logger",
     "is_power_of_two",
     "log2_int",
+    "point_seed",
     "spawn_rngs",
     "stream_rng",
 ]

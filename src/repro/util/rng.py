@@ -23,7 +23,7 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["RngStream", "spawn_rngs", "stream_rng"]
+__all__ = ["RngStream", "point_seed", "spawn_rngs", "stream_rng"]
 
 
 def _key_entropy(label: str, **kwargs: object) -> list[int]:
@@ -60,6 +60,21 @@ def stream_rng(seed: int, label: str, **kwargs: object) -> np.random.Generator:
     """
     entropy = [seed & 0xFFFFFFFF, (seed >> 32) & 0xFFFFFFFF, *_key_entropy(label, **kwargs)]
     return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def point_seed(seed: int, label: str = "sweep-point", **kwargs: object) -> int:
+    """Derive a stable integer sub-seed for the named point under ``seed``.
+
+    Where :func:`stream_rng` hands back a ready generator, ``point_seed``
+    returns a plain 64-bit integer that can cross a process boundary and
+    later seed any consumer (a config object, another ``stream_rng``
+    call).  The value depends only on ``(seed, label, kwargs)`` — never
+    on which worker evaluates the point or in what order — which is what
+    makes parallel sweeps bit-identical to serial ones.
+    """
+    entropy = [seed & 0xFFFFFFFF, (seed >> 32) & 0xFFFFFFFF, *_key_entropy(label, **kwargs)]
+    state = np.random.SeedSequence(entropy).generate_state(2)
+    return (int(state[0]) << 32) | int(state[1])
 
 
 def spawn_rngs(seed: int, count: int, label: str = "spawn") -> list[np.random.Generator]:

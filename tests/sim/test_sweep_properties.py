@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the sweep utilities.
+
+Covers the invariants reports rely on: grid shape and ordering,
+``where`` filter correctness, ``series`` alignment, ``axis_values``
+round-tripping axis order (now a set-backed scan instead of the old
+O(n²) list-membership loop), and empty-axis rejection.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
+
+# Small alphabets keep the cartesian products tractable while still
+# exercising duplicates, negatives, and mixed axis sizes.
+axis_values = st.lists(st.integers(-5, 5), min_size=1, max_size=4)
+axes_dicts = st.dictionaries(
+    keys=st.sampled_from(["a", "b", "c"]),
+    values=axis_values,
+    min_size=1,
+    max_size=3,
+)
+
+
+def record_point(**kwargs):
+    """Identity outcome: the point itself, for structural checks."""
+    return dict(kwargs)
+
+
+def _dedup(values):
+    return list(dict.fromkeys(values))
+
+
+class TestGridProperties:
+    @given(axes=axes_dicts)
+    @settings(max_examples=60)
+    def test_grid_size_is_axis_product(self, axes):
+        grid = sweep_grid(**axes)
+        expected = 1
+        for values in axes.values():
+            expected *= len(values)
+        assert len(grid) == expected
+
+    @given(axes=axes_dicts)
+    @settings(max_examples=60)
+    def test_every_point_has_every_axis(self, axes):
+        for point in sweep_grid(**axes):
+            assert set(point) == set(axes)
+            for name, value in point.items():
+                assert value in axes[name]
+
+    @given(axes=axes_dicts)
+    @settings(max_examples=60)
+    def test_last_axis_varies_fastest(self, axes):
+        grid = sweep_grid(**axes)
+        last = list(axes)[-1]
+        expected_cycle = axes[last]
+        for i, point in enumerate(grid):
+            assert point[last] == expected_cycle[i % len(expected_cycle)]
+
+    @given(axes=axes_dicts, name=st.sampled_from(["a", "b", "c"]))
+    @settings(max_examples=60)
+    def test_axis_values_round_trips_axis_order(self, axes, name):
+        result = run_sweep(record_point, sweep_grid(**axes))
+        if name in axes:
+            assert result.axis_values(name) == _dedup(axes[name])
+        else:
+            assert result.axis_values(name) == [None]
+
+    @given(name=st.sampled_from(["a", "b", "c"]))
+    def test_empty_axis_rejected(self, name):
+        with pytest.raises(ValueError, match="no values"):
+            sweep_grid(**{name: []})
+
+
+class TestWhereProperties:
+    @given(axes=axes_dicts, data=st.data())
+    @settings(max_examples=60)
+    def test_where_matches_manual_filter(self, axes, data):
+        result = run_sweep(record_point, sweep_grid(**axes))
+        name = data.draw(st.sampled_from(list(axes)))
+        value = data.draw(st.sampled_from(axes[name]))
+        sub = result.where(**{name: value})
+        expected = [p for p in result.points if p[name] == value]
+        assert sub.points == expected
+        assert sub.outcomes == expected  # record_point echoes the point
+        assert all(p[name] == value for p in sub.points)
+
+    @given(axes=axes_dicts)
+    @settings(max_examples=40)
+    def test_where_no_criteria_is_identity(self, axes):
+        result = run_sweep(record_point, sweep_grid(**axes))
+        sub = result.where()
+        assert sub.points == result.points
+        assert sub.outcomes == result.outcomes
+
+    @given(axes=axes_dicts)
+    @settings(max_examples=40)
+    def test_where_unmatched_is_empty(self, axes):
+        result = run_sweep(record_point, sweep_grid(**axes))
+        assert len(result.where(**{list(axes)[0]: 999})) == 0
+
+
+class TestSeriesProperties:
+    @given(axes=axes_dicts)
+    @settings(max_examples=60)
+    def test_series_aligns_with_points(self, axes):
+        result = run_sweep(record_point, sweep_grid(**axes))
+        name = list(axes)[0]
+        xs, ys = result.series(name, lambda point: float(sum(point.values())))
+        assert xs == [p[name] for p in result.points]
+        assert ys == [float(sum(p.values())) for p in result.points]
+
+
+class TestAxisValuesFallback:
+    def test_unhashable_axis_values_still_dedup(self):
+        # the set fast path cannot hold lists; the scan fallback must
+        result = SweepResult(
+            points=[{"a": [1, 2]}, {"a": [1, 2]}, {"a": [3]}],
+            outcomes=[0, 0, 0],
+        )
+        assert result.axis_values("a") == [[1, 2], [3]]
+
+    def test_mixed_hashable_and_unhashable(self):
+        result = SweepResult(
+            points=[{"a": 1}, {"a": [2]}, {"a": 1}, {"a": [2]}],
+            outcomes=[0, 0, 0, 0],
+        )
+        assert result.axis_values("a") == [1, [2]]
+
+    def test_large_axis_linear_scan(self):
+        # regression guard for the O(n²) membership scan: 20k distinct
+        # values completes essentially instantly with the set-backed path
+        result = SweepResult(
+            points=[{"a": i} for i in range(20_000)],
+            outcomes=[0] * 20_000,
+        )
+        assert len(result.axis_values("a")) == 20_000

@@ -86,3 +86,43 @@ class TestCommands:
         main(["--seed", "5", "closed", "--n", "2048", "--c", "4", "--w", "8"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestJobsFlag:
+    """--jobs parallelizes sweeps without changing a byte of stdout."""
+
+    def test_fig4a_jobs_matches_serial(self, capsys):
+        assert main(["fig4a", "--samples", "60"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig4a", "--samples", "60", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial
+        # observability goes to stderr only
+        assert "[sweep]" in captured.err
+
+    def test_closed_jobs_matches_serial(self, capsys):
+        argv = ["closed", "--n", "1024", "--c", "2", "--w", "5"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_report_accepts_jobs(self, capsys):
+        assert build_parser().parse_args(["report", "--jobs", "4"]).jobs == 4
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-4"])
+    def test_non_positive_jobs_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig4a", "--jobs", value])
+        assert excinfo.value.code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig4a", "--jobs", "two"])
+        assert excinfo.value.code == 2
+        assert "invalid" in capsys.readouterr().err
+
+    def test_jobs_defaults_to_serial(self):
+        for command in (["fig2a"], ["fig3"], ["fig4a"], ["closed", "--n", "64"], ["report"]):
+            assert build_parser().parse_args(command).jobs is None

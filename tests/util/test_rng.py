@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.util.rng import RngStream, spawn_rngs, stream_rng
+from repro.util.rng import RngStream, point_seed, spawn_rngs, stream_rng
 
 
 class TestStreamRng:
@@ -90,3 +90,26 @@ class TestRngStream:
         a = next(it)
         b = next(it)
         assert a is not b
+
+
+class TestPointSeed:
+    def test_stable_across_calls(self):
+        assert point_seed(7, "grid", n=1024, w=8) == point_seed(7, "grid", n=1024, w=8)
+
+    def test_kwarg_order_irrelevant(self):
+        assert point_seed(7, "grid", n=1024, w=8) == point_seed(7, "grid", w=8, n=1024)
+
+    def test_coordinates_separate_streams(self):
+        assert point_seed(7, "grid", n=1024) != point_seed(7, "grid", n=2048)
+
+    def test_seed_separates_streams(self):
+        assert point_seed(7, "grid", n=1024) != point_seed(8, "grid", n=1024)
+
+    def test_label_separates_streams(self):
+        assert point_seed(7, "fig4a", n=1024) != point_seed(7, "fig5", n=1024)
+
+    @given(seed=st.integers(0, 2**63 - 1), n=st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_fits_in_uint64(self, seed, n):
+        value = point_seed(seed, "grid", n=n)
+        assert 0 <= value < 2**64
