@@ -1,0 +1,115 @@
+"""Serving-layer load benchmark: throughput and tail latency.
+
+The acceptance bar for the serving layer: the closed-form
+``/v1/model/conflict`` endpoint must sustain >= 500 req/s with p99
+under 50 ms on a CI-runner-class machine (local measurements run an
+order of magnitude above both bars, so the assertion has wide margin
+without being vacuous).
+
+The generator is the package's own closed-loop loadgen
+(:mod:`repro.service.loadgen`): a fixed client population, one request
+in flight per client, exact quantiles from raw latency samples.  A
+second bench drives the async sweep-job path end to end (submit, poll,
+cache-hit resubmit) to put a number on job turnaround.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import emit
+from repro.service.loadgen import LoadGenConfig, run_loadgen_sync
+from repro.service.server import Service, ServiceConfig, ServiceThread
+
+#: CI-runner-class floors; local hardware clears these ~10x.
+MIN_THROUGHPUT_RPS = 500.0
+MAX_P99_SECONDS = 0.050
+
+
+def test_conflict_endpoint_throughput_and_tail():
+    """Closed-form endpoint: >= 500 req/s, p99 < 50 ms, zero errors."""
+    with ServiceThread(Service(ServiceConfig(port=0, workers=2))) as handle:
+        report = run_loadgen_sync(
+            LoadGenConfig(
+                host=handle.host,
+                port=handle.port,
+                path="/v1/model/conflict?w=20&n=4096&c=2",
+                concurrency=8,
+                duration=3.0,
+                warmup=0.5,
+            )
+        )
+    emit(
+        "Service load (closed-loop, 8 clients, /v1/model/conflict):\n"
+        + report.summary()
+    )
+    assert report.errors == 0
+    assert report.requests > 0
+    assert all(status == 200 for status in report.status_counts)
+    assert report.throughput >= MIN_THROUGHPUT_RPS, report.summary()
+    assert report.percentile(0.99) < MAX_P99_SECONDS, report.summary()
+
+
+def test_metrics_endpoint_under_load():
+    """/metrics stays cheap enough to scrape while serving traffic."""
+    with ServiceThread(Service(ServiceConfig(port=0))) as handle:
+        report = run_loadgen_sync(
+            LoadGenConfig(
+                host=handle.host,
+                port=handle.port,
+                path="/metrics",
+                concurrency=4,
+                duration=1.5,
+                warmup=0.3,
+            )
+        )
+    emit("Service load (/metrics scrape):\n" + report.summary())
+    assert report.errors == 0
+    assert report.throughput >= 100.0
+    assert report.percentile(0.99) < 0.1
+
+
+def test_sweep_job_turnaround_and_cache_speedup():
+    """End-to-end async job path: compute once, then cache-hit latency."""
+    import http.client
+
+    body = json.dumps(
+        {
+            "kind": "fig4a",
+            "params": {"n_values": [512, 1024], "w_values": [4, 8, 16], "samples": 400},
+            "seed": 7,
+        }
+    )
+    with ServiceThread(Service(ServiceConfig(port=0, workers=2))) as handle:
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=60)
+
+        def submit() -> tuple[float, dict]:
+            started = time.perf_counter()
+            conn.request(
+                "POST", "/v1/sweeps", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            data = json.loads(response.read())
+            while data.get("state") in ("queued", "running"):
+                time.sleep(0.01)
+                conn.request("GET", f"/v1/sweeps/{data['id']}")
+                response = conn.getresponse()
+                data = json.loads(response.read())
+            return time.perf_counter() - started, data
+
+        cold_seconds, first = submit()
+        warm_seconds, second = submit()
+        conn.close()
+
+    assert first["state"] == "succeeded"
+    assert second["cache_hit"] is True
+    assert second["result"] == first["result"]
+    emit(
+        "Sweep job turnaround (2x2x3-point fig4a grid, 400 samples):\n"
+        f"cold (computed): {1e3 * cold_seconds:.1f}ms\n"
+        f"warm (cache hit): {1e3 * warm_seconds:.1f}ms\n"
+        f"speedup: {cold_seconds / max(warm_seconds, 1e-9):.0f}x"
+    )
+    assert warm_seconds < cold_seconds

@@ -7,9 +7,13 @@
     python -m repro fig4a --samples 2000
     python -m repro closed --n 4096 --c 4 --w 10
     python -m repro birthday --target 0.5
+    python -m repro serve --port 8642
+    python -m repro loadgen --port 8642 --duration 5
 
 Every subcommand prints the same series its benchmark counterpart
 asserts on, with explicit seeds, so results can be pasted into reports.
+``serve`` exposes the model and sweep engines over JSON/HTTP (see
+:mod:`repro.service`); ``loadgen`` measures a running server.
 """
 
 from __future__ import annotations
@@ -31,7 +35,23 @@ from repro.sim.trace_driven import TraceAliasConfig, simulate_trace_aliasing
 from repro.traces.dedup import remove_true_conflicts
 from repro.traces.workloads import specjbb_like
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "version_string"]
+
+
+def version_string() -> str:
+    """The installed package version, from distribution metadata.
+
+    Falls back to ``repro.__version__`` when the distribution is not
+    installed (e.g. running from a source tree via ``PYTHONPATH=src``).
+    """
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
 
 
 def _jobs_arg(value: str) -> int:
@@ -56,7 +76,15 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
 
 
 def _progress_line(done: int, total: int) -> None:
-    """CLI sweep progress: a carriage-return line on stderr."""
+    """CLI sweep progress: a carriage-return line on stderr.
+
+    Suppressed entirely when stderr is not a TTY — carriage returns
+    would otherwise pollute redirected logs and CI output with one
+    ever-growing line of overstrikes.  (The end-of-sweep telemetry
+    summary is printed unconditionally by :func:`_run_grid`.)
+    """
+    if not sys.stderr.isatty():
+        return
     end = "\n" if done >= total else ""
     print(f"\r[sweep] {done}/{total} points", end=end, file=sys.stderr, flush=True)
 
@@ -91,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduction toolkit",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {version_string()}",
+        help="print the package version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("model", help="evaluate the Eq. 8 conflict model")
@@ -135,6 +169,52 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("birthday", help="classical birthday-paradox numbers")
     p.add_argument("--target", type=float, default=0.5, help="collision probability target")
     p.add_argument("--days", type=int, default=365)
+
+    p = sub.add_parser("serve", help="serve the model and sweep engines over JSON/HTTP")
+    p.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8642, help="bind port (0 = ephemeral)")
+    p.add_argument(
+        "--workers", type=_jobs_arg, default=2, metavar="N",
+        help="job-queue worker threads (default 2)",
+    )
+    p.add_argument(
+        "--queue-capacity", type=_jobs_arg, default=16, metavar="N",
+        help="max pending+running jobs before 429 (default 16)",
+    )
+    p.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-job wall-clock budget; <= 0 disables (default 300)",
+    )
+    p.add_argument(
+        "--cache-capacity", type=_jobs_arg, default=256, metavar="N",
+        help="in-memory result-cache entries (default 256)",
+    )
+    p.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="directory for the persistent disk cache tier (default: off)",
+    )
+
+    p = sub.add_parser("loadgen", help="closed-loop load generator against a server")
+    p.add_argument("--host", type=str, default="127.0.0.1", help="target host")
+    p.add_argument("--port", type=int, required=True, help="target port")
+    p.add_argument(
+        "--path",
+        type=str,
+        default="/v1/model/conflict?w=20&n=4096&c=2",
+        help="request target issued by every client",
+    )
+    p.add_argument(
+        "--concurrency", type=_jobs_arg, default=8, metavar="N",
+        help="closed-loop client population (default 8)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="measurement window (default 5)",
+    )
+    p.add_argument(
+        "--warmup", type=float, default=0.5, metavar="SECONDS",
+        help="traffic discarded before the window opens (default 0.5)",
+    )
 
     return parser
 
@@ -300,6 +380,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    return serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            job_timeout=args.job_timeout if args.job_timeout > 0 else None,
+            cache_capacity=args.cache_capacity,
+            cache_dir=args.cache_dir,
+        )
+    )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import LoadGenConfig, run_loadgen_sync
+
+    report = run_loadgen_sync(
+        LoadGenConfig(
+            host=args.host,
+            port=args.port,
+            path=args.path,
+            concurrency=args.concurrency,
+            duration=args.duration,
+            warmup=args.warmup,
+        )
+    )
+    print(report.summary())
+    return 0 if report.requests > 0 and report.errors == 0 else 1
+
+
 _HANDLERS = {
     "model": _cmd_model,
     "report": _cmd_report,
@@ -309,6 +422,8 @@ _HANDLERS = {
     "fig4a": _cmd_fig4a,
     "closed": _cmd_closed,
     "birthday": _cmd_birthday,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -1,0 +1,233 @@
+"""Closed-loop async load generator for the serving layer.
+
+"Closed loop" in the queueing-theory sense the paper's §4 closed-system
+experiments use: a fixed population of ``concurrency`` virtual clients,
+each holding exactly one request in flight — a client issues, awaits
+the response, then immediately issues again.  Offered load therefore
+adapts to service capacity instead of overrunning it, which makes the
+measured latency distribution meaningful (open-loop generators conflate
+service latency with their own queue build-up).
+
+Each client owns one keep-alive HTTP/1.1 connection (reconnecting on
+failure), so the measured path is request handling, not connection
+setup.  Latencies are recorded per request; the report carries exact
+p50/p95/p99 computed from the raw samples plus throughput over the
+measurement window.
+
+Used three ways: ``repro loadgen`` against a running server, the
+benchmark suite (``benchmarks/test_service_load.py``), and ad hoc from
+Python via :func:`run_loadgen`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["LoadGenConfig", "LoadGenReport", "run_loadgen", "run_loadgen_sync"]
+
+DEFAULT_PATH = "/v1/model/conflict?w=20&n=4096&c=2"
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One load-generation run.
+
+    Attributes
+    ----------
+    host, port:
+        Target server.
+    path:
+        Request target (path + query) issued by every client.
+    concurrency:
+        Closed-loop client population (requests in flight).
+    duration:
+        Measurement window in seconds.
+    warmup:
+        Seconds of traffic discarded before the window opens (JIT-free
+        Python still benefits: connection setup and allocator warm-up
+        would otherwise pollute the tail).
+    timeout:
+        Per-request timeout in seconds.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    path: str = DEFAULT_PATH
+    concurrency: int = 8
+    duration: float = 5.0
+    warmup: float = 0.5
+    timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {self.warmup}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+
+@dataclass
+class LoadGenReport:
+    """Results of one run: throughput and the latency distribution."""
+
+    requests: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    status_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second over the window."""
+        return self.requests / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact latency quantile (seconds) from the raw samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest for CLI output."""
+        lines = [
+            f"requests:   {self.requests} ok, {self.errors} errors "
+            f"in {self.elapsed_seconds:.2f}s",
+            f"throughput: {self.throughput:.1f} req/s",
+        ]
+        if self.latencies:
+            lines.append(
+                "latency:    "
+                f"p50={1e3 * self.percentile(0.50):.2f}ms  "
+                f"p95={1e3 * self.percentile(0.95):.2f}ms  "
+                f"p99={1e3 * self.percentile(0.99):.2f}ms  "
+                f"max={1e3 * max(self.latencies):.2f}ms"
+            )
+        if self.status_counts:
+            by_status = ", ".join(
+                f"{status}: {count}" for status, count in sorted(self.status_counts.items())
+            )
+            lines.append(f"statuses:   {by_status}")
+        return "\n".join(lines)
+
+
+class _Client:
+    """One closed-loop virtual client over a keep-alive connection."""
+
+    def __init__(self, config: LoadGenConfig) -> None:
+        self.config = config
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self._request = (
+            f"GET {config.path} HTTP/1.1\r\n"
+            f"Host: {config.host}:{config.port}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("ascii")
+
+    async def _connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.config.host, self.config.port
+        )
+
+    async def close(self) -> None:
+        """Tear the connection down (idempotent)."""
+        if self.writer is not None:
+            try:
+                self.writer.close()
+                await self.writer.wait_closed()
+            except Exception:
+                pass
+            self.reader = self.writer = None
+
+    async def request_once(self) -> int:
+        """Issue one request, drain the response; returns the status code."""
+        if self.writer is None:
+            await self._connect()
+        assert self.reader is not None and self.writer is not None
+        self.writer.write(self._request)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        parts = status_line.split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        content_length = 0
+        close_after = False
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                content_length = int(value.strip())
+            elif name == "connection" and value.strip().lower() == "close":
+                close_after = True
+        if content_length:
+            await self.reader.readexactly(content_length)
+        if close_after:
+            await self.close()
+        return status
+
+
+async def _client_loop(config: LoadGenConfig, report: LoadGenReport,
+                       window_open: float, deadline: float) -> None:
+    client = _Client(config)
+    try:
+        while True:
+            now = time.perf_counter()
+            if now >= deadline:
+                return
+            started = now
+            try:
+                status = await asyncio.wait_for(
+                    client.request_once(), timeout=config.timeout
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                await client.close()
+                if time.perf_counter() >= window_open:
+                    report.errors += 1
+                continue
+            finished = time.perf_counter()
+            if started >= window_open and finished <= deadline:
+                report.requests += 1
+                report.latencies.append(finished - started)
+                report.status_counts[status] = report.status_counts.get(status, 0) + 1
+    finally:
+        await client.close()
+
+
+async def run_loadgen(config: LoadGenConfig) -> LoadGenReport:
+    """Drive the target with ``config.concurrency`` closed-loop clients.
+
+    Returns a :class:`LoadGenReport` whose window excludes warmup
+    traffic on both edges (requests must start *and* finish inside it).
+    """
+    report = LoadGenReport()
+    start = time.perf_counter()
+    window_open = start + config.warmup
+    deadline = window_open + config.duration
+    await asyncio.gather(
+        *(
+            _client_loop(config, report, window_open, deadline)
+            for _ in range(config.concurrency)
+        )
+    )
+    report.elapsed_seconds = time.perf_counter() - window_open
+    return report
+
+
+def run_loadgen_sync(config: LoadGenConfig) -> LoadGenReport:
+    """Blocking wrapper around :func:`run_loadgen` (the CLI entry)."""
+    return asyncio.run(run_loadgen(config))

@@ -1,0 +1,410 @@
+"""Bounded job queue with overload rejection and graceful drain.
+
+The serving layer's sweep jobs are CPU-heavy (seconds to minutes), so
+admission control matters more than raw queueing: a queue that accepts
+everything converts overload into unbounded latency.  This queue
+instead has a hard capacity — pending plus running jobs — and raises
+:class:`QueueFull` at submit time, which the HTTP layer converts into
+``429 Too Many Requests`` with a ``Retry-After`` hint sized from the
+current backlog.
+
+Execution model: a fixed pool of worker threads pulls jobs in FIFO
+order.  The job body itself (a sweep over :func:`repro.sim.sweep.run_sweep`
+or the process-pool engine) releases the GIL poorly, but workers are
+few and jobs are coarse, so threads are the right weight — and the
+asyncio HTTP loop stays responsive because it never runs job bodies.
+
+Lifecycle::
+
+    QUEUED ──> RUNNING ──> SUCCEEDED | FAILED | TIMEOUT
+       └────> CANCELLED                  (cancel() before a worker starts it)
+
+Per-job timeout is enforced by running the body in a disposable daemon
+thread and abandoning it on expiry: the job settles as ``TIMEOUT``
+immediately and the worker moves on.  (Python cannot kill a running
+thread; abandonment bounds *observed* latency, which is what the
+service promises.  The abandoned computation finishes in the background
+and its result is discarded.)
+
+``drain()`` stops admission and waits for in-flight jobs — the graceful
+half of shutdown; ``close()`` is the immediate half.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+__all__ = ["Job", "JobQueue", "JobState", "QueueClosed", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """Raised at submit time when pending + running is at capacity."""
+
+    def __init__(self, depth: int, capacity: int, retry_after: float) -> None:
+        super().__init__(
+            f"job queue at capacity ({depth}/{capacity}); retry in ~{retry_after:.0f}s"
+        )
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class QueueClosed(Exception):
+    """Raised at submit time after shutdown has begun."""
+
+
+class JobState(str, Enum):
+    """Lifecycle states; the last four are terminal."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether a job in this state will never change again."""
+        return self not in (JobState.QUEUED, JobState.RUNNING)
+
+
+@dataclass
+class Job:
+    """One unit of queued work and its observable record.
+
+    Attributes
+    ----------
+    id:
+        Opaque job id handed back to the client.
+    params:
+        The validated request that produced the job (echoed in status).
+    state:
+        Current :class:`JobState`.
+    result:
+        The job body's return value once ``SUCCEEDED``.
+    error:
+        Human-readable failure detail once ``FAILED``/``TIMEOUT``.
+    cache_hit:
+        True when the job was answered from the result cache without
+        ever entering the queue.
+    submitted_at / started_at / finished_at:
+        Monotonic-clock timestamps (``None`` until reached).
+    """
+
+    id: str
+    params: dict[str, Any] = field(default_factory=dict)
+    state: JobState = JobState.QUEUED
+    result: Any = None
+    error: Optional[str] = None
+    cache_hit: bool = False
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job settles; True if terminal on return."""
+        return self._done.wait(timeout)
+
+    def __post_init__(self) -> None:
+        self._done = threading.Event()
+        if self.state.terminal:
+            self._done.set()
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe status view served at ``GET /v1/sweeps/<id>``."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state.value,
+            "params": self.params,
+            "cache_hit": self.cache_hit,
+        }
+        if self.started_at is not None and self.finished_at is not None:
+            out["run_seconds"] = self.finished_at - self.started_at
+        if self.state is JobState.SUCCEEDED:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def _new_job_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class JobQueue:
+    """Fixed worker pool over a bounded FIFO of :class:`Job` records.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads executing job bodies.
+    capacity:
+        Maximum pending + running jobs; beyond it, :class:`QueueFull`.
+    default_timeout:
+        Per-job wall-clock budget in seconds (``None`` = unlimited),
+        overridable per submit.
+    retry_after_hint:
+        Seconds-per-queued-job estimate used to size the
+        ``Retry-After`` header when rejecting; defaults to 1s/job.
+    history:
+        Terminal jobs retained for status polling (FIFO eviction).
+    on_transition:
+        Optional callback ``(job, old_state)`` fired after every state
+        change — the metrics hook.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        capacity: int = 16,
+        default_timeout: Optional[float] = None,
+        retry_after_hint: float = 1.0,
+        history: int = 256,
+        on_transition: Optional[Callable[[Job, JobState], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError(f"default_timeout must be positive, got {default_timeout}")
+        if history < 0:
+            raise ValueError(f"history must be non-negative, got {history}")
+        self.workers = workers
+        self.capacity = capacity
+        self.default_timeout = default_timeout
+        self.retry_after_hint = retry_after_hint
+        self.history = history
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: deque[tuple[Job, Callable[[], Any], Optional[float]]] = deque()
+        self._jobs: dict[str, Job] = {}
+        self._terminal_order: deque[str] = deque()
+        self._running = 0
+        self._closed = False
+        self._draining = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"job-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- public API ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Pending + running jobs (the number admission counts)."""
+        with self._lock:
+            return len(self._pending) + self._running
+
+    @property
+    def pending(self) -> int:
+        """Jobs admitted but not yet picked up by a worker."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def running(self) -> int:
+        """Jobs currently executing on a worker."""
+        with self._lock:
+            return self._running
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        *,
+        params: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+        job_id: Optional[str] = None,
+    ) -> Job:
+        """Admit a job or raise :class:`QueueFull`/:class:`QueueClosed`.
+
+        ``fn`` is a zero-argument callable (bind arguments with
+        ``functools.partial``); its return value becomes ``job.result``.
+        """
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        job = Job(
+            id=job_id or _new_job_id(),
+            params=dict(params or {}),
+            submitted_at=time.monotonic(),
+        )
+        with self._lock:
+            if self._closed or self._draining:
+                raise QueueClosed("job queue is shutting down")
+            depth = len(self._pending) + self._running
+            if depth >= self.capacity:
+                raise QueueFull(
+                    depth, self.capacity, max(1.0, depth * self.retry_after_hint)
+                )
+            if job.id in self._jobs:
+                raise ValueError(f"duplicate job id {job.id!r}")
+            self._jobs[job.id] = job
+            self._pending.append((job, fn, timeout if timeout is not None else self.default_timeout))
+            self._wakeup.notify()
+        return job
+
+    def add_completed(self, job: Job) -> None:
+        """Register an already-terminal job (e.g. a cache hit) for polling."""
+        if not job.state.terminal:
+            raise ValueError(f"job {job.id} is not terminal ({job.state.value})")
+        with self._lock:
+            if job.id in self._jobs:
+                raise ValueError(f"duplicate job id {job.id!r}")
+            self._jobs[job.id] = job
+            self._remember_terminal(job)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """Look up a job by id (``None`` if unknown or evicted)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; False once running/terminal."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                return False
+            for i, (pending_job, _, _) in enumerate(self._pending):
+                if pending_job.id == job_id:
+                    del self._pending[i]
+                    break
+            else:
+                return False  # a worker grabbed it between checks
+            self._settle(job, JobState.CANCELLED)
+            return True
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait for the backlog; True if it emptied.
+
+        Pending jobs still run — drain is graceful.  Returns False if
+        ``timeout`` elapsed with work still in flight.
+        """
+        with self._lock:
+            self._draining = True
+            self._wakeup.notify_all()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if not self._pending and self._running == 0:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
+
+    def close(self) -> None:
+        """Immediate shutdown: cancel pending jobs, release the workers.
+
+        Running jobs are abandoned (their threads are daemons); their
+        records stay ``RUNNING`` and never settle, which is the honest
+        description of a job killed by process exit.
+        """
+        with self._lock:
+            self._closed = True
+            while self._pending:
+                job, _, _ = self._pending.popleft()
+                self._settle(job, JobState.CANCELLED)
+            self._wakeup.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+
+    def counts(self) -> dict[str, int]:
+        """Jobs by state, for the metrics exporter."""
+        with self._lock:
+            out = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                out[job.state.value] += 1
+            return out
+
+    # -- internals ----------------------------------------------------
+
+    def _transition(self, job: Job, state: JobState) -> None:
+        # Caller holds the lock.
+        old = job.state
+        job.state = state
+        if self._on_transition is not None:
+            try:
+                self._on_transition(job, old)
+            except Exception:
+                pass  # metrics must never take the queue down
+
+    def _settle(self, job: Job, state: JobState) -> None:
+        # Caller holds the lock.
+        job.finished_at = time.monotonic()
+        self._transition(job, state)
+        self._remember_terminal(job)
+        job._done.set()
+
+    def _remember_terminal(self, job: Job) -> None:
+        # Caller holds the lock.
+        self._terminal_order.append(job.id)
+        while len(self._terminal_order) > self.history:
+            evicted = self._terminal_order.popleft()
+            self._jobs.pop(evicted, None)
+
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if self._closed:
+                    return
+                job, fn, timeout = self._pending.popleft()
+                self._running += 1
+                job.started_at = time.monotonic()
+                self._transition(job, JobState.RUNNING)
+            try:
+                self._execute(job, fn, timeout)
+            finally:
+                with self._lock:
+                    self._running -= 1
+                    self._wakeup.notify_all()
+
+    def _execute(self, job: Job, fn: Callable[[], Any], timeout: Optional[float]) -> None:
+        if timeout is None:
+            try:
+                result = fn()
+            except Exception:
+                with self._lock:
+                    job.error = traceback.format_exc(limit=16)
+                    self._settle(job, JobState.FAILED)
+                return
+            with self._lock:
+                job.result = result
+                self._settle(job, JobState.SUCCEEDED)
+            return
+
+        # Timed execution: run the body in a disposable daemon thread so
+        # expiry settles the job without waiting out the computation.
+        outcome: dict[str, Any] = {}
+
+        def body() -> None:
+            try:
+                outcome["result"] = fn()
+            except Exception:
+                outcome["error"] = traceback.format_exc(limit=16)
+
+        runner = threading.Thread(target=body, name=f"job-{job.id}", daemon=True)
+        runner.start()
+        runner.join(timeout)
+        with self._lock:
+            if runner.is_alive():
+                job.error = f"job exceeded {timeout:g}s budget"
+                self._settle(job, JobState.TIMEOUT)
+            elif "error" in outcome:
+                job.error = outcome["error"]
+                self._settle(job, JobState.FAILED)
+            else:
+                job.result = outcome.get("result")
+                self._settle(job, JobState.SUCCEEDED)

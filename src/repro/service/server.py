@@ -1,0 +1,730 @@
+"""The asyncio JSON-over-HTTP serving layer.
+
+Architecture: one asyncio event loop owns every socket; job bodies run
+on :class:`repro.service.queue.JobQueue` worker threads; the two sides
+meet only through thread-safe objects (the queue, the cache, the
+metrics registry).  The loop therefore never blocks on simulation work
+and the closed-form endpoints answer in microseconds even while sweep
+jobs grind in the background.
+
+The HTTP layer is a deliberately small hand-rolled HTTP/1.1 subset
+(stdlib-only is a hard constraint): request line + headers +
+``Content-Length`` body, keep-alive by default, bounded header and body
+sizes.  It is not a general web server — it serves exactly this API:
+
+====================  ======  ==============================================
+Path                  Method  Purpose
+====================  ======  ==============================================
+``/healthz``          GET     liveness + uptime + queue/cache snapshot
+``/metrics``          GET     Prometheus text exposition
+``/v1/model/conflict``  GET   Eq. 8 conflict likelihood (closed form)
+``/v1/model/sizing``  GET     Eq. 8 inverted: table entries for a target
+``/v1/birthday``      GET     classical birthday-paradox numbers
+``/v1/sweeps``        POST    submit an async sweep job -> 202 + job id
+``/v1/sweeps/<id>``   GET     poll job status / fetch result
+``/v1/sweeps/<id>``   DELETE  cancel a queued job
+====================  ======  ==============================================
+
+Submission flow: validate (400 on bad input) -> cache probe (content
+address of the canonicalized request; a hit returns a completed job
+without touching the queue) -> admission (429 + ``Retry-After`` when
+the bounded queue is full) -> 202.  Results enter the cache when the
+job succeeds, so the next identical submission is a hit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from email.utils import formatdate
+from functools import partial
+from http import HTTPStatus
+from typing import Any, Callable, Mapping, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.birthday import (
+    birthday_collision_probability,
+    people_for_collision_probability,
+)
+from repro.core.model import (
+    ModelParams,
+    conflict_likelihood,
+    conflict_likelihood_product_form,
+)
+from repro.core.sizing import table_entries_for_commit_probability
+from repro.service.cache import ResultCache, cache_key
+from repro.service.metrics import MetricsRegistry
+from repro.service.queue import Job, JobQueue, JobState, QueueClosed, QueueFull
+from repro.service.sweeps import (
+    SweepValidationError,
+    execute_sweep,
+    validate_sweep_request,
+)
+
+__all__ = ["ServiceConfig", "Service", "ServiceThread", "serve", "start_in_thread"]
+
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+SERVER_NAME = "repro-service"
+
+
+class _HTTPError(Exception):
+    """Internal: aborts a request with a status and a JSON detail."""
+
+    def __init__(self, status: HTTPStatus, detail: str,
+                 headers: Optional[dict[str, str]] = None) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+        self.headers = headers or {}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the service needs to boot.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; ``port=0`` asks the kernel for an ephemeral port
+        (the bound port is reported on :class:`Service`).
+    workers:
+        Job-queue worker threads executing sweep bodies.
+    queue_capacity:
+        Maximum pending + running jobs before submissions get 429.
+    job_timeout:
+        Per-job wall-clock budget in seconds (``None`` = unlimited).
+    cache_capacity:
+        In-memory LRU entries of the result cache.
+    cache_dir:
+        Optional directory for the persistent disk tier.
+    drain_timeout:
+        Seconds to wait for in-flight jobs during graceful shutdown.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    workers: int = 2
+    queue_capacity: int = 16
+    job_timeout: Optional[float] = 300.0
+    cache_capacity: int = 256
+    cache_dir: Optional[str] = None
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(f"job_timeout must be positive, got {self.job_timeout}")
+        if self.cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+
+
+def _query_float(query: Mapping[str, list[str]], key: str,
+                 default: Optional[float] = None) -> float:
+    values = query.get(key)
+    if not values:
+        if default is None:
+            raise _HTTPError(HTTPStatus.BAD_REQUEST, f"missing query parameter {key!r}")
+        return default
+    try:
+        return float(values[-1])
+    except ValueError:
+        raise _HTTPError(
+            HTTPStatus.BAD_REQUEST, f"query parameter {key!r} must be a number"
+        ) from None
+
+
+def _query_int(query: Mapping[str, list[str]], key: str,
+               default: Optional[int] = None) -> int:
+    value = _query_float(query, key, None if default is None else float(default))
+    if not float(value).is_integer():
+        raise _HTTPError(
+            HTTPStatus.BAD_REQUEST, f"query parameter {key!r} must be an integer"
+        )
+    return int(value)
+
+
+class Service:
+    """One bound instance of the serving layer.
+
+    Owns the cache, the job queue, the metrics registry, and (once
+    started) the listening socket.  Tests construct it directly with
+    ``port=0``; production goes through :func:`serve`.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = ResultCache(
+            self.config.cache_capacity, disk_dir=self.config.cache_dir
+        )
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._requests = m.counter(
+            "repro_requests_total", "HTTP requests by endpoint", label="endpoint"
+        )
+        self._responses = m.counter(
+            "repro_responses_total", "HTTP responses by status code", label="status"
+        )
+        self._latency = m.histogram(
+            "repro_request_latency_seconds", "Request handling latency", label="endpoint"
+        )
+        self._jobs_terminal = m.counter(
+            "repro_jobs_total", "Sweep jobs by terminal state", label="state"
+        )
+        self._rejections = m.counter(
+            "repro_queue_rejections_total", "Submissions rejected by backpressure"
+        )
+        self._cache_hits = m.counter(
+            "repro_cache_hits_total", "Sweep submissions answered from the result cache"
+        )
+        self._cache_misses = m.counter(
+            "repro_cache_misses_total", "Sweep submissions that required computation"
+        )
+        self._queue_depth = m.gauge(
+            "repro_queue_depth", "Jobs admitted and not yet finished"
+        )
+        self._jobs_running = m.gauge("repro_jobs_running", "Jobs currently executing")
+        self._cache_ratio = m.gauge(
+            "repro_cache_hit_ratio", "Result-cache hit fraction since boot"
+        )
+        self._uptime = m.gauge("repro_uptime_seconds", "Seconds since service start")
+        self.queue = JobQueue(
+            workers=self.config.workers,
+            capacity=self.config.queue_capacity,
+            default_timeout=self.config.job_timeout,
+            on_transition=self._on_job_transition,
+        )
+        self._started_at = time.monotonic()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> "Service":
+        """Bind the listening socket (idempotent)."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=MAX_HEADER_BYTES,
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.host, self.port = sockname[0], sockname[1]
+            self._started_at = time.monotonic()
+        return self
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Graceful shutdown: close the socket, drain the queue.
+
+        With ``drain=True``, in-flight and queued jobs run to
+        completion (up to ``config.drain_timeout``); new submissions
+        are already impossible because the socket is closed.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain:
+            await asyncio.get_running_loop().run_in_executor(
+                None, partial(self.queue.drain, self.config.drain_timeout)
+            )
+        self.queue.close()
+
+    # -- job bookkeeping ----------------------------------------------
+
+    def _on_job_transition(self, job: Job, old: JobState) -> None:
+        if job.state.terminal:
+            self._jobs_terminal.inc(label=job.state.value)
+
+    def _refresh_gauges(self) -> None:
+        self._queue_depth.set(self.queue.depth)
+        self._jobs_running.set(self.queue.running)
+        self._cache_ratio.set(self.cache.stats().hit_ratio)
+        self._uptime.set(time.monotonic() - self._started_at)
+
+    def _run_job(self, kind: str, params: dict[str, Any], seed: int,
+                 jobs: Optional[int], key: str) -> dict[str, Any]:
+        result = execute_sweep(kind, params, seed, jobs)
+        self.cache.put(key, result)
+        return result
+
+    def submit_sweep(self, body: Mapping[str, Any]) -> tuple[Job, bool]:
+        """Validate + cache-probe + admit one sweep request.
+
+        Returns ``(job, was_cache_hit)``.  Raises
+        :class:`~repro.service.sweeps.SweepValidationError`,
+        :class:`~repro.service.queue.QueueFull`, or
+        :class:`~repro.service.queue.QueueClosed` — callers map those
+        to 400/429/503.
+        """
+        kind, params, seed, jobs = validate_sweep_request(body)
+        key = cache_key({"kind": kind, "params": params}, seed)
+        request_echo = {"kind": kind, "params": params, "seed": seed}
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._cache_hits.inc()
+            job = Job(
+                id=f"hit-{key[:12]}",
+                params=request_echo,
+                state=JobState.SUCCEEDED,
+                result=cached,
+                cache_hit=True,
+            )
+            # Polling must work for cache hits too; tolerate the same
+            # content being re-submitted while a prior hit is retained.
+            if self.queue.get(job.id) is None:
+                self.queue.add_completed(job)
+                self._jobs_terminal.inc(label=JobState.SUCCEEDED.value)
+            return self.queue.get(job.id) or job, True
+        self._cache_misses.inc()
+        job = self.queue.submit(
+            partial(self._run_job, kind, params, seed, jobs, key),
+            params=request_echo,
+        )
+        return job, False
+
+    # -- HTTP plumbing ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            TimeoutError,
+        ):
+            pass  # client went away or spoke garbage; just hang up
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_one_request(self, reader: asyncio.StreamReader,
+                                  writer: asyncio.StreamWriter) -> bool:
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return False
+        try:
+            method, target, version = request_line.decode("ascii").split()
+        except ValueError:
+            await self._write_error(
+                writer, HTTPStatus.BAD_REQUEST, "malformed request line", "bad", False
+            )
+            return False
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            line = await reader.readline()
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                await self._write_error(
+                    writer, HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE,
+                    "headers too large", "bad", False,
+                )
+                return False
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        length_header = headers.get("content-length", "0")
+        try:
+            content_length = int(length_header)
+        except ValueError:
+            await self._write_error(
+                writer, HTTPStatus.BAD_REQUEST, "bad Content-Length", "bad", False
+            )
+            return False
+        if content_length > MAX_BODY_BYTES:
+            await self._write_error(
+                writer, HTTPStatus.REQUEST_ENTITY_TOO_LARGE, "body too large", "bad", False
+            )
+            return False
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        keep_alive = headers.get("connection", "").lower() != "close" and version == "HTTP/1.1"
+        started = time.perf_counter()
+        endpoint, status, payload, extra_headers = self._dispatch(method, target, body)
+        self._requests.inc(label=endpoint)
+        self._latency.observe(time.perf_counter() - started, label=endpoint)
+        self._responses.inc(label=str(int(status)))
+        await self._write_response(writer, status, payload, extra_headers, keep_alive)
+        return keep_alive
+
+    def _dispatch(self, method: str, target: str, body: bytes,
+                  ) -> tuple[str, HTTPStatus, Any, dict[str, str]]:
+        """Route one request; returns (endpoint-label, status, payload, headers).
+
+        ``payload`` is a JSON-able object, or a ``(content_type, text)``
+        pair for non-JSON bodies like the metrics exposition.
+        """
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        try:
+            route, handler = self._route(method, path)
+            return (route, *handler(query, body))
+        except _HTTPError as exc:
+            return (path, exc.status, {"error": exc.detail}, exc.headers)
+        except QueueFull as exc:
+            self._rejections.inc()
+            return (
+                "/v1/sweeps",
+                HTTPStatus.TOO_MANY_REQUESTS,
+                {
+                    "error": str(exc),
+                    "queue_depth": exc.depth,
+                    "queue_capacity": exc.capacity,
+                    "retry_after_seconds": exc.retry_after,
+                },
+                {"Retry-After": str(int(round(exc.retry_after)))},
+            )
+        except QueueClosed:
+            return (
+                "/v1/sweeps",
+                HTTPStatus.SERVICE_UNAVAILABLE,
+                {"error": "service is shutting down"},
+                {},
+            )
+        except SweepValidationError as exc:
+            return ("/v1/sweeps", HTTPStatus.BAD_REQUEST, {"error": str(exc)}, {})
+        except ValueError as exc:
+            # Model-layer validation (e.g. commit probability out of range).
+            return (path, HTTPStatus.BAD_REQUEST, {"error": str(exc)}, {})
+        except Exception as exc:  # never let a handler kill the loop
+            return (
+                path,
+                HTTPStatus.INTERNAL_SERVER_ERROR,
+                {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                {},
+            )
+
+    def _route(self, method: str, path: str) -> tuple[str, Callable[..., Any]]:
+        fixed: dict[tuple[str, str], Callable[..., Any]] = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/v1/model/conflict"): self._handle_conflict,
+            ("GET", "/v1/model/sizing"): self._handle_sizing,
+            ("GET", "/v1/birthday"): self._handle_birthday,
+            ("POST", "/v1/sweeps"): self._handle_submit,
+        }
+        if (method, path) in fixed:
+            return path, fixed[(method, path)]
+        if path.startswith("/v1/sweeps/"):
+            job_id = path[len("/v1/sweeps/"):]
+            if method == "GET":
+                return "/v1/sweeps/{id}", partial(self._handle_job_status, job_id)
+            if method == "DELETE":
+                return "/v1/sweeps/{id}", partial(self._handle_job_cancel, job_id)
+        known_paths = {p for (_, p) in fixed} | {"/v1/sweeps"}
+        if path in known_paths or path.startswith("/v1/sweeps/"):
+            raise _HTTPError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} not allowed here")
+        raise _HTTPError(HTTPStatus.NOT_FOUND, f"no such endpoint: {path}")
+
+    # -- handlers -----------------------------------------------------
+
+    def _handle_healthz(self, query: Mapping[str, list[str]], body: bytes):
+        del query, body
+        stats = self.cache.stats()
+        return (
+            HTTPStatus.OK,
+            {
+                "status": "ok",
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "queue": {
+                    "depth": self.queue.depth,
+                    "running": self.queue.running,
+                    "capacity": self.queue.capacity,
+                },
+                "cache": {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "hit_ratio": stats.hit_ratio,
+                },
+            },
+            {},
+        )
+
+    def _handle_metrics(self, query: Mapping[str, list[str]], body: bytes):
+        del query, body
+        self._refresh_gauges()
+        text = self.metrics.render()
+        return (
+            HTTPStatus.OK,
+            ("text/plain; version=0.0.4; charset=utf-8", text),
+            {},
+        )
+
+    def _handle_conflict(self, query: Mapping[str, list[str]], body: bytes):
+        del body
+        w = _query_float(query, "w")
+        n = _query_int(query, "n")
+        c = _query_int(query, "c", 2)
+        alpha = _query_float(query, "alpha", 2.0)
+        params = ModelParams(n_entries=n, concurrency=c, alpha=alpha)
+        raw = float(conflict_likelihood(w, params))
+        prob = float(conflict_likelihood_product_form(w, params))
+        return (
+            HTTPStatus.OK,
+            {
+                "w": w,
+                "n": n,
+                "c": c,
+                "alpha": alpha,
+                "raw": raw,
+                "conflict_probability": prob,
+                "commit_probability": 1.0 - prob,
+            },
+            {},
+        )
+
+    def _handle_sizing(self, query: Mapping[str, list[str]], body: bytes):
+        del body
+        w = _query_int(query, "w")
+        commit = _query_float(query, "commit")
+        c = _query_int(query, "c", 2)
+        alpha = _query_float(query, "alpha", 2.0)
+        entries = table_entries_for_commit_probability(
+            w, commit, concurrency=c, alpha=alpha
+        )
+        return (
+            HTTPStatus.OK,
+            {
+                "w": w,
+                "commit": commit,
+                "c": c,
+                "alpha": alpha,
+                "entries": entries,
+                "mib_at_8_bytes": entries * 8 / (1 << 20),
+            },
+            {},
+        )
+
+    def _handle_birthday(self, query: Mapping[str, list[str]], body: bytes):
+        del body
+        days = _query_int(query, "days", 365)
+        if "people" in query:
+            people = _query_int(query, "people")
+            return (
+                HTTPStatus.OK,
+                {
+                    "people": people,
+                    "days": days,
+                    "collision_probability": birthday_collision_probability(people, days=days),
+                },
+                {},
+            )
+        target = _query_float(query, "target", 0.5)
+        people = people_for_collision_probability(target, days=days)
+        return (
+            HTTPStatus.OK,
+            {
+                "target": target,
+                "days": days,
+                "people": people,
+                "collision_probability": birthday_collision_probability(people, days=days),
+                "occupancy_at_threshold": people / days,
+            },
+            {},
+        )
+
+    def _handle_submit(self, query: Mapping[str, list[str]], body: bytes):
+        del query
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise _HTTPError(HTTPStatus.BAD_REQUEST, "request body must be valid JSON") from None
+        job, hit = self.submit_sweep(parsed)
+        status = HTTPStatus.OK if hit else HTTPStatus.ACCEPTED
+        payload = {
+            "id": job.id,
+            "state": job.state.value,
+            "cache_hit": hit,
+            "href": f"/v1/sweeps/{job.id}",
+        }
+        if hit:
+            payload["result"] = job.result  # spare the client a round trip
+        return status, payload, {}
+
+    def _handle_job_status(self, job_id: str, query: Mapping[str, list[str]], body: bytes):
+        del query, body
+        job = self.queue.get(job_id)
+        if job is None:
+            raise _HTTPError(HTTPStatus.NOT_FOUND, f"no such job: {job_id}")
+        return HTTPStatus.OK, job.snapshot(), {}
+
+    def _handle_job_cancel(self, job_id: str, query: Mapping[str, list[str]], body: bytes):
+        del query, body
+        job = self.queue.get(job_id)
+        if job is None:
+            raise _HTTPError(HTTPStatus.NOT_FOUND, f"no such job: {job_id}")
+        cancelled = self.queue.cancel(job_id)
+        if not cancelled:
+            raise _HTTPError(
+                HTTPStatus.CONFLICT,
+                f"job {job_id} is {job.state.value}; only queued jobs can be cancelled",
+            )
+        return HTTPStatus.OK, job.snapshot(), {}
+
+    # -- response writing ---------------------------------------------
+
+    async def _write_response(self, writer: asyncio.StreamWriter, status: HTTPStatus,
+                              payload: Any, extra_headers: dict[str, str],
+                              keep_alive: bool) -> None:
+        if isinstance(payload, tuple):
+            content_type, text = payload
+            data = text.encode("utf-8")
+        else:
+            content_type = "application/json"
+            data = (json.dumps(payload) + "\n").encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {int(status)} {status.phrase}",
+            f"Date: {formatdate(usegmt=True)}",
+            f"Server: {SERVER_NAME}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(data)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in extra_headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()
+
+    async def _write_error(self, writer: asyncio.StreamWriter, status: HTTPStatus,
+                           detail: str, endpoint: str, keep_alive: bool) -> None:
+        self._responses.inc(label=str(int(status)))
+        await self._write_response(writer, status, {"error": detail}, {}, keep_alive)
+
+
+class ServiceThread:
+    """A :class:`Service` running on a private event loop in a thread.
+
+    The shape tests, benchmarks, and the load generator's self-serve
+    mode all need: boot in-process, learn the bound port, talk to it
+    over real sockets from ordinary synchronous code, stop cleanly.
+
+    Use as a context manager::
+
+        with start_in_thread(ServiceConfig(port=0)) as svc:
+            requests_go_to(svc.host, svc.port)
+    """
+
+    def __init__(self, service: Service) -> None:
+        self.service = service
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    @property
+    def host(self) -> str:
+        """Bound host (valid once started)."""
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        """Bound port (valid once started)."""
+        return self.service.port
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def boot() -> None:
+            await self.service.start()
+            self._ready.set()
+
+        try:
+            self._loop.run_until_complete(boot())
+            self._loop.run_forever()
+        finally:
+            self._ready.set()  # unblock start() even on bind failure
+            self._loop.close()
+
+    def start(self, timeout: float = 10.0) -> "ServiceThread":
+        """Boot the loop thread and wait for the socket to bind."""
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service failed to start within timeout")
+        if self.service._server is None:
+            raise RuntimeError("service failed to bind (see stderr for the cause)")
+        return self
+
+    def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service and join the loop thread."""
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain=drain), self._loop
+        )
+        try:
+            future.result(timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def start_in_thread(config: Optional[ServiceConfig] = None) -> ServiceThread:
+    """Boot a service on a background thread; returns the handle (started)."""
+    return ServiceThread(Service(config)).start()
+
+
+def serve(config: Optional[ServiceConfig] = None) -> int:
+    """Run the service in the foreground until interrupted.
+
+    The blocking entry point behind ``repro serve``.  SIGINT/SIGTERM
+    (or Ctrl-C) triggers graceful shutdown: the socket closes first, so
+    no new work is admitted, then the queue drains for up to
+    ``config.drain_timeout`` seconds.
+    """
+    service = Service(config)
+
+    async def run() -> None:
+        await service.start()
+        print(
+            f"[repro-service] listening on http://{service.host}:{service.port} "
+            f"(workers={service.config.workers}, "
+            f"queue={service.config.queue_capacity})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("[repro-service] shut down", flush=True)
+    return 0

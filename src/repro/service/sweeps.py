@@ -1,0 +1,345 @@
+"""Declarative registry of the sweep kinds the service can run.
+
+A sweep request arrives as JSON — ``{"kind": ..., "params": {...},
+"seed": ...}`` — and must be validated *before* it is admitted to the
+job queue (a malformed request should cost a 400, not a worker).  Each
+kind bundles that validation with an executor that reuses the existing
+engines (:mod:`repro.sim`), so the service adds no simulation code of
+its own:
+
+* ``fig4a`` — the open-system conflict-likelihood sweep of Figure 4(a):
+  grid of table sizes × write footprints, Monte Carlo per point.
+* ``closed`` — closed-system runs (Figures 5–6 protocol) over a grid of
+  table sizes × concurrency × footprints.
+* ``model`` — the Eq. 8 closed forms over a grid; no randomness, useful
+  for cheap smoke traffic.
+
+Executors call :func:`repro.sim.sweep.run_sweep` (serial) or
+:func:`repro.sim.parallel.run_sweep_parallel` (``jobs`` requested), and
+both paths return identical numbers — the engine's determinism contract
+— so a cached result is indistinguishable from a recomputed one.
+
+Results are JSON-safe dicts shaped like the CLI's printed series: an
+x-axis vector plus one named series per table size, values in percent
+where the figures use percent.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Mapping, Optional
+
+from repro.core.model import (
+    ModelParams,
+    conflict_likelihood,
+    conflict_likelihood_product_form,
+)
+from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.open_system import OpenSystemConfig, simulate_open_system
+from repro.sim.sweep import run_sweep, sweep_grid
+
+__all__ = ["SWEEP_KINDS", "SweepKind", "execute_sweep", "validate_sweep_request"]
+
+# Admission-control ceilings: a request beyond these is a 400, not a
+# multi-hour job. Generous relative to the paper's grids (Fig 4a uses
+# 20 points x 2000 samples).
+MAX_GRID_POINTS = 4096
+MAX_SAMPLES = 200_000
+
+
+class SweepValidationError(ValueError):
+    """A sweep request that fails validation (HTTP 400 at the edge)."""
+
+
+def _require_int(params: Mapping[str, Any], key: str, default: Optional[int] = None,
+                 *, lo: int = 1, hi: Optional[int] = None) -> int:
+    value = params.get(key, default)
+    if value is None:
+        raise SweepValidationError(f"missing required parameter {key!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SweepValidationError(f"parameter {key!r} must be a number, got {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise SweepValidationError(f"parameter {key!r} must be an integer, got {value!r}")
+        value = int(value)
+    if value < lo or (hi is not None and value > hi):
+        bound = f">= {lo}" if hi is None else f"in [{lo}, {hi}]"
+        raise SweepValidationError(f"parameter {key!r} must be {bound}, got {value}")
+    return value
+
+
+def _require_float(params: Mapping[str, Any], key: str, default: float,
+                   *, lo: float = 0.0) -> float:
+    value = params.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SweepValidationError(f"parameter {key!r} must be a number, got {value!r}")
+    if value < lo:
+        raise SweepValidationError(f"parameter {key!r} must be >= {lo}, got {value}")
+    return float(value)
+
+
+def _require_int_list(params: Mapping[str, Any], key: str,
+                      default: Optional[list[int]] = None) -> list[int]:
+    values = params.get(key, default)
+    if values is None:
+        raise SweepValidationError(f"missing required parameter {key!r}")
+    if not isinstance(values, (list, tuple)) or not values:
+        raise SweepValidationError(f"parameter {key!r} must be a non-empty list")
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)) or (
+            isinstance(v, float) and not v.is_integer()
+        ):
+            raise SweepValidationError(f"parameter {key!r} must hold integers, got {v!r}")
+        if int(v) < 1:
+            raise SweepValidationError(f"parameter {key!r} values must be >= 1, got {v}")
+        out.append(int(v))
+    return out
+
+
+def _reject_unknown(params: Mapping[str, Any], allowed: frozenset[str]) -> None:
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise SweepValidationError(f"unknown parameter(s): {', '.join(unknown)}")
+
+
+class SweepKind:
+    """One runnable sweep family: a validator plus an executor.
+
+    ``validate(params)`` returns the normalized parameter dict that is
+    both executed and folded into the cache key, so two requests that
+    normalize identically share one cache entry.  ``execute(params,
+    seed, jobs)`` runs the sweep and returns a JSON-safe result.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        validate: Callable[[Mapping[str, Any]], dict[str, Any]],
+        execute: Callable[[dict[str, Any], int, Optional[int]], dict[str, Any]],
+        description: str,
+    ) -> None:
+        self.name = name
+        self.validate = validate
+        self.execute = execute
+        self.description = description
+
+
+def _run_grid(fn: Callable[..., Any], grid: list[dict[str, Any]],
+              jobs: Optional[int]):
+    """Serial or process-pool execution of one validated grid."""
+    if jobs is None or jobs <= 1:
+        return run_sweep(fn, grid)
+    from repro.sim.parallel import run_sweep_parallel
+
+    return run_sweep_parallel(fn, grid, jobs=jobs)
+
+
+# -- fig4a: open-system conflict likelihood ---------------------------
+
+_FIG4A_KEYS = frozenset({"n_values", "w_values", "samples", "concurrency"})
+
+
+def _validate_fig4a(params: Mapping[str, Any]) -> dict[str, Any]:
+    _reject_unknown(params, _FIG4A_KEYS)
+    n_values = _require_int_list(params, "n_values", [512, 1024, 2048, 4096])
+    w_values = _require_int_list(params, "w_values", [4, 8, 16, 24, 32])
+    if len(n_values) * len(w_values) > MAX_GRID_POINTS:
+        raise SweepValidationError(
+            f"grid of {len(n_values) * len(w_values)} points exceeds "
+            f"the {MAX_GRID_POINTS}-point ceiling"
+        )
+    return {
+        "n_values": n_values,
+        "w_values": w_values,
+        "samples": _require_int(params, "samples", 2000, lo=1, hi=MAX_SAMPLES),
+        "concurrency": _require_int(params, "concurrency", 2, lo=2, hi=64),
+    }
+
+
+def _open_point(n: int, w: int, *, concurrency: int, samples: int, seed: int) -> float:
+    """One open-system grid point: conflict likelihood in percent."""
+    result = simulate_open_system(
+        OpenSystemConfig(n, concurrency, w, samples=samples, seed=seed)
+    )
+    return 100 * result.conflict_probability
+
+
+def _execute_fig4a(params: dict[str, Any], seed: int, jobs: Optional[int]) -> dict[str, Any]:
+    grid = sweep_grid(n=params["n_values"], w=params["w_values"])
+    sweep = _run_grid(
+        partial(
+            _open_point,
+            concurrency=params["concurrency"],
+            samples=params["samples"],
+            seed=seed,
+        ),
+        grid,
+        jobs,
+    )
+    series = {
+        f"N={n}": sweep.where(n=n).series("w", float)[1] for n in params["n_values"]
+    }
+    return {"kind": "fig4a", "x": "w", "w_values": params["w_values"], "series": series}
+
+
+# -- closed: closed-system protocol runs ------------------------------
+
+_CLOSED_KEYS = frozenset({"n_values", "c_values", "w_values", "alpha"})
+
+
+def _validate_closed(params: Mapping[str, Any]) -> dict[str, Any]:
+    _reject_unknown(params, _CLOSED_KEYS)
+    n_values = _require_int_list(params, "n_values")
+    c_values = _require_int_list(params, "c_values", [2])
+    w_values = _require_int_list(params, "w_values", [10])
+    points = len(n_values) * len(c_values) * len(w_values)
+    if points > MAX_GRID_POINTS:
+        raise SweepValidationError(
+            f"grid of {points} points exceeds the {MAX_GRID_POINTS}-point ceiling"
+        )
+    alpha = _require_float(params, "alpha", 2.0)
+    if not float(alpha).is_integer():
+        raise SweepValidationError(f"closed-system alpha must be integral, got {alpha}")
+    return {
+        "n_values": n_values,
+        "c_values": c_values,
+        "w_values": w_values,
+        "alpha": int(alpha),
+    }
+
+
+def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
+                  *, alpha: int, seed: int) -> dict[str, Any]:
+    """One closed-system grid point as a JSON-safe record."""
+    r = simulate_closed_system(
+        ClosedSystemConfig(
+            n_entries=n_entries,
+            concurrency=concurrency,
+            write_footprint=write_footprint,
+            alpha=alpha,
+            seed=seed,
+        )
+    )
+    return {
+        "n_entries": n_entries,
+        "concurrency": concurrency,
+        "write_footprint": write_footprint,
+        "conflicts": r.conflicts,
+        "committed": r.committed,
+        "mean_occupancy": r.mean_occupancy,
+        "expected_occupancy": r.expected_occupancy,
+        "actual_concurrency": r.actual_concurrency,
+    }
+
+
+def _execute_closed(params: dict[str, Any], seed: int, jobs: Optional[int]) -> dict[str, Any]:
+    grid = sweep_grid(
+        n_entries=params["n_values"],
+        concurrency=params["c_values"],
+        write_footprint=params["w_values"],
+    )
+    sweep = _run_grid(
+        partial(_closed_point, alpha=params["alpha"], seed=seed), grid, jobs
+    )
+    return {"kind": "closed", "points": list(sweep.outcomes)}
+
+
+# -- model: Eq. 8 closed forms (no randomness) ------------------------
+
+_MODEL_KEYS = frozenset({"n_values", "w_values", "concurrency", "alpha"})
+
+
+def _validate_model(params: Mapping[str, Any]) -> dict[str, Any]:
+    _reject_unknown(params, _MODEL_KEYS)
+    n_values = _require_int_list(params, "n_values")
+    w_values = _require_int_list(params, "w_values")
+    if len(n_values) * len(w_values) > MAX_GRID_POINTS:
+        raise SweepValidationError(
+            f"grid of {len(n_values) * len(w_values)} points exceeds "
+            f"the {MAX_GRID_POINTS}-point ceiling"
+        )
+    return {
+        "n_values": n_values,
+        "w_values": w_values,
+        "concurrency": _require_int(params, "concurrency", 2, lo=2, hi=1024),
+        "alpha": _require_float(params, "alpha", 2.0),
+    }
+
+
+def _execute_model(params: dict[str, Any], seed: int, jobs: Optional[int]) -> dict[str, Any]:
+    del seed, jobs  # closed-form: no randomness, never worth a pool
+    raw: dict[str, list[float]] = {}
+    product: dict[str, list[float]] = {}
+    for n in params["n_values"]:
+        mp = ModelParams(
+            n_entries=n, concurrency=params["concurrency"], alpha=params["alpha"]
+        )
+        raw[f"N={n}"] = [float(conflict_likelihood(float(w), mp)) for w in params["w_values"]]
+        product[f"N={n}"] = [
+            float(conflict_likelihood_product_form(float(w), mp))
+            for w in params["w_values"]
+        ]
+    return {
+        "kind": "model",
+        "x": "w",
+        "w_values": params["w_values"],
+        "raw": raw,
+        "conflict_probability": product,
+    }
+
+
+SWEEP_KINDS: dict[str, SweepKind] = {
+    kind.name: kind
+    for kind in (
+        SweepKind(
+            "fig4a",
+            _validate_fig4a,
+            _execute_fig4a,
+            "open-system conflict likelihood over an N x W grid (Figure 4a)",
+        ),
+        SweepKind(
+            "closed",
+            _validate_closed,
+            _execute_closed,
+            "closed-system protocol runs over an N x C x W grid (Figures 5-6)",
+        ),
+        SweepKind(
+            "model",
+            _validate_model,
+            _execute_model,
+            "Eq. 8 closed forms over an N x W grid (no simulation)",
+        ),
+    )
+}
+
+
+def validate_sweep_request(body: Mapping[str, Any]) -> tuple[str, dict[str, Any], int, Optional[int]]:
+    """Validate a POST /v1/sweeps body into (kind, params, seed, jobs).
+
+    Raises :class:`SweepValidationError` on any malformed field; the
+    HTTP layer maps that to a 400 with the message as detail.
+    """
+    if not isinstance(body, Mapping):
+        raise SweepValidationError("request body must be a JSON object")
+    _reject_unknown(body, frozenset({"kind", "params", "seed", "jobs"}))
+    kind_name = body.get("kind")
+    if not isinstance(kind_name, str) or kind_name not in SWEEP_KINDS:
+        known = ", ".join(sorted(SWEEP_KINDS))
+        raise SweepValidationError(f"unknown sweep kind {kind_name!r}; expected one of: {known}")
+    raw_params = body.get("params", {})
+    if not isinstance(raw_params, Mapping):
+        raise SweepValidationError("'params' must be a JSON object")
+    params = SWEEP_KINDS[kind_name].validate(raw_params)
+    seed = _require_int(dict(body), "seed", 0, lo=0)
+    jobs_value = body.get("jobs")
+    jobs: Optional[int] = None
+    if jobs_value is not None:
+        jobs = _require_int(dict(body), "jobs", None, lo=1, hi=64)
+    return kind_name, params, seed, jobs
+
+
+def execute_sweep(kind: str, params: dict[str, Any], seed: int,
+                  jobs: Optional[int] = None) -> dict[str, Any]:
+    """Run one validated sweep to completion (the job-queue body)."""
+    return SWEEP_KINDS[kind].execute(params, seed, jobs)

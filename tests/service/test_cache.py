@@ -1,0 +1,183 @@
+"""Tests for the content-addressed result cache.
+
+The cache-key canonicalization tests are the satellite requirement:
+dict key order, int-vs-float spelling, and nesting depth must not
+change the SHA-256 address, because JSON clients spell the same request
+many ways and each spelling must hit the same cache entry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.cache import ResultCache, cache_key, canonical_json
+
+
+class TestCanonicalJson:
+    def test_dict_key_order_erased(self):
+        a = {"w": 8, "n": 4096, "samples": 100}
+        b = {"samples": 100, "n": 4096, "w": 8}
+        assert canonical_json(a) == canonical_json(b)
+        assert cache_key(a) == cache_key(b)
+
+    def test_int_vs_float_normalized(self):
+        assert canonical_json({"w": 8}) == canonical_json({"w": 8.0})
+        assert cache_key({"w": 8}) == cache_key({"w": 8.0})
+
+    def test_fractional_floats_distinct(self):
+        assert cache_key({"alpha": 2.0}) != cache_key({"alpha": 2.5})
+
+    def test_nested_structures(self):
+        a = {"params": {"n_values": [512, 1024.0], "inner": {"b": 1, "a": 2.0}}}
+        b = {"params": {"inner": {"a": 2, "b": 1.0}, "n_values": [512.0, 1024]}}
+        assert canonical_json(a) == canonical_json(b)
+        assert cache_key(a) == cache_key(b)
+
+    def test_tuple_and_list_coincide(self):
+        assert canonical_json({"xs": (1, 2)}) == canonical_json({"xs": [1, 2]})
+
+    def test_bool_not_conflated_with_int(self):
+        # JSON true and 1 are different values; True must stay a bool.
+        assert canonical_json({"flag": True}) != canonical_json({"flag": 1})
+        assert json.loads(canonical_json({"flag": True})) == {"flag": True}
+
+    def test_whitespace_and_formatting_erased(self):
+        text = canonical_json({"a": [1, 2], "b": {"c": 3}})
+        assert " " not in text and "\n" not in text
+
+    def test_output_is_valid_json(self):
+        config = {"kind": "fig4a", "params": {"n_values": [512], "w_values": [4, 8]}}
+        assert json.loads(canonical_json(config)) == config
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({1: "x"})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestCacheKey:
+    def test_key_is_sha256_hex(self):
+        key = cache_key({"w": 8}, seed=0)
+        assert len(key) == 64
+        assert all(ch in "0123456789abcdef" for ch in key)
+
+    def test_seed_changes_key(self):
+        config = {"w": 8}
+        assert cache_key(config, seed=0) != cache_key(config, seed=1)
+
+    def test_none_seed_distinct_from_zero(self):
+        config = {"w": 8}
+        assert cache_key(config, seed=None) != cache_key(config, seed=0)
+
+    def test_seed_cannot_collide_with_config_field(self):
+        # Folding the seed into the addressed structure (not appending to
+        # the digest) keeps seed-shaped config fields unambiguous.
+        assert cache_key({"seed": 1}, seed=None) != cache_key({}, seed=1)
+
+
+class TestMemoryTier:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k1", {"series": [1.0, 2.0]})
+        assert cache.get("k1") == {"series": [1.0, 2.0]}
+
+    def test_miss_returns_none(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("nope") is None
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch a: b becomes LRU
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_eviction_counted(self):
+        cache = ResultCache(capacity=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats().evictions == 1
+        assert len(cache) == 1
+
+    def test_stats_hit_ratio(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+    def test_thread_safety_smoke(self):
+        cache = ResultCache(capacity=32)
+
+        def worker(tag: int) -> None:
+            for i in range(200):
+                cache.put(f"k{(tag + i) % 64}", i)
+                cache.get(f"k{i % 64}")
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 32
+
+
+class TestDiskTier:
+    def test_disk_round_trip(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        value = {"kind": "fig4a", "series": {"N=512": [1.5, 2.25]}, "n": [512]}
+        key = cache_key(value)
+        cache.put(key, value)
+        # A fresh cache over the same directory (fresh memory tier) must
+        # recover the exact value from disk.
+        fresh = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        assert fresh.get(key) == value
+        assert fresh.stats().disk_hits == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        cache.put("deadbeef", [1, 2, 3])
+        fresh = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        assert fresh.get("deadbeef") == [1, 2, 3]  # from disk
+        assert fresh.get("deadbeef") == [1, 2, 3]  # now from memory
+        stats = fresh.stats()
+        assert stats.disk_hits == 1
+        assert stats.memory_hits == 1
+
+    def test_memory_eviction_keeps_disk_copy(self, tmp_path):
+        cache = ResultCache(capacity=1, disk_dir=tmp_path / "cache")
+        cache.put("aaaa", "first")
+        cache.put("bbbb", "second")  # evicts aaaa from memory
+        assert cache.get("aaaa") == "first"  # served by disk
+        assert cache.stats().disk_hits == 1
+
+    def test_torn_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        cache.put("cafe", {"x": 1})
+        path = cache._disk_path("cafe")
+        path.write_text("{not json", encoding="utf-8")
+        fresh = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        assert fresh.get("cafe") is None
+
+    def test_no_disk_dir_means_memory_only(self, tmp_path):
+        cache = ResultCache(capacity=1)
+        cache.put("aaaa", "first")
+        cache.put("bbbb", "second")
+        assert cache.get("aaaa") is None

@@ -1,0 +1,137 @@
+"""Tests for the metrics registry and Prometheus text rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("reqs_total", "requests")
+        assert c.value() == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("reqs_total", "requests")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_series_independent(self):
+        c = Counter("reqs_total", "requests", label="endpoint")
+        c.inc(label="/healthz")
+        c.inc(label="/metrics")
+        c.inc(label="/healthz")
+        assert c.value(label="/healthz") == 2
+        assert c.value(label="/metrics") == 1
+
+    def test_label_discipline(self):
+        plain = Counter("a_total", "a")
+        labeled = Counter("b_total", "b", label="x")
+        with pytest.raises(ValueError):
+            plain.inc(label="oops")
+        with pytest.raises(ValueError):
+            labeled.inc()
+
+    def test_render_format(self):
+        c = Counter("reqs_total", "requests served", label="endpoint")
+        c.inc(label="/healthz")
+        lines = c.render()
+        assert "# HELP reqs_total requests served" in lines
+        assert "# TYPE reqs_total counter" in lines
+        assert 'reqs_total{endpoint="/healthz"} 1' in lines
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name", "x")
+        with pytest.raises(ValueError):
+            Counter("9starts_with_digit", "x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "queue depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+    def test_render_unlabeled_shows_zero_default(self):
+        g = Gauge("depth", "queue depth")
+        assert "depth 0" in g.render()
+
+
+class TestHistogram:
+    def test_buckets_cumulative_and_inf(self):
+        h = Histogram("lat", "latency", buckets=[0.01, 0.1, 1.0])
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        lines = h.render()
+        assert 'lat_bucket{le="0.01"} 1' in lines
+        assert 'lat_bucket{le="0.1"} 2' in lines
+        assert 'lat_bucket{le="1"} 3' in lines
+        assert 'lat_bucket{le="+Inf"} 4' in lines
+        assert "lat_count 4" in lines
+        sum_line = next(line for line in lines if line.startswith("lat_sum"))
+        assert float(sum_line.split()[1]) == pytest.approx(5.555)
+
+    def test_observation_on_bound_is_inclusive(self):
+        h = Histogram("lat", "latency", buckets=[0.1, 1.0])
+        h.observe(0.1)
+        assert 'lat_bucket{le="0.1"} 1' in h.render()
+
+    def test_count_and_quantile(self):
+        h = Histogram("lat", "latency", buckets=[0.001, 0.01, 0.1])
+        for _ in range(99):
+            h.observe(0.005)
+        h.observe(0.05)
+        assert h.count() == 100
+        assert h.quantile(0.5) == 0.01  # bucket upper bound
+        assert h.quantile(0.99) == 0.01
+        assert h.quantile(1.0) == 0.1
+
+    def test_quantile_empty_is_nan(self):
+        h = Histogram("lat", "latency", buckets=[1.0])
+        assert math.isnan(h.quantile(0.5))
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", "x", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("lat", "x", buckets=[0.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("lat", "x", buckets=[1.0, 1.0])
+
+
+class TestRegistry:
+    def test_idempotent_by_name(self):
+        reg = MetricsRegistry()
+        a = reg.counter("reqs_total", "requests")
+        b = reg.counter("reqs_total", "requests")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing", "x")
+        with pytest.raises(ValueError):
+            reg.gauge("thing", "x")
+
+    def test_render_concatenates_in_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("aaa_total", "a").inc()
+        reg.gauge("zzz", "z").set(3)
+        text = reg.render()
+        assert text.endswith("\n")
+        assert text.index("aaa_total") < text.index("zzz")
+        # Every non-comment line is "name{labels} value"
+        for line in text.strip().splitlines():
+            if not line.startswith("#"):
+                assert len(line.rsplit(" ", 1)) == 2
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""

@@ -1,0 +1,248 @@
+"""Tests for the bounded job queue: admission, timeout, drain, cancel."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.queue import Job, JobQueue, JobState, QueueClosed, QueueFull
+
+
+@pytest.fixture
+def queue():
+    q = JobQueue(workers=2, capacity=4)
+    yield q
+    q.close()
+
+
+def wait_for(predicate, timeout=5.0, interval=0.005):
+    """Poll until ``predicate()`` or fail the test."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    pytest.fail("condition not reached within timeout")
+
+
+class TestExecution:
+    def test_submit_runs_and_succeeds(self, queue):
+        job = queue.submit(lambda: 41 + 1, params={"x": 1})
+        assert job.wait(5.0)
+        assert job.state is JobState.SUCCEEDED
+        assert job.result == 42
+        assert job.params == {"x": 1}
+
+    def test_fifo_order(self):
+        q = JobQueue(workers=1, capacity=16)
+        try:
+            order: list[int] = []
+            jobs = [q.submit(lambda i=i: order.append(i)) for i in range(5)]
+            for job in jobs:
+                assert job.wait(5.0)
+            assert order == [0, 1, 2, 3, 4]
+        finally:
+            q.close()
+
+    def test_exception_becomes_failed(self, queue):
+        def boom():
+            raise RuntimeError("kaboom")
+
+        job = queue.submit(boom)
+        assert job.wait(5.0)
+        assert job.state is JobState.FAILED
+        assert "kaboom" in job.error
+
+    def test_get_and_snapshot(self, queue):
+        job = queue.submit(lambda: {"series": [1.0]})
+        assert queue.get(job.id) is job
+        assert job.wait(5.0)
+        snap = job.snapshot()
+        assert snap["state"] == "succeeded"
+        assert snap["result"] == {"series": [1.0]}
+        assert snap["run_seconds"] >= 0
+
+    def test_unknown_id(self, queue):
+        assert queue.get("nope") is None
+
+
+class TestBackpressure:
+    def test_overload_raises_queue_full(self):
+        release = threading.Event()
+        q = JobQueue(workers=1, capacity=2)
+        try:
+            q.submit(release.wait)  # occupies the worker
+            q.submit(lambda: None)  # fills the single remaining slot
+            with pytest.raises(QueueFull) as excinfo:
+                q.submit(lambda: None)
+            assert excinfo.value.capacity == 2
+            assert excinfo.value.retry_after >= 1.0
+        finally:
+            release.set()
+            q.close()
+
+    def test_in_flight_jobs_complete_after_rejection(self):
+        release = threading.Event()
+        q = JobQueue(workers=1, capacity=2)
+        try:
+            first = q.submit(lambda: release.wait(5.0) and "done")
+            second = q.submit(lambda: "also done")
+            with pytest.raises(QueueFull):
+                q.submit(lambda: None)
+            release.set()
+            assert first.wait(5.0) and second.wait(5.0)
+            assert first.result == "done"
+            assert second.result == "also done"
+        finally:
+            q.close()
+
+    def test_capacity_frees_as_jobs_finish(self):
+        q = JobQueue(workers=1, capacity=1)
+        try:
+            job = q.submit(lambda: None)
+            assert job.wait(5.0)
+            wait_for(lambda: q.depth == 0)
+            assert q.submit(lambda: "ok").wait(5.0)
+        finally:
+            q.close()
+
+
+class TestTimeout:
+    def test_job_timeout_settles_as_timeout(self):
+        q = JobQueue(workers=1, capacity=4, default_timeout=0.05)
+        try:
+            job = q.submit(lambda: time.sleep(10))
+            assert job.wait(5.0)
+            assert job.state is JobState.TIMEOUT
+            assert "budget" in job.error
+        finally:
+            q.close()
+
+    def test_per_submit_timeout_overrides_default(self):
+        q = JobQueue(workers=1, capacity=4, default_timeout=30.0)
+        try:
+            job = q.submit(lambda: time.sleep(10), timeout=0.05)
+            assert job.wait(5.0)
+            assert job.state is JobState.TIMEOUT
+        finally:
+            q.close()
+
+    def test_worker_survives_timeout(self):
+        q = JobQueue(workers=1, capacity=4, default_timeout=0.05)
+        try:
+            q.submit(lambda: time.sleep(10)).wait(5.0)
+            follow_up = q.submit(lambda: "alive", timeout=5.0)
+            assert follow_up.wait(5.0)
+            assert follow_up.result == "alive"
+        finally:
+            q.close()
+
+
+class TestCancel:
+    def test_cancel_queued_job(self):
+        release = threading.Event()
+        q = JobQueue(workers=1, capacity=4)
+        try:
+            q.submit(release.wait)
+            victim = q.submit(lambda: "never")
+            assert q.cancel(victim.id)
+            assert victim.state is JobState.CANCELLED
+            release.set()
+        finally:
+            release.set()
+            q.close()
+
+    def test_cannot_cancel_running_or_done(self, queue):
+        job = queue.submit(lambda: "done")
+        assert job.wait(5.0)
+        assert not queue.cancel(job.id)
+
+
+class TestDrainAndClose:
+    def test_drain_finishes_backlog(self):
+        q = JobQueue(workers=2, capacity=8)
+        jobs = [q.submit(lambda i=i: i * i) for i in range(6)]
+        assert q.drain(timeout=10.0)
+        assert [j.result for j in jobs] == [0, 1, 4, 9, 16, 25]
+        with pytest.raises(QueueClosed):
+            q.submit(lambda: None)
+        q.close()
+
+    def test_drain_timeout_reports_false(self):
+        release = threading.Event()
+        q = JobQueue(workers=1, capacity=4)
+        try:
+            q.submit(release.wait)
+            assert not q.drain(timeout=0.05)
+        finally:
+            release.set()
+            q.close()
+
+    def test_close_cancels_pending(self):
+        release = threading.Event()
+        q = JobQueue(workers=1, capacity=4)
+        q.submit(release.wait)
+        pending = q.submit(lambda: "never")
+        release.set()
+        q.close()
+        assert pending.state is JobState.CANCELLED
+
+
+class TestObservability:
+    def test_transition_callback_sees_terminal_states(self):
+        seen: list[tuple[str, str]] = []
+        q = JobQueue(
+            workers=1,
+            capacity=4,
+            on_transition=lambda job, old: seen.append((old.value, job.state.value)),
+        )
+        try:
+            job = q.submit(lambda: None)
+            assert job.wait(5.0)
+            wait_for(lambda: ("running", "succeeded") in seen)
+            assert ("queued", "running") in seen
+        finally:
+            q.close()
+
+    def test_counts_by_state(self, queue):
+        job = queue.submit(lambda: None)
+        assert job.wait(5.0)
+        counts = queue.counts()
+        assert counts["succeeded"] >= 1
+
+    def test_add_completed_registers_terminal_job(self, queue):
+        job = Job(id="hit-1", state=JobState.SUCCEEDED, result=7, cache_hit=True)
+        queue.add_completed(job)
+        assert queue.get("hit-1").result == 7
+        with pytest.raises(ValueError):
+            queue.add_completed(Job(id="hit-2"))  # not terminal
+
+    def test_history_eviction(self):
+        q = JobQueue(workers=1, capacity=16, history=2)
+        try:
+            jobs = [q.submit(lambda: None) for _ in range(4)]
+            for job in jobs:
+                assert job.wait(5.0)
+            wait_for(lambda: q.get(jobs[0].id) is None)
+            assert q.get(jobs[-1].id) is not None
+        finally:
+            q.close()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0},
+        {"capacity": 0},
+        {"default_timeout": 0},
+        {"default_timeout": -1},
+        {"history": -1},
+    ])
+    def test_constructor_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            JobQueue(**kwargs)
+
+    def test_submit_rejects_bad_timeout(self, queue):
+        with pytest.raises(ValueError):
+            queue.submit(lambda: None, timeout=0)

@@ -1,0 +1,364 @@
+"""End-to-end tests of the HTTP serving layer over real sockets.
+
+Each test boots a real :class:`~repro.service.server.Service` on an
+ephemeral port (asyncio loop on a background thread) and talks to it
+with ``http.client`` — the full wire path, no shortcuts.
+
+The acceptance-critical scenarios:
+
+* a Figure 4(a)-style sweep submitted over HTTP returns a series
+  byte-identical to :func:`repro.sim.sweep.run_sweep` serial output for
+  the same seed;
+* resubmitting the same config is served from the cache — observed via
+  the ``/metrics`` cache-hit counter — without re-running the engine;
+* with the job queue full, new submissions get 429 + ``Retry-After``
+  while in-flight jobs still complete.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from functools import partial
+
+import pytest
+
+from repro.service.server import Service, ServiceConfig, ServiceThread
+from repro.service.sweeps import _open_point
+from repro.sim.sweep import run_sweep, sweep_grid
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+class Client:
+    """Minimal JSON client over one keep-alive http.client connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        import http.client
+
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+
+    def request(self, method: str, path: str, body=None):
+        payload = json.dumps(body) if body is not None else None
+        self.conn.request(
+            method, path, body=payload, headers={"Content-Type": "application/json"}
+        )
+        response = self.conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        data = json.loads(raw) if content_type.startswith("application/json") else raw.decode()
+        return response.status, data, dict(response.getheaders())
+
+    def get(self, path: str):
+        return self.request("GET", path)
+
+    def post(self, path: str, body):
+        return self.request("POST", path, body)
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def poll_job(self, job_id: str, timeout: float = 60.0) -> dict:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, data, _ = self.get(f"/v1/sweeps/{job_id}")
+            assert status == 200
+            if data["state"] not in ("queued", "running"):
+                return data
+            time.sleep(0.02)
+        pytest.fail(f"job {job_id} did not settle within {timeout}s")
+
+
+@pytest.fixture
+def service():
+    with ServiceThread(Service(ServiceConfig(port=0, workers=2, queue_capacity=8))) as handle:
+        client = Client(handle.host, handle.port)
+        yield handle, client
+        client.close()
+
+
+def metric_value(client: Client, name: str) -> float:
+    """Read one unlabeled sample out of the /metrics exposition."""
+    status, text, _ = client.get("/metrics")
+    assert status == 200
+    for line in text.splitlines():
+        if line.startswith(f"{name} "):
+            return float(line.split()[1])
+    pytest.fail(f"metric {name} not found in exposition")
+
+
+class TestFastEndpoints:
+    def test_healthz(self, service):
+        _, client = service
+        status, data, _ = client.get("/healthz")
+        assert status == 200
+        assert data["status"] == "ok"
+        assert data["queue"]["capacity"] == 8
+        assert data["uptime_seconds"] >= 0
+
+    def test_conflict_matches_library(self, service):
+        from repro.core.model import (
+            ModelParams,
+            conflict_likelihood,
+            conflict_likelihood_product_form,
+        )
+
+        _, client = service
+        status, data, _ = client.get("/v1/model/conflict?w=20&n=4096&c=2")
+        assert status == 200
+        params = ModelParams(n_entries=4096, concurrency=2)
+        assert data["raw"] == float(conflict_likelihood(20.0, params))
+        assert data["conflict_probability"] == float(
+            conflict_likelihood_product_form(20.0, params)
+        )
+
+    def test_sizing_reproduces_paper(self, service):
+        _, client = service
+        status, data, _ = client.get("/v1/model/sizing?w=71&commit=0.95&c=8")
+        assert status == 200
+        assert data["entries"] == 14_114_800  # the paper's ">14 million entries"
+
+    def test_birthday(self, service):
+        _, client = service
+        status, data, _ = client.get("/v1/birthday?target=0.5")
+        assert status == 200
+        assert data["people"] == 23
+        status, data, _ = client.get("/v1/birthday?people=23&days=365")
+        assert data["collision_probability"] > 0.5
+
+    def test_metrics_exposition_format(self, service):
+        _, client = service
+        client.get("/healthz")
+        status, text, headers = client.get("/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+        assert 'repro_requests_total{endpoint="/healthz"}' in text
+
+    def test_validation_errors_are_400(self, service):
+        _, client = service
+        for path in (
+            "/v1/model/conflict?w=20",  # missing n
+            "/v1/model/conflict?w=x&n=4096",  # non-numeric
+            "/v1/model/conflict?w=20&n=4096&c=1.5",  # non-integer c
+            "/v1/model/sizing?w=71&commit=1.5",  # model-layer ValueError
+        ):
+            status, data, _ = client.get(path)
+            assert status == 400, path
+            assert "error" in data
+
+    def test_unknown_path_404_wrong_method_405(self, service):
+        _, client = service
+        assert client.get("/nope")[0] == 404
+        assert client.request("POST", "/healthz")[0] == 405
+        assert client.request("PUT", "/v1/sweeps/abc")[0] == 405
+
+    def test_bad_json_body_400(self, service):
+        handle, _ = service
+        import http.client
+
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        conn.request("POST", "/v1/sweeps", body=b"{not json", headers={})
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+        conn.close()
+
+
+SWEEP_BODY = {
+    "kind": "fig4a",
+    "params": {"n_values": [512, 1024], "w_values": [4, 8, 16], "samples": 80},
+    "seed": 3,
+}
+
+
+def serial_reference(body=SWEEP_BODY):
+    """The run_sweep serial ground truth for a fig4a request body."""
+    params = body["params"]
+    grid = sweep_grid(n=params["n_values"], w=params["w_values"])
+    sweep = run_sweep(
+        partial(
+            _open_point, concurrency=2, samples=params["samples"], seed=body["seed"]
+        ),
+        grid,
+    )
+    return {
+        f"N={n}": sweep.where(n=n).series("w", float)[1] for n in params["n_values"]
+    }
+
+
+class TestSweepJobs:
+    def test_fig4a_sweep_byte_identical_to_serial(self, service):
+        _, client = service
+        status, submitted, _ = client.post("/v1/sweeps", SWEEP_BODY)
+        assert status == 202
+        assert submitted["cache_hit"] is False
+        final = client.poll_job(submitted["id"])
+        assert final["state"] == "succeeded"
+        result = final["result"]
+        assert result["w_values"] == SWEEP_BODY["params"]["w_values"]
+        # Byte-identical: same JSON encoding, not just approximately equal.
+        assert json.dumps(result["series"], sort_keys=True) == json.dumps(
+            serial_reference(), sort_keys=True
+        )
+
+    def test_resubmission_served_from_cache(self, service):
+        _, client = service
+        status, first, _ = client.post("/v1/sweeps", SWEEP_BODY)
+        assert status == 202
+        first_result = client.poll_job(first["id"])["result"]
+        assert metric_value(client, "repro_cache_hits_total") == 0
+
+        # Same config, different spelling: key order shuffled, ints as
+        # floats. Must hit the cache without re-running the engine.
+        respelled = {
+            "seed": 3.0,
+            "params": {
+                "samples": 80.0,
+                "w_values": [4.0, 8, 16],
+                "n_values": [512, 1024.0],
+            },
+            "kind": "fig4a",
+        }
+        status, second, _ = client.post("/v1/sweeps", respelled)
+        assert status == 200  # completed immediately, no queueing
+        assert second["cache_hit"] is True
+        assert second["state"] == "succeeded"
+        cached = client.poll_job(second["id"])
+        assert cached["cache_hit"] is True
+        assert cached["result"] == first_result
+        assert metric_value(client, "repro_cache_hits_total") == 1
+        # The engine ran exactly once: one miss, one hit.
+        assert metric_value(client, "repro_cache_misses_total") == 1
+
+    def test_different_seed_misses_cache(self, service):
+        _, client = service
+        body = dict(SWEEP_BODY, params=dict(SWEEP_BODY["params"], samples=20))
+        status, first, _ = client.post("/v1/sweeps", body)
+        assert status == 202
+        client.poll_job(first["id"])
+        status, second, _ = client.post("/v1/sweeps", dict(body, seed=99))
+        assert status == 202
+        assert second["cache_hit"] is False
+        client.poll_job(second["id"])
+
+    def test_model_sweep_kind(self, service):
+        _, client = service
+        body = {
+            "kind": "model",
+            "params": {"n_values": [4096], "w_values": [10, 20], "concurrency": 2},
+        }
+        status, submitted, _ = client.post("/v1/sweeps", body)
+        assert status == 202
+        final = client.poll_job(submitted["id"])
+        assert final["state"] == "succeeded"
+        from repro.core.model import ModelParams, conflict_likelihood
+
+        expected = float(conflict_likelihood(20.0, ModelParams(n_entries=4096)))
+        assert final["result"]["raw"]["N=4096"][1] == expected
+
+    def test_invalid_sweep_bodies_400(self, service):
+        _, client = service
+        for body in (
+            {"kind": "nope"},
+            {"kind": "fig4a", "params": {"samples": 0}},
+            {"kind": "fig4a", "params": {"bogus_param": 1}},
+            {"kind": "fig4a", "params": {"n_values": []}},
+            {"kind": "fig4a", "params": {"samples": 10**9}},
+            {"kind": "fig4a", "seed": -1},
+            [1, 2, 3],
+        ):
+            status, data, _ = client.post("/v1/sweeps", body)
+            assert status == 400, body
+            assert "error" in data
+
+    def test_unknown_job_404(self, service):
+        _, client = service
+        assert client.get("/v1/sweeps/doesnotexist")[0] == 404
+
+    def test_cancel_completed_job_conflicts(self, service):
+        _, client = service
+        body = {"kind": "model", "params": {"n_values": [64], "w_values": [2]}}
+        _, submitted, _ = client.post("/v1/sweeps", body)
+        client.poll_job(submitted["id"])
+        status, _, _ = client.request("DELETE", f"/v1/sweeps/{submitted['id']}")
+        assert status == 409
+
+
+class TestBackpressure:
+    def test_full_queue_gets_429_with_retry_after(self):
+        config = ServiceConfig(port=0, workers=1, queue_capacity=2)
+        with ServiceThread(Service(config)) as handle:
+            client = Client(handle.host, handle.port)
+            try:
+                release = threading.Event()
+                # Pin the single worker and fill the remaining slot
+                # beneath the HTTP layer, so admission state is exact.
+                handle.service.queue.submit(partial(release.wait, 30.0))
+                in_flight_body = {
+                    "kind": "model",
+                    "params": {"n_values": [128], "w_values": [4]},
+                }
+                status, queued, _ = client.post("/v1/sweeps", in_flight_body)
+                assert status == 202
+
+                status, data, headers = client.post("/v1/sweeps", SWEEP_BODY)
+                assert status == 429
+                assert "Retry-After" in headers
+                assert int(headers["Retry-After"]) >= 1
+                assert data["queue_capacity"] == 2
+                assert metric_value(client, "repro_queue_rejections_total") == 1
+
+                # In-flight jobs still complete once the blocker clears.
+                release.set()
+                final = client.poll_job(queued["id"])
+                assert final["state"] == "succeeded"
+
+                # And capacity is admitting again.
+                status, _, _ = client.post("/v1/sweeps", in_flight_body)
+                assert status == 200  # cache hit from the completed run
+            finally:
+                client.close()
+
+    def test_jobs_by_terminal_state_exported(self, service):
+        _, client = service
+        body = {"kind": "model", "params": {"n_values": [32], "w_values": [2]}}
+        _, submitted, _ = client.post("/v1/sweeps", body)
+        client.poll_job(submitted["id"])
+        status, text, _ = client.get("/metrics")
+        assert status == 200
+        assert 'repro_jobs_total{state="succeeded"}' in text
+
+
+class TestLifecycle:
+    def test_ephemeral_port_reported(self):
+        with ServiceThread(Service(ServiceConfig(port=0))) as handle:
+            assert handle.port != 0
+
+    def test_stop_drains_in_flight_jobs(self):
+        config = ServiceConfig(port=0, workers=1, queue_capacity=4, drain_timeout=30.0)
+        handle = ServiceThread(Service(config)).start()
+        client = Client(handle.host, handle.port)
+        body = {
+            "kind": "fig4a",
+            "params": {"n_values": [256], "w_values": [4], "samples": 200},
+            "seed": 1,
+        }
+        _, submitted, _ = client.post("/v1/sweeps", body)
+        client.close()
+        handle.stop()  # graceful: waits for the job
+        job = handle.service.queue.get(submitted["id"])
+        assert job is not None
+        assert job.state.value == "succeeded"
+
+    def test_two_services_side_by_side(self):
+        with ServiceThread(Service(ServiceConfig(port=0))) as a:
+            with ServiceThread(Service(ServiceConfig(port=0))) as b:
+                assert a.port != b.port
+                ca, cb = Client(a.host, a.port), Client(b.host, b.port)
+                assert ca.get("/healthz")[0] == 200
+                assert cb.get("/healthz")[0] == 200
+                ca.close()
+                cb.close()

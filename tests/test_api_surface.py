@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core",
     "repro.htm",
     "repro.ownership",
+    "repro.service",
     "repro.sim",
     "repro.stm",
     "repro.traces",
@@ -76,6 +77,35 @@ class TestPublicMethodsDocumented:
             if not (member.__doc__ and member.__doc__.strip()):
                 missing.append(name)
         assert not missing, f"{cls_path}: undocumented methods {missing}"
+
+
+class TestServiceSurface:
+    """The serving layer's documented entry points must be exported."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ServiceConfig", "serve", "ResultCache", "MetricsRegistry"],
+    )
+    def test_documented_entry_points_exported(self, name):
+        service = importlib.import_module("repro.service")
+        assert name in service.__all__
+        assert hasattr(service, name)
+
+    def test_service_classes_documented(self):
+        for cls_path in (
+            "repro.service.cache.ResultCache",
+            "repro.service.queue.JobQueue",
+            "repro.service.metrics.MetricsRegistry",
+            "repro.service.server.Service",
+        ):
+            module_name, cls_name = cls_path.rsplit(".", 1)
+            cls = getattr(importlib.import_module(module_name), cls_name)
+            missing = [
+                name
+                for name, member in inspect.getmembers(cls, predicate=inspect.isfunction)
+                if not name.startswith("_") and not (member.__doc__ and member.__doc__.strip())
+            ]
+            assert not missing, f"{cls_path}: undocumented methods {missing}"
 
 
 class TestVersion:

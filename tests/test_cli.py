@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, version_string
 
 
 class TestParser:
@@ -86,6 +86,121 @@ class TestCommands:
         main(["--seed", "5", "closed", "--n", "2048", "--c", "4", "--w", "8"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestVersionFlag:
+    def test_version_string_matches_package(self):
+        import repro
+
+        assert version_string() == repro.__version__
+
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {version_string()}" in capsys.readouterr().out
+
+    def test_module_entry_point_version(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0
+        assert version_string() in proc.stdout
+
+
+class TestProgressLine:
+    """The \\r progress line must not pollute non-TTY stderr."""
+
+    def test_suppressed_when_stderr_not_a_tty(self, capsys, monkeypatch):
+        import sys as _sys
+
+        from repro.cli import _progress_line
+
+        monkeypatch.setattr(_sys.stderr, "isatty", lambda: False, raising=False)
+        _progress_line(1, 4)
+        _progress_line(4, 4)
+        assert capsys.readouterr().err == ""
+
+    def test_printed_when_stderr_is_a_tty(self, capsys, monkeypatch):
+        import sys as _sys
+
+        from repro.cli import _progress_line
+
+        monkeypatch.setattr(_sys.stderr, "isatty", lambda: True, raising=False)
+        _progress_line(2, 4)
+        err = capsys.readouterr().err
+        assert "\r[sweep] 2/4 points" in err
+        assert not err.endswith("\n")
+
+    def test_final_point_ends_the_line(self, capsys, monkeypatch):
+        import sys as _sys
+
+        from repro.cli import _progress_line
+
+        monkeypatch.setattr(_sys.stderr, "isatty", lambda: True, raising=False)
+        _progress_line(4, 4)
+        assert capsys.readouterr().err.endswith("\n")
+
+    def test_parallel_cli_stderr_is_line_clean(self, capsys):
+        # Under pytest, stderr is not a TTY: a parallel sweep must emit
+        # only whole telemetry lines, never carriage returns.
+        assert main(["fig4a", "--samples", "30", "--jobs", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "\r" not in err
+        assert "[sweep]" in err  # the telemetry summary still appears
+
+
+class TestServeAndLoadgenParsing:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8642
+        assert args.workers == 2
+        assert args.queue_capacity == 16
+        assert args.cache_dir is None
+
+    def test_serve_custom(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4", "--queue-capacity", "32",
+             "--job-timeout", "60", "--cache-dir", "/tmp/repro-cache"]
+        )
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.queue_capacity == 32
+        assert args.job_timeout == 60.0
+        assert args.cache_dir == "/tmp/repro-cache"
+
+    def test_loadgen_requires_port(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen", "--port", "8642"])
+        assert args.concurrency == 8
+        assert args.duration == 5.0
+        assert args.path.startswith("/v1/model/conflict")
+
+    def test_loadgen_against_live_service(self, capsys):
+        from repro.service import ServiceConfig, start_in_thread
+
+        svc = start_in_thread(ServiceConfig(port=0))
+        try:
+            code = main(
+                ["loadgen", "--port", str(svc.port), "--duration", "0.3",
+                 "--warmup", "0.1", "--concurrency", "2"]
+            )
+        finally:
+            svc.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "p99=" in out
 
 
 class TestJobsFlag:
