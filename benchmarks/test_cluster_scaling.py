@@ -1,0 +1,73 @@
+"""Cluster execution — dispatch scaling across localhost workers.
+
+The cluster's contract mirrors the process pool's: merged results must
+be bit-identical to serial execution, and adding workers must buy
+throughput. This bench measures the *dispatch* path — coordinator,
+leases, heartbeats, result submission over real localhost sockets —
+using a sleep-based point function (sleep releases the GIL, so worker
+threads overlap even on a single core, isolating protocol overhead from
+simulation compute). The acceptance bar is >= 1.6x points/s at 2
+workers vs 1.
+
+Run with ``-s`` to see the measured points/s ladder for 1, 2, and 4
+workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit
+from repro.cluster.coordinator import CoordinatorConfig, run_sweep_cluster
+from repro.cluster.protocol import ClusterTask
+from repro.cluster.registry import register_point_fn, unregister_point_fn
+
+POINT_SECONDS = 0.04
+N_POINTS = 32
+FN_NAME = "bench-cluster-sleep-point"
+
+
+def _sleep_point(i: int) -> int:
+    """A fixed-cost point: deterministic value, GIL-free wait."""
+    time.sleep(POINT_SECONDS)
+    return i * 3 + 1
+
+
+def _points_per_second(workers: int) -> tuple[float, list]:
+    grid = [{"i": i} for i in range(N_POINTS)]
+    result = run_sweep_cluster(
+        ClusterTask(fn=FN_NAME),  # no seed: the point is a fixed-cost stub
+        grid,
+        workers=workers,
+        config=CoordinatorConfig(lease_ttl=10.0, expected_workers=workers),
+        timeout=120,
+    )
+    assert list(result.outcomes) == [i * 3 + 1 for i in range(N_POINTS)]
+    return result.telemetry.points_per_second, list(result.outcomes)
+
+
+def test_cluster_scaling_two_workers(benchmark):
+    """2 localhost workers sustain >= 1.6x the points/s of 1."""
+    register_point_fn(FN_NAME, _sleep_point)
+    try:
+        baseline, base_outcomes = _points_per_second(1)
+
+        def run():
+            return _points_per_second(2)
+
+        two, two_outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+        four, four_outcomes = _points_per_second(4)
+    finally:
+        unregister_point_fn(FN_NAME)
+
+    assert two_outcomes == base_outcomes == four_outcomes
+    emit(
+        f"cluster dispatch scaling ({N_POINTS} points x {POINT_SECONDS * 1000:.0f}ms): "
+        f"1 worker {baseline:.1f} pts/s, 2 workers {two:.1f} pts/s "
+        f"({two / baseline:.2f}x), 4 workers {four:.1f} pts/s "
+        f"({four / baseline:.2f}x)"
+    )
+    assert two >= 1.6 * baseline, (
+        f"expected >= 1.6x points/s at 2 workers, got {two / baseline:.2f}x "
+        f"({baseline:.1f} -> {two:.1f})"
+    )

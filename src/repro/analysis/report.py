@@ -14,6 +14,11 @@ Sweep-shaped sections run on the shared engine from
 :mod:`repro.sim.sweep`; setting ``jobs`` fans them out over a process
 pool (:mod:`repro.sim.parallel`) without changing a single digit of the
 output tables, and appends a telemetry section describing the runs.
+Setting ``cluster`` instead routes clusterable sweeps through an
+in-process coordinator + worker fleet (:mod:`repro.cluster`) — same
+bytes again; sweeps whose point function cannot cross the wire (the
+trace-driven grid carries a positional trace object) silently fall back
+to the local path.
 """
 
 from __future__ import annotations
@@ -48,20 +53,25 @@ class ReportConfig:
     """Report generation parameters.
 
     ``jobs`` parallelizes the sweep-shaped sections over that many
-    worker processes; ``None`` (the default) keeps them serial. The
-    report body is identical either way — parallel runs only add a
-    telemetry section at the end.
+    worker processes; ``None`` (the default) keeps them serial.
+    ``cluster`` distributes clusterable sweeps over that many in-process
+    cluster workers instead (non-clusterable sweeps fall back to the
+    ``jobs`` path). The report body is identical in every mode —
+    non-serial runs only add a telemetry section at the end.
     """
 
     quality: str = "smoke"
     seed: int = 20070609
     jobs: Optional[int] = None
+    cluster: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.quality not in _QUALITY:
             raise ValueError(f"quality must be one of {sorted(_QUALITY)}, got {self.quality!r}")
         if self.jobs is not None and self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.cluster is not None and self.cluster < 1:
+            raise ValueError(f"cluster must be >= 1, got {self.cluster}")
 
     @property
     def knobs(self) -> dict:
@@ -70,14 +80,18 @@ class ReportConfig:
 
 
 class _SweepRunner:
-    """Dispatch report sweeps serially or onto the process pool.
+    """Dispatch report sweeps serially, onto the pool, or the cluster.
 
-    Collects one telemetry record per parallel sweep so the report can
-    surface throughput and worker utilization at the end.
+    Collects one telemetry record per non-serial sweep so the report can
+    surface throughput and worker utilization at the end.  Cluster
+    dispatch requires a wire-safe point function; sweeps that cannot
+    cross the wire (``ValueError`` from the task extractor) fall back to
+    the ``jobs`` path without changing a byte of output.
     """
 
-    def __init__(self, jobs: Optional[int]) -> None:
+    def __init__(self, jobs: Optional[int], cluster: Optional[int] = None) -> None:
         self.jobs = jobs
+        self.cluster = cluster
         self.telemetry: list[tuple[str, Any]] = []
 
     def __call__(
@@ -87,6 +101,19 @@ class _SweepRunner:
         grid: Sequence[Mapping[str, Any]],
     ) -> SweepResult:
         """Run one named sweep and record its telemetry."""
+        if self.cluster is not None:
+            from repro.cluster.coordinator import run_sweep_cluster_from_callable
+
+            try:
+                result = run_sweep_cluster_from_callable(
+                    fn, list(grid), workers=self.cluster
+                )
+            except ValueError:
+                pass  # not clusterable (e.g. a positional trace argument)
+            else:
+                if result.telemetry is not None:
+                    self.telemetry.append((name, result.telemetry))
+                return result
         if self.jobs is None:
             return run_sweep(fn, grid)
         from repro.sim.parallel import run_sweep_parallel
@@ -177,11 +204,18 @@ def _section_fig3(out: io.StringIO, cfg: ReportConfig) -> None:
     out.write("\n\n")
 
 
-def _closed_point(n: int, c: int, w: int, *, seed: int):
-    """One closed-system report point."""
-    return simulate_closed_system(
+def _closed_point(n: int, c: int, w: int, *, seed: int) -> dict:
+    """One closed-system report point, as a wire-safe dict."""
+    r = simulate_closed_system(
         ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=seed)
     )
+    return {
+        "conflicts": r.conflicts,
+        "committed": r.committed,
+        "mean_occupancy": r.mean_occupancy,
+        "expected_occupancy": r.expected_occupancy,
+        "actual_concurrency": r.actual_concurrency,
+    }
 
 
 def _section_closed(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
@@ -189,7 +223,8 @@ def _section_closed(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> N
     grid = [{"n": n, "c": c, "w": w} for n, c, w in [(1024, 2, 10), (1024, 8, 10), (16384, 8, 10)]]
     sweep = run("closed-system spot checks", partial(_closed_point, seed=cfg.seed), grid)
     rows = [
-        [f"{p['n']}-{p['c']}-{p['w']}", r.conflicts, r.committed, f"{r.actual_concurrency:.2f}"]
+        [f"{p['n']}-{p['c']}-{p['w']}", r["conflicts"], r["committed"],
+         f"{r['actual_concurrency']:.2f}"]
         for p, r in sweep
     ]
     out.write(format_table(["N-C-W", "conflicts", "committed", "actual C"], rows))
@@ -234,7 +269,7 @@ def _section_telemetry(out: io.StringIO, run: _SweepRunner) -> None:
 def generate_report(cfg: Optional[ReportConfig] = None) -> str:
     """Run the suite and return the markdown report text."""
     cfg = cfg if cfg is not None else ReportConfig()
-    run = _SweepRunner(cfg.jobs)
+    run = _SweepRunner(cfg.jobs, cfg.cluster)
     out = io.StringIO()
     out.write("# Reproduction report — Transactional Memory and the Birthday Paradox\n\n")
     out.write(f"quality: `{cfg.quality}`, seed: `{cfg.seed}`\n\n")

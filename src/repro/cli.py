@@ -9,11 +9,16 @@
     python -m repro birthday --target 0.5
     python -m repro serve --port 8642
     python -m repro loadgen --port 8642 --duration 5
+    python -m repro cluster coordinate --kind fig4a --port 8653
+    python -m repro cluster work --coordinator http://127.0.0.1:8653
 
 Every subcommand prints the same series its benchmark counterpart
 asserts on, with explicit seeds, so results can be pasted into reports.
 ``serve`` exposes the model and sweep engines over JSON/HTTP (see
 :mod:`repro.service`); ``loadgen`` measures a running server.
+``cluster`` distributes one sweep across worker processes — possibly on
+other machines — via :mod:`repro.cluster`; sweep subcommands also take
+``--cluster N`` to fan out over N in-process workers directly.
 """
 
 from __future__ import annotations
@@ -75,6 +80,16 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cluster_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cluster",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help="distribute the sweep over N in-process cluster workers (default: off)",
+    )
+
+
 def _progress_line(done: int, total: int) -> None:
     """CLI sweep progress: a carriage-return line on stderr.
 
@@ -93,14 +108,30 @@ def _run_grid(
     fn: Callable[..., Any],
     grid: Sequence[Mapping[str, Any]],
     jobs: Optional[int],
+    cluster: Optional[int] = None,
 ) -> SweepResult:
-    """Run one CLI sweep, serially (``jobs=None``) or on the pool.
+    """Run one CLI sweep serially, on the pool, or across the cluster.
 
-    Identical numbers either way: every point's randomness comes from
-    its own config seed, so sharding cannot perturb outcomes. Parallel
-    runs print a progress line and a telemetry summary on stderr,
-    keeping stdout byte-identical to the serial run.
+    Identical numbers in every mode: every point's randomness comes
+    from its own config seed, so sharding cannot perturb outcomes.
+    Non-serial runs print telemetry on stderr, keeping stdout
+    byte-identical to the serial run.  ``cluster=N`` boots an in-process
+    coordinator plus N worker loops; point functions that cannot cross
+    the wire fall back to the ``jobs`` path with a note on stderr.
     """
+    if cluster is not None:
+        from repro.cluster.coordinator import run_sweep_cluster_from_callable
+
+        try:
+            result = run_sweep_cluster_from_callable(
+                fn, list(grid), workers=cluster, jobs_per_worker=jobs or 1
+            )
+        except ValueError as exc:
+            print(f"[sweep] not clusterable ({exc}); running locally", file=sys.stderr)
+        else:
+            if result.telemetry is not None:
+                print(f"[sweep] {result.telemetry.summary()}", file=sys.stderr)
+            return result
     if jobs is None:
         return run_sweep(fn, grid)
     from repro.sim.parallel import run_sweep_parallel
@@ -153,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig4a", help="open-system conflict likelihood (Figure 4a)")
     p.add_argument("--samples", type=int, default=2000)
     _add_jobs_flag(p)
+    _add_cluster_flag(p)
 
     p = sub.add_parser("closed", help="one closed-system run (Figures 5-6 protocol)")
     p.add_argument("--n", type=int, required=True)
@@ -160,11 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--w", type=int, default=10)
     p.add_argument("--alpha", type=int, default=2)
     _add_jobs_flag(p)
+    _add_cluster_flag(p)
 
     p = sub.add_parser("report", help="generate a full markdown reproduction report")
     p.add_argument("--quality", choices=["smoke", "normal"], default="smoke")
     p.add_argument("--output", type=str, default=None, help="write to file instead of stdout")
     _add_jobs_flag(p)
+    _add_cluster_flag(p)
 
     p = sub.add_parser("birthday", help="classical birthday-paradox numbers")
     p.add_argument("--target", type=float, default=0.5, help="collision probability target")
@@ -192,6 +226,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="directory for the persistent disk cache tier (default: off)",
+    )
+    p.add_argument(
+        "--cluster-workers", type=_jobs_arg, default=2, metavar="N",
+        help="in-process cluster workers for 'execution: cluster' sweeps (default 2)",
+    )
+
+    p = sub.add_parser(
+        "cluster", help="distributed sweep execution (coordinator + workers)"
+    )
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    c = csub.add_parser(
+        "coordinate", help="serve one sweep to workers and print the merged result"
+    )
+    c.add_argument(
+        "--kind", type=str, default="fig4a",
+        help="clusterable sweep kind from the service catalog (default fig4a)",
+    )
+    c.add_argument(
+        "--params", type=str, default="{}", metavar="JSON",
+        help="sweep parameters as a JSON object (default {})",
+    )
+    c.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    c.add_argument("--port", type=int, default=8653, help="bind port (0 = ephemeral)")
+    c.add_argument(
+        "--workers", type=_jobs_arg, default=2, metavar="N",
+        help="expected worker count, used for chunk sizing (default 2)",
+    )
+    c.add_argument(
+        "--chunk-size", type=_jobs_arg, default=None, metavar="N",
+        help="grid points per lease (default: ~4 chunks per expected worker)",
+    )
+    c.add_argument(
+        "--lease-ttl", type=float, default=10.0, metavar="SECONDS",
+        help="lease lifetime between heartbeats (default 10)",
+    )
+    c.add_argument(
+        "--max-attempts", type=_jobs_arg, default=3, metavar="N",
+        help="dispatches per chunk before the run fails (default 3)",
+    )
+    c.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="overall run deadline (default: wait forever)",
+    )
+    c.add_argument(
+        "--linger", type=float, default=2.0, metavar="SECONDS",
+        help="keep serving after completion so workers observe 'done' (default 2)",
+    )
+    c.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="directory for chunk-level result caching (default: off)",
+    )
+
+    c = csub.add_parser("work", help="claim and execute chunks for a coordinator")
+    c.add_argument(
+        "--coordinator", type=str, default="http://127.0.0.1:8653", metavar="URL",
+        help="coordinator base URL (default http://127.0.0.1:8653)",
+    )
+    c.add_argument(
+        "--id", type=str, default=None, metavar="NAME",
+        help="stable worker identity (default: generated)",
+    )
+    c.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
+        help="process-pool parallelism within each chunk (default: serial)",
+    )
+    c.add_argument(
+        "--poll-interval", type=float, default=0.05, metavar="SECONDS",
+        help="sleep between lease polls when no chunk is claimable (default 0.05)",
+    )
+    c.add_argument(
+        "--crash-after", type=int, default=None, metavar="N",
+        help="fault injection: vanish while holding a lease after N completed chunks",
     )
 
     p = sub.add_parser("loadgen", help="closed-loop load generator against a server")
@@ -310,6 +417,7 @@ def _cmd_fig4a(args: argparse.Namespace) -> int:
         partial(_fig4a_point, samples=args.samples, seed=args.seed),
         sweep_grid(n=n_values, w=w_values),
         args.jobs,
+        args.cluster,
     )
     series = {f"N={n}": sweep.where(n=n).series("w", float)[1] for n in n_values}
     print(format_series("W", w_values, series,
@@ -317,9 +425,10 @@ def _cmd_fig4a(args: argparse.Namespace) -> int:
     return 0
 
 
-def _closed_point(n_entries: int, concurrency: int, write_footprint: int, alpha: int, seed: int):
-    """One closed-system grid point (picklable sweep adapter)."""
-    return simulate_closed_system(
+def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
+                  alpha: int, seed: int) -> dict:
+    """One closed-system grid point (picklable, wire-safe sweep adapter)."""
+    r = simulate_closed_system(
         ClosedSystemConfig(
             n_entries=n_entries,
             concurrency=concurrency,
@@ -328,6 +437,13 @@ def _closed_point(n_entries: int, concurrency: int, write_footprint: int, alpha:
             seed=seed,
         )
     )
+    return {
+        "conflicts": r.conflicts,
+        "committed": r.committed,
+        "mean_occupancy": r.mean_occupancy,
+        "expected_occupancy": r.expected_occupancy,
+        "actual_concurrency": r.actual_concurrency,
+    }
 
 
 def _cmd_closed(args: argparse.Namespace) -> int:
@@ -340,16 +456,16 @@ def _cmd_closed(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     ]
-    r = _run_grid(_closed_point, grid, args.jobs).outcomes[0]
+    r = _run_grid(_closed_point, grid, args.jobs, args.cluster).outcomes[0]
     print(
         format_table(
             ["quantity", "value"],
             [
-                ["conflicts", r.conflicts],
-                ["committed", r.committed],
-                ["mean occupancy", f"{r.mean_occupancy:.1f}"],
-                ["expected occupancy", f"{r.expected_occupancy:.1f}"],
-                ["actual concurrency", f"{r.actual_concurrency:.2f}"],
+                ["conflicts", r["conflicts"]],
+                ["committed", r["committed"]],
+                ["mean occupancy", f"{r['mean_occupancy']:.1f}"],
+                ["expected occupancy", f"{r['expected_occupancy']:.1f}"],
+                ["actual concurrency", f"{r['actual_concurrency']:.2f}"],
             ],
             title=f"Closed system: N={args.n}, C={args.c}, W={args.w}, seed={args.seed}",
         )
@@ -370,7 +486,11 @@ def _cmd_birthday(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import ReportConfig, generate_report
 
-    text = generate_report(ReportConfig(quality=args.quality, seed=args.seed, jobs=args.jobs))
+    text = generate_report(
+        ReportConfig(
+            quality=args.quality, seed=args.seed, jobs=args.jobs, cluster=args.cluster
+        )
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -392,8 +512,120 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             job_timeout=args.job_timeout if args.job_timeout > 0 else None,
             cache_capacity=args.cache_capacity,
             cache_dir=args.cache_dir,
+            cluster_workers=args.cluster_workers,
         )
     )
+
+
+def _cmd_cluster_coordinate(args: argparse.Namespace) -> int:
+    """Serve one sweep to remote workers; print the assembled result.
+
+    Stdout carries exactly one line — the canonical-JSON result, the
+    same object ``POST /v1/sweeps`` would return — so output can be
+    diffed against a serial :func:`repro.service.sweeps.execute_sweep`
+    run.  Everything operational goes to stderr.
+    """
+    import json
+    import time
+
+    from repro.cluster.coordinator import (
+        ClusterError,
+        Coordinator,
+        CoordinatorConfig,
+        CoordinatorThread,
+    )
+    from repro.cluster.protocol import task_from_callable
+    from repro.service.sweeps import SWEEP_KINDS, SweepValidationError
+
+    kind = SWEEP_KINDS.get(args.kind)
+    if kind is None or not kind.clusterable:
+        clusterable = sorted(k for k, v in SWEEP_KINDS.items() if v.clusterable)
+        print(
+            f"error: --kind must be one of {clusterable}, got {args.kind!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        raw = json.loads(args.params)
+    except json.JSONDecodeError as exc:
+        print(f"error: --params is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(raw, dict):
+        print("error: --params must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        params = kind.validate(raw)
+    except SweepValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if args.cache_dir:
+        from repro.service.cache import ResultCache
+
+        cache = ResultCache(capacity=256, disk_dir=args.cache_dir)
+    config = CoordinatorConfig(
+        host=args.host,
+        port=args.port,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        chunk_size=args.chunk_size,
+        expected_workers=args.workers,
+    )
+    coordinator = Coordinator(
+        task_from_callable(kind.bind(params, args.seed)),
+        kind.grid(params),
+        config,
+        cache=cache,
+    )
+    with CoordinatorThread(coordinator):
+        print(
+            f"[cluster] run {coordinator.run_id}: serving {args.kind} "
+            f"({coordinator.spec.n_points} points) at {coordinator.url}",
+            file=sys.stderr,
+        )
+        try:
+            result = coordinator.result(timeout=args.timeout)
+        except ClusterError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print("[cluster] interrupted; shutting down", file=sys.stderr)
+            return 130
+        if result.telemetry is not None:
+            print(f"[cluster] {result.telemetry.summary()}", file=sys.stderr)
+        print(json.dumps(kind.assemble(params, result), sort_keys=True))
+        sys.stdout.flush()
+        if args.linger > 0:
+            time.sleep(args.linger)  # let polling workers observe "done"
+    return 0
+
+
+def _cmd_cluster_work(args: argparse.Namespace) -> int:
+    """Run one worker loop against a coordinator until the run ends."""
+    from repro.cluster.worker import WorkerConfig, run_worker
+
+    kwargs: dict[str, Any] = dict(
+        coordinator=args.coordinator,
+        jobs=args.jobs or 1,
+        poll_interval=args.poll_interval,
+        crash_after=args.crash_after,
+    )
+    if args.id:
+        kwargs["worker_id"] = args.id
+    summary = run_worker(WorkerConfig(**kwargs))
+    print(
+        f"[worker {summary['worker']}] state={summary['state']} "
+        f"chunks={summary['chunks_completed']} points={summary['points_completed']} "
+        f"errors={summary['chunks_errored']}",
+        file=sys.stderr,
+    )
+    return 0 if summary["state"] in ("done", "stopped", "crashed") else 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    handlers = {"coordinate": _cmd_cluster_coordinate, "work": _cmd_cluster_work}
+    return handlers[args.cluster_command](args)
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -424,6 +656,7 @@ _HANDLERS = {
     "birthday": _cmd_birthday,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "cluster": _cmd_cluster,
 }
 
 

@@ -1,0 +1,79 @@
+"""Distributed sweep execution: a coordinator/worker lease protocol.
+
+The paper's validation sweeps are embarrassingly parallel grids; this
+package scales them past one machine.  A :class:`Coordinator` shards a
+grid into chunk leases and serves a stdlib-only JSON/HTTP protocol
+(:mod:`repro.cluster.protocol`); :class:`ClusterWorker` loops claim
+leases, evaluate chunks through the same deterministic engine the
+serial and process-pool paths use, and submit outcomes back.  Lease
+expiry, reassignment, bounded retries, and idempotent completion make
+the merged :class:`~repro.sim.sweep.SweepResult` byte-identical to a
+serial ``run_sweep`` even across worker crashes.
+
+Entry points: :func:`run_sweep_cluster` /
+:func:`run_sweep_cluster_from_callable` for in-process fleets (the
+service's ``execution: cluster`` mode and the CLI ``--cluster`` flag),
+and ``repro cluster coordinate`` / ``repro cluster work`` for real
+multi-process or multi-host runs.
+"""
+
+from repro.cluster.client import ClusterClient, CoordinatorError, CoordinatorUnavailable
+from repro.cluster.coordinator import (
+    ClusterError,
+    ClusterTelemetry,
+    Coordinator,
+    CoordinatorConfig,
+    CoordinatorThread,
+    run_sweep_cluster,
+    run_sweep_cluster_from_callable,
+)
+from repro.cluster.leases import ChunkExhausted, Lease, LeaseManager
+from repro.cluster.protocol import (
+    ChunkSpec,
+    ClusterTask,
+    PROTOCOL_VERSION,
+    SweepSpec,
+    chunk_grid,
+    default_chunk_size,
+    dotted_name,
+    task_from_callable,
+)
+from repro.cluster.registry import (
+    TRUSTED_MODULE_PREFIXES,
+    register_point_fn,
+    resolve_point_fn,
+    unregister_point_fn,
+)
+from repro.cluster.worker import ClusterWorker, WorkerConfig, WorkerThread, run_worker
+
+__all__ = [
+    "ChunkExhausted",
+    "ChunkSpec",
+    "ClusterClient",
+    "ClusterError",
+    "ClusterTask",
+    "ClusterTelemetry",
+    "ClusterWorker",
+    "Coordinator",
+    "CoordinatorConfig",
+    "CoordinatorError",
+    "CoordinatorThread",
+    "CoordinatorUnavailable",
+    "Lease",
+    "LeaseManager",
+    "PROTOCOL_VERSION",
+    "SweepSpec",
+    "TRUSTED_MODULE_PREFIXES",
+    "WorkerConfig",
+    "WorkerThread",
+    "chunk_grid",
+    "default_chunk_size",
+    "dotted_name",
+    "register_point_fn",
+    "resolve_point_fn",
+    "run_sweep_cluster",
+    "run_sweep_cluster_from_callable",
+    "run_worker",
+    "task_from_callable",
+    "unregister_point_fn",
+]

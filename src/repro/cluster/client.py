@@ -1,0 +1,137 @@
+"""Synchronous JSON/HTTP client for talking to a cluster coordinator.
+
+Workers and CLI tooling are plain synchronous code; they speak to the
+coordinator through this thin wrapper over :mod:`http.client` (stdlib
+only, keep-alive, JSON in/out).  Transient transport failures — a
+coordinator that has not bound yet, a dropped keep-alive connection —
+are retried with a short backoff; HTTP-level errors surface as
+:class:`CoordinatorError` carrying the status and decoded detail so
+callers can distinguish "retry later" from "protocol bug".
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Mapping, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ClusterClient", "CoordinatorError", "CoordinatorUnavailable"]
+
+
+class CoordinatorError(Exception):
+    """The coordinator answered with a non-2xx status."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(f"coordinator returned {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class CoordinatorUnavailable(Exception):
+    """The coordinator could not be reached after all retries."""
+
+
+class ClusterClient:
+    """One keep-alive JSON connection to a coordinator.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the coordinator (path components are
+        ignored; endpoint paths come from :mod:`repro.cluster.protocol`).
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Transport-level retry attempts (connection refused/reset) before
+        raising :class:`CoordinatorUnavailable`.
+    backoff:
+        Sleep between transport retries, in seconds.
+
+    Not thread-safe: each worker thread owns its own client.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0,
+                 retries: int = 5, backoff: float = 0.2) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"//{base_url}",
+                         scheme="http")
+        if split.scheme != "http":
+            raise ValueError(f"only http:// coordinators are supported, got {base_url!r}")
+        if not split.hostname:
+            raise ValueError(f"coordinator URL {base_url!r} has no host")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (reopened on next request)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str,
+                payload: Optional[Mapping[str, Any]] = None) -> Any:
+        """Issue one JSON request; returns the decoded response body.
+
+        Raises :class:`CoordinatorError` on non-2xx responses and
+        :class:`CoordinatorUnavailable` when the transport keeps failing.
+        """
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * attempt)
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, socket.timeout, socket.gaierror,
+                    http.client.HTTPException, OSError) as exc:
+                last_exc = exc
+                self.close()
+                continue
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else None
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if 200 <= response.status < 300:
+                return decoded
+            detail = decoded.get("error", "") if isinstance(decoded, dict) else str(decoded)
+            raise CoordinatorError(response.status, detail)
+        raise CoordinatorUnavailable(
+            f"coordinator {self.host}:{self.port} unreachable after "
+            f"{self.retries + 1} attempts: {last_exc}"
+        )
+
+    def get(self, path: str) -> Any:
+        """``GET path`` returning the decoded JSON body."""
+        return self.request("GET", path)
+
+    def post(self, path: str, payload: Mapping[str, Any]) -> Any:
+        """``POST path`` with a JSON body, returning the decoded response."""
+        return self.request("POST", path, payload)
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

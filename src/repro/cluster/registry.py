@@ -1,0 +1,92 @@
+"""Point-function resolution for cluster workers.
+
+The cluster protocol ships *names*, not code.  A :class:`~repro.cluster.protocol.ClusterTask`
+names its point evaluator either as
+
+* an entry in the in-process registry (``register_point_fn``) — used by
+  tests and benchmarks that want to distribute ad-hoc callables to
+  in-process worker threads, or
+* an importable ``module:function`` reference — the cross-process path,
+  restricted to trusted module prefixes so a coordinator cannot direct a
+  worker to execute arbitrary importable code.
+
+Resolution tries the registry first, then the import path.  Workers in
+separate processes only ever see the import path (the registry is
+per-process), which is why every servable sweep kind keeps its point
+functions at module level.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from typing import Any, Callable
+
+__all__ = [
+    "TRUSTED_MODULE_PREFIXES",
+    "register_point_fn",
+    "resolve_point_fn",
+    "unregister_point_fn",
+]
+
+#: Module prefixes a worker will import point functions from.  Everything
+#: else must be explicitly registered in-process.
+TRUSTED_MODULE_PREFIXES: tuple[str, ...] = ("repro.",)
+
+_lock = threading.Lock()
+_registry: dict[str, Callable[..., Any]] = {}
+
+
+def register_point_fn(name: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Register ``fn`` under ``name`` for in-process resolution.
+
+    Returns ``fn`` so the call composes as a decorator-ish one-liner.
+    Re-registering a name overwrites it (tests swap stubs in and out).
+    """
+    if not name:
+        raise ValueError("point-function name must be non-empty")
+    with _lock:
+        _registry[name] = fn
+    return fn
+
+
+def unregister_point_fn(name: str) -> None:
+    """Remove a registered name (missing names are ignored)."""
+    with _lock:
+        _registry.pop(name, None)
+
+
+def resolve_point_fn(name: str) -> Callable[..., Any]:
+    """Resolve a task's function name to a callable.
+
+    Registry entries win; otherwise ``module:function`` references are
+    imported, provided the module falls under
+    :data:`TRUSTED_MODULE_PREFIXES`.  Raises :class:`ValueError` for
+    unresolvable or untrusted names.
+    """
+    with _lock:
+        registered = _registry.get(name)
+    if registered is not None:
+        return registered
+    module_name, sep, attr = name.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"unknown point function {name!r}: not registered and not a "
+            f"'module:function' reference"
+        )
+    if not any(
+        module_name == prefix.rstrip(".") or module_name.startswith(prefix)
+        for prefix in TRUSTED_MODULE_PREFIXES
+    ):
+        raise ValueError(
+            f"refusing to import point function from untrusted module "
+            f"{module_name!r} (trusted prefixes: {TRUSTED_MODULE_PREFIXES})"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        fn = getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"module {module_name!r} has no attribute {attr!r}") from exc
+    if not callable(fn):
+        raise ValueError(f"{name!r} resolves to a non-callable {type(fn).__name__}")
+    return fn

@@ -113,6 +113,18 @@ class Job:
         """Block until the job settles; True if terminal on return."""
         return self._done.wait(timeout)
 
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        """Queue wait (enqueue to start), or ``None`` before starting.
+
+        The admission-control signal: a growing wait histogram means the
+        queue is sized too small for the offered load (and, for cluster
+        runs, that more workers are worth dispatching).
+        """
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.submitted_at)
+
     def __post_init__(self) -> None:
         self._done = threading.Event()
         if self.state.terminal:

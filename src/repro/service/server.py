@@ -7,10 +7,9 @@ metrics registry).  The loop therefore never blocks on simulation work
 and the closed-form endpoints answer in microseconds even while sweep
 jobs grind in the background.
 
-The HTTP layer is a deliberately small hand-rolled HTTP/1.1 subset
-(stdlib-only is a hard constraint): request line + headers +
-``Content-Length`` body, keep-alive by default, bounded header and body
-sizes.  It is not a general web server — it serves exactly this API:
+Transport lives in :mod:`repro.service.http` (shared with the cluster
+coordinator): a deliberately small hand-rolled HTTP/1.1 subset
+(stdlib-only is a hard constraint).  This module adds the API:
 
 ====================  ======  ==============================================
 Path                  Method  Purpose
@@ -29,21 +28,20 @@ Submission flow: validate (400 on bad input) -> cache probe (content
 address of the canonicalized request; a hit returns a completed job
 without touching the queue) -> admission (429 + ``Retry-After`` when
 the bounded queue is full) -> 202.  Results enter the cache when the
-job succeeds, so the next identical submission is a hit.
+job succeeds, so the next identical submission is a hit.  A request
+with ``"execution": "cluster"`` runs its sweep on an in-process
+coordinator + worker fleet (:mod:`repro.cluster`) instead of the
+process pool — same bytes out, same cache entry.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
-import threading
 import time
 from dataclasses import dataclass
-from email.utils import formatdate
 from functools import partial
 from http import HTTPStatus
 from typing import Any, Callable, Mapping, Optional
-from urllib.parse import parse_qs, urlsplit
 
 from repro.core.birthday import (
     birthday_collision_probability,
@@ -56,6 +54,13 @@ from repro.core.model import (
 )
 from repro.core.sizing import table_entries_for_commit_probability
 from repro.service.cache import ResultCache, cache_key
+from repro.service.http import (
+    HTTPError,
+    JsonHttpServer,
+    ServerThread,
+    query_float,
+    query_int,
+)
 from repro.service.metrics import MetricsRegistry
 from repro.service.queue import Job, JobQueue, JobState, QueueClosed, QueueFull
 from repro.service.sweeps import (
@@ -65,21 +70,6 @@ from repro.service.sweeps import (
 )
 
 __all__ = ["ServiceConfig", "Service", "ServiceThread", "serve", "start_in_thread"]
-
-MAX_HEADER_BYTES = 32 * 1024
-MAX_BODY_BYTES = 4 * 1024 * 1024
-SERVER_NAME = "repro-service"
-
-
-class _HTTPError(Exception):
-    """Internal: aborts a request with a status and a JSON detail."""
-
-    def __init__(self, status: HTTPStatus, detail: str,
-                 headers: Optional[dict[str, str]] = None) -> None:
-        super().__init__(detail)
-        self.status = status
-        self.detail = detail
-        self.headers = headers or {}
 
 
 @dataclass(frozen=True)
@@ -103,6 +93,8 @@ class ServiceConfig:
         Optional directory for the persistent disk tier.
     drain_timeout:
         Seconds to wait for in-flight jobs during graceful shutdown.
+    cluster_workers:
+        Worker threads per ``execution: cluster`` sweep job.
     """
 
     host: str = "127.0.0.1"
@@ -113,6 +105,7 @@ class ServiceConfig:
     cache_capacity: int = 256
     cache_dir: Optional[str] = None
     drain_timeout: float = 10.0
+    cluster_workers: int = 2
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -123,34 +116,11 @@ class ServiceConfig:
             raise ValueError(f"job_timeout must be positive, got {self.job_timeout}")
         if self.cache_capacity < 1:
             raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if self.cluster_workers < 1:
+            raise ValueError(f"cluster_workers must be >= 1, got {self.cluster_workers}")
 
 
-def _query_float(query: Mapping[str, list[str]], key: str,
-                 default: Optional[float] = None) -> float:
-    values = query.get(key)
-    if not values:
-        if default is None:
-            raise _HTTPError(HTTPStatus.BAD_REQUEST, f"missing query parameter {key!r}")
-        return default
-    try:
-        return float(values[-1])
-    except ValueError:
-        raise _HTTPError(
-            HTTPStatus.BAD_REQUEST, f"query parameter {key!r} must be a number"
-        ) from None
-
-
-def _query_int(query: Mapping[str, list[str]], key: str,
-               default: Optional[int] = None) -> int:
-    value = _query_float(query, key, None if default is None else float(default))
-    if not float(value).is_integer():
-        raise _HTTPError(
-            HTTPStatus.BAD_REQUEST, f"query parameter {key!r} must be an integer"
-        )
-    return int(value)
-
-
-class Service:
+class Service(JsonHttpServer):
     """One bound instance of the serving layer.
 
     Owns the cache, the job queue, the metrics registry, and (once
@@ -158,8 +128,11 @@ class Service:
     ``port=0``; production goes through :func:`serve`.
     """
 
+    server_name = "repro-service"
+
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
+        super().__init__(self.config.host, self.config.port)
         self.cache = ResultCache(
             self.config.cache_capacity, disk_dir=self.config.cache_dir
         )
@@ -190,6 +163,10 @@ class Service:
             "repro_queue_depth", "Jobs admitted and not yet finished"
         )
         self._jobs_running = m.gauge("repro_jobs_running", "Jobs currently executing")
+        self._queue_wait = m.histogram(
+            "repro_queue_wait_seconds",
+            "Queue wait from admission to execution start",
+        )
         self._cache_ratio = m.gauge(
             "repro_cache_hit_ratio", "Result-cache hit fraction since boot"
         )
@@ -201,32 +178,11 @@ class Service:
             on_transition=self._on_job_transition,
         )
         self._started_at = time.monotonic()
-        self._server: Optional[asyncio.base_events.Server] = None
-        self.host = self.config.host
-        self.port = self.config.port
 
     # -- lifecycle ----------------------------------------------------
 
-    async def start(self) -> "Service":
-        """Bind the listening socket (idempotent)."""
-        if self._server is None:
-            self._server = await asyncio.start_server(
-                self._handle_connection,
-                host=self.config.host,
-                port=self.config.port,
-                limit=MAX_HEADER_BYTES,
-            )
-            sockname = self._server.sockets[0].getsockname()
-            self.host, self.port = sockname[0], sockname[1]
-            self._started_at = time.monotonic()
-        return self
-
-    async def serve_forever(self) -> None:
-        """Start (if needed) and serve until cancelled."""
-        await self.start()
-        assert self._server is not None
-        async with self._server:
-            await self._server.serve_forever()
+    def _on_start(self) -> None:
+        self._started_at = time.monotonic()
 
     async def stop(self, *, drain: bool = True) -> None:
         """Graceful shutdown: close the socket, drain the queue.
@@ -235,10 +191,7 @@ class Service:
         completion (up to ``config.drain_timeout``); new submissions
         are already impossible because the socket is closed.
         """
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        await super().stop()
         if drain:
             await asyncio.get_running_loop().run_in_executor(
                 None, partial(self.queue.drain, self.config.drain_timeout)
@@ -248,6 +201,10 @@ class Service:
     # -- job bookkeeping ----------------------------------------------
 
     def _on_job_transition(self, job: Job, old: JobState) -> None:
+        if old is JobState.QUEUED and job.state is JobState.RUNNING:
+            wait = job.wait_seconds
+            if wait is not None:
+                self._queue_wait.observe(wait)
         if job.state.terminal:
             self._jobs_terminal.inc(label=job.state.value)
 
@@ -258,8 +215,16 @@ class Service:
         self._uptime.set(time.monotonic() - self._started_at)
 
     def _run_job(self, kind: str, params: dict[str, Any], seed: int,
-                 jobs: Optional[int], key: str) -> dict[str, Any]:
-        result = execute_sweep(kind, params, seed, jobs)
+                 jobs: Optional[int], execution: str, key: str) -> dict[str, Any]:
+        result = execute_sweep(
+            kind,
+            params,
+            seed,
+            jobs,
+            execution=execution,
+            cluster_workers=self.config.cluster_workers,
+            cache=self.cache if execution == "cluster" else None,
+        )
         self.cache.put(key, result)
         return result
 
@@ -272,9 +237,13 @@ class Service:
         :class:`~repro.service.queue.QueueClosed` — callers map those
         to 400/429/503.
         """
-        kind, params, seed, jobs = validate_sweep_request(body)
+        kind, params, seed, jobs, execution = validate_sweep_request(body)
+        # Execution mode selects how the sweep runs, never what it
+        # computes — the determinism contract — so it is not in the key.
         key = cache_key({"kind": kind, "params": params}, seed)
         request_echo = {"kind": kind, "params": params, "seed": seed}
+        if execution != "local":
+            request_echo["execution"] = execution
         cached = self.cache.get(key)
         if cached is not None:
             self._cache_hits.inc()
@@ -293,102 +262,22 @@ class Service:
             return self.queue.get(job.id) or job, True
         self._cache_misses.inc()
         job = self.queue.submit(
-            partial(self._run_job, kind, params, seed, jobs, key),
+            partial(self._run_job, kind, params, seed, jobs, execution, key),
             params=request_echo,
         )
         return job, False
 
-    # -- HTTP plumbing ------------------------------------------------
+    # -- transport hooks ----------------------------------------------
 
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
-        try:
-            while True:
-                keep_alive = await self._handle_one_request(reader, writer)
-                if not keep_alive:
-                    break
-        except (
-            asyncio.IncompleteReadError,
-            asyncio.LimitOverrunError,
-            ConnectionError,
-            TimeoutError,
-        ):
-            pass  # client went away or spoke garbage; just hang up
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except Exception:
-                pass
-
-    async def _handle_one_request(self, reader: asyncio.StreamReader,
-                                  writer: asyncio.StreamWriter) -> bool:
-        request_line = await reader.readline()
-        if not request_line or request_line in (b"\r\n", b"\n"):
-            return False
-        try:
-            method, target, version = request_line.decode("ascii").split()
-        except ValueError:
-            await self._write_error(
-                writer, HTTPStatus.BAD_REQUEST, "malformed request line", "bad", False
-            )
-            return False
-        headers: dict[str, str] = {}
-        header_bytes = 0
-        while True:
-            line = await reader.readline()
-            header_bytes += len(line)
-            if header_bytes > MAX_HEADER_BYTES:
-                await self._write_error(
-                    writer, HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE,
-                    "headers too large", "bad", False,
-                )
-                return False
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-
-        length_header = headers.get("content-length", "0")
-        try:
-            content_length = int(length_header)
-        except ValueError:
-            await self._write_error(
-                writer, HTTPStatus.BAD_REQUEST, "bad Content-Length", "bad", False
-            )
-            return False
-        if content_length > MAX_BODY_BYTES:
-            await self._write_error(
-                writer, HTTPStatus.REQUEST_ENTITY_TOO_LARGE, "body too large", "bad", False
-            )
-            return False
-        body = await reader.readexactly(content_length) if content_length else b""
-
-        keep_alive = headers.get("connection", "").lower() != "close" and version == "HTTP/1.1"
-        started = time.perf_counter()
-        endpoint, status, payload, extra_headers = self._dispatch(method, target, body)
-        self._requests.inc(label=endpoint)
-        self._latency.observe(time.perf_counter() - started, label=endpoint)
+    def _observe_request(self, endpoint: str, status: HTTPStatus,
+                         seconds: float) -> None:
+        if endpoint != "bad":  # protocol garbage: count the response only
+            self._requests.inc(label=endpoint)
+            self._latency.observe(seconds, label=endpoint)
         self._responses.inc(label=str(int(status)))
-        await self._write_response(writer, status, payload, extra_headers, keep_alive)
-        return keep_alive
 
-    def _dispatch(self, method: str, target: str, body: bytes,
-                  ) -> tuple[str, HTTPStatus, Any, dict[str, str]]:
-        """Route one request; returns (endpoint-label, status, payload, headers).
-
-        ``payload`` is a JSON-able object, or a ``(content_type, text)``
-        pair for non-JSON bodies like the metrics exposition.
-        """
-        split = urlsplit(target)
-        path = split.path.rstrip("/") or "/"
-        query = parse_qs(split.query)
-        try:
-            route, handler = self._route(method, path)
-            return (route, *handler(query, body))
-        except _HTTPError as exc:
-            return (path, exc.status, {"error": exc.detail}, exc.headers)
-        except QueueFull as exc:
+    def _map_exception(self, exc: Exception, path: str):
+        if isinstance(exc, QueueFull):
             self._rejections.inc()
             return (
                 "/v1/sweeps",
@@ -401,25 +290,19 @@ class Service:
                 },
                 {"Retry-After": str(int(round(exc.retry_after)))},
             )
-        except QueueClosed:
+        if isinstance(exc, QueueClosed):
             return (
                 "/v1/sweeps",
                 HTTPStatus.SERVICE_UNAVAILABLE,
                 {"error": "service is shutting down"},
                 {},
             )
-        except SweepValidationError as exc:
+        if isinstance(exc, SweepValidationError):
             return ("/v1/sweeps", HTTPStatus.BAD_REQUEST, {"error": str(exc)}, {})
-        except ValueError as exc:
+        if isinstance(exc, ValueError):
             # Model-layer validation (e.g. commit probability out of range).
             return (path, HTTPStatus.BAD_REQUEST, {"error": str(exc)}, {})
-        except Exception as exc:  # never let a handler kill the loop
-            return (
-                path,
-                HTTPStatus.INTERNAL_SERVER_ERROR,
-                {"error": f"internal error: {type(exc).__name__}: {exc}"},
-                {},
-            )
+        return None
 
     def _route(self, method: str, path: str) -> tuple[str, Callable[..., Any]]:
         fixed: dict[tuple[str, str], Callable[..., Any]] = {
@@ -440,8 +323,8 @@ class Service:
                 return "/v1/sweeps/{id}", partial(self._handle_job_cancel, job_id)
         known_paths = {p for (_, p) in fixed} | {"/v1/sweeps"}
         if path in known_paths or path.startswith("/v1/sweeps/"):
-            raise _HTTPError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} not allowed here")
-        raise _HTTPError(HTTPStatus.NOT_FOUND, f"no such endpoint: {path}")
+            raise HTTPError(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} not allowed here")
+        raise HTTPError(HTTPStatus.NOT_FOUND, f"no such endpoint: {path}")
 
     # -- handlers -----------------------------------------------------
 
@@ -479,10 +362,10 @@ class Service:
 
     def _handle_conflict(self, query: Mapping[str, list[str]], body: bytes):
         del body
-        w = _query_float(query, "w")
-        n = _query_int(query, "n")
-        c = _query_int(query, "c", 2)
-        alpha = _query_float(query, "alpha", 2.0)
+        w = query_float(query, "w")
+        n = query_int(query, "n")
+        c = query_int(query, "c", 2)
+        alpha = query_float(query, "alpha", 2.0)
         params = ModelParams(n_entries=n, concurrency=c, alpha=alpha)
         raw = float(conflict_likelihood(w, params))
         prob = float(conflict_likelihood_product_form(w, params))
@@ -502,10 +385,10 @@ class Service:
 
     def _handle_sizing(self, query: Mapping[str, list[str]], body: bytes):
         del body
-        w = _query_int(query, "w")
-        commit = _query_float(query, "commit")
-        c = _query_int(query, "c", 2)
-        alpha = _query_float(query, "alpha", 2.0)
+        w = query_int(query, "w")
+        commit = query_float(query, "commit")
+        c = query_int(query, "c", 2)
+        alpha = query_float(query, "alpha", 2.0)
         entries = table_entries_for_commit_probability(
             w, commit, concurrency=c, alpha=alpha
         )
@@ -524,9 +407,9 @@ class Service:
 
     def _handle_birthday(self, query: Mapping[str, list[str]], body: bytes):
         del body
-        days = _query_int(query, "days", 365)
+        days = query_int(query, "days", 365)
         if "people" in query:
-            people = _query_int(query, "people")
+            people = query_int(query, "people")
             return (
                 HTTPStatus.OK,
                 {
@@ -536,7 +419,7 @@ class Service:
                 },
                 {},
             )
-        target = _query_float(query, "target", 0.5)
+        target = query_float(query, "target", 0.5)
         people = people_for_collision_probability(target, days=days)
         return (
             HTTPStatus.OK,
@@ -552,10 +435,7 @@ class Service:
 
     def _handle_submit(self, query: Mapping[str, list[str]], body: bytes):
         del query
-        try:
-            parsed = json.loads(body.decode("utf-8")) if body else {}
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            raise _HTTPError(HTTPStatus.BAD_REQUEST, "request body must be valid JSON") from None
+        parsed = self.parse_json_body(body)
         job, hit = self.submit_sweep(parsed)
         status = HTTPStatus.OK if hit else HTTPStatus.ACCEPTED
         payload = {
@@ -572,54 +452,24 @@ class Service:
         del query, body
         job = self.queue.get(job_id)
         if job is None:
-            raise _HTTPError(HTTPStatus.NOT_FOUND, f"no such job: {job_id}")
+            raise HTTPError(HTTPStatus.NOT_FOUND, f"no such job: {job_id}")
         return HTTPStatus.OK, job.snapshot(), {}
 
     def _handle_job_cancel(self, job_id: str, query: Mapping[str, list[str]], body: bytes):
         del query, body
         job = self.queue.get(job_id)
         if job is None:
-            raise _HTTPError(HTTPStatus.NOT_FOUND, f"no such job: {job_id}")
+            raise HTTPError(HTTPStatus.NOT_FOUND, f"no such job: {job_id}")
         cancelled = self.queue.cancel(job_id)
         if not cancelled:
-            raise _HTTPError(
+            raise HTTPError(
                 HTTPStatus.CONFLICT,
                 f"job {job_id} is {job.state.value}; only queued jobs can be cancelled",
             )
         return HTTPStatus.OK, job.snapshot(), {}
 
-    # -- response writing ---------------------------------------------
 
-    async def _write_response(self, writer: asyncio.StreamWriter, status: HTTPStatus,
-                              payload: Any, extra_headers: dict[str, str],
-                              keep_alive: bool) -> None:
-        if isinstance(payload, tuple):
-            content_type, text = payload
-            data = text.encode("utf-8")
-        else:
-            content_type = "application/json"
-            data = (json.dumps(payload) + "\n").encode("utf-8")
-        lines = [
-            f"HTTP/1.1 {int(status)} {status.phrase}",
-            f"Date: {formatdate(usegmt=True)}",
-            f"Server: {SERVER_NAME}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(data)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        for name, value in extra_headers.items():
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        writer.write(head + data)
-        await writer.drain()
-
-    async def _write_error(self, writer: asyncio.StreamWriter, status: HTTPStatus,
-                           detail: str, endpoint: str, keep_alive: bool) -> None:
-        self._responses.inc(label=str(int(status)))
-        await self._write_response(writer, status, {"error": detail}, {}, keep_alive)
-
-
-class ServiceThread:
+class ServiceThread(ServerThread):
     """A :class:`Service` running on a private event loop in a thread.
 
     The shape tests, benchmarks, and the load generator's self-serve
@@ -632,65 +482,18 @@ class ServiceThread:
             requests_go_to(svc.host, svc.port)
     """
 
-    def __init__(self, service: Service) -> None:
-        self.service = service
-        self._loop = asyncio.new_event_loop()
-        self._ready = threading.Event()
-        self._thread = threading.Thread(
-            target=self._run, name="repro-service", daemon=True
-        )
+    thread_name = "repro-service"
 
     @property
-    def host(self) -> str:
-        """Bound host (valid once started)."""
-        return self.service.host
+    def service(self) -> Service:
+        """The wrapped service."""
+        server = self.server
+        assert isinstance(server, Service)
+        return server
 
-    @property
-    def port(self) -> int:
-        """Bound port (valid once started)."""
-        return self.service.port
-
-    def _run(self) -> None:
-        asyncio.set_event_loop(self._loop)
-
-        async def boot() -> None:
-            await self.service.start()
-            self._ready.set()
-
-        try:
-            self._loop.run_until_complete(boot())
-            self._loop.run_forever()
-        finally:
-            self._ready.set()  # unblock start() even on bind failure
-            self._loop.close()
-
-    def start(self, timeout: float = 10.0) -> "ServiceThread":
-        """Boot the loop thread and wait for the socket to bind."""
-        self._thread.start()
-        if not self._ready.wait(timeout):
-            raise TimeoutError("service failed to start within timeout")
-        if self.service._server is None:
-            raise RuntimeError("service failed to bind (see stderr for the cause)")
-        return self
-
-    def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+    def stop(self, timeout: float = 30.0, *, drain: bool = True, **stop_kwargs: Any) -> None:
         """Stop the service and join the loop thread."""
-        if not self._thread.is_alive():
-            return
-        future = asyncio.run_coroutine_threadsafe(
-            self.service.stop(drain=drain), self._loop
-        )
-        try:
-            future.result(timeout)
-        finally:
-            self._loop.call_soon_threadsafe(self._loop.stop)
-            self._thread.join(timeout)
-
-    def __enter__(self) -> "ServiceThread":
-        return self.start()
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.stop()
+        super().stop(timeout, drain=drain, **stop_kwargs)
 
 
 def start_in_thread(config: Optional[ServiceConfig] = None) -> ServiceThread:

@@ -110,19 +110,50 @@ class SweepKind:
     both executed and folded into the cache key, so two requests that
     normalize identically share one cache entry.  ``execute(params,
     seed, jobs)`` runs the sweep and returns a JSON-safe result.
+
+    Grid-shaped kinds decompose the executor into ``grid(params)`` (the
+    points), ``bind(params, seed)`` (the point callable — a keyword
+    :func:`functools.partial` of a module-level function, which is what
+    lets it cross the cluster wire), and ``assemble(params, sweep)``
+    (the response shape).  Kinds that keep ``grid=None`` (the
+    closed-form ``model``) always execute locally, even under
+    ``execution: cluster`` — there is nothing worth distributing.
     """
 
     def __init__(
         self,
         name: str,
         validate: Callable[[Mapping[str, Any]], dict[str, Any]],
-        execute: Callable[[dict[str, Any], int, Optional[int]], dict[str, Any]],
+        execute: Optional[Callable[[dict[str, Any], int, Optional[int]], dict[str, Any]]],
         description: str,
+        *,
+        grid: Optional[Callable[[dict[str, Any]], list[dict[str, Any]]]] = None,
+        bind: Optional[Callable[[dict[str, Any], int], Callable[..., Any]]] = None,
+        assemble: Optional[Callable[[dict[str, Any], Any], dict[str, Any]]] = None,
     ) -> None:
+        if execute is None and (grid is None or bind is None or assemble is None):
+            raise ValueError(
+                f"sweep kind {name!r} needs either an executor or the full "
+                f"grid/bind/assemble decomposition"
+            )
         self.name = name
         self.validate = validate
-        self.execute = execute
+        self.execute = execute if execute is not None else self._execute_grid
         self.description = description
+        self.grid = grid
+        self.bind = bind
+        self.assemble = assemble
+
+    @property
+    def clusterable(self) -> bool:
+        """Whether this kind can run under ``execution: cluster``."""
+        return self.grid is not None
+
+    def _execute_grid(self, params: dict[str, Any], seed: int,
+                      jobs: Optional[int]) -> dict[str, Any]:
+        assert self.grid is not None and self.bind is not None and self.assemble is not None
+        sweep = _run_grid(self.bind(params, seed), self.grid(params), jobs)
+        return self.assemble(params, sweep)
 
 
 def _run_grid(fn: Callable[..., Any], grid: list[dict[str, Any]],
@@ -165,18 +196,20 @@ def _open_point(n: int, w: int, *, concurrency: int, samples: int, seed: int) ->
     return 100 * result.conflict_probability
 
 
-def _execute_fig4a(params: dict[str, Any], seed: int, jobs: Optional[int]) -> dict[str, Any]:
-    grid = sweep_grid(n=params["n_values"], w=params["w_values"])
-    sweep = _run_grid(
-        partial(
-            _open_point,
-            concurrency=params["concurrency"],
-            samples=params["samples"],
-            seed=seed,
-        ),
-        grid,
-        jobs,
+def _fig4a_grid(params: dict[str, Any]) -> list[dict[str, Any]]:
+    return sweep_grid(n=params["n_values"], w=params["w_values"])
+
+
+def _fig4a_bind(params: dict[str, Any], seed: int) -> Callable[..., Any]:
+    return partial(
+        _open_point,
+        concurrency=params["concurrency"],
+        samples=params["samples"],
+        seed=seed,
     )
+
+
+def _fig4a_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
     series = {
         f"N={n}": sweep.where(n=n).series("w", float)[1] for n in params["n_values"]
     }
@@ -233,15 +266,20 @@ def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
     }
 
 
-def _execute_closed(params: dict[str, Any], seed: int, jobs: Optional[int]) -> dict[str, Any]:
-    grid = sweep_grid(
+def _closed_grid(params: dict[str, Any]) -> list[dict[str, Any]]:
+    return sweep_grid(
         n_entries=params["n_values"],
         concurrency=params["c_values"],
         write_footprint=params["w_values"],
     )
-    sweep = _run_grid(
-        partial(_closed_point, alpha=params["alpha"], seed=seed), grid, jobs
-    )
+
+
+def _closed_bind(params: dict[str, Any], seed: int) -> Callable[..., Any]:
+    return partial(_closed_point, alpha=params["alpha"], seed=seed)
+
+
+def _closed_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
+    del params
     return {"kind": "closed", "points": list(sweep.outcomes)}
 
 
@@ -295,14 +333,20 @@ SWEEP_KINDS: dict[str, SweepKind] = {
         SweepKind(
             "fig4a",
             _validate_fig4a,
-            _execute_fig4a,
+            None,
             "open-system conflict likelihood over an N x W grid (Figure 4a)",
+            grid=_fig4a_grid,
+            bind=_fig4a_bind,
+            assemble=_fig4a_assemble,
         ),
         SweepKind(
             "closed",
             _validate_closed,
-            _execute_closed,
+            None,
             "closed-system protocol runs over an N x C x W grid (Figures 5-6)",
+            grid=_closed_grid,
+            bind=_closed_bind,
+            assemble=_closed_assemble,
         ),
         SweepKind(
             "model",
@@ -314,15 +358,23 @@ SWEEP_KINDS: dict[str, SweepKind] = {
 }
 
 
-def validate_sweep_request(body: Mapping[str, Any]) -> tuple[str, dict[str, Any], int, Optional[int]]:
-    """Validate a POST /v1/sweeps body into (kind, params, seed, jobs).
+EXECUTION_MODES = frozenset({"local", "cluster"})
+
+
+def validate_sweep_request(
+    body: Mapping[str, Any],
+) -> tuple[str, dict[str, Any], int, Optional[int], str]:
+    """Validate a POST /v1/sweeps body into (kind, params, seed, jobs, execution).
 
     Raises :class:`SweepValidationError` on any malformed field; the
     HTTP layer maps that to a 400 with the message as detail.
+    ``execution`` is ``"local"`` (default) or ``"cluster"``; it selects
+    *how* the sweep runs, never *what* it computes, so it is excluded
+    from the cache key.
     """
     if not isinstance(body, Mapping):
         raise SweepValidationError("request body must be a JSON object")
-    _reject_unknown(body, frozenset({"kind", "params", "seed", "jobs"}))
+    _reject_unknown(body, frozenset({"kind", "params", "seed", "jobs", "execution"}))
     kind_name = body.get("kind")
     if not isinstance(kind_name, str) or kind_name not in SWEEP_KINDS:
         known = ", ".join(sorted(SWEEP_KINDS))
@@ -336,10 +388,49 @@ def validate_sweep_request(body: Mapping[str, Any]) -> tuple[str, dict[str, Any]
     jobs: Optional[int] = None
     if jobs_value is not None:
         jobs = _require_int(dict(body), "jobs", None, lo=1, hi=64)
-    return kind_name, params, seed, jobs
+    execution = body.get("execution", "local")
+    if not isinstance(execution, str) or execution not in EXECUTION_MODES:
+        known = ", ".join(sorted(EXECUTION_MODES))
+        raise SweepValidationError(
+            f"unknown execution mode {execution!r}; expected one of: {known}"
+        )
+    return kind_name, params, seed, jobs, execution
 
 
-def execute_sweep(kind: str, params: dict[str, Any], seed: int,
-                  jobs: Optional[int] = None) -> dict[str, Any]:
-    """Run one validated sweep to completion (the job-queue body)."""
-    return SWEEP_KINDS[kind].execute(params, seed, jobs)
+def execute_sweep(
+    kind: str,
+    params: dict[str, Any],
+    seed: int,
+    jobs: Optional[int] = None,
+    *,
+    execution: str = "local",
+    cluster_workers: int = 2,
+    cache: Any = None,
+) -> dict[str, Any]:
+    """Run one validated sweep to completion (the job-queue body).
+
+    ``execution="cluster"`` distributes a grid-shaped kind across an
+    in-process coordinator + worker fleet (``cluster_workers`` strong)
+    via :func:`repro.cluster.coordinator.run_sweep_cluster_from_callable`;
+    the determinism contract makes the response byte-identical to the
+    local path, so callers need not care which ran.  Kinds without a
+    grid decomposition (``model``) always execute locally.  ``cache``
+    is an optional :class:`~repro.service.cache.ResultCache` the
+    coordinator probes per chunk.
+    """
+    sweep_kind = SWEEP_KINDS[kind]
+    if execution == "cluster" and sweep_kind.clusterable:
+        # Imported lazily: the cluster layer depends on service plumbing,
+        # and this module must stay importable without it.
+        from repro.cluster.coordinator import run_sweep_cluster_from_callable
+
+        assert sweep_kind.bind is not None and sweep_kind.grid is not None
+        assert sweep_kind.assemble is not None
+        sweep = run_sweep_cluster_from_callable(
+            sweep_kind.bind(params, seed),
+            sweep_kind.grid(params),
+            workers=cluster_workers,
+            cache=cache,
+        )
+        return sweep_kind.assemble(params, sweep)
+    return sweep_kind.execute(params, seed, jobs)

@@ -132,27 +132,56 @@ def _abandon(executor: ProcessPoolExecutor) -> None:
     ``shutdown(wait=False)`` alone is not enough for a prompt exit: the
     interpreter's atexit hooks still join the pool's workers and flush
     its call-queue feeder thread, so a Ctrl-C mid-sweep would hang until
-    every in-flight chunk finished. Killing the workers and cancelling
-    the call-queue join (private attributes, hence the defensive
-    getattr) makes abort — and normal teardown, where the workers are
-    idle — prompt.
+    every in-flight chunk finished. Killing the workers and then joining
+    the executor's manager thread (private attributes, hence the
+    defensive getattr) makes abort — and normal teardown, where the
+    workers are idle — prompt.
+
+    Joining the manager matters beyond promptness: it is what closes
+    the call queue and its feeder thread.  A pool that is merely
+    abandoned keeps the queue's OS resources (a semaphore and a pipe)
+    alive until garbage collection, so repeated timeout storms — each
+    abandoning a broken pool and building a fresh one — would
+    accumulate semaphores until the process hits its file-descriptor or
+    semaphore limit.  Closing the queue ourselves is the fallback for
+    the manager not exiting in time.
     """
     # Snapshot first: shutdown() drops these references even with
     # wait=False, and killing nothing is how sweeps used to hang.
     processes = list((getattr(executor, "_processes", None) or {}).values())
     call_queue = getattr(executor, "_call_queue", None)
+    manager = getattr(executor, "_executor_manager_thread", None)
     executor.shutdown(wait=False, cancel_futures=True)
     for process in processes:
         try:
             process.kill()
         except Exception:
             pass
+    # With the workers dead, the manager thread unblocks, closes the
+    # call queue, joins the feeder, and exits — give it a bounded wait.
+    if manager is not None:
+        manager.join(timeout=5.0)
     if call_queue is not None:
-        # Keep interpreter exit from blocking on the feeder thread;
-        # don't close() the queue — the manager thread still puts
-        # sentinels into it and would raise.
+        if manager is None or not manager.is_alive():
+            # Manager is gone; make sure the queue really released its
+            # feeder thread and OS handles (idempotent if it already did).
+            try:
+                call_queue.close()
+                call_queue.join_thread()
+            except Exception:
+                pass
+        else:
+            # Manager is stuck mid-teardown: the queue cannot be closed
+            # safely (the manager still puts sentinels into it), so at
+            # least keep interpreter exit from blocking on the feeder.
+            try:
+                call_queue.cancel_join_thread()
+            except Exception:
+                pass
+    # Reap the killed workers so abandoned pools do not pile up zombies.
+    for process in processes:
         try:
-            call_queue.cancel_join_thread()
+            process.join(timeout=1.0)
         except Exception:
             pass
 

@@ -1,0 +1,193 @@
+"""Unit tests for the coordinator's lease bookkeeping.
+
+Everything runs against an injected fake clock — lease expiry, retry
+bounding, reassignment, and idempotent completion are all exercised
+without a single ``sleep``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.leases import ChunkExhausted, LeaseManager
+from repro.cluster.protocol import chunk_grid
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def manager(clock, n_points=8, chunk_size=2, ttl=10.0, max_attempts=3):
+    return LeaseManager(
+        chunk_grid(n_points, chunk_size), ttl=ttl, max_attempts=max_attempts, clock=clock
+    )
+
+
+class TestClaiming:
+    def test_claims_are_fifo_over_chunk_indices(self, clock):
+        m = manager(clock)
+        leases = [m.claim("w1") for _ in range(4)]
+        assert [l.chunk.index for l in leases] == [0, 1, 2, 3]
+        assert all(l.attempt == 1 for l in leases)
+        assert m.claim("w1") is None  # pool drained
+        assert m.outstanding() == 4
+
+    def test_lease_ids_are_unique(self, clock):
+        m = manager(clock)
+        ids = {m.claim("w1").id for _ in range(4)}
+        assert len(ids) == 4
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            manager(clock, ttl=0)
+        with pytest.raises(ValueError):
+            manager(clock, max_attempts=0)
+
+
+class TestExpiryAndReassignment:
+    def test_expired_lease_is_reassigned_with_fresh_id(self, clock):
+        m = manager(clock)
+        first = m.claim("w1")
+        clock.advance(10.1)  # past ttl with no heartbeat
+        # the lapsed chunk rejoins the pool behind the never-claimed ones
+        claimed = [m.claim("w2") for _ in range(4)]
+        assert [l.chunk.index for l in claimed] == [1, 2, 3, 0]
+        second = claimed[-1]
+        assert second.chunk == first.chunk
+        assert second.id != first.id
+        assert second.attempt == 2
+        assert m.snapshot()["expired_total"] == 1
+        assert m.snapshot()["retries_total"] == 1
+
+    def test_heartbeat_keeps_lease_alive(self, clock):
+        m = manager(clock)
+        lease = m.claim("w1")
+        for _ in range(5):
+            clock.advance(6.0)
+            reply = m.heartbeat("w1", [lease.id])
+            assert reply["renewed"] == [lease.id]
+        # 30 s elapsed, but the chunk was never reassigned
+        assert m.claim("w2").chunk.index == 1
+
+    def test_stale_heartbeat_reports_lost(self, clock):
+        m = manager(clock)
+        lease = m.claim("w1")
+        clock.advance(10.1)
+        reply = m.heartbeat("w1", [lease.id])
+        assert reply["lost"] == [lease.id]
+
+    def test_heartbeat_from_wrong_worker_is_lost(self, clock):
+        m = manager(clock)
+        lease = m.claim("w1")
+        reply = m.heartbeat("w2", [lease.id])
+        assert reply["lost"] == [lease.id]
+
+    def test_expire_now_sweeps(self, clock):
+        m = manager(clock)
+        m.claim("w1")
+        m.claim("w1")
+        clock.advance(10.1)
+        assert m.expire_now() == 2
+        assert m.outstanding() == 0
+
+
+class TestCompletion:
+    def test_complete_is_idempotent_by_chunk(self, clock):
+        m = manager(clock)
+        lease = m.claim("w1")
+        assert m.complete(lease.chunk.index, "w1", points=lease.chunk.count) == "fresh"
+        assert m.complete(lease.chunk.index, "w2", points=lease.chunk.count) == "duplicate"
+        assert m.snapshot()["duplicates_total"] == 1
+        assert m.points_by_worker() == {"w1": 2}
+
+    def test_late_submission_from_expired_lease_accepted(self, clock):
+        m = manager(clock)
+        lease = m.claim("w1")
+        clock.advance(10.1)
+        m.expire_now()
+        # w1 was presumed dead, but its (deterministic) result still lands
+        assert m.complete(lease.chunk.index, "w1", points=2) == "fresh"
+
+    def test_unknown_chunk_rejected(self, clock):
+        m = manager(clock)
+        with pytest.raises(KeyError):
+            m.complete(99, "w1")
+        with pytest.raises(KeyError):
+            m.fail(99, "w1", "nope")
+
+    def test_done_once_every_chunk_completes(self, clock):
+        m = manager(clock, n_points=4, chunk_size=2)
+        assert not m.done
+        for _ in range(2):
+            lease = m.claim("w1")
+            m.complete(lease.chunk.index, "w1", points=lease.chunk.count)
+        assert m.done
+
+    def test_mark_done_skips_dispatch(self, clock):
+        m = manager(clock, n_points=4, chunk_size=2)
+        m.mark_done(0)  # e.g. a chunk-cache hit
+        assert m.claim("w1").chunk.index == 1
+        assert m.claim("w1") is None
+
+
+class TestExhaustion:
+    def test_repeated_failures_latch_and_fail_the_run(self, clock):
+        m = manager(clock, n_points=2, chunk_size=2, max_attempts=2)
+        for _ in range(2):
+            lease = m.claim("w1")
+            assert lease.chunk.index == 0
+            m.fail(lease.chunk.index, "w1", "boom")
+        assert isinstance(m.failed, ChunkExhausted)
+        with pytest.raises(ChunkExhausted, match="boom"):
+            m.claim("w2")
+
+    def test_expiry_counts_toward_attempts(self, clock):
+        m = manager(clock, n_points=2, chunk_size=2, max_attempts=2)
+        for _ in range(2):
+            m.claim("w1")
+            clock.advance(10.1)
+            m.expire_now()
+        assert isinstance(m.failed, ChunkExhausted)
+        assert "expired" in str(m.failed)
+
+    def test_failure_after_completion_is_ignored(self, clock):
+        m = manager(clock, n_points=2, chunk_size=2)
+        lease = m.claim("w1")
+        m.complete(lease.chunk.index, "w1", points=2)
+        m.fail(lease.chunk.index, "w2", "late straggler error")
+        assert m.failed is None
+        assert m.done
+
+
+class TestInspection:
+    def test_snapshot_shape(self, clock):
+        m = manager(clock)
+        lease = m.claim("w1")
+        m.complete(lease.chunk.index, "w1", points=2)
+        snap = m.snapshot()
+        assert snap["chunks"] == 4 and snap["done"] == 1 and snap["pending"] == 3
+        assert snap["granted_total"] == 1 and snap["failed"] is None
+        assert snap["workers"]["w1"]["points_completed"] == 2
+
+    def test_workers_live_window(self, clock):
+        m = manager(clock)
+        m.claim("w1")
+        clock.advance(5.0)
+        m.claim("w2")
+        assert m.workers_live() == 2
+        clock.advance(8.0)  # w1 last seen 13 s ago, w2 8 s ago; ttl is 10
+        assert m.workers_live() == 1

@@ -286,6 +286,30 @@ class TestSweepJobs:
         status, _, _ = client.request("DELETE", f"/v1/sweeps/{submitted['id']}")
         assert status == 409
 
+    def test_queue_wait_histogram_observed(self, service):
+        """Every executed job contributes one queue-wait sample."""
+        _, client = service
+        body = {"kind": "model", "params": {"n_values": [64], "w_values": [2]}}
+        _, submitted, _ = client.post("/v1/sweeps", body)
+        client.poll_job(submitted["id"])
+        assert metric_value(client, "repro_queue_wait_seconds_count") == 1
+        assert metric_value(client, "repro_queue_wait_seconds_sum") >= 0.0
+        # a cache hit never enters the queue, so the count must not move
+        status, again, _ = client.post("/v1/sweeps", body)
+        assert again["cache_hit"] is True
+        assert metric_value(client, "repro_queue_wait_seconds_count") == 1
+
+    def test_execution_mode_validated_and_echoed(self, service):
+        _, client = service
+        status, data, _ = client.post(
+            "/v1/sweeps", dict(SWEEP_BODY, execution="galactic")
+        )
+        assert status == 400 and "execution" in data["error"]
+        # the default local mode is not echoed back in the request body
+        _, submitted, _ = client.post("/v1/sweeps", SWEEP_BODY)
+        job = client.poll_job(submitted["id"])
+        assert "execution" not in job["params"]
+
 
 class TestBackpressure:
     def test_full_queue_gets_429_with_retry_after(self):

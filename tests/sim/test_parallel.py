@@ -216,3 +216,46 @@ class TestTelemetryAndProgress:
     def test_serial_run_sweep_has_no_telemetry(self):
         result = run_sweep(arith_point, [{"a": 1, "b": 2}])
         assert result.telemetry is None
+
+
+class TestAbandonCleanup:
+    """Abandoned pools must not leak processes, threads, or semaphores."""
+
+    def test_repeated_abandon_leaks_nothing(self):
+        import multiprocessing
+        import threading
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.sim.parallel import _abandon
+
+        for _ in range(3):
+            executor = ProcessPoolExecutor(max_workers=2)
+            executor.submit(sleep_on_one, 1)  # a stuck task, as after a timeout
+            time.sleep(0.2)  # let workers spawn and pick the task up
+            _abandon(executor)
+
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and multiprocessing.active_children():
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+        # The call-queue feeder and executor-manager threads must be gone
+        # too — these pin the queue's semaphores/fds when leaked.
+        while time.monotonic() < deadline:
+            leftover = [
+                t.name
+                for t in threading.enumerate()
+                if "QueueFeederThread" in t.name or "ExecutorManager" in t.name
+            ]
+            if not leftover:
+                break
+            time.sleep(0.05)
+        assert not leftover
+
+    def test_timeout_storm_then_clean_sweep(self):
+        """After abandoning a timed-out pool, a fresh sweep still works."""
+        grid = [{"x": i} for i in range(3)]
+        bad = run_sweep_parallel(sleep_on_one, grid, jobs=2, timeout=0.3, retries=0)
+        assert isinstance(bad.outcomes[1], SweepFailure)
+        good = run_sweep_parallel(arith_point, [{"a": 1, "b": 2}], jobs=2)
+        assert list(good.outcomes) == [102]

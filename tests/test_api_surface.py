@@ -15,6 +15,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.cluster",
     "repro.core",
     "repro.htm",
     "repro.ownership",
@@ -97,6 +98,9 @@ class TestServiceSurface:
             "repro.service.queue.JobQueue",
             "repro.service.metrics.MetricsRegistry",
             "repro.service.server.Service",
+            "repro.cluster.coordinator.Coordinator",
+            "repro.cluster.leases.LeaseManager",
+            "repro.cluster.worker.ClusterWorker",
         ):
             module_name, cls_name = cls_path.rsplit(".", 1)
             cls = getattr(importlib.import_module(module_name), cls_name)
