@@ -31,7 +31,8 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 from repro.analysis.tables import format_series, format_table
 from repro.core.model import ModelParams, conflict_likelihood_product_form
 from repro.core.sizing import concurrency_scaling_factor, table_entries_for_commit_probability
-from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.closed_system import ClosedSystemConfig
+from repro.sim.engines import CLOSED_ENGINES, DEFAULT_CLOSED_ENGINE, simulate_closed
 from repro.sim.open_system import OpenSystemConfig, simulate_open_system
 from repro.sim.overflow import OverflowConfig, fleet_summary
 from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
@@ -64,10 +65,15 @@ class ReportConfig:
     seed: int = 20070609
     jobs: Optional[int] = None
     cluster: Optional[int] = None
+    engine: str = DEFAULT_CLOSED_ENGINE
 
     def __post_init__(self) -> None:
         if self.quality not in _QUALITY:
             raise ValueError(f"quality must be one of {sorted(_QUALITY)}, got {self.quality!r}")
+        if self.engine not in CLOSED_ENGINES:
+            raise ValueError(
+                f"engine must be one of {sorted(CLOSED_ENGINES)}, got {self.engine!r}"
+            )
         if self.jobs is not None and self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.cluster is not None and self.cluster < 1:
@@ -204,10 +210,12 @@ def _section_fig3(out: io.StringIO, cfg: ReportConfig) -> None:
     out.write("\n\n")
 
 
-def _closed_point(n: int, c: int, w: int, *, seed: int) -> dict:
+def _closed_point(n: int, c: int, w: int, *, seed: int,
+                  engine: str = DEFAULT_CLOSED_ENGINE) -> dict:
     """One closed-system report point, as a wire-safe dict."""
-    r = simulate_closed_system(
-        ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=seed)
+    r = simulate_closed(
+        ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=seed),
+        engine=engine,
     )
     return {
         "conflicts": r.conflicts,
@@ -221,7 +229,11 @@ def _closed_point(n: int, c: int, w: int, *, seed: int) -> dict:
 def _section_closed(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
     out.write("## Closed system (Figures 5-6 spot checks)\n\n")
     grid = [{"n": n, "c": c, "w": w} for n, c, w in [(1024, 2, 10), (1024, 8, 10), (16384, 8, 10)]]
-    sweep = run("closed-system spot checks", partial(_closed_point, seed=cfg.seed), grid)
+    sweep = run(
+        "closed-system spot checks",
+        partial(_closed_point, seed=cfg.seed, engine=cfg.engine),
+        grid,
+    )
     rows = [
         [f"{p['n']}-{p['c']}-{p['w']}", r["conflicts"], r["committed"],
          f"{r['actual_concurrency']:.2f}"]

@@ -5,6 +5,7 @@
     python -m repro fig2a --samples 500
     python -m repro fig3 --traces 5
     python -m repro fig4a --samples 2000
+    python -m repro fig5 --c 2 --engine fast
     python -m repro closed --n 4096 --c 4 --w 10
     python -m repro birthday --target 0.5
     python -m repro serve --port 8642
@@ -19,6 +20,9 @@ asserts on, with explicit seeds, so results can be pasted into reports.
 ``cluster`` distributes one sweep across worker processes — possibly on
 other machines — via :mod:`repro.cluster`; sweep subcommands also take
 ``--cluster N`` to fan out over N in-process workers directly.
+Closed-system subcommands (``closed``/``fig5``/``report``) take
+``--engine reference|fast`` to pick the simulator implementation;
+engines are byte-identical, so the flag only changes wall-clock.
 """
 
 from __future__ import annotations
@@ -32,7 +36,8 @@ from repro.analysis.tables import format_series, format_table
 from repro.core.birthday import birthday_collision_probability, people_for_collision_probability
 from repro.core.model import ModelParams, conflict_likelihood, conflict_likelihood_product_form
 from repro.core.sizing import table_entries_for_commit_probability
-from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.closed_system import ClosedSystemConfig
+from repro.sim.engines import DEFAULT_CLOSED_ENGINE, available_closed_engines, simulate_closed
 from repro.sim.open_system import OpenSystemConfig, simulate_open_system
 from repro.sim.overflow import OverflowConfig, fleet_summary
 from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
@@ -87,6 +92,17 @@ def _add_cluster_flag(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="distribute the sweep over N in-process cluster workers (default: off)",
+    )
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    """``--engine``: closed-system engine selection (byte-identical)."""
+    parser.add_argument(
+        "--engine",
+        choices=available_closed_engines(),
+        default=DEFAULT_CLOSED_ENGINE,
+        help="closed-system engine; results are byte-identical, engines "
+        f"differ only in speed (default {DEFAULT_CLOSED_ENGINE})",
     )
 
 
@@ -193,12 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alpha", type=int, default=2)
     _add_jobs_flag(p)
     _add_cluster_flag(p)
+    _add_engine_flag(p)
+
+    p = sub.add_parser("fig5", help="closed-system conflicts vs footprint sweep (Figure 5a)")
+    p.add_argument("--c", type=int, default=2, help="concurrency C (default 2)")
+    p.add_argument("--alpha", type=int, default=2, help="reads per write (default 2)")
+    _add_jobs_flag(p)
+    _add_cluster_flag(p)
+    _add_engine_flag(p)
 
     p = sub.add_parser("report", help="generate a full markdown reproduction report")
     p.add_argument("--quality", choices=["smoke", "normal"], default="smoke")
     p.add_argument("--output", type=str, default=None, help="write to file instead of stdout")
     _add_jobs_flag(p)
     _add_cluster_flag(p)
+    _add_engine_flag(p)
 
     p = sub.add_parser("birthday", help="classical birthday-paradox numbers")
     p.add_argument("--target", type=float, default=0.5, help="collision probability target")
@@ -426,16 +451,21 @@ def _cmd_fig4a(args: argparse.Namespace) -> int:
 
 
 def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
-                  alpha: int, seed: int) -> dict:
-    """One closed-system grid point (picklable, wire-safe sweep adapter)."""
-    r = simulate_closed_system(
+                  alpha: int, seed: int, engine: str = DEFAULT_CLOSED_ENGINE) -> dict:
+    """One closed-system grid point (picklable, wire-safe sweep adapter).
+
+    ``engine`` names a :mod:`repro.sim.engines` entry; being a plain
+    string it rides grid dicts and cluster kwargs unchanged.
+    """
+    r = simulate_closed(
         ClosedSystemConfig(
             n_entries=n_entries,
             concurrency=concurrency,
             write_footprint=write_footprint,
             alpha=alpha,
             seed=seed,
-        )
+        ),
+        engine=engine,
     )
     return {
         "conflicts": r.conflicts,
@@ -447,6 +477,16 @@ def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
 
 
 def _cmd_closed(args: argparse.Namespace) -> int:
+    # Validate up front (ClosedSystemConfig.__post_init__) so bad
+    # parameters fail with a clean message in every execution mode,
+    # not as a SweepFailure deep inside a worker.
+    ClosedSystemConfig(
+        n_entries=args.n,
+        concurrency=args.c,
+        write_footprint=args.w,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
     grid = [
         dict(
             n_entries=args.n,
@@ -454,6 +494,7 @@ def _cmd_closed(args: argparse.Namespace) -> int:
             write_footprint=args.w,
             alpha=args.alpha,
             seed=args.seed,
+            engine=args.engine,
         )
     ]
     r = _run_grid(_closed_point, grid, args.jobs, args.cluster).outcomes[0]
@@ -473,6 +514,35 @@ def _cmd_closed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    w_values = [8, 12, 16, 20]
+    n_values = [1024, 4096, 16384]
+    ClosedSystemConfig(n_entries=n_values[0], concurrency=args.c, alpha=args.alpha)
+    sweep = _run_grid(
+        partial(
+            _closed_point,
+            concurrency=args.c,
+            alpha=args.alpha,
+            seed=args.seed,
+            engine=args.engine,
+        ),
+        sweep_grid(n_entries=n_values, write_footprint=w_values),
+        args.jobs,
+        args.cluster,
+    )
+    series = {
+        f"N={n}": sweep.where(n_entries=n).series(
+            "write_footprint", lambda r: float(r["conflicts"])
+        )[1]
+        for n in n_values
+    }
+    # Engine choice deliberately stays out of stdout: both engines print
+    # byte-identical tables.
+    print(format_series("W", w_values, series,
+                        title=f"Figure 5(a): closed-system conflicts, C={args.c}, seed={args.seed}"))
+    return 0
+
+
 def _cmd_birthday(args: argparse.Namespace) -> int:
     k = people_for_collision_probability(args.target, days=args.days)
     p = birthday_collision_probability(k, days=args.days)
@@ -488,7 +558,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     text = generate_report(
         ReportConfig(
-            quality=args.quality, seed=args.seed, jobs=args.jobs, cluster=args.cluster
+            quality=args.quality,
+            seed=args.seed,
+            jobs=args.jobs,
+            cluster=args.cluster,
+            engine=args.engine,
         )
     )
     if args.output:
@@ -652,6 +726,7 @@ _HANDLERS = {
     "fig2a": _cmd_fig2a,
     "fig3": _cmd_fig3,
     "fig4a": _cmd_fig4a,
+    "fig5": _cmd_fig5,
     "closed": _cmd_closed,
     "birthday": _cmd_birthday,
     "serve": _cmd_serve,

@@ -289,8 +289,8 @@ class Coordinator(JsonHttpServer):
         if self.cache is None:
             return
         for chunk in chunks:
-            cached = self.cache.get(self._chunk_key(chunk))
-            if cached is None or len(cached) != chunk.count:
+            hit, cached = self.cache.lookup(self._chunk_key(chunk))
+            if not hit or len(cached) != chunk.count:
                 continue
             self._outcomes[chunk.start:chunk.stop] = cached
             self.leases.mark_done(chunk.index)

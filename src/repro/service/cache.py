@@ -108,7 +108,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
-        """Total ``get`` calls observed."""
+        """Total lookups observed (``lookup`` and ``get`` alike)."""
         return self.hits + self.misses
 
     @property
@@ -157,27 +157,39 @@ class ResultCache:
         # Shard by prefix so huge caches do not pile one directory high.
         return self.disk_dir / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Any]:
-        """Look up a key; returns the value or ``None`` on miss.
+    def lookup(self, key: str) -> tuple[bool, Optional[Any]]:
+        """Look up a key; returns ``(hit, value)``.
 
-        A disk hit promotes the value into the memory tier (evicting
-        LRU entries as needed) so repeat traffic stays off the disk.
+        The flag distinguishes a genuine miss from a cached ``None``
+        (sweep results are arbitrary JSON, and JSON ``null`` is a
+        perfectly valid cached value).  A disk hit promotes the value
+        into the memory tier (evicting LRU entries as needed) so repeat
+        traffic stays off the disk.
         """
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
                 self._hits += 1
                 self._memory_hits += 1
-                return self._memory[key]
-        value = self._disk_get(key)
+                return True, self._memory[key]
+        hit, value = self._disk_lookup(key)
         with self._lock:
-            if value is None:
+            if not hit:
                 self._misses += 1
-                return None
+                return False, None
             self._hits += 1
             self._disk_hits += 1
             self._memory_put(key, value)
-            return value
+            return True, value
+
+    def get(self, key: str) -> Optional[Any]:
+        """Look up a key; returns the value or ``None`` on miss.
+
+        Kept for compatibility; it cannot distinguish a cached ``None``
+        from a miss — callers that store ``None`` should use
+        :meth:`lookup`.
+        """
+        return self.lookup(key)[1]
 
     def put(self, key: str, value: Any) -> None:
         """Store a value under a content address, in both tiers."""
@@ -212,17 +224,17 @@ class ResultCache:
             self._memory.popitem(last=False)
             self._evictions += 1
 
-    def _disk_get(self, key: str) -> Optional[Any]:
+    def _disk_lookup(self, key: str) -> tuple[bool, Optional[Any]]:
         if self.disk_dir is None:
-            return None
+            return False, None
         path = self._disk_path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
+                return True, json.load(fh)
         except (OSError, json.JSONDecodeError):
             # Missing, unreadable, or torn entry: treat as a miss; a
             # torn entry is overwritten by the next put.
-            return None
+            return False, None
 
     def _disk_put(self, key: str, value: Any) -> None:
         path = self._disk_path(key)

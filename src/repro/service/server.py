@@ -244,8 +244,8 @@ class Service(JsonHttpServer):
         request_echo = {"kind": kind, "params": params, "seed": seed}
         if execution != "local":
             request_echo["execution"] = execution
-        cached = self.cache.get(key)
-        if cached is not None:
+        hit, cached = self.cache.lookup(key)
+        if hit:
             self._cache_hits.inc()
             job = Job(
                 id=f"hit-{key[:12]}",

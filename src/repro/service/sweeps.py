@@ -34,7 +34,8 @@ from repro.core.model import (
     conflict_likelihood,
     conflict_likelihood_product_form,
 )
-from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.closed_system import ClosedSystemConfig
+from repro.sim.engines import CLOSED_ENGINES, DEFAULT_CLOSED_ENGINE, simulate_closed
 from repro.sim.open_system import OpenSystemConfig, simulate_open_system
 from repro.sim.sweep import run_sweep, sweep_grid
 
@@ -218,7 +219,7 @@ def _fig4a_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
 
 # -- closed: closed-system protocol runs ------------------------------
 
-_CLOSED_KEYS = frozenset({"n_values", "c_values", "w_values", "alpha"})
+_CLOSED_KEYS = frozenset({"n_values", "c_values", "w_values", "alpha", "engine"})
 
 
 def _validate_closed(params: Mapping[str, Any]) -> dict[str, Any]:
@@ -226,6 +227,13 @@ def _validate_closed(params: Mapping[str, Any]) -> dict[str, Any]:
     n_values = _require_int_list(params, "n_values")
     c_values = _require_int_list(params, "c_values", [2])
     w_values = _require_int_list(params, "w_values", [10])
+    for c in c_values:
+        if c > 63:
+            # Mirrors ClosedSystemConfig.__post_init__: catch the bound at
+            # admission so an impossible run costs a 400, not a worker.
+            raise SweepValidationError(
+                f"closed system supports at most 63 threads, got {c} in 'c_values'"
+            )
     points = len(n_values) * len(c_values) * len(w_values)
     if points > MAX_GRID_POINTS:
         raise SweepValidationError(
@@ -234,25 +242,34 @@ def _validate_closed(params: Mapping[str, Any]) -> dict[str, Any]:
     alpha = _require_float(params, "alpha", 2.0)
     if not float(alpha).is_integer():
         raise SweepValidationError(f"closed-system alpha must be integral, got {alpha}")
+    engine = params.get("engine", DEFAULT_CLOSED_ENGINE)
+    if not isinstance(engine, str) or engine not in CLOSED_ENGINES:
+        known = ", ".join(sorted(CLOSED_ENGINES))
+        raise SweepValidationError(
+            f"unknown closed-system engine {engine!r}; expected one of: {known}"
+        )
     return {
         "n_values": n_values,
         "c_values": c_values,
         "w_values": w_values,
         "alpha": int(alpha),
+        "engine": engine,
     }
 
 
 def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
-                  *, alpha: int, seed: int) -> dict[str, Any]:
+                  *, alpha: int, seed: int,
+                  engine: str = DEFAULT_CLOSED_ENGINE) -> dict[str, Any]:
     """One closed-system grid point as a JSON-safe record."""
-    r = simulate_closed_system(
+    r = simulate_closed(
         ClosedSystemConfig(
             n_entries=n_entries,
             concurrency=concurrency,
             write_footprint=write_footprint,
             alpha=alpha,
             seed=seed,
-        )
+        ),
+        engine=engine,
     )
     return {
         "n_entries": n_entries,
@@ -275,7 +292,11 @@ def _closed_grid(params: dict[str, Any]) -> list[dict[str, Any]]:
 
 
 def _closed_bind(params: dict[str, Any], seed: int) -> Callable[..., Any]:
-    return partial(_closed_point, alpha=params["alpha"], seed=seed)
+    # ``engine`` is a plain string kwarg, so the partial stays picklable
+    # and JSON-describable — it crosses the cluster wire unchanged.
+    return partial(
+        _closed_point, alpha=params["alpha"], seed=seed, engine=params["engine"]
+    )
 
 
 def _closed_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:

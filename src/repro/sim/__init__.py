@@ -9,6 +9,9 @@ Each engine reproduces one of the paper's measurement protocols:
   staggered threads executing fixed-size transactions back-to-back,
   restarting on conflict, over a fixed time horizon; count conflicts and
   measure table occupancy / actual concurrency.
+* :mod:`repro.sim.closed_fast` — the optimized closed-system engine,
+  byte-identical to the reference (same RNG stream, same order) at
+  several times the speed; select by name via :mod:`repro.sim.engines`.
 * :mod:`repro.sim.trace_driven` — §2.2's study (Figure 2): the same
   conflict question driven by real-structured address streams with true
   conflicts removed.
@@ -21,7 +24,15 @@ Each engine reproduces one of the paper's measurement protocols:
   to the serial runner via coordinate-sharded RNG streams.
 """
 
+from repro.sim.closed_fast import simulate_closed_system_fast
 from repro.sim.closed_system import ClosedSystemConfig, ClosedSystemResult, simulate_closed_system
+from repro.sim.engines import (
+    CLOSED_ENGINES,
+    DEFAULT_CLOSED_ENGINE,
+    available_closed_engines,
+    get_closed_engine,
+    simulate_closed,
+)
 from repro.sim.montecarlo import (
     collision_probability_estimate,
     cross_thread_conflicts,
@@ -64,8 +75,10 @@ from repro.sim.throughput import (
 from repro.sim.trace_driven import TraceAliasConfig, TraceAliasResult, simulate_trace_aliasing
 
 __all__ = [
+    "CLOSED_ENGINES",
     "ClosedSystemConfig",
     "ClosedSystemResult",
+    "DEFAULT_CLOSED_ENGINE",
     "HybridPipelineConfig",
     "HybridPipelineResult",
     "IsolationCostConfig",
@@ -82,17 +95,21 @@ __all__ = [
     "ThroughputResult",
     "TraceAliasConfig",
     "TraceAliasResult",
+    "available_closed_engines",
     "characterize_overflow",
     "collision_probability_estimate",
     "cross_thread_conflicts",
     "fleet_summary",
+    "get_closed_engine",
     "intra_thread_alias_counts",
     "overflow_distribution",
     "plain_read_violation_rate",
     "plain_write_violation_rate",
     "run_sweep",
     "run_sweep_parallel",
+    "simulate_closed",
     "simulate_closed_system",
+    "simulate_closed_system_fast",
     "simulate_hybrid_pipeline",
     "simulate_isolation_cost",
     "simulate_open_system",

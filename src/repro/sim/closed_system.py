@@ -72,6 +72,11 @@ class ClosedSystemConfig:
             raise ValueError(f"write_footprint must be positive, got {self.write_footprint}")
         if self.alpha < 0:
             raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.concurrency > 63:
+            # Reader sets are encoded in one 64-bit bitmask word.
+            raise ValueError(
+                f"closed system supports at most 63 threads, got {self.concurrency}"
+            )
         if self.target_transactions <= 0:
             raise ValueError(
                 f"target_transactions must be positive, got {self.target_transactions}"
@@ -150,9 +155,8 @@ def simulate_closed_system(cfg: ClosedSystemConfig) -> ClosedSystemResult:
     )
     n, c, f = cfg.n_entries, cfg.concurrency, cfg.footprint
 
-    # Table state (C <= 63 readers encoded in a bitmask word).
-    if c > 63:
-        raise ValueError(f"closed system supports at most 63 threads, got {c}")
+    # Table state (C <= 63 readers encoded in a bitmask word; bound
+    # enforced by ClosedSystemConfig.__post_init__).
     mode = np.zeros(n, dtype=np.int8)
     writer = np.full(n, -1, dtype=np.int16)
     readers = np.zeros(n, dtype=np.int64)
@@ -210,18 +214,21 @@ def simulate_closed_system(cfg: ClosedSystemConfig) -> ClosedSystemResult:
                 elif mode[e] == _READ:
                     refused = bool(readers[e] & ~bit)
                     if not refused:
-                        # upgrade own sole read
+                        # Upgrade own sole read.  The entry is already in
+                        # ``held`` from the read acquire, so nothing is
+                        # appended: every held entry appears exactly once.
                         readers[e] = 0
                         mode[e] = _WRITE
                         writer[e] = tid
-                        t.held.append(e)
                 else:
                     mode[e] = _WRITE
                     writer[e] = tid
                     occupied += 1
                     t.held.append(e)
-                if not refused and mode[e] == _WRITE and writer[e] == tid and e not in t.held:
-                    t.held.append(e)
+                # No further bookkeeping: owning the write (writer == tid)
+                # implies the entry was acquired — and appended — earlier
+                # in this transaction, so a membership scan would be an
+                # O(F) no-op on every write access.
             else:
                 if mode[e] == _WRITE:
                     refused = writer[e] != tid

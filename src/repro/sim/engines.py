@@ -1,0 +1,88 @@
+"""Closed-system engine registry and selection.
+
+Two interchangeable engines implement the §4 closed-system protocol
+(Figures 5–6):
+
+* ``"reference"`` — :func:`repro.sim.closed_system.simulate_closed_system`,
+  the straightforward transcription of the paper's protocol.  Slow but
+  obviously correct; the ground truth the differential suite compares
+  against.
+* ``"fast"`` — :func:`repro.sim.closed_fast.simulate_closed_system_fast`,
+  the optimized engine.  Consumes the same RNG stream in the same order
+  and returns **byte-identical** :class:`~repro.sim.closed_system.ClosedSystemResult`
+  fields; ``tests/sim/test_closed_fast.py`` enforces exact equality on
+  every PR, and ``benchmarks/test_closed_engine_speedup.py`` enforces
+  the speedup.
+
+The default engine is ``"fast"`` — safe because the byte-identical
+contract means callers cannot observe which one ran, except on the
+clock.  Every surface that runs closed-system points (the ``closed``/
+``fig5``/``report`` CLI subcommands, the service's ``closed`` sweep
+kind, and — since the engine name is a JSON-safe string riding in point
+kwargs — the cluster wire format) threads an ``engine`` parameter down
+to :func:`simulate_closed`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.closed_fast import simulate_closed_system_fast
+from repro.sim.closed_system import (
+    ClosedSystemConfig,
+    ClosedSystemResult,
+    simulate_closed_system,
+)
+
+__all__ = [
+    "CLOSED_ENGINES",
+    "DEFAULT_CLOSED_ENGINE",
+    "available_closed_engines",
+    "get_closed_engine",
+    "simulate_closed",
+]
+
+#: Engine name -> simulator callable.
+CLOSED_ENGINES: dict[str, Callable[[ClosedSystemConfig], ClosedSystemResult]] = {
+    "reference": simulate_closed_system,
+    "fast": simulate_closed_system_fast,
+}
+
+#: Engine used when callers do not ask for one.  "fast" is safe as the
+#: default because the differential suite proves it byte-identical.
+DEFAULT_CLOSED_ENGINE = "fast"
+
+
+def available_closed_engines() -> tuple[str, ...]:
+    """The selectable engine names, sorted for stable help/error text."""
+    return tuple(sorted(CLOSED_ENGINES))
+
+
+def get_closed_engine(
+    name: Optional[str] = None,
+) -> Callable[[ClosedSystemConfig], ClosedSystemResult]:
+    """Resolve an engine name (``None`` means the default) to a callable.
+
+    Raises :class:`ValueError` for unknown names, listing the known
+    ones — CLI and service surfaces forward that message verbatim.
+    """
+    if name is None:
+        name = DEFAULT_CLOSED_ENGINE
+    try:
+        return CLOSED_ENGINES[name]
+    except KeyError:
+        known = ", ".join(available_closed_engines())
+        raise ValueError(
+            f"unknown closed-system engine {name!r}; expected one of: {known}"
+        ) from None
+
+
+def simulate_closed(
+    cfg: ClosedSystemConfig, *, engine: Optional[str] = None
+) -> ClosedSystemResult:
+    """Run one closed-system experiment on the named engine.
+
+    ``engine=None`` selects :data:`DEFAULT_CLOSED_ENGINE`.  Whatever the
+    choice, the result is byte-identical — engines differ only in speed.
+    """
+    return get_closed_engine(engine)(cfg)

@@ -20,27 +20,34 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional
 
 from repro.util.rng import point_seed
 
 __all__ = ["SweepResult", "run_sweep", "sweep_grid"]
 
 
-def sweep_grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+def sweep_grid(**axes: Iterable[Any]) -> list[dict[str, Any]]:
     """Cartesian product of named axes as a list of parameter dicts.
 
     ``sweep_grid(n=[1024, 4096], w=[5, 10])`` yields four dicts in
     row-major (last axis fastest) order. Axis order follows keyword
     order, so reports iterate deterministically.
+
+    Axes may be any iterable — generators and other one-shot iterators
+    are materialized up front, so ``sweep_grid(n=range(3), w=(2**k for
+    k in range(4)))`` works. An axis with no values is still an error.
     """
     if not axes:
         return [{}]
     names = list(axes)
+    columns = []
     for name, values in axes.items():
-        if len(values) == 0:
+        column = list(values)
+        if not column:
             raise ValueError(f"axis {name!r} has no values")
-    return [dict(zip(names, combo)) for combo in itertools.product(*axes.values())]
+        columns.append(column)
+    return [dict(zip(names, combo)) for combo in itertools.product(*columns)]
 
 
 @dataclass

@@ -368,6 +368,24 @@ class TestServiceClusterExecution:
             finally:
                 client.close()
 
+    def test_closed_engine_crosses_cluster_wire(self):
+        """The engine name rides the closed sweep's point kwargs across
+        the cluster wire, and the result stays byte-identical to a
+        local run on the *other* engine."""
+        from repro.service.sweeps import SWEEP_KINDS, execute_sweep
+
+        fast = SWEEP_KINDS["closed"].validate(
+            {"n_values": [128], "w_values": [4], "engine": "fast"}
+        )
+        reference = SWEEP_KINDS["closed"].validate(
+            {"n_values": [128], "w_values": [4], "engine": "reference"}
+        )
+        local = execute_sweep("closed", reference, 5)
+        clustered = execute_sweep(
+            "closed", fast, 5, execution="cluster", cluster_workers=2
+        )
+        assert clustered["points"] == local["points"]
+
     def test_bad_execution_mode_rejected(self):
         from repro.service.server import Service, ServiceConfig, ServiceThread
 

@@ -123,6 +123,24 @@ class TestMemoryTier:
         with pytest.raises(ValueError):
             ResultCache(capacity=0)
 
+    def test_lookup_distinguishes_hit_from_miss(self):
+        cache = ResultCache(capacity=4)
+        assert cache.lookup("k") == (False, None)
+        cache.put("k", {"v": 1})
+        assert cache.lookup("k") == (True, {"v": 1})
+
+    def test_cached_none_is_a_hit(self):
+        """JSON ``null`` is a legitimate cached value; ``lookup`` must
+        not conflate it with a miss (``get`` unavoidably does)."""
+        cache = ResultCache(capacity=4)
+        cache.put("k", None)
+        hit, value = cache.lookup("k")
+        assert hit and value is None
+        assert cache.stats().hits == 1
+        assert cache.stats().misses == 0
+        # The legacy accessor cannot tell the difference — documented.
+        assert cache.get("k") is None
+
     def test_thread_safety_smoke(self):
         cache = ResultCache(capacity=32)
 
@@ -181,3 +199,22 @@ class TestDiskTier:
         cache.put("aaaa", "first")
         cache.put("bbbb", "second")
         assert cache.get("aaaa") is None
+
+    def test_cached_none_survives_disk_tier(self, tmp_path):
+        """A stored ``None`` round-trips through disk as a *hit* — a
+        fresh process must not recompute a cached null result."""
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        cache.put("nil", None)
+        fresh = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        assert fresh.lookup("nil") == (True, None)
+        assert fresh.stats().disk_hits == 1
+        # Promoted into memory: the second lookup is a memory hit.
+        assert fresh.lookup("nil") == (True, None)
+        assert fresh.stats().memory_hits == 1
+
+    def test_torn_disk_entry_is_a_lookup_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        cache.put("cafe", {"x": 1})
+        cache._disk_path("cafe").write_text("{not json", encoding="utf-8")
+        fresh = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        assert fresh.lookup("cafe") == (False, None)

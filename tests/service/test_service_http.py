@@ -274,6 +274,48 @@ class TestSweepJobs:
             assert status == 400, body
             assert "error" in data
 
+    def test_closed_sweep_engines_byte_identical(self, service):
+        """The same closed sweep on each engine returns identical
+        points end-to-end over the wire (the engines' contract), and
+        the normalized engine name is part of the cache key."""
+        _, client = service
+        results = {}
+        for engine in ("reference", "fast"):
+            body = {
+                "kind": "closed",
+                "params": {"n_values": [256], "w_values": [6], "engine": engine},
+                "seed": 11,
+            }
+            _, submitted, _ = client.post("/v1/sweeps", body)
+            final = client.poll_job(submitted["id"])
+            assert final["state"] == "succeeded"
+            assert final["params"]["params"]["engine"] == engine
+            results[engine] = final["result"]["points"]
+        assert results["reference"] == results["fast"]
+
+    def test_closed_sweep_engine_defaults_to_fast(self, service):
+        _, client = service
+        body = {"kind": "closed", "params": {"n_values": [128], "w_values": [4]}}
+        _, submitted, _ = client.post("/v1/sweeps", body)
+        final = client.poll_job(submitted["id"])
+        assert final["state"] == "succeeded"
+        assert final["params"]["params"]["engine"] == "fast"
+
+    def test_closed_sweep_validation_400(self, service):
+        """Bad engine names and impossible concurrency are clean 400s,
+        not worker crashes."""
+        _, client = service
+        for params in (
+            {"n_values": [128], "engine": "warp"},
+            {"n_values": [128], "engine": 7},
+            {"n_values": [128], "c_values": [64]},
+        ):
+            status, data, _ = client.post(
+                "/v1/sweeps", {"kind": "closed", "params": params}
+            )
+            assert status == 400, params
+            assert "error" in data
+
     def test_unknown_job_404(self, service):
         _, client = service
         assert client.get("/v1/sweeps/doesnotexist")[0] == 404

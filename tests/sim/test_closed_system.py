@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+import repro.sim.closed_system as closed_system
 from repro.sim.closed_system import ClosedSystemConfig, simulate_closed_system
+from repro.sim.engines import simulate_closed
 
 
 class TestConfig:
@@ -30,6 +32,15 @@ class TestConfig:
     def test_too_many_threads_rejected(self):
         with pytest.raises(ValueError):
             simulate_closed_system(ClosedSystemConfig(1024, concurrency=64))
+
+    def test_too_many_threads_rejected_at_construction(self):
+        """The C <= 63 bound lives in ``__post_init__``, so an invalid
+        config fails on construction — before any simulation, sweep
+        admission, or service job could be built around it."""
+        with pytest.raises(ValueError, match="at most 63 threads"):
+            ClosedSystemConfig(1024, concurrency=64)
+        # The boundary itself is legal.
+        ClosedSystemConfig(1024, concurrency=63)
 
 
 class TestNoConflictBaseline:
@@ -103,4 +114,84 @@ class TestDeterminism:
             b.conflicts,
             b.committed,
             b.mean_occupancy,
+        )
+
+
+# Outputs captured before the held-list bookkeeping fix (the read→write
+# upgrade used to append a duplicate entry, and every write access paid
+# an O(F) membership scan).  The fix must be behavior-preserving, so
+# these exact values pin it — and both engines must reproduce them.
+_GOLDEN = [
+    # (n, c, w, alpha, seed) -> (conflicts, committed, mean_occupancy)
+    ((512, 8, 20, 2, 4), (3085, 40, 86.00492307692308)),
+    ((1024, 2, 10, 2, 0), (140, 581, 27.575076923076924)),
+    ((2048, 4, 10, 2, 8), (219, 541, 53.776)),
+    ((4096, 8, 16, 1, 3), (365, 463, 110.13730769230769)),
+    ((256, 4, 10, 0, 6), (316, 484, 16.081230769230768)),
+    ((1024, 1, 10, 2, 7), (0, 649, 14.352923076923076)),
+    ((333, 5, 1, 3, 11), (19, 626, 7.375)),
+]
+
+
+class TestGoldenRegression:
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    @pytest.mark.parametrize("params,expected", _GOLDEN)
+    def test_pinned_outputs(self, params, expected, engine):
+        n, c, w, alpha, seed = params
+        r = simulate_closed(
+            ClosedSystemConfig(
+                n_entries=n, concurrency=c, write_footprint=w, alpha=alpha, seed=seed
+            ),
+            engine=engine,
+        )
+        assert (r.conflicts, r.committed, r.mean_occupancy) == expected
+
+
+class _NoDupList(list):
+    """A held list that refuses duplicate entries at append time."""
+
+    def append(self, item):
+        assert item not in self, f"entry {item} acquired twice in one transaction"
+        super().append(item)
+
+
+class _CheckedThread(closed_system._Thread):
+    """A ``_Thread`` whose ``held`` list enforces the no-duplicates
+    invariant on every append (the read→write upgrade bug appended the
+    entry a second time)."""
+
+    __slots__ = ("_held_store",)
+
+    @property
+    def held(self):
+        return self._held_store
+
+    @held.setter
+    def held(self, value):
+        self._held_store = _NoDupList(value)
+
+
+class TestHeldInvariant:
+    def test_held_never_contains_duplicates(self, monkeypatch):
+        """Run a write-heavy, upgrade-heavy workload with duplicate
+        appends turned into assertion failures."""
+        monkeypatch.setattr(closed_system, "_Thread", _CheckedThread)
+        # Small table + alpha>0 maximizes read-then-write upgrades of
+        # the same entry within one transaction.
+        cfg = ClosedSystemConfig(n_entries=32, concurrency=8, write_footprint=6,
+                                 alpha=2, seed=12)
+        r = simulate_closed_system(cfg)
+        assert r.conflicts > 0  # the workload actually contends
+
+    def test_checked_run_matches_unchecked(self, monkeypatch):
+        """The checking wrapper observes; it must not perturb."""
+        cfg = ClosedSystemConfig(n_entries=64, concurrency=4, write_footprint=8,
+                                 alpha=1, seed=13)
+        plain = simulate_closed_system(cfg)
+        monkeypatch.setattr(closed_system, "_Thread", _CheckedThread)
+        checked = simulate_closed_system(cfg)
+        assert (checked.conflicts, checked.committed, checked.mean_occupancy) == (
+            plain.conflicts,
+            plain.committed,
+            plain.mean_occupancy,
         )

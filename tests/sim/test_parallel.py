@@ -118,6 +118,16 @@ class TestDifferentialDeterminism:
         assert len(result) == 0
         assert result.telemetry is not None and result.telemetry.n_points == 0
 
+    def test_generator_axis_grid_matches_serial(self):
+        """Grids built from one-shot iterator axes sweep identically
+        serially and in parallel (sweep_grid materializes them once)."""
+        serial = run_sweep(arith_point, sweep_grid(a=range(3), b=(x for x in (7, 9))))
+        par = run_sweep_parallel(
+            arith_point, sweep_grid(a=range(3), b=(x for x in (7, 9))), jobs=2
+        )
+        assert par.points == serial.points
+        assert par.outcomes == serial.outcomes
+
 
 class TestValidation:
     def test_bad_jobs_rejected(self):

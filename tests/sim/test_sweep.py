@@ -25,6 +25,29 @@ class TestGrid:
         with pytest.raises(ValueError, match="no values"):
             sweep_grid(n=[])
 
+    def test_generator_axis(self):
+        """One-shot iterators are materialized, not crashed on ``len``
+        or silently drained by the emptiness check."""
+        grid = sweep_grid(n=(2**k for k in range(3)), w=[10, 20])
+        assert grid == sweep_grid(n=[1, 2, 4], w=[10, 20])
+
+    def test_range_and_map_axes(self):
+        grid = sweep_grid(a=range(2), b=map(int, "35"))
+        assert grid == [
+            {"a": 0, "b": 3},
+            {"a": 0, "b": 5},
+            {"a": 1, "b": 3},
+            {"a": 1, "b": 5},
+        ]
+
+    def test_empty_generator_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            sweep_grid(n=(x for x in ()))
+
+    def test_generator_grid_runs(self):
+        result = run_sweep(lambda n, w: n * w, sweep_grid(n=iter([2, 3]), w=[10]))
+        assert result.outcomes == [20, 30]
+
 
 class TestRunSweep:
     def test_collects_outcomes(self):

@@ -88,6 +88,42 @@ class TestCommands:
         assert first == second
 
 
+class TestEngineFlag:
+    def test_closed_engines_print_identically(self, capsys):
+        """--engine selects speed, never output: both engines' stdout
+        must be byte-identical (and never name the engine)."""
+        argv = ["closed", "--n", "1024", "--c", "4", "--w", "6"]
+        assert main(argv + ["--engine", "reference"]) == 0
+        ref = capsys.readouterr().out
+        assert main(argv + ["--engine", "fast"]) == 0
+        fast = capsys.readouterr().out
+        assert fast == ref
+        assert "fast" not in ref and "reference" not in ref
+
+    def test_closed_engine_defaults_to_fast(self, capsys):
+        argv = ["closed", "--n", "512", "--c", "2", "--w", "5"]
+        assert main(argv) == 0
+        default = capsys.readouterr().out
+        assert main(argv + ["--engine", "fast"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_unknown_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["closed", "--n", "64", "--engine", "warp"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_fig5_runs_and_engines_agree(self, capsys):
+        assert main(["fig5", "--engine", "reference"]) == 0
+        ref = capsys.readouterr().out
+        assert "Figure 5(a)" in ref and "N=1024" in ref and "N=16384" in ref
+        assert main(["fig5", "--engine", "fast"]) == 0
+        assert capsys.readouterr().out == ref
+
+    def test_report_accepts_engine(self, capsys):
+        assert main(["report", "--quality", "smoke", "--engine", "fast"]) == 0
+        assert "closed" in capsys.readouterr().out.lower()
+
+
 class TestVersionFlag:
     def test_version_string_matches_package(self):
         import repro
