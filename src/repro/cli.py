@@ -20,9 +20,10 @@ asserts on, with explicit seeds, so results can be pasted into reports.
 ``cluster`` distributes one sweep across worker processes — possibly on
 other machines — via :mod:`repro.cluster`; sweep subcommands also take
 ``--cluster N`` to fan out over N in-process workers directly.
-Closed-system subcommands (``closed``/``fig5``/``report``) take
-``--engine reference|fast`` to pick the simulator implementation;
-engines are byte-identical, so the flag only changes wall-clock.
+Closed-system subcommands (``closed``/``fig5``/``report``) and the
+trace-driven ``fig2a`` take ``--engine reference|fast`` to pick the
+simulator implementation; engines are byte-identical, so the flag only
+changes wall-clock.
 """
 
 from __future__ import annotations
@@ -37,11 +38,18 @@ from repro.core.birthday import birthday_collision_probability, people_for_colli
 from repro.core.model import ModelParams, conflict_likelihood, conflict_likelihood_product_form
 from repro.core.sizing import table_entries_for_commit_probability
 from repro.sim.closed_system import ClosedSystemConfig
-from repro.sim.engines import DEFAULT_CLOSED_ENGINE, available_closed_engines, simulate_closed
+from repro.sim.engines import (
+    DEFAULT_CLOSED_ENGINE,
+    DEFAULT_ENGINES,
+    DEFAULT_TRACE_ENGINE,
+    available_engines,
+    simulate_closed,
+    simulate_trace,
+)
 from repro.sim.open_system import OpenSystemConfig, simulate_open_system
 from repro.sim.overflow import OverflowConfig, fleet_summary
 from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
-from repro.sim.trace_driven import TraceAliasConfig, simulate_trace_aliasing
+from repro.sim.trace_driven import TraceAliasConfig
 from repro.traces.dedup import remove_true_conflicts
 from repro.traces.workloads import specjbb_like
 
@@ -95,14 +103,16 @@ def _add_cluster_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
-    """``--engine``: closed-system engine selection (byte-identical)."""
+def _add_engine_flag(parser: argparse.ArgumentParser, kind: str = "closed") -> None:
+    """``--engine``: per-kind engine selection (byte-identical)."""
+    display = {"closed": "closed-system", "trace": "trace-driven"}[kind]
+    default = DEFAULT_ENGINES[kind]
     parser.add_argument(
         "--engine",
-        choices=available_closed_engines(),
-        default=DEFAULT_CLOSED_ENGINE,
-        help="closed-system engine; results are byte-identical, engines "
-        f"differ only in speed (default {DEFAULT_CLOSED_ENGINE})",
+        choices=available_engines(kind),
+        default=default,
+        help=f"{display} engine; results are byte-identical, engines "
+        f"differ only in speed (default {default})",
     )
 
 
@@ -191,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--accesses", type=int, default=100_000)
     _add_jobs_flag(p)
+    _add_engine_flag(p, kind="trace")
 
     p = sub.add_parser("fig3", help="HTM overflow characterization (Figure 3)")
     p.add_argument("--traces", type=int, default=5, help="traces per benchmark")
@@ -381,10 +392,13 @@ def _cmd_sizing(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fig2a_point(trace: Any, n: int, w: int, *, samples: int, seed: int) -> float:
+def _fig2a_point(
+    trace: Any, n: int, w: int, *, samples: int, seed: int,
+    engine: str = DEFAULT_TRACE_ENGINE,
+) -> float:
     """One Figure 2(a) grid point: alias likelihood in percent."""
     cfg = TraceAliasConfig(n_entries=n, write_footprint=w, samples=samples, seed=seed)
-    return 100 * simulate_trace_aliasing(trace, cfg).alias_probability
+    return 100 * simulate_trace(trace, cfg, engine=engine).alias_probability
 
 
 def _cmd_fig2a(args: argparse.Namespace) -> int:
@@ -394,7 +408,8 @@ def _cmd_fig2a(args: argparse.Namespace) -> int:
     w_values = [5, 10, 20, 40]
     n_values = [4096, 16384, 65536]
     sweep = _run_grid(
-        partial(_fig2a_point, trace, samples=args.samples, seed=args.seed),
+        partial(_fig2a_point, trace, samples=args.samples, seed=args.seed,
+                engine=args.engine),
         sweep_grid(n=n_values, w=w_values),
         args.jobs,
     )

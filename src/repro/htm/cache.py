@@ -97,18 +97,22 @@ class SetAssociativeCache:
         """
         idx = self.set_index(block)
         ways = self._sets[idx]
-        if block in ways:
-            ways.remove(block)
+        # Single index() probe: `in` followed by remove() would scan the
+        # set twice per hit, and this is the hot loop of every §2.3 run.
+        try:
+            pos = ways.index(block)
+        except ValueError:
+            self.misses += 1
+            evicted: Optional[int] = None
+            if len(ways) >= self.geometry.ways:
+                evicted = ways.pop(0)
+                self.evictions += 1
             ways.append(block)
-            self.hits += 1
-            return CacheAccess(block, hit=True)
-        self.misses += 1
-        evicted: Optional[int] = None
-        if len(ways) >= self.geometry.ways:
-            evicted = ways.pop(0)
-            self.evictions += 1
+            return CacheAccess(block, hit=False, evicted=evicted)
+        del ways[pos]
         ways.append(block)
-        return CacheAccess(block, hit=False, evicted=evicted)
+        self.hits += 1
+        return CacheAccess(block, hit=True)
 
     def contains(self, block: int) -> bool:
         """Is ``block`` currently resident?"""
@@ -117,10 +121,11 @@ class SetAssociativeCache:
     def invalidate(self, block: int) -> bool:
         """Remove ``block`` if resident; returns True if it was."""
         ways = self._sets[self.set_index(block)]
-        if block in ways:
+        try:
             ways.remove(block)
-            return True
-        return False
+        except ValueError:
+            return False
+        return True
 
     def resident_blocks(self) -> list[int]:
         """All currently resident blocks (unordered across sets)."""

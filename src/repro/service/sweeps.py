@@ -9,6 +9,10 @@ its own:
 
 * ``fig4a`` — the open-system conflict-likelihood sweep of Figure 4(a):
   grid of table sizes × write footprints, Monte Carlo per point.
+* ``fig2a`` — the trace-driven aliasing sweep of Figure 2(a): grid of
+  table sizes × write footprints against a synthetic SPECjbb-like trace
+  rebuilt from (threads, accesses, seed) on whichever process runs the
+  point — only JSON-safe scalars cross the wire, never the trace.
 * ``closed`` — closed-system runs (Figures 5–6 protocol) over a grid of
   table sizes × concurrency × footprints.
 * ``model`` — the Eq. 8 closed forms over a grid; no randomness, useful
@@ -26,7 +30,7 @@ where the figures use percent.
 
 from __future__ import annotations
 
-from functools import partial
+from functools import lru_cache, partial
 from typing import Any, Callable, Mapping, Optional
 
 from repro.core.model import (
@@ -35,9 +39,18 @@ from repro.core.model import (
     conflict_likelihood_product_form,
 )
 from repro.sim.closed_system import ClosedSystemConfig
-from repro.sim.engines import CLOSED_ENGINES, DEFAULT_CLOSED_ENGINE, simulate_closed
+from repro.sim.engines import (
+    CLOSED_ENGINES,
+    DEFAULT_CLOSED_ENGINE,
+    DEFAULT_TRACE_ENGINE,
+    TRACE_ENGINES,
+    simulate_closed,
+    simulate_trace,
+)
 from repro.sim.open_system import OpenSystemConfig, simulate_open_system
 from repro.sim.sweep import run_sweep, sweep_grid
+from repro.sim.trace_driven import TraceAliasConfig
+from repro.util.units import is_power_of_two
 
 __all__ = ["SWEEP_KINDS", "SweepKind", "execute_sweep", "validate_sweep_request"]
 
@@ -46,6 +59,7 @@ __all__ = ["SWEEP_KINDS", "SweepKind", "execute_sweep", "validate_sweep_request"
 # 20 points x 2000 samples).
 MAX_GRID_POINTS = 4096
 MAX_SAMPLES = 200_000
+MAX_TRACE_ACCESSES = 2_000_000
 
 
 class SweepValidationError(ValueError):
@@ -217,6 +231,100 @@ def _fig4a_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
     return {"kind": "fig4a", "x": "w", "w_values": params["w_values"], "series": series}
 
 
+# -- fig2a: trace-driven alias likelihood -----------------------------
+
+_FIG2A_KEYS = frozenset(
+    {"n_values", "w_values", "samples", "concurrency", "threads", "accesses", "engine"}
+)
+
+
+def _validate_fig2a(params: Mapping[str, Any]) -> dict[str, Any]:
+    _reject_unknown(params, _FIG2A_KEYS)
+    n_values = _require_int_list(params, "n_values", [4096, 16384, 65536])
+    w_values = _require_int_list(params, "w_values", [5, 10, 20, 40])
+    for n in n_values:
+        if not is_power_of_two(n):
+            # Every hash kind masks into a power-of-two table; catch the
+            # bound at admission so the run costs a 400, not a worker.
+            raise SweepValidationError(
+                f"trace-driven table sizes must be powers of two, got {n} in 'n_values'"
+            )
+    if len(n_values) * len(w_values) > MAX_GRID_POINTS:
+        raise SweepValidationError(
+            f"grid of {len(n_values) * len(w_values)} points exceeds "
+            f"the {MAX_GRID_POINTS}-point ceiling"
+        )
+    engine = params.get("engine", DEFAULT_TRACE_ENGINE)
+    if not isinstance(engine, str) or engine not in TRACE_ENGINES:
+        known = ", ".join(sorted(TRACE_ENGINES))
+        raise SweepValidationError(
+            f"unknown trace-driven engine {engine!r}; expected one of: {known}"
+        )
+    return {
+        "n_values": n_values,
+        "w_values": w_values,
+        "samples": _require_int(params, "samples", 500, lo=1, hi=MAX_SAMPLES),
+        "concurrency": _require_int(params, "concurrency", 2, lo=2, hi=64),
+        "threads": _require_int(params, "threads", 4, lo=1, hi=64),
+        "accesses": _require_int(params, "accesses", 100_000, lo=100, hi=MAX_TRACE_ACCESSES),
+        "engine": engine,
+    }
+
+
+@lru_cache(maxsize=4)
+def _fig2a_trace(threads: int, accesses: int, seed: int):
+    """The cleaned trace for a (threads, accesses, seed) triple.
+
+    Rebuilt (and memoized) per process: cluster workers receive only
+    these scalars in the point kwargs and reconstruct the trace locally,
+    which keeps the wire format code- and array-free.
+    """
+    from repro.traces.dedup import remove_true_conflicts
+    from repro.traces.workloads import specjbb_like
+
+    return remove_true_conflicts(specjbb_like(threads, accesses, seed=seed))
+
+
+def _fig2a_point(n: int, w: int, *, threads: int, accesses: int, concurrency: int,
+                 samples: int, seed: int,
+                 engine: str = DEFAULT_TRACE_ENGINE) -> float:
+    """One trace-driven grid point: alias likelihood in percent."""
+    cfg = TraceAliasConfig(
+        n_entries=n,
+        concurrency=concurrency,
+        write_footprint=w,
+        samples=samples,
+        seed=seed,
+    )
+    trace = _fig2a_trace(threads, accesses, seed)
+    return 100 * simulate_trace(trace, cfg, engine=engine).alias_probability
+
+
+def _fig2a_grid(params: dict[str, Any]) -> list[dict[str, Any]]:
+    return sweep_grid(n=params["n_values"], w=params["w_values"])
+
+
+def _fig2a_bind(params: dict[str, Any], seed: int) -> Callable[..., Any]:
+    # ``engine`` is a plain string kwarg (the PR 4 pattern), so the
+    # partial stays picklable and JSON-describable for the cluster wire.
+    return partial(
+        _fig2a_point,
+        threads=params["threads"],
+        accesses=params["accesses"],
+        concurrency=params["concurrency"],
+        samples=params["samples"],
+        seed=seed,
+        engine=params["engine"],
+    )
+
+
+def _fig2a_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
+    series = {
+        f"N={n}": sweep.where(n=n).series("w", float)[1] for n in params["n_values"]
+    }
+    return {"kind": "fig2a", "x": "w", "w_values": params["w_values"], "series": series}
+
+
 # -- closed: closed-system protocol runs ------------------------------
 
 _CLOSED_KEYS = frozenset({"n_values", "c_values", "w_values", "alpha", "engine"})
@@ -359,6 +467,15 @@ SWEEP_KINDS: dict[str, SweepKind] = {
             grid=_fig4a_grid,
             bind=_fig4a_bind,
             assemble=_fig4a_assemble,
+        ),
+        SweepKind(
+            "fig2a",
+            _validate_fig2a,
+            None,
+            "trace-driven alias likelihood over an N x W grid (Figure 2a)",
+            grid=_fig2a_grid,
+            bind=_fig2a_bind,
+            assemble=_fig2a_assemble,
         ),
         SweepKind(
             "closed",

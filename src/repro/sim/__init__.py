@@ -15,6 +15,10 @@ Each engine reproduces one of the paper's measurement protocols:
 * :mod:`repro.sim.trace_driven` — §2.2's study (Figure 2): the same
   conflict question driven by real-structured address streams with true
   conflicts removed.
+* :mod:`repro.sim.trace_fast` — the optimized trace-driven engine,
+  byte-identical to the reference (same RNG stream, same order) via a
+  precomputed per-(stream, W, hash) window index; select by name via
+  :mod:`repro.sim.engines`.
 * :mod:`repro.sim.overflow` — §2.3's characterization (Figure 3):
   HTM overflow points over the benchmark-profile fleet.
 * :mod:`repro.sim.montecarlo` — the vectorized collision kernels shared
@@ -29,9 +33,18 @@ from repro.sim.closed_system import ClosedSystemConfig, ClosedSystemResult, simu
 from repro.sim.engines import (
     CLOSED_ENGINES,
     DEFAULT_CLOSED_ENGINE,
+    DEFAULT_ENGINES,
+    DEFAULT_TRACE_ENGINE,
+    ENGINES,
+    TRACE_ENGINES,
     available_closed_engines,
+    available_engines,
+    available_trace_engines,
     get_closed_engine,
+    get_engine,
+    get_trace_engine,
     simulate_closed,
+    simulate_trace,
 )
 from repro.sim.montecarlo import (
     collision_probability_estimate,
@@ -73,12 +86,16 @@ from repro.sim.throughput import (
     throughput_curve,
 )
 from repro.sim.trace_driven import TraceAliasConfig, TraceAliasResult, simulate_trace_aliasing
+from repro.sim.trace_fast import simulate_trace_aliasing_fast
 
 __all__ = [
     "CLOSED_ENGINES",
     "ClosedSystemConfig",
     "ClosedSystemResult",
     "DEFAULT_CLOSED_ENGINE",
+    "DEFAULT_ENGINES",
+    "DEFAULT_TRACE_ENGINE",
+    "ENGINES",
     "HybridPipelineConfig",
     "HybridPipelineResult",
     "IsolationCostConfig",
@@ -91,16 +108,21 @@ __all__ = [
     "SweepFailure",
     "SweepResult",
     "SweepTelemetry",
+    "TRACE_ENGINES",
     "ThroughputConfig",
     "ThroughputResult",
     "TraceAliasConfig",
     "TraceAliasResult",
     "available_closed_engines",
+    "available_engines",
+    "available_trace_engines",
     "characterize_overflow",
     "collision_probability_estimate",
     "cross_thread_conflicts",
     "fleet_summary",
     "get_closed_engine",
+    "get_engine",
+    "get_trace_engine",
     "intra_thread_alias_counts",
     "overflow_distribution",
     "plain_read_violation_rate",
@@ -115,7 +137,9 @@ __all__ = [
     "simulate_open_system",
     "simulate_open_system_heterogeneous",
     "simulate_throughput",
+    "simulate_trace",
     "simulate_trace_aliasing",
+    "simulate_trace_aliasing_fast",
     "sweep_grid",
     "throughput_curve",
 ]

@@ -1,26 +1,27 @@
-"""Closed-system engine registry and selection.
+"""Engine registry and selection, keyed by simulation kind.
 
-Two interchangeable engines implement the §4 closed-system protocol
-(Figures 5–6):
+Each *kind* of simulation ships interchangeable engines:
 
-* ``"reference"`` — :func:`repro.sim.closed_system.simulate_closed_system`,
-  the straightforward transcription of the paper's protocol.  Slow but
-  obviously correct; the ground truth the differential suite compares
-  against.
-* ``"fast"`` — :func:`repro.sim.closed_fast.simulate_closed_system_fast`,
-  the optimized engine.  Consumes the same RNG stream in the same order
-  and returns **byte-identical** :class:`~repro.sim.closed_system.ClosedSystemResult`
-  fields; ``tests/sim/test_closed_fast.py`` enforces exact equality on
-  every PR, and ``benchmarks/test_closed_engine_speedup.py`` enforces
-  the speedup.
+* ``kind="closed"`` — the §4 closed-system protocol (Figures 5–6):
+  ``"reference"`` is :func:`repro.sim.closed_system.simulate_closed_system`,
+  the straightforward transcription of the paper's protocol; ``"fast"``
+  is :func:`repro.sim.closed_fast.simulate_closed_system_fast`.
+* ``kind="trace"`` — the §2.2 trace-driven aliasing study (Figure 2):
+  ``"reference"`` is
+  :func:`repro.sim.trace_driven.simulate_trace_aliasing`; ``"fast"`` is
+  :func:`repro.sim.trace_fast.simulate_trace_aliasing_fast`.
 
-The default engine is ``"fast"`` — safe because the byte-identical
-contract means callers cannot observe which one ran, except on the
-clock.  Every surface that runs closed-system points (the ``closed``/
-``fig5``/``report`` CLI subcommands, the service's ``closed`` sweep
-kind, and — since the engine name is a JSON-safe string riding in point
+Every fast engine consumes the same RNG stream in the same order as its
+reference and returns **byte-identical** result fields; the differential
+suites (``tests/sim/test_closed_fast.py``, ``tests/sim/test_trace_fast.py``)
+enforce exact equality on every PR, and the speedup benchmarks enforce
+the perf bar.  The per-kind default is therefore ``"fast"`` — callers
+cannot observe which engine ran, except on the clock.
+
+Every surface that runs points (CLI subcommands, the service sweep
+kinds, and — since the engine name is a JSON-safe string riding in point
 kwargs — the cluster wire format) threads an ``engine`` parameter down
-to :func:`simulate_closed`.
+to :func:`simulate_closed` / :func:`simulate_trace`.
 """
 
 from __future__ import annotations
@@ -33,48 +34,116 @@ from repro.sim.closed_system import (
     ClosedSystemResult,
     simulate_closed_system,
 )
+from repro.sim.trace_driven import (
+    TraceAliasConfig,
+    TraceAliasResult,
+    simulate_trace_aliasing,
+)
+from repro.sim.trace_fast import simulate_trace_aliasing_fast
+from repro.traces.events import ThreadedTrace
 
 __all__ = [
     "CLOSED_ENGINES",
     "DEFAULT_CLOSED_ENGINE",
+    "DEFAULT_ENGINES",
+    "DEFAULT_TRACE_ENGINE",
+    "ENGINES",
+    "TRACE_ENGINES",
     "available_closed_engines",
+    "available_engines",
+    "available_trace_engines",
     "get_closed_engine",
+    "get_engine",
+    "get_trace_engine",
     "simulate_closed",
+    "simulate_trace",
 ]
 
-#: Engine name -> simulator callable.
+#: Closed-system engine name -> simulator callable.
 CLOSED_ENGINES: dict[str, Callable[[ClosedSystemConfig], ClosedSystemResult]] = {
     "reference": simulate_closed_system,
     "fast": simulate_closed_system_fast,
 }
 
-#: Engine used when callers do not ask for one.  "fast" is safe as the
-#: default because the differential suite proves it byte-identical.
-DEFAULT_CLOSED_ENGINE = "fast"
+#: Trace-driven engine name -> simulator callable.
+TRACE_ENGINES: dict[str, Callable[..., TraceAliasResult]] = {
+    "reference": simulate_trace_aliasing,
+    "fast": simulate_trace_aliasing_fast,
+}
+
+#: Kind -> engine registry for that kind.
+ENGINES: dict[str, dict[str, Callable]] = {
+    "closed": CLOSED_ENGINES,
+    "trace": TRACE_ENGINES,
+}
+
+#: Human-readable kind names, used in help/error text.
+_KIND_DISPLAY = {
+    "closed": "closed-system",
+    "trace": "trace-driven",
+}
+
+#: Per-kind engine used when callers do not ask for one.  "fast" is safe
+#: as the default because the differential suites prove byte-identity.
+DEFAULT_ENGINES: dict[str, str] = {
+    "closed": "fast",
+    "trace": "fast",
+}
+
+DEFAULT_CLOSED_ENGINE = DEFAULT_ENGINES["closed"]
+DEFAULT_TRACE_ENGINE = DEFAULT_ENGINES["trace"]
+
+
+def _check_kind(kind: str) -> None:
+    if kind not in ENGINES:
+        known = ", ".join(sorted(ENGINES))
+        raise ValueError(f"unknown engine kind {kind!r}; expected one of: {known}")
+
+
+def available_engines(kind: str) -> tuple[str, ...]:
+    """The selectable engine names of a kind, sorted for stable text."""
+    _check_kind(kind)
+    return tuple(sorted(ENGINES[kind]))
+
+
+def get_engine(kind: str, name: Optional[str] = None) -> Callable:
+    """Resolve an engine name (``None`` means the kind's default).
+
+    Raises :class:`ValueError` for unknown kinds or names, listing the
+    known ones — CLI and service surfaces forward that message verbatim.
+    """
+    _check_kind(kind)
+    if name is None:
+        name = DEFAULT_ENGINES[kind]
+    try:
+        return ENGINES[kind][name]
+    except KeyError:
+        known = ", ".join(available_engines(kind))
+        raise ValueError(
+            f"unknown {_KIND_DISPLAY[kind]} engine {name!r}; expected one of: {known}"
+        ) from None
 
 
 def available_closed_engines() -> tuple[str, ...]:
-    """The selectable engine names, sorted for stable help/error text."""
-    return tuple(sorted(CLOSED_ENGINES))
+    """The selectable closed-system engine names."""
+    return available_engines("closed")
 
 
 def get_closed_engine(
     name: Optional[str] = None,
 ) -> Callable[[ClosedSystemConfig], ClosedSystemResult]:
-    """Resolve an engine name (``None`` means the default) to a callable.
+    """Resolve a closed-system engine name (``None`` means the default)."""
+    return get_engine("closed", name)
 
-    Raises :class:`ValueError` for unknown names, listing the known
-    ones — CLI and service surfaces forward that message verbatim.
-    """
-    if name is None:
-        name = DEFAULT_CLOSED_ENGINE
-    try:
-        return CLOSED_ENGINES[name]
-    except KeyError:
-        known = ", ".join(available_closed_engines())
-        raise ValueError(
-            f"unknown closed-system engine {name!r}; expected one of: {known}"
-        ) from None
+
+def available_trace_engines() -> tuple[str, ...]:
+    """The selectable trace-driven engine names."""
+    return available_engines("trace")
+
+
+def get_trace_engine(name: Optional[str] = None) -> Callable[..., TraceAliasResult]:
+    """Resolve a trace-driven engine name (``None`` means the default)."""
+    return get_engine("trace", name)
 
 
 def simulate_closed(
@@ -82,7 +151,23 @@ def simulate_closed(
 ) -> ClosedSystemResult:
     """Run one closed-system experiment on the named engine.
 
-    ``engine=None`` selects :data:`DEFAULT_CLOSED_ENGINE`.  Whatever the
-    choice, the result is byte-identical — engines differ only in speed.
+    ``engine=None`` selects the kind's default.  Whatever the choice,
+    the result is byte-identical — engines differ only in speed.
     """
     return get_closed_engine(engine)(cfg)
+
+
+def simulate_trace(
+    trace: ThreadedTrace,
+    cfg: TraceAliasConfig,
+    *,
+    engine: Optional[str] = None,
+    hash_fn=None,
+    batch: int = 1000,
+) -> TraceAliasResult:
+    """Run one Figure 2 trace-driven data point on the named engine.
+
+    ``engine=None`` selects the kind's default.  Whatever the choice,
+    the result is byte-identical — engines differ only in speed.
+    """
+    return get_trace_engine(engine)(trace, cfg, hash_fn=hash_fn, batch=batch)

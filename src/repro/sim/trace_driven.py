@@ -113,7 +113,10 @@ def _window_footprint(
             win_blocks = win_blocks[: cutoff + 1]
             win_writes = win_writes[: cutoff + 1]
             break
-        if span >= 4 * n and len(distinct_written) < w:
+        if span >= n:
+            # A span >= n wraps the whole trace at least once, so the
+            # distinct-write set is already the stream's total; growing
+            # further can never find new blocks.
             raise ValueError(
                 f"stream has only {len(distinct_written)} distinct written blocks; "
                 f"cannot reach W={w}"
@@ -163,7 +166,11 @@ def simulate_trace_aliasing(
     )
 
     outcomes = np.zeros(cfg.samples, dtype=bool)
-    window_lengths: list[int] = []
+    # Running sum/count instead of a samples*C list: the mean of integers
+    # is exact either way (every partial sum fits in a float64 mantissa),
+    # so this is observationally identical with bounded memory.
+    wlen_sum = 0
+    wlen_count = 0
     done = 0
     while done < cfg.samples:
         todo = min(batch, cfg.samples - done)
@@ -178,7 +185,8 @@ def simulate_trace_aliasing(
                 )
                 entries = np.asarray(hash_fn(distinct), dtype=np.int64)
                 thread_fps.append((entries, written))
-                window_lengths.append(win_len)
+                wlen_sum += win_len
+                wlen_count += 1
                 width = max(width, len(entries))
             per_sample.append(thread_fps)
 
@@ -203,5 +211,5 @@ def simulate_trace_aliasing(
         config=cfg,
         alias_probability=p,
         stderr=stderr,
-        mean_window_accesses=float(np.mean(window_lengths)),
+        mean_window_accesses=wlen_sum / wlen_count,
     )

@@ -1,0 +1,385 @@
+"""Fast trace-driven aliasing engine (Figure 2), byte-identical to the reference.
+
+:func:`simulate_trace_aliasing_fast` is a drop-in replacement for
+:func:`repro.sim.trace_driven.simulate_trace_aliasing`: it consumes the
+same named RNG stream in the same order and returns a
+:class:`~repro.sim.trace_driven.TraceAliasResult` whose every field is
+exactly equal to the reference's (the differential suite in
+``tests/sim/test_trace_fast.py`` asserts ``==``, not ``approx``). The
+two engines differ only in speed; callers select one through
+:mod:`repro.sim.engines`.
+
+Why it is fast
+--------------
+A sample's window is fully determined by its start offset, and a stream
+of length ``L`` has only ``L`` possible windows. The reference pays
+several small-array ``np.unique`` passes plus a Python assembly loop per
+(sample, stream); this engine instead precomputes a **window index** per
+(stream, W, hash) for exactly the offsets the RNG drew:
+
+1. All start offsets are drawn up front in the reference's order. A
+   numpy ``Generator`` consumes its bit stream identically for a scalar
+   ``integers(0, n)`` and for one element of ``integers(0, n, size=k)``
+   (pinned by a test), so equal-length streams collapse into a single
+   vectorized call; unequal lengths interleave different bounds — whose
+   rejection sampling consumes a variable number of words per draw — and
+   stay scalar.
+2. Per distinct stream, the cutoff of every *unique* drawn offset (the
+   position of its W-th distinct written block) is found either by an
+   O(L) two-pointer sweep over the wrapped stream (dense offsets) or by
+   a vectorized batched-doubling scan (sparse offsets). Both exploit
+   that a window never needs more than one full cycle: one cycle visits
+   every position, hence every distinct written block.
+3. The whole stream is hashed in one array call — every hash kind is
+   elementwise — and each unique window is compacted to its sorted
+   distinct table entries with write-dominated flags, stored as padded
+   ``(U, width)`` matrices.
+4. Every batch is then pure fancy-indexing into those matrices plus one
+   batched :func:`~repro.sim.montecarlo.cross_thread_conflicts` call.
+
+Why it is byte-identical
+------------------------
+``cross_thread_conflicts`` decides each sample by, per table entry:
+"touched by two threads, at least one write". That verdict is invariant
+to duplicate entries within a thread, to read entries shadowed by a
+write of the same entry (write-dominance), and to padding — provided
+pads can never conflict. The reference pads with distinct read-only
+entries ``>= n_entries``; this engine pads with the single read-only
+entry ``n_entries``, which is just as conflict-free (pad runs carry no
+write). The alias outcomes, and therefore ``alias_probability`` and
+``stderr``, match bit for bit; ``mean_window_accesses`` is an exact
+integer sum divided by an integer count in both engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ownership.hashing import HashFunction
+from repro.sim.montecarlo import collision_probability_estimate, cross_thread_conflicts
+from repro.sim.trace_driven import TraceAliasConfig, TraceAliasResult
+from repro.traces.events import ThreadedTrace
+from repro.util.rng import stream_rng
+
+__all__ = ["simulate_trace_aliasing_fast"]
+
+# Scratch ceiling (in array elements) for the chunked vectorized scans;
+# bounds peak memory at a few tens of MB regardless of trace length.
+_SCRATCH_ELEMS = 1 << 22
+
+
+@dataclass(frozen=True)
+class _WindowIndex:
+    """Precomputed per-(stream, W, hash) window tables.
+
+    Rows correspond to the sorted unique start offsets actually drawn;
+    ``entries``/``writes`` are padded to the widest row with the
+    read-only entry ``n_entries``.
+    """
+
+    offsets: np.ndarray  # (U,) sorted unique start offsets
+    win_lens: np.ndarray  # (U,) raw window length (accesses) per offset
+    entries: np.ndarray  # (U, width) sorted distinct hashed entries
+    writes: np.ndarray  # (U, width) write-dominance flags, False on pads
+    counts: np.ndarray  # (U,) distinct entries per row
+
+
+def _draw_starts(rng: np.random.Generator, lengths: list[int], samples: int) -> np.ndarray:
+    """All (sample, stream) start offsets, consumed exactly like the reference."""
+    c = len(lengths)
+    if len(set(lengths)) == 1:
+        return rng.integers(0, lengths[0], size=samples * c).reshape(samples, c)
+    starts = np.empty((samples, c), dtype=np.int64)
+    draw = rng.integers
+    for i in range(samples):
+        for t in range(c):
+            starts[i, t] = draw(0, lengths[t])
+    return starts
+
+
+def _check_reachable(blocks: np.ndarray, is_write: np.ndarray, w: int) -> None:
+    """Raise the reference's "cannot reach W" error for a deficient stream."""
+    distinct = len(np.unique(blocks[is_write]))
+    if distinct < w:
+        raise ValueError(
+            f"stream has only {distinct} distinct written blocks; cannot reach W={w}"
+        )
+
+
+def _window_lengths_dense(
+    blocks: np.ndarray, is_write: np.ndarray, offsets: np.ndarray, w: int
+) -> np.ndarray:
+    """Two-pointer sweep: window length of each offset in O(L) total.
+
+    The cutoff position is monotone non-decreasing in the start offset
+    (dropping the first position can only move a block's first write
+    later), so the end pointer never retreats while the start pointer
+    advances over the sorted offsets.
+    """
+    n = len(blocks)
+    _, inverse = np.unique(blocks, return_inverse=True)
+    binv = inverse.tolist()
+    isw = is_write.tolist()
+    cnt = [0] * (int(inverse.max()) + 1)
+    offs = offsets.tolist()
+    out = np.empty(len(offs), dtype=np.int64)
+    oi = 0
+    distinct = 0
+    e = offs[0]
+    for o in range(offs[0], offs[-1] + 1):
+        while distinct < w:
+            i = e if e < n else e - n
+            if isw[i]:
+                b = binv[i]
+                if cnt[b] == 0:
+                    distinct += 1
+                cnt[b] += 1
+            e += 1
+        if o == offs[oi]:
+            out[oi] = e - o
+            oi += 1
+            if oi == len(offs):
+                break
+        if isw[o]:
+            b = binv[o]
+            cnt[b] -= 1
+            if cnt[b] == 0:
+                distinct -= 1
+    return out
+
+
+def _scan_span(
+    ext_blocks: np.ndarray,
+    ext_writes: np.ndarray,
+    span_offsets: np.ndarray,
+    span: int,
+    w: int,
+    out: np.ndarray,
+    out_rows: np.ndarray,
+) -> np.ndarray:
+    """One vectorized span pass; returns which rows found their cutoff."""
+    idx = span_offsets[:, None] + np.arange(span)
+    blk = ext_blocks[idx]
+    wrt = ext_writes[idx]
+    rows, cols = np.nonzero(wrt)
+    vals = blk[rows, cols]
+    # Sort by (row, block, position): the head of each (row, block) group
+    # is that block's first write in the window.
+    order = np.lexsort((cols, vals, rows))
+    r, v, c = rows[order], vals[order], cols[order]
+    first = np.ones(len(r), dtype=bool)
+    first[1:] = (r[1:] != r[:-1]) | (v[1:] != v[:-1])
+    fr, fc = r[first], c[first]
+    # Re-sort first-write positions by (row, position); the (w-1)-ranked
+    # position per row is the cutoff.
+    order = np.lexsort((fc, fr))
+    fr, fc = fr[order], fc[order]
+    row_start = np.ones(len(fr), dtype=bool)
+    row_start[1:] = fr[1:] != fr[:-1]
+    pos = np.arange(len(fr))
+    rank = pos - pos[row_start][np.cumsum(row_start) - 1]
+    hit = rank == w - 1
+    out[out_rows[fr[hit]]] = fc[hit] + 1
+    finished = np.zeros(len(span_offsets), dtype=bool)
+    finished[fr[hit]] = True
+    return finished
+
+
+def _window_lengths_sparse(
+    ext_blocks: np.ndarray,
+    ext_writes: np.ndarray,
+    offsets: np.ndarray,
+    w: int,
+    n: int,
+) -> np.ndarray:
+    """Batched-doubling vectorized cutoff scan; cost ~ offsets x span."""
+    out = np.empty(len(offsets), dtype=np.int64)
+    pending = np.arange(len(offsets))
+    span = min(max(64, 8 * w), n)
+    while len(pending):
+        rows_per = max(1, _SCRATCH_ELEMS // span)
+        leftovers = []
+        for lo in range(0, len(pending), rows_per):
+            part = pending[lo : lo + rows_per]
+            finished = _scan_span(
+                ext_blocks, ext_writes, offsets[part], span, w, out, part
+            )
+            if not finished.all():
+                leftovers.append(part[~finished])
+        if not leftovers:
+            break
+        if span >= n:
+            # One full cycle visits every position; the caller's
+            # reachability check guarantees w distinct writes exist.
+            raise RuntimeError("window scan failed to converge")
+        pending = np.concatenate(leftovers)
+        span = min(span * 2, n)
+    return out
+
+
+def _compact_footprints(
+    ext_entries: np.ndarray,
+    ext_writes: np.ndarray,
+    offsets: np.ndarray,
+    win_lens: np.ndarray,
+    pad: int,
+    n_entries: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct-entry footprint of every window as padded matrices.
+
+    Row i holds window i's sorted distinct table entries with
+    write-dominated flags, padded to the widest row with the read-only
+    entry ``pad`` (== n_entries), which can never conflict.
+
+    Windows are flattened back-to-back into ragged arrays (no padding to
+    the longest window, whose outliers would dominate) and deduplicated
+    with one argsort of the combined ``row * stride + entry`` key per
+    chunk; rows never straddle a chunk.
+    """
+    u = len(offsets)
+    counts = np.zeros(u, dtype=np.int64)
+    pieces: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    ends = np.cumsum(win_lens)
+    stride = n_entries + 1  # entries are < n_entries; headroom for safety
+    lo = 0
+    while lo < u:
+        hi = max(lo + 1, int(np.searchsorted(ends, (ends[lo - 1] if lo else 0) + _SCRATCH_ELEMS)))
+        lens = win_lens[lo:hi]
+        total = int(lens.sum())
+        row_id = np.repeat(np.arange(hi - lo, dtype=np.int64), lens)
+        starts = np.concatenate([[0], np.cumsum(lens)[:-1]])
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, lens)
+        src = np.repeat(offsets[lo:hi], lens) + within
+        key = row_id * stride + ext_entries[src]
+        order = np.argsort(key)
+        k_s = key[order]
+        w_s = ext_writes[src][order]
+        first = np.ones(total, dtype=bool)
+        first[1:] = k_s[1:] != k_s[:-1]
+        bounds = np.flatnonzero(first)
+        grp_write = np.maximum.reduceat(w_s.astype(np.int8), bounds).astype(bool)
+        grp_key = k_s[bounds]
+        grp_row = grp_key // stride
+        grp_val = grp_key - grp_row * stride
+        counts[lo:hi] = np.bincount(grp_row, minlength=hi - lo)
+        row_start = np.ones(len(grp_row), dtype=bool)
+        row_start[1:] = grp_row[1:] != grp_row[:-1]
+        pos = np.arange(len(grp_row))
+        rank = pos - pos[row_start][np.cumsum(row_start) - 1]
+        pieces.append((lo + grp_row, rank, grp_val, grp_write))
+        lo = hi
+    width = int(counts.max())
+    entries = np.full((u, width), pad, dtype=np.int64)
+    writes = np.zeros((u, width), dtype=bool)
+    for rows_g, rank, vals, flags in pieces:
+        entries[rows_g, rank] = vals
+        writes[rows_g, rank] = flags
+    return entries, writes, counts
+
+
+def _build_window_index(
+    stream, offsets: np.ndarray, w: int, hash_fn: HashFunction, n_entries: int
+) -> _WindowIndex:
+    blocks = stream.blocks
+    is_write = stream.is_write
+    n = len(blocks)
+    _check_reachable(blocks, is_write, w)
+    hashed = np.asarray(hash_fn(blocks), dtype=np.int64)
+    # Doubled arrays make every wrapped window a contiguous slice: a
+    # window never exceeds one full cycle of the stream.
+    ext_entries = np.concatenate([hashed, hashed])
+    ext_writes = np.concatenate([is_write, is_write])
+    if len(offsets) * max(64, 8 * w) <= 8 * n:
+        ext_blocks = np.concatenate([blocks, blocks])
+        win_lens = _window_lengths_sparse(ext_blocks, ext_writes, offsets, w, n)
+    else:
+        win_lens = _window_lengths_dense(blocks, is_write, offsets, w)
+    entries, writes, counts = _compact_footprints(
+        ext_entries, ext_writes, offsets, win_lens, n_entries, n_entries
+    )
+    return _WindowIndex(offsets, win_lens, entries, writes, counts)
+
+
+def simulate_trace_aliasing_fast(
+    trace: ThreadedTrace,
+    cfg: TraceAliasConfig,
+    *,
+    hash_fn: Optional[HashFunction] = None,
+    batch: int = 1000,
+) -> TraceAliasResult:
+    """Run one Figure 2 data point; byte-identical to the reference engine."""
+    if trace.n_threads == 0:
+        raise ValueError("threaded trace has no streams")
+    if hash_fn is None:
+        from repro.ownership.hashing import make_hash
+
+        hash_fn = make_hash(cfg.hash_kind, cfg.n_entries)
+    elif hash_fn.n_entries != cfg.n_entries:
+        raise ValueError(
+            f"hash_fn sized for {hash_fn.n_entries} entries, config says {cfg.n_entries}"
+        )
+
+    c = cfg.concurrency
+    streams = [trace[i % trace.n_threads] for i in range(c)]
+    rng = stream_rng(
+        cfg.seed,
+        "trace-alias",
+        n=cfg.n_entries,
+        c=c,
+        w=cfg.write_footprint,
+        hash=cfg.hash_kind,
+    )
+    starts = _draw_starts(rng, [len(s.blocks) for s in streams], cfg.samples)
+
+    # One index per distinct underlying stream (round-robin assignment
+    # reuses streams when C exceeds the trace's thread count), built over
+    # the union of offsets drawn for every slot sharing that stream.
+    slot_tid = [t % trace.n_threads for t in range(c)]
+    index_by_tid: dict[int, _WindowIndex] = {}
+    for t in range(c):
+        tid = slot_tid[t]
+        if tid in index_by_tid:
+            continue
+        cols = [u for u in range(c) if slot_tid[u] == tid]
+        index_by_tid[tid] = _build_window_index(
+            streams[t],
+            np.unique(starts[:, cols]),
+            cfg.write_footprint,
+            hash_fn,
+            cfg.n_entries,
+        )
+
+    outcomes = np.zeros(cfg.samples, dtype=bool)
+    wlen_sum = 0
+    done = 0
+    while done < cfg.samples:
+        todo = min(batch, cfg.samples - done)
+        sb = starts[done : done + todo]
+        entry_blocks = []
+        write_blocks = []
+        thread_of = []
+        for t in range(c):
+            ix = index_by_tid[slot_tid[t]]
+            rows = np.searchsorted(ix.offsets, sb[:, t])
+            wt = int(ix.counts[rows].max())
+            entry_blocks.append(ix.entries[rows, :wt])
+            write_blocks.append(ix.writes[rows, :wt])
+            thread_of.append(np.full(wt, t, dtype=np.int64))
+            wlen_sum += int(ix.win_lens[rows].sum())
+        outcomes[done : done + todo] = cross_thread_conflicts(
+            np.concatenate(entry_blocks, axis=1),
+            np.concatenate(write_blocks, axis=1),
+            np.concatenate(thread_of),
+        )
+        done += todo
+
+    p, stderr = collision_probability_estimate(outcomes)
+    return TraceAliasResult(
+        config=cfg,
+        alias_probability=p,
+        stderr=stderr,
+        mean_window_accesses=wlen_sum / (cfg.samples * c),
+    )

@@ -137,6 +137,31 @@ class TestStatistics:
         assert c.hits == 1
         assert c.misses == 2
 
+    def test_stats_and_lru_order_on_golden_sequence(self):
+        """Micro-pin of the single-probe access/invalidate restructure:
+        hit/miss/eviction counts, eviction victims, LRU refresh, and
+        invalidate() return values on a hand-checked sequence."""
+        geometry = CacheGeometry(size_bytes=2 * 64 * 2, ways=2, line_bytes=64)
+        c = SetAssociativeCache(geometry)  # 2 sets, 2 ways
+        assert geometry.n_sets == 2
+        # Fill set 0 (even blocks map to set 0).
+        assert c.access(0) == CacheAccess(0, hit=False)
+        assert c.access(2) == CacheAccess(2, hit=False)
+        # Hit refreshes LRU: 0 becomes most-recent.
+        assert c.access(0) == CacheAccess(0, hit=True)
+        # Miss now evicts 2 (the LRU way), not 0.
+        assert c.access(4) == CacheAccess(4, hit=False, evicted=2)
+        assert c.access(0) == CacheAccess(0, hit=True)
+        # Other set is untouched by any of the above.
+        assert c.access(1) == CacheAccess(1, hit=False)
+        assert (c.hits, c.misses, c.evictions) == (2, 4, 1)
+        # invalidate: resident -> True (and stats untouched), absent -> False.
+        assert c.invalidate(4) is True
+        assert c.invalidate(4) is False
+        assert c.invalidate(2) is False
+        assert (c.hits, c.misses, c.evictions) == (2, 4, 1)
+        assert c.occupancy() == 2
+
 
 class TestCacheInvariants:
     @given(

@@ -58,6 +58,30 @@ class TestWindowFootprint:
         with pytest.raises(ValueError, match="cannot reach"):
             _window_footprint(blocks, writes, 0, 5)
 
+    def test_unreachable_w_reports_stream_total(self):
+        """The error counts the stream's full distinct-write set: once a
+        span wraps the whole trace (span >= n) no doubling can grow it,
+        so the loop must bail there rather than at the old 4*n."""
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 1000, size=500)
+        writes = np.zeros(500, dtype=bool)
+        writes[[10, 200, 390]] = True  # 3 distinct written blocks
+        distinct = len(np.unique(blocks[writes]))
+        with pytest.raises(
+            ValueError,
+            match=f"stream has only {distinct} distinct written blocks; cannot reach W=7",
+        ):
+            _window_footprint(blocks.astype(np.int64), writes, 123, 7)
+
+    @pytest.mark.parametrize("start", [0, 1, 2])
+    def test_unreachable_w_raises_from_any_start(self, start):
+        """Streams shorter than the initial span hit the bail check on
+        the very first pass, from every offset."""
+        blocks = np.array([1, 1, 2], dtype=np.int64)
+        writes = np.array([True, True, False])
+        with pytest.raises(ValueError, match="only 1 distinct"):
+            _window_footprint(blocks, writes, start, 2)
+
 
 class TestEngine:
     def test_disjoint_streams_no_alias_in_huge_table(self):
@@ -128,6 +152,16 @@ class TestEngine:
         cfg = TraceAliasConfig(n_entries=1 << 16, concurrency=4, write_footprint=5, samples=50, seed=3)
         r = simulate_trace_aliasing(tt, cfg)  # streams 0,1,0,1
         assert 0.0 <= r.alias_probability <= 1.0
+
+    def test_mean_window_accesses_exact(self):
+        """The running-sum mean is exact: streams of all-distinct writes
+        make every window exactly W accesses long from any offset."""
+        tt = ThreadedTrace(
+            [trace(range(0, 50), [True] * 50), trace(range(100, 150), [True] * 50)]
+        )
+        cfg = TraceAliasConfig(n_entries=1 << 10, write_footprint=7, samples=123, seed=8)
+        r = simulate_trace_aliasing(tt, cfg)
+        assert r.mean_window_accesses == 7.0
 
     def test_deterministic(self):
         tt = ThreadedTrace(

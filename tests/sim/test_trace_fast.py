@@ -1,0 +1,303 @@
+"""Differential tests: the fast trace-driven engine vs the reference.
+
+The optimized Figure 2 engine's contract is *byte-identical* results —
+same RNG stream consumed in the same order, same windows, same batched
+conflict kernel verdicts — so every test here asserts exact equality
+(``==``, never ``approx``) on all result fields, across parametrized
+and hypothesis-random traces, all three hash kinds, wrap-around
+windows, and streams barely long enough to reach W.  Also pins the
+numpy property the vectorized start-draw path depends on, and covers
+the generalized (multi-kind) engine registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ownership.hashing import make_hash
+from repro.sim.closed_fast import simulate_closed_system_fast
+from repro.sim.closed_system import simulate_closed_system
+from repro.sim.engines import (
+    DEFAULT_ENGINES,
+    DEFAULT_TRACE_ENGINE,
+    ENGINES,
+    TRACE_ENGINES,
+    available_engines,
+    available_trace_engines,
+    get_engine,
+    get_trace_engine,
+    simulate_trace,
+)
+from repro.sim.trace_driven import (
+    TraceAliasConfig,
+    TraceAliasResult,
+    simulate_trace_aliasing,
+)
+from repro.sim.trace_fast import simulate_trace_aliasing_fast
+from repro.traces.events import AccessTrace, ThreadedTrace
+
+
+def make_stream(blocks, writes) -> AccessTrace:
+    blocks = np.asarray(blocks, dtype=np.int64)
+    return AccessTrace(
+        blocks=blocks,
+        is_write=np.asarray(writes, dtype=bool),
+        instr=np.arange(len(blocks), dtype=np.int64),
+    )
+
+
+def random_stream(rng: np.random.Generator, length: int, universe: int,
+                  write_fraction: float) -> AccessTrace:
+    return make_stream(
+        rng.integers(0, universe, size=length),
+        rng.random(length) < write_fraction,
+    )
+
+
+def assert_identical(trace, cfg, *, hash_fn=None,
+                     ref_batch: int = 1000, fast_batch: int = 1000) -> TraceAliasResult:
+    """Both engines, exact equality on every result field."""
+    ref = simulate_trace_aliasing(trace, cfg, hash_fn=hash_fn, batch=ref_batch)
+    fast = simulate_trace_aliasing_fast(trace, cfg, hash_fn=hash_fn, batch=fast_batch)
+    assert fast.alias_probability == ref.alias_probability
+    assert fast.stderr == ref.stderr
+    assert fast.mean_window_accesses == ref.mean_window_accesses
+    assert fast.config == ref.config
+    return ref
+
+
+@pytest.fixture(scope="module")
+def small_trace() -> ThreadedTrace:
+    """Four uneven streams — exercises the scalar start-draw path."""
+    rng = np.random.default_rng(20070609)
+    return ThreadedTrace(
+        [random_stream(rng, 400 + 37 * t, 300, 0.4) for t in range(4)]
+    )
+
+
+@pytest.fixture(scope="module")
+def equal_trace() -> ThreadedTrace:
+    """Two equal-length streams — exercises the vectorized draw path."""
+    rng = np.random.default_rng(7)
+    return ThreadedTrace([random_stream(rng, 512, 200, 0.5) for _ in range(2)])
+
+
+class TestDifferentialGrid:
+    """Exact equality over a deliberately rough parameter grid."""
+
+    @pytest.mark.parametrize("n", [64, 1024, 16384])
+    @pytest.mark.parametrize("w", [1, 5, 20])
+    def test_identical_over_nw(self, small_trace, n, w):
+        assert_identical(
+            small_trace,
+            TraceAliasConfig(n_entries=n, write_footprint=w, samples=120, seed=n + w),
+        )
+
+    @pytest.mark.parametrize("c", [2, 3, 5, 9])
+    def test_identical_over_concurrency(self, small_trace, c):
+        """C above the thread count wraps round-robin onto shared streams."""
+        assert_identical(
+            small_trace,
+            TraceAliasConfig(n_entries=512, concurrency=c, write_footprint=6,
+                             samples=100, seed=c),
+        )
+
+    @pytest.mark.parametrize("hash_kind", ["mask", "multiplicative", "xorfold"])
+    def test_identical_over_hash_kinds(self, small_trace, hash_kind):
+        assert_identical(
+            small_trace,
+            TraceAliasConfig(n_entries=256, write_footprint=8, samples=100,
+                             seed=3, hash_kind=hash_kind),
+        )
+
+    def test_identical_on_equal_length_streams(self, equal_trace):
+        """Equal lengths take the single vectorized integers() call."""
+        assert_identical(
+            equal_trace,
+            TraceAliasConfig(n_entries=128, write_footprint=10, samples=250, seed=11),
+        )
+
+    def test_identical_on_cleaned_jbb_trace(self, cleaned_jbb_trace):
+        """The realistic workload every figure-level test runs against."""
+        assert_identical(
+            cleaned_jbb_trace,
+            TraceAliasConfig(n_entries=4096, write_footprint=10, samples=150, seed=0),
+        )
+
+    @pytest.mark.parametrize("ref_batch,fast_batch", [(7, 13), (1000, 10), (64, 1000)])
+    def test_identical_across_batch_sizes(self, small_trace, ref_batch, fast_batch):
+        """Batch size is a memory knob, never a result knob."""
+        assert_identical(
+            small_trace,
+            TraceAliasConfig(n_entries=512, write_footprint=5, samples=103, seed=9),
+            ref_batch=ref_batch,
+            fast_batch=fast_batch,
+        )
+
+    def test_identical_with_explicit_hash_fn(self, small_trace):
+        cfg = TraceAliasConfig(n_entries=1024, write_footprint=6, samples=90, seed=2)
+        assert_identical(small_trace, cfg, hash_fn=make_hash("multiplicative", 1024))
+
+    def test_hash_size_mismatch_raises_in_both(self, small_trace):
+        cfg = TraceAliasConfig(n_entries=1024, write_footprint=6, samples=10, seed=2)
+        wrong = make_hash("mask", 512)
+        for engine in (simulate_trace_aliasing, simulate_trace_aliasing_fast):
+            with pytest.raises(ValueError, match="sized for"):
+                engine(small_trace, cfg, hash_fn=wrong)
+
+
+class TestWindowEdges:
+    """Wrap-around windows and barely-sufficient streams."""
+
+    def test_identical_on_tiny_wrapping_streams(self):
+        """Streams so short every window wraps, most more than once."""
+        rng = np.random.default_rng(0)
+        trace = ThreadedTrace(
+            [random_stream(rng, 12, 9, 0.6), random_stream(rng, 12, 9, 0.6)]
+        )
+        assert_identical(
+            trace,
+            TraceAliasConfig(n_entries=8, write_footprint=3, samples=300, seed=1),
+        )
+
+    def test_identical_when_stream_barely_reaches_w(self):
+        """One stream has exactly W distinct written blocks: the window
+        must wrap however far it takes to collect all of them."""
+        barely = make_stream([0, 1, 2, 3, 4, 5, 0, 1], [True] * 6 + [False] * 2)
+        rng = np.random.default_rng(0)
+        other = random_stream(rng, 11, 7, 1.0)
+        assert_identical(
+            ThreadedTrace([barely, other]),
+            TraceAliasConfig(n_entries=4, write_footprint=6, samples=200, seed=2),
+        )
+
+    def test_identical_when_windows_span_whole_stream(self):
+        """W equal to the distinct-write count of every stream: windows
+        cover (nearly) a full cycle from every offset."""
+        streams = [
+            make_stream(np.arange(20) % 7, np.ones(20, dtype=bool)) for _ in range(2)
+        ]
+        assert_identical(
+            ThreadedTrace(streams),
+            TraceAliasConfig(n_entries=8, write_footprint=7, samples=150, seed=4),
+        )
+
+    def test_unreachable_w_raises_same_message(self):
+        """Both engines refuse a deficient stream with the same error."""
+        rng = np.random.default_rng(1)
+        deficient = make_stream(rng.integers(0, 50, 40), [False] * 39 + [True])
+        trace = ThreadedTrace([deficient, random_stream(rng, 30, 10, 1.0)])
+        cfg = TraceAliasConfig(n_entries=8, write_footprint=5, samples=10, seed=0)
+        messages = []
+        for engine in (simulate_trace_aliasing, simulate_trace_aliasing_fast):
+            with pytest.raises(ValueError) as err:
+                engine(trace, cfg)
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+        assert messages[0] == (
+            "stream has only 1 distinct written blocks; cannot reach W=5"
+        )
+
+
+class TestDifferentialProperty:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        lengths=st.lists(st.integers(8, 120), min_size=1, max_size=4),
+        universe=st.integers(4, 60),
+        write_fraction=st.floats(0.2, 1.0),
+        n=st.sampled_from([16, 64, 256, 1024]),
+        c=st.integers(2, 5),
+        w=st.integers(1, 6),
+        hash_kind=st.sampled_from(["mask", "multiplicative", "xorfold"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_identical_on_random_traces(self, seed, lengths, universe,
+                                        write_fraction, n, c, w, hash_kind):
+        rng = np.random.default_rng(seed)
+        trace = ThreadedTrace(
+            [random_stream(rng, length, universe, write_fraction) for length in lengths]
+        )
+        cfg = TraceAliasConfig(n_entries=n, concurrency=c, write_footprint=w,
+                               samples=60, seed=seed % 1000, hash_kind=hash_kind)
+        try:
+            ref = simulate_trace_aliasing(trace, cfg)
+        except ValueError as err:
+            # A random stream may not reach W; the fast engine must then
+            # fail identically.
+            with pytest.raises(ValueError) as fast_err:
+                simulate_trace_aliasing_fast(trace, cfg)
+            assert str(fast_err.value) == str(err)
+            return
+        fast = simulate_trace_aliasing_fast(trace, cfg)
+        assert fast == ref
+
+
+class TestScalarVectorDraws:
+    """The numpy property the vectorized start-draw path is built on.
+
+    A scalar ``Generator.integers(0, n)`` must consume the bit stream
+    exactly like one element of ``integers(0, n, size=k)``, so that the
+    fast engine can draw a whole sample grid in one call whenever every
+    stream has the same length.  If a numpy upgrade ever broke this,
+    the differential suite would catch the divergence — this test makes
+    the cause loud.
+    """
+
+    @pytest.mark.parametrize("n", [3, 100, 1000, 4096, 25_000, 10**9])
+    def test_scalar_draws_equal_vector_draw(self, n):
+        k = 64
+        vector = np.random.default_rng(99).integers(0, n, size=k)
+        rng = np.random.default_rng(99)
+        scalars = [int(rng.integers(0, n)) for _ in range(k)]
+        assert scalars == vector.tolist()
+
+
+class TestEngineRegistry:
+    """The generalized multi-kind registry."""
+
+    def test_kinds(self):
+        assert set(ENGINES) == {"closed", "trace"}
+        assert DEFAULT_ENGINES == {"closed": "fast", "trace": "fast"}
+
+    def test_trace_registry_contents(self):
+        assert set(TRACE_ENGINES) == {"reference", "fast"}
+        assert TRACE_ENGINES["reference"] is simulate_trace_aliasing
+        assert TRACE_ENGINES["fast"] is simulate_trace_aliasing_fast
+        assert available_trace_engines() == ("fast", "reference")
+        assert available_engines("trace") == ("fast", "reference")
+
+    def test_trace_default_is_fast(self):
+        assert DEFAULT_TRACE_ENGINE == "fast"
+        assert get_trace_engine() is simulate_trace_aliasing_fast
+        assert get_trace_engine(None) is simulate_trace_aliasing_fast
+        assert get_engine("trace") is simulate_trace_aliasing_fast
+
+    def test_lookup_by_name_both_kinds(self):
+        assert get_engine("trace", "reference") is simulate_trace_aliasing
+        assert get_engine("trace", "fast") is simulate_trace_aliasing_fast
+        assert get_engine("closed", "reference") is simulate_closed_system
+        assert get_engine("closed", "fast") is simulate_closed_system_fast
+
+    def test_unknown_engine_lists_known_names(self):
+        with pytest.raises(ValueError, match="trace-driven engine 'warp'"):
+            get_trace_engine("warp")
+        with pytest.raises(ValueError, match="fast, reference"):
+            get_engine("trace", "warp")
+        with pytest.raises(ValueError, match="closed-system engine 'warp'"):
+            get_engine("closed", "warp")
+
+    def test_unknown_kind_lists_known_kinds(self):
+        with pytest.raises(ValueError, match="closed, trace"):
+            get_engine("open")
+        with pytest.raises(ValueError, match="unknown engine kind"):
+            available_engines("open")
+
+    def test_simulate_trace_dispatches(self, equal_trace):
+        cfg = TraceAliasConfig(n_entries=64, write_footprint=4, samples=50, seed=6)
+        default = simulate_trace(equal_trace, cfg)
+        ref = simulate_trace(equal_trace, cfg, engine="reference")
+        fast = simulate_trace(equal_trace, cfg, engine="fast")
+        assert default == fast == ref

@@ -123,6 +123,30 @@ class TestEngineFlag:
         assert main(["report", "--quality", "smoke", "--engine", "fast"]) == 0
         assert "closed" in capsys.readouterr().out.lower()
 
+    def test_fig2a_engines_print_identically(self, capsys):
+        """The trace-driven engines share the byte-identity contract:
+        same stdout either way, and the engine name never appears."""
+        argv = ["fig2a", "--samples", "30", "--accesses", "3000"]
+        assert main(argv + ["--engine", "reference"]) == 0
+        ref = capsys.readouterr().out
+        assert "Figure 2(a)" in ref
+        assert main(argv + ["--engine", "fast"]) == 0
+        fast = capsys.readouterr().out
+        assert fast == ref
+        assert "fast" not in ref and "reference" not in ref and "engine" not in ref
+
+    def test_fig2a_engine_defaults_to_fast(self, capsys):
+        argv = ["fig2a", "--samples", "25", "--accesses", "3000"]
+        assert main(argv) == 0
+        default = capsys.readouterr().out
+        assert main(argv + ["--engine", "fast"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_fig2a_unknown_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig2a", "--engine", "warp"])
+        assert "invalid choice" in capsys.readouterr().err
+
 
 class TestVersionFlag:
     def test_version_string_matches_package(self):
