@@ -1,0 +1,144 @@
+"""Record an engine-throughput trajectory point into BENCH_engines.json.
+
+Measures points per second for the ``reference`` and ``fast`` entries of
+all four engine kinds (``closed``, ``trace``, ``overflow``, ``open``) on
+small fixed-seed workloads and appends one JSON line to the trajectory
+file (JSONL, newest last).  The file gives future PRs a perf baseline:
+a regression shows up as a dropped rate or speedup relative to the
+previous line on comparable hardware.
+
+Rates are machine-dependent; *speedups* (fast over reference on the
+same host, same workload) are the portable signal, and the byte-identity
+of results is enforced separately by the differential suites — this
+script measures only, it does not assert.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.record_engines_trajectory [path]
+
+The default path is ``BENCH_engines.json`` in the current directory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED
+from repro.sim.closed_system import ClosedSystemConfig
+from repro.sim.engines import get_engine
+from repro.sim.open_system import OpenSystemConfig
+from repro.sim.sweep import sweep_grid
+from repro.sim.trace_driven import TraceAliasConfig
+from repro.traces import remove_true_conflicts, specjbb_like
+from repro.traces.workloads import SPEC2000_PROFILES, synthesize_trace
+from repro.util.rng import stream_rng
+
+
+def _rate(run_one, cases) -> float:
+    """Points per second over ``cases``, after an untimed warmup pass."""
+    for case in cases:
+        run_one(case)
+    start = time.perf_counter()
+    for case in cases:
+        run_one(case)
+    return len(cases) / (time.perf_counter() - start)
+
+
+def _closed_cases():
+    return [
+        ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=8,
+                           alpha=2, seed=BENCH_SEED)
+        for n in (512, 2048) for c in (2, 8)
+    ]
+
+
+def _trace_cases():
+    trace = remove_true_conflicts(specjbb_like(4, 8000, seed=BENCH_SEED))
+    return [
+        (trace, TraceAliasConfig(n_entries=p["n"], write_footprint=p["w"],
+                                 samples=1500, seed=BENCH_SEED))
+        for p in sweep_grid(n=[4096, 16384], w=[5, 10])
+    ]
+
+
+def _overflow_cases():
+    cases = []
+    for bench in ("bzip2", "gcc"):
+        for k in range(3):
+            rng = stream_rng(BENCH_SEED, "overflow", bench=bench, trace=k)
+            trace = synthesize_trace(SPEC2000_PROFILES[bench], 60_000, rng)
+            for victim in (0, 1):
+                cases.append((trace, victim))
+    return cases
+
+
+def _open_cases():
+    return [
+        OpenSystemConfig(p["n"], 2, p["w"], samples=2000, seed=BENCH_SEED)
+        for p in sweep_grid(n=[512, 2048], w=[4, 16])
+    ]
+
+
+_KINDS = {
+    "closed": (_closed_cases, lambda engine: lambda cfg: engine(cfg)),
+    "trace": (_trace_cases, lambda engine: lambda case: engine(case[0], case[1])),
+    "overflow": (
+        _overflow_cases,
+        lambda engine: lambda case: engine(case[0], victim_entries=case[1]),
+    ),
+    "open": (_open_cases, lambda engine: lambda cfg: engine(cfg)),
+}
+
+
+def measure() -> dict:
+    """Points/s for reference and fast engines of every kind."""
+    points_per_s: dict[str, dict[str, float]] = {}
+    speedup: dict[str, float] = {}
+    for kind, (make_cases, adapt) in _KINDS.items():
+        cases = make_cases()
+        rates = {
+            name: round(_rate(adapt(get_engine(kind, name)), cases), 2)
+            for name in ("reference", "fast")
+        }
+        points_per_s[kind] = rates
+        speedup[kind] = round(rates["fast"] / rates["reference"], 2)
+    return {"points_per_s": points_per_s, "speedup": speedup}
+
+
+def _commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_engines.json")
+    record = {
+        "schema": 1,
+        "recorded": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "commit": _commit(),
+        "seed": BENCH_SEED,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        **measure(),
+    }
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    print(json.dumps(record, sort_keys=True, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

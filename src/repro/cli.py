@@ -20,38 +20,29 @@ asserts on, with explicit seeds, so results can be pasted into reports.
 ``cluster`` distributes one sweep across worker processes — possibly on
 other machines — via :mod:`repro.cluster`; sweep subcommands also take
 ``--cluster N`` to fan out over N in-process workers directly.
-Closed-system subcommands (``closed``/``fig5``/``report``) and the
-trace-driven ``fig2a`` take ``--engine reference|fast`` to pick the
-simulator implementation; engines are byte-identical, so the flag only
-changes wall-clock.
+Every sweep subcommand (``fig2a``/``fig3``/``fig4a``/``fig5``/
+``closed``/``report``) takes ``--engine reference|fast`` to pick the
+simulator implementation for its kind; engines are byte-identical, so
+the flag only changes wall-clock.  The figure subcommands resolve
+through the same declarative sweep-kind table
+(:data:`repro.sim.catalog.SWEEP_KINDS`) the service and cluster use, so
+all three surfaces run the very same point functions.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from functools import partial
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.analysis.tables import format_series, format_table
 from repro.core.birthday import birthday_collision_probability, people_for_collision_probability
 from repro.core.model import ModelParams, conflict_likelihood, conflict_likelihood_product_form
 from repro.core.sizing import table_entries_for_commit_probability
+from repro.sim.catalog import SWEEP_KINDS
 from repro.sim.closed_system import ClosedSystemConfig
-from repro.sim.engines import (
-    DEFAULT_CLOSED_ENGINE,
-    DEFAULT_ENGINES,
-    DEFAULT_TRACE_ENGINE,
-    available_engines,
-    simulate_closed,
-    simulate_trace,
-)
-from repro.sim.open_system import OpenSystemConfig, simulate_open_system
-from repro.sim.overflow import OverflowConfig, fleet_summary
-from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
-from repro.sim.trace_driven import TraceAliasConfig
-from repro.traces.dedup import remove_true_conflicts
-from repro.traces.workloads import specjbb_like
+from repro.sim.engines import _KIND_DISPLAY, DEFAULT_ENGINES, available_engines
+from repro.sim.sweep import SweepResult, run_sweep
 
 __all__ = ["main", "build_parser", "version_string"]
 
@@ -105,7 +96,7 @@ def _add_cluster_flag(parser: argparse.ArgumentParser) -> None:
 
 def _add_engine_flag(parser: argparse.ArgumentParser, kind: str = "closed") -> None:
     """``--engine``: per-kind engine selection (byte-identical)."""
-    display = {"closed": "closed-system", "trace": "trace-driven"}[kind]
+    display = _KIND_DISPLAY[kind]
     default = DEFAULT_ENGINES[kind]
     parser.add_argument(
         "--engine",
@@ -201,17 +192,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--accesses", type=int, default=100_000)
     _add_jobs_flag(p)
+    _add_cluster_flag(p)
     _add_engine_flag(p, kind="trace")
 
     p = sub.add_parser("fig3", help="HTM overflow characterization (Figure 3)")
     p.add_argument("--traces", type=int, default=5, help="traces per benchmark")
     p.add_argument("--victim", type=int, default=0, help="victim-buffer entries")
     _add_jobs_flag(p)
+    _add_cluster_flag(p)
+    _add_engine_flag(p, kind="overflow")
 
     p = sub.add_parser("fig4a", help="open-system conflict likelihood (Figure 4a)")
     p.add_argument("--samples", type=int, default=2000)
     _add_jobs_flag(p)
     _add_cluster_flag(p)
+    _add_engine_flag(p, kind="open")
 
     p = sub.add_parser("closed", help="one closed-system run (Figures 5-6 protocol)")
     p.add_argument("--n", type=int, required=True)
@@ -392,47 +387,55 @@ def _cmd_sizing(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fig2a_point(
-    trace: Any, n: int, w: int, *, samples: int, seed: int,
-    engine: str = DEFAULT_TRACE_ENGINE,
-) -> float:
-    """One Figure 2(a) grid point: alias likelihood in percent."""
-    cfg = TraceAliasConfig(n_entries=n, write_footprint=w, samples=samples, seed=seed)
-    return 100 * simulate_trace(trace, cfg, engine=engine).alias_probability
+def _run_kind(kind_name: str, raw_params: Mapping[str, Any],
+              args: argparse.Namespace) -> tuple[dict[str, Any], SweepResult]:
+    """Resolve a sweep kind from the table and run its grid.
+
+    One code path for every figure subcommand: validate the CLI flags
+    through the kind's schema (same messages as ``POST /v1/sweeps``),
+    bind the point callable, and execute serially, on the process pool,
+    or across in-process cluster workers.
+    """
+    kind = SWEEP_KINDS[kind_name]
+    params = kind.validate(raw_params)
+    sweep = _run_grid(
+        kind.bind(params, args.seed),
+        kind.grid(params),
+        args.jobs,
+        getattr(args, "cluster", None),
+    )
+    return params, sweep
 
 
 def _cmd_fig2a(args: argparse.Namespace) -> int:
-    trace = remove_true_conflicts(
-        specjbb_like(args.threads, args.accesses, seed=args.seed)
+    params, sweep = _run_kind(
+        "fig2a",
+        {"samples": args.samples, "threads": args.threads,
+         "accesses": args.accesses, "engine": args.engine},
+        args,
     )
-    w_values = [5, 10, 20, 40]
-    n_values = [4096, 16384, 65536]
-    sweep = _run_grid(
-        partial(_fig2a_point, trace, samples=args.samples, seed=args.seed,
-                engine=args.engine),
-        sweep_grid(n=n_values, w=w_values),
-        args.jobs,
-    )
-    series = {f"N={n}": sweep.where(n=n).series("w", float)[1] for n in n_values}
-    print(format_series("W", w_values, series,
+    out = SWEEP_KINDS["fig2a"].assemble(params, sweep)
+    print(format_series("W", out["w_values"], out["series"],
                         title=f"Figure 2(a): alias likelihood (%), C=2, seed={args.seed}"))
     return 0
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
-    cfg = OverflowConfig(
-        n_traces=args.traces, trace_accesses=200_000, victim_entries=args.victim, seed=args.seed
+    params, sweep = _run_kind(
+        "fig3",
+        {"traces": args.traces, "victim": args.victim, "engine": args.engine},
+        args,
     )
-    out = fleet_summary(cfg, jobs=args.jobs)
+    out = SWEEP_KINDS["fig3"].assemble(params, sweep)
     rows = [
         [
-            name,
-            round(r.mean_write_blocks),
-            round(r.mean_read_blocks),
-            f"{r.mean_utilization:.0%}",
-            f"{r.mean_instructions / 1e3:.1f}K",
+            r["bench"],
+            round(r["mean_write_blocks"]),
+            round(r["mean_read_blocks"]),
+            f"{r['mean_utilization']:.0%}",
+            f"{r['mean_instructions'] / 1e3:.1f}K",
         ]
-        for name, r in out.items()
+        for r in out["points"]
     ]
     print(
         format_table(
@@ -444,51 +447,14 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fig4a_point(n: int, w: int, *, samples: int, seed: int) -> float:
-    """One Figure 4(a) grid point: conflict likelihood in percent."""
-    r = simulate_open_system(OpenSystemConfig(n, 2, w, samples=samples, seed=seed))
-    return 100 * r.conflict_probability
-
-
 def _cmd_fig4a(args: argparse.Namespace) -> int:
-    w_values = [4, 8, 16, 24, 32]
-    n_values = [512, 1024, 2048, 4096]
-    sweep = _run_grid(
-        partial(_fig4a_point, samples=args.samples, seed=args.seed),
-        sweep_grid(n=n_values, w=w_values),
-        args.jobs,
-        args.cluster,
+    params, sweep = _run_kind(
+        "fig4a", {"samples": args.samples, "engine": args.engine}, args
     )
-    series = {f"N={n}": sweep.where(n=n).series("w", float)[1] for n in n_values}
-    print(format_series("W", w_values, series,
+    out = SWEEP_KINDS["fig4a"].assemble(params, sweep)
+    print(format_series("W", out["w_values"], out["series"],
                         title=f"Figure 4(a): conflict likelihood (%), C=2, seed={args.seed}"))
     return 0
-
-
-def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
-                  alpha: int, seed: int, engine: str = DEFAULT_CLOSED_ENGINE) -> dict:
-    """One closed-system grid point (picklable, wire-safe sweep adapter).
-
-    ``engine`` names a :mod:`repro.sim.engines` entry; being a plain
-    string it rides grid dicts and cluster kwargs unchanged.
-    """
-    r = simulate_closed(
-        ClosedSystemConfig(
-            n_entries=n_entries,
-            concurrency=concurrency,
-            write_footprint=write_footprint,
-            alpha=alpha,
-            seed=seed,
-        ),
-        engine=engine,
-    )
-    return {
-        "conflicts": r.conflicts,
-        "committed": r.committed,
-        "mean_occupancy": r.mean_occupancy,
-        "expected_occupancy": r.expected_occupancy,
-        "actual_concurrency": r.actual_concurrency,
-    }
 
 
 def _cmd_closed(args: argparse.Namespace) -> int:
@@ -502,17 +468,13 @@ def _cmd_closed(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         seed=args.seed,
     )
-    grid = [
-        dict(
-            n_entries=args.n,
-            concurrency=args.c,
-            write_footprint=args.w,
-            alpha=args.alpha,
-            seed=args.seed,
-            engine=args.engine,
-        )
-    ]
-    r = _run_grid(_closed_point, grid, args.jobs, args.cluster).outcomes[0]
+    _, sweep = _run_kind(
+        "closed",
+        {"n_values": [args.n], "c_values": [args.c], "w_values": [args.w],
+         "alpha": args.alpha, "engine": args.engine},
+        args,
+    )
+    r = sweep.outcomes[0]
     print(
         format_table(
             ["quantity", "value"],
@@ -533,17 +495,11 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     w_values = [8, 12, 16, 20]
     n_values = [1024, 4096, 16384]
     ClosedSystemConfig(n_entries=n_values[0], concurrency=args.c, alpha=args.alpha)
-    sweep = _run_grid(
-        partial(
-            _closed_point,
-            concurrency=args.c,
-            alpha=args.alpha,
-            seed=args.seed,
-            engine=args.engine,
-        ),
-        sweep_grid(n_entries=n_values, write_footprint=w_values),
-        args.jobs,
-        args.cluster,
+    _, sweep = _run_kind(
+        "closed",
+        {"n_values": n_values, "c_values": [args.c], "w_values": w_values,
+         "alpha": args.alpha, "engine": args.engine},
+        args,
     )
     series = {
         f"N={n}": sweep.where(n_entries=n).series(
@@ -624,7 +580,7 @@ def _cmd_cluster_coordinate(args: argparse.Namespace) -> int:
         CoordinatorThread,
     )
     from repro.cluster.protocol import task_from_callable
-    from repro.service.sweeps import SWEEP_KINDS, SweepValidationError
+    from repro.sim.catalog import SweepValidationError
 
     kind = SWEEP_KINDS.get(args.kind)
     if kind is None or not kind.clusterable:

@@ -108,6 +108,10 @@ class HTMContext:
 
         read_only: Set[int] = set()
         written: Set[int] = set()
+        # With no victim buffer nothing is ever extractable, so the
+        # residency probe before it would be a dead scan on every access
+        # of the (default) Figure 3 baseline.
+        use_victim = self.victim.capacity > 0
 
         for i in range(len(trace)):
             block = int(trace.blocks[i])
@@ -122,7 +126,7 @@ class HTMContext:
                 read_only.add(block)
 
             # Victim-buffer hit: swap the block back into the cache.
-            if not self.cache.contains(block) and self.victim.extract(block):
+            if use_victim and not self.cache.contains(block) and self.victim.extract(block):
                 pass  # re-insert below via normal access
 
             result = self.cache.access(block)

@@ -49,21 +49,25 @@ class VictimBuffer:
             return block
         self.inserts += 1
         displaced: Optional[int] = None
-        if block in self._blocks:
+        # Single probe: `in` followed by remove() would scan the buffer
+        # twice, and this sits on the §2.3 hot loop.
+        try:
             self._blocks.remove(block)
-        elif len(self._blocks) >= self.capacity:
-            displaced = self._blocks.pop(0)
-            self.displaced += 1
+        except ValueError:
+            if len(self._blocks) >= self.capacity:
+                displaced = self._blocks.pop(0)
+                self.displaced += 1
         self._blocks.append(block)
         return displaced
 
     def extract(self, block: int) -> bool:
         """Remove ``block`` (a swap back into the cache); True if present."""
-        if block in self._blocks:
+        try:
             self._blocks.remove(block)
-            self.hits += 1
-            return True
-        return False
+        except ValueError:
+            return False
+        self.hits += 1
+        return True
 
     def reset(self) -> None:
         """Empty the buffer and zero statistics."""

@@ -1,574 +1,50 @@
-"""Declarative registry of the sweep kinds the service can run.
+"""Back-compat shim: the sweep catalog lives in :mod:`repro.sim.catalog`.
 
-A sweep request arrives as JSON — ``{"kind": ..., "params": {...},
-"seed": ...}`` — and must be validated *before* it is admitted to the
-job queue (a malformed request should cost a 400, not a worker).  Each
-kind bundles that validation with an executor that reuses the existing
-engines (:mod:`repro.sim`), so the service adds no simulation code of
-its own:
-
-* ``fig4a`` — the open-system conflict-likelihood sweep of Figure 4(a):
-  grid of table sizes × write footprints, Monte Carlo per point.
-* ``fig2a`` — the trace-driven aliasing sweep of Figure 2(a): grid of
-  table sizes × write footprints against a synthetic SPECjbb-like trace
-  rebuilt from (threads, accesses, seed) on whichever process runs the
-  point — only JSON-safe scalars cross the wire, never the trace.
-* ``closed`` — closed-system runs (Figures 5–6 protocol) over a grid of
-  table sizes × concurrency × footprints.
-* ``model`` — the Eq. 8 closed forms over a grid; no randomness, useful
-  for cheap smoke traffic.
-
-Executors call :func:`repro.sim.sweep.run_sweep` (serial) or
-:func:`repro.sim.parallel.run_sweep_parallel` (``jobs`` requested), and
-both paths return identical numbers — the engine's determinism contract
-— so a cached result is indistinguishable from a recomputed one.
-
-Results are JSON-safe dicts shaped like the CLI's printed series: an
-x-axis vector plus one named series per table size, values in percent
-where the figures use percent.
+The declarative sweep-kind table started life here as service plumbing;
+it is now shared verbatim by the CLI, the service and the cluster
+coordinator, so it moved down into the simulation layer.  This module
+re-exports the full surface (public names and the point callables some
+tests import directly) so existing ``repro.service.sweeps`` imports
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache, partial
-from typing import Any, Callable, Mapping, Optional
-
-from repro.core.model import (
-    ModelParams,
-    conflict_likelihood,
-    conflict_likelihood_product_form,
-)
-from repro.sim.closed_system import ClosedSystemConfig
-from repro.sim.engines import (
-    CLOSED_ENGINES,
-    DEFAULT_CLOSED_ENGINE,
-    DEFAULT_TRACE_ENGINE,
-    TRACE_ENGINES,
-    simulate_closed,
-    simulate_trace,
-)
-from repro.sim.open_system import OpenSystemConfig, simulate_open_system
-from repro.sim.sweep import run_sweep, sweep_grid
-from repro.sim.trace_driven import TraceAliasConfig
-from repro.util.units import is_power_of_two
-
-__all__ = ["SWEEP_KINDS", "SweepKind", "execute_sweep", "validate_sweep_request"]
-
-# Admission-control ceilings: a request beyond these is a 400, not a
-# multi-hour job. Generous relative to the paper's grids (Fig 4a uses
-# 20 points x 2000 samples).
-MAX_GRID_POINTS = 4096
-MAX_SAMPLES = 200_000
-MAX_TRACE_ACCESSES = 2_000_000
-
-
-class SweepValidationError(ValueError):
-    """A sweep request that fails validation (HTTP 400 at the edge)."""
-
-
-def _require_int(params: Mapping[str, Any], key: str, default: Optional[int] = None,
-                 *, lo: int = 1, hi: Optional[int] = None) -> int:
-    value = params.get(key, default)
-    if value is None:
-        raise SweepValidationError(f"missing required parameter {key!r}")
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise SweepValidationError(f"parameter {key!r} must be a number, got {value!r}")
-    if isinstance(value, float):
-        if not value.is_integer():
-            raise SweepValidationError(f"parameter {key!r} must be an integer, got {value!r}")
-        value = int(value)
-    if value < lo or (hi is not None and value > hi):
-        bound = f">= {lo}" if hi is None else f"in [{lo}, {hi}]"
-        raise SweepValidationError(f"parameter {key!r} must be {bound}, got {value}")
-    return value
-
-
-def _require_float(params: Mapping[str, Any], key: str, default: float,
-                   *, lo: float = 0.0) -> float:
-    value = params.get(key, default)
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise SweepValidationError(f"parameter {key!r} must be a number, got {value!r}")
-    if value < lo:
-        raise SweepValidationError(f"parameter {key!r} must be >= {lo}, got {value}")
-    return float(value)
-
-
-def _require_int_list(params: Mapping[str, Any], key: str,
-                      default: Optional[list[int]] = None) -> list[int]:
-    values = params.get(key, default)
-    if values is None:
-        raise SweepValidationError(f"missing required parameter {key!r}")
-    if not isinstance(values, (list, tuple)) or not values:
-        raise SweepValidationError(f"parameter {key!r} must be a non-empty list")
-    out = []
-    for v in values:
-        if isinstance(v, bool) or not isinstance(v, (int, float)) or (
-            isinstance(v, float) and not v.is_integer()
-        ):
-            raise SweepValidationError(f"parameter {key!r} must hold integers, got {v!r}")
-        if int(v) < 1:
-            raise SweepValidationError(f"parameter {key!r} values must be >= 1, got {v}")
-        out.append(int(v))
-    return out
-
-
-def _reject_unknown(params: Mapping[str, Any], allowed: frozenset[str]) -> None:
-    unknown = sorted(set(params) - allowed)
-    if unknown:
-        raise SweepValidationError(f"unknown parameter(s): {', '.join(unknown)}")
-
-
-class SweepKind:
-    """One runnable sweep family: a validator plus an executor.
-
-    ``validate(params)`` returns the normalized parameter dict that is
-    both executed and folded into the cache key, so two requests that
-    normalize identically share one cache entry.  ``execute(params,
-    seed, jobs)`` runs the sweep and returns a JSON-safe result.
-
-    Grid-shaped kinds decompose the executor into ``grid(params)`` (the
-    points), ``bind(params, seed)`` (the point callable — a keyword
-    :func:`functools.partial` of a module-level function, which is what
-    lets it cross the cluster wire), and ``assemble(params, sweep)``
-    (the response shape).  Kinds that keep ``grid=None`` (the
-    closed-form ``model``) always execute locally, even under
-    ``execution: cluster`` — there is nothing worth distributing.
-    """
-
-    def __init__(
-        self,
-        name: str,
-        validate: Callable[[Mapping[str, Any]], dict[str, Any]],
-        execute: Optional[Callable[[dict[str, Any], int, Optional[int]], dict[str, Any]]],
-        description: str,
-        *,
-        grid: Optional[Callable[[dict[str, Any]], list[dict[str, Any]]]] = None,
-        bind: Optional[Callable[[dict[str, Any], int], Callable[..., Any]]] = None,
-        assemble: Optional[Callable[[dict[str, Any], Any], dict[str, Any]]] = None,
-    ) -> None:
-        if execute is None and (grid is None or bind is None or assemble is None):
-            raise ValueError(
-                f"sweep kind {name!r} needs either an executor or the full "
-                f"grid/bind/assemble decomposition"
-            )
-        self.name = name
-        self.validate = validate
-        self.execute = execute if execute is not None else self._execute_grid
-        self.description = description
-        self.grid = grid
-        self.bind = bind
-        self.assemble = assemble
-
-    @property
-    def clusterable(self) -> bool:
-        """Whether this kind can run under ``execution: cluster``."""
-        return self.grid is not None
-
-    def _execute_grid(self, params: dict[str, Any], seed: int,
-                      jobs: Optional[int]) -> dict[str, Any]:
-        assert self.grid is not None and self.bind is not None and self.assemble is not None
-        sweep = _run_grid(self.bind(params, seed), self.grid(params), jobs)
-        return self.assemble(params, sweep)
-
-
-def _run_grid(fn: Callable[..., Any], grid: list[dict[str, Any]],
-              jobs: Optional[int]):
-    """Serial or process-pool execution of one validated grid."""
-    if jobs is None or jobs <= 1:
-        return run_sweep(fn, grid)
-    from repro.sim.parallel import run_sweep_parallel
-
-    return run_sweep_parallel(fn, grid, jobs=jobs)
-
-
-# -- fig4a: open-system conflict likelihood ---------------------------
-
-_FIG4A_KEYS = frozenset({"n_values", "w_values", "samples", "concurrency"})
-
-
-def _validate_fig4a(params: Mapping[str, Any]) -> dict[str, Any]:
-    _reject_unknown(params, _FIG4A_KEYS)
-    n_values = _require_int_list(params, "n_values", [512, 1024, 2048, 4096])
-    w_values = _require_int_list(params, "w_values", [4, 8, 16, 24, 32])
-    if len(n_values) * len(w_values) > MAX_GRID_POINTS:
-        raise SweepValidationError(
-            f"grid of {len(n_values) * len(w_values)} points exceeds "
-            f"the {MAX_GRID_POINTS}-point ceiling"
-        )
-    return {
-        "n_values": n_values,
-        "w_values": w_values,
-        "samples": _require_int(params, "samples", 2000, lo=1, hi=MAX_SAMPLES),
-        "concurrency": _require_int(params, "concurrency", 2, lo=2, hi=64),
-    }
-
-
-def _open_point(n: int, w: int, *, concurrency: int, samples: int, seed: int) -> float:
-    """One open-system grid point: conflict likelihood in percent."""
-    result = simulate_open_system(
-        OpenSystemConfig(n, concurrency, w, samples=samples, seed=seed)
-    )
-    return 100 * result.conflict_probability
-
-
-def _fig4a_grid(params: dict[str, Any]) -> list[dict[str, Any]]:
-    return sweep_grid(n=params["n_values"], w=params["w_values"])
-
-
-def _fig4a_bind(params: dict[str, Any], seed: int) -> Callable[..., Any]:
-    return partial(
-        _open_point,
-        concurrency=params["concurrency"],
-        samples=params["samples"],
-        seed=seed,
-    )
-
-
-def _fig4a_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
-    series = {
-        f"N={n}": sweep.where(n=n).series("w", float)[1] for n in params["n_values"]
-    }
-    return {"kind": "fig4a", "x": "w", "w_values": params["w_values"], "series": series}
-
-
-# -- fig2a: trace-driven alias likelihood -----------------------------
-
-_FIG2A_KEYS = frozenset(
-    {"n_values", "w_values", "samples", "concurrency", "threads", "accesses", "engine"}
+from repro.sim.catalog import (  # noqa: F401
+    EXECUTION_MODES,
+    MAX_GRID_POINTS,
+    MAX_SAMPLES,
+    MAX_TRACE_ACCESSES,
+    ParamSpec,
+    SWEEP_KINDS,
+    SweepKind,
+    SweepValidationError,
+    _closed_point,
+    _execute_model,
+    _fig2a_point,
+    _fig2a_trace,
+    _fig3_point,
+    _open_point,
+    _reject_unknown,
+    _require_engine,
+    _require_float,
+    _require_int,
+    _require_int_list,
+    _require_str_choice_list,
+    _run_grid,
+    execute_sweep,
+    validate_sweep_request,
 )
 
-
-def _validate_fig2a(params: Mapping[str, Any]) -> dict[str, Any]:
-    _reject_unknown(params, _FIG2A_KEYS)
-    n_values = _require_int_list(params, "n_values", [4096, 16384, 65536])
-    w_values = _require_int_list(params, "w_values", [5, 10, 20, 40])
-    for n in n_values:
-        if not is_power_of_two(n):
-            # Every hash kind masks into a power-of-two table; catch the
-            # bound at admission so the run costs a 400, not a worker.
-            raise SweepValidationError(
-                f"trace-driven table sizes must be powers of two, got {n} in 'n_values'"
-            )
-    if len(n_values) * len(w_values) > MAX_GRID_POINTS:
-        raise SweepValidationError(
-            f"grid of {len(n_values) * len(w_values)} points exceeds "
-            f"the {MAX_GRID_POINTS}-point ceiling"
-        )
-    engine = params.get("engine", DEFAULT_TRACE_ENGINE)
-    if not isinstance(engine, str) or engine not in TRACE_ENGINES:
-        known = ", ".join(sorted(TRACE_ENGINES))
-        raise SweepValidationError(
-            f"unknown trace-driven engine {engine!r}; expected one of: {known}"
-        )
-    return {
-        "n_values": n_values,
-        "w_values": w_values,
-        "samples": _require_int(params, "samples", 500, lo=1, hi=MAX_SAMPLES),
-        "concurrency": _require_int(params, "concurrency", 2, lo=2, hi=64),
-        "threads": _require_int(params, "threads", 4, lo=1, hi=64),
-        "accesses": _require_int(params, "accesses", 100_000, lo=100, hi=MAX_TRACE_ACCESSES),
-        "engine": engine,
-    }
-
-
-@lru_cache(maxsize=4)
-def _fig2a_trace(threads: int, accesses: int, seed: int):
-    """The cleaned trace for a (threads, accesses, seed) triple.
-
-    Rebuilt (and memoized) per process: cluster workers receive only
-    these scalars in the point kwargs and reconstruct the trace locally,
-    which keeps the wire format code- and array-free.
-    """
-    from repro.traces.dedup import remove_true_conflicts
-    from repro.traces.workloads import specjbb_like
-
-    return remove_true_conflicts(specjbb_like(threads, accesses, seed=seed))
-
-
-def _fig2a_point(n: int, w: int, *, threads: int, accesses: int, concurrency: int,
-                 samples: int, seed: int,
-                 engine: str = DEFAULT_TRACE_ENGINE) -> float:
-    """One trace-driven grid point: alias likelihood in percent."""
-    cfg = TraceAliasConfig(
-        n_entries=n,
-        concurrency=concurrency,
-        write_footprint=w,
-        samples=samples,
-        seed=seed,
-    )
-    trace = _fig2a_trace(threads, accesses, seed)
-    return 100 * simulate_trace(trace, cfg, engine=engine).alias_probability
-
-
-def _fig2a_grid(params: dict[str, Any]) -> list[dict[str, Any]]:
-    return sweep_grid(n=params["n_values"], w=params["w_values"])
-
-
-def _fig2a_bind(params: dict[str, Any], seed: int) -> Callable[..., Any]:
-    # ``engine`` is a plain string kwarg (the PR 4 pattern), so the
-    # partial stays picklable and JSON-describable for the cluster wire.
-    return partial(
-        _fig2a_point,
-        threads=params["threads"],
-        accesses=params["accesses"],
-        concurrency=params["concurrency"],
-        samples=params["samples"],
-        seed=seed,
-        engine=params["engine"],
-    )
-
-
-def _fig2a_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
-    series = {
-        f"N={n}": sweep.where(n=n).series("w", float)[1] for n in params["n_values"]
-    }
-    return {"kind": "fig2a", "x": "w", "w_values": params["w_values"], "series": series}
-
-
-# -- closed: closed-system protocol runs ------------------------------
-
-_CLOSED_KEYS = frozenset({"n_values", "c_values", "w_values", "alpha", "engine"})
-
-
-def _validate_closed(params: Mapping[str, Any]) -> dict[str, Any]:
-    _reject_unknown(params, _CLOSED_KEYS)
-    n_values = _require_int_list(params, "n_values")
-    c_values = _require_int_list(params, "c_values", [2])
-    w_values = _require_int_list(params, "w_values", [10])
-    for c in c_values:
-        if c > 63:
-            # Mirrors ClosedSystemConfig.__post_init__: catch the bound at
-            # admission so an impossible run costs a 400, not a worker.
-            raise SweepValidationError(
-                f"closed system supports at most 63 threads, got {c} in 'c_values'"
-            )
-    points = len(n_values) * len(c_values) * len(w_values)
-    if points > MAX_GRID_POINTS:
-        raise SweepValidationError(
-            f"grid of {points} points exceeds the {MAX_GRID_POINTS}-point ceiling"
-        )
-    alpha = _require_float(params, "alpha", 2.0)
-    if not float(alpha).is_integer():
-        raise SweepValidationError(f"closed-system alpha must be integral, got {alpha}")
-    engine = params.get("engine", DEFAULT_CLOSED_ENGINE)
-    if not isinstance(engine, str) or engine not in CLOSED_ENGINES:
-        known = ", ".join(sorted(CLOSED_ENGINES))
-        raise SweepValidationError(
-            f"unknown closed-system engine {engine!r}; expected one of: {known}"
-        )
-    return {
-        "n_values": n_values,
-        "c_values": c_values,
-        "w_values": w_values,
-        "alpha": int(alpha),
-        "engine": engine,
-    }
-
-
-def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
-                  *, alpha: int, seed: int,
-                  engine: str = DEFAULT_CLOSED_ENGINE) -> dict[str, Any]:
-    """One closed-system grid point as a JSON-safe record."""
-    r = simulate_closed(
-        ClosedSystemConfig(
-            n_entries=n_entries,
-            concurrency=concurrency,
-            write_footprint=write_footprint,
-            alpha=alpha,
-            seed=seed,
-        ),
-        engine=engine,
-    )
-    return {
-        "n_entries": n_entries,
-        "concurrency": concurrency,
-        "write_footprint": write_footprint,
-        "conflicts": r.conflicts,
-        "committed": r.committed,
-        "mean_occupancy": r.mean_occupancy,
-        "expected_occupancy": r.expected_occupancy,
-        "actual_concurrency": r.actual_concurrency,
-    }
-
-
-def _closed_grid(params: dict[str, Any]) -> list[dict[str, Any]]:
-    return sweep_grid(
-        n_entries=params["n_values"],
-        concurrency=params["c_values"],
-        write_footprint=params["w_values"],
-    )
-
-
-def _closed_bind(params: dict[str, Any], seed: int) -> Callable[..., Any]:
-    # ``engine`` is a plain string kwarg, so the partial stays picklable
-    # and JSON-describable — it crosses the cluster wire unchanged.
-    return partial(
-        _closed_point, alpha=params["alpha"], seed=seed, engine=params["engine"]
-    )
-
-
-def _closed_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
-    del params
-    return {"kind": "closed", "points": list(sweep.outcomes)}
-
-
-# -- model: Eq. 8 closed forms (no randomness) ------------------------
-
-_MODEL_KEYS = frozenset({"n_values", "w_values", "concurrency", "alpha"})
-
-
-def _validate_model(params: Mapping[str, Any]) -> dict[str, Any]:
-    _reject_unknown(params, _MODEL_KEYS)
-    n_values = _require_int_list(params, "n_values")
-    w_values = _require_int_list(params, "w_values")
-    if len(n_values) * len(w_values) > MAX_GRID_POINTS:
-        raise SweepValidationError(
-            f"grid of {len(n_values) * len(w_values)} points exceeds "
-            f"the {MAX_GRID_POINTS}-point ceiling"
-        )
-    return {
-        "n_values": n_values,
-        "w_values": w_values,
-        "concurrency": _require_int(params, "concurrency", 2, lo=2, hi=1024),
-        "alpha": _require_float(params, "alpha", 2.0),
-    }
-
-
-def _execute_model(params: dict[str, Any], seed: int, jobs: Optional[int]) -> dict[str, Any]:
-    del seed, jobs  # closed-form: no randomness, never worth a pool
-    raw: dict[str, list[float]] = {}
-    product: dict[str, list[float]] = {}
-    for n in params["n_values"]:
-        mp = ModelParams(
-            n_entries=n, concurrency=params["concurrency"], alpha=params["alpha"]
-        )
-        raw[f"N={n}"] = [float(conflict_likelihood(float(w), mp)) for w in params["w_values"]]
-        product[f"N={n}"] = [
-            float(conflict_likelihood_product_form(float(w), mp))
-            for w in params["w_values"]
-        ]
-    return {
-        "kind": "model",
-        "x": "w",
-        "w_values": params["w_values"],
-        "raw": raw,
-        "conflict_probability": product,
-    }
-
-
-SWEEP_KINDS: dict[str, SweepKind] = {
-    kind.name: kind
-    for kind in (
-        SweepKind(
-            "fig4a",
-            _validate_fig4a,
-            None,
-            "open-system conflict likelihood over an N x W grid (Figure 4a)",
-            grid=_fig4a_grid,
-            bind=_fig4a_bind,
-            assemble=_fig4a_assemble,
-        ),
-        SweepKind(
-            "fig2a",
-            _validate_fig2a,
-            None,
-            "trace-driven alias likelihood over an N x W grid (Figure 2a)",
-            grid=_fig2a_grid,
-            bind=_fig2a_bind,
-            assemble=_fig2a_assemble,
-        ),
-        SweepKind(
-            "closed",
-            _validate_closed,
-            None,
-            "closed-system protocol runs over an N x C x W grid (Figures 5-6)",
-            grid=_closed_grid,
-            bind=_closed_bind,
-            assemble=_closed_assemble,
-        ),
-        SweepKind(
-            "model",
-            _validate_model,
-            _execute_model,
-            "Eq. 8 closed forms over an N x W grid (no simulation)",
-        ),
-    )
-}
-
-
-EXECUTION_MODES = frozenset({"local", "cluster"})
-
-
-def validate_sweep_request(
-    body: Mapping[str, Any],
-) -> tuple[str, dict[str, Any], int, Optional[int], str]:
-    """Validate a POST /v1/sweeps body into (kind, params, seed, jobs, execution).
-
-    Raises :class:`SweepValidationError` on any malformed field; the
-    HTTP layer maps that to a 400 with the message as detail.
-    ``execution`` is ``"local"`` (default) or ``"cluster"``; it selects
-    *how* the sweep runs, never *what* it computes, so it is excluded
-    from the cache key.
-    """
-    if not isinstance(body, Mapping):
-        raise SweepValidationError("request body must be a JSON object")
-    _reject_unknown(body, frozenset({"kind", "params", "seed", "jobs", "execution"}))
-    kind_name = body.get("kind")
-    if not isinstance(kind_name, str) or kind_name not in SWEEP_KINDS:
-        known = ", ".join(sorted(SWEEP_KINDS))
-        raise SweepValidationError(f"unknown sweep kind {kind_name!r}; expected one of: {known}")
-    raw_params = body.get("params", {})
-    if not isinstance(raw_params, Mapping):
-        raise SweepValidationError("'params' must be a JSON object")
-    params = SWEEP_KINDS[kind_name].validate(raw_params)
-    seed = _require_int(dict(body), "seed", 0, lo=0)
-    jobs_value = body.get("jobs")
-    jobs: Optional[int] = None
-    if jobs_value is not None:
-        jobs = _require_int(dict(body), "jobs", None, lo=1, hi=64)
-    execution = body.get("execution", "local")
-    if not isinstance(execution, str) or execution not in EXECUTION_MODES:
-        known = ", ".join(sorted(EXECUTION_MODES))
-        raise SweepValidationError(
-            f"unknown execution mode {execution!r}; expected one of: {known}"
-        )
-    return kind_name, params, seed, jobs, execution
-
-
-def execute_sweep(
-    kind: str,
-    params: dict[str, Any],
-    seed: int,
-    jobs: Optional[int] = None,
-    *,
-    execution: str = "local",
-    cluster_workers: int = 2,
-    cache: Any = None,
-) -> dict[str, Any]:
-    """Run one validated sweep to completion (the job-queue body).
-
-    ``execution="cluster"`` distributes a grid-shaped kind across an
-    in-process coordinator + worker fleet (``cluster_workers`` strong)
-    via :func:`repro.cluster.coordinator.run_sweep_cluster_from_callable`;
-    the determinism contract makes the response byte-identical to the
-    local path, so callers need not care which ran.  Kinds without a
-    grid decomposition (``model``) always execute locally.  ``cache``
-    is an optional :class:`~repro.service.cache.ResultCache` the
-    coordinator probes per chunk.
-    """
-    sweep_kind = SWEEP_KINDS[kind]
-    if execution == "cluster" and sweep_kind.clusterable:
-        # Imported lazily: the cluster layer depends on service plumbing,
-        # and this module must stay importable without it.
-        from repro.cluster.coordinator import run_sweep_cluster_from_callable
-
-        assert sweep_kind.bind is not None and sweep_kind.grid is not None
-        assert sweep_kind.assemble is not None
-        sweep = run_sweep_cluster_from_callable(
-            sweep_kind.bind(params, seed),
-            sweep_kind.grid(params),
-            workers=cluster_workers,
-            cache=cache,
-        )
-        return sweep_kind.assemble(params, sweep)
-    return sweep_kind.execute(params, seed, jobs)
+__all__ = [
+    "EXECUTION_MODES",
+    "MAX_GRID_POINTS",
+    "MAX_SAMPLES",
+    "MAX_TRACE_ACCESSES",
+    "ParamSpec",
+    "SWEEP_KINDS",
+    "SweepKind",
+    "SweepValidationError",
+    "execute_sweep",
+    "validate_sweep_request",
+]

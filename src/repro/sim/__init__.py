@@ -34,16 +34,26 @@ from repro.sim.engines import (
     CLOSED_ENGINES,
     DEFAULT_CLOSED_ENGINE,
     DEFAULT_ENGINES,
+    DEFAULT_OPEN_ENGINE,
+    DEFAULT_OVERFLOW_ENGINE,
     DEFAULT_TRACE_ENGINE,
     ENGINES,
+    OPEN_ENGINES,
+    OVERFLOW_ENGINES,
     TRACE_ENGINES,
     available_closed_engines,
     available_engines,
+    available_open_engines,
+    available_overflow_engines,
     available_trace_engines,
     get_closed_engine,
     get_engine,
+    get_open_engine,
+    get_overflow_engine,
     get_trace_engine,
     simulate_closed,
+    simulate_open,
+    simulate_overflow,
     simulate_trace,
 )
 from repro.sim.montecarlo import (
@@ -76,7 +86,9 @@ from repro.sim.overflow import (
     characterize_overflow,
     fleet_summary,
     overflow_distribution,
+    simulate_htm_overflow,
 )
+from repro.sim.overflow_fast import simulate_htm_overflow_fast
 from repro.sim.parallel import SweepFailure, SweepTelemetry, run_sweep_parallel
 from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
 from repro.sim.throughput import (
@@ -94,12 +106,16 @@ __all__ = [
     "ClosedSystemResult",
     "DEFAULT_CLOSED_ENGINE",
     "DEFAULT_ENGINES",
+    "DEFAULT_OPEN_ENGINE",
+    "DEFAULT_OVERFLOW_ENGINE",
     "DEFAULT_TRACE_ENGINE",
     "ENGINES",
     "HybridPipelineConfig",
     "HybridPipelineResult",
     "IsolationCostConfig",
     "IsolationCostResult",
+    "OPEN_ENGINES",
+    "OVERFLOW_ENGINES",
     "OpenSystemConfig",
     "OpenSystemResult",
     "OverflowConfig",
@@ -115,6 +131,8 @@ __all__ = [
     "TraceAliasResult",
     "available_closed_engines",
     "available_engines",
+    "available_open_engines",
+    "available_overflow_engines",
     "available_trace_engines",
     "characterize_overflow",
     "collision_probability_estimate",
@@ -122,6 +140,8 @@ __all__ = [
     "fleet_summary",
     "get_closed_engine",
     "get_engine",
+    "get_open_engine",
+    "get_overflow_engine",
     "get_trace_engine",
     "intra_thread_alias_counts",
     "overflow_distribution",
@@ -132,10 +152,14 @@ __all__ = [
     "simulate_closed",
     "simulate_closed_system",
     "simulate_closed_system_fast",
+    "simulate_htm_overflow",
+    "simulate_htm_overflow_fast",
     "simulate_hybrid_pipeline",
     "simulate_isolation_cost",
+    "simulate_open",
     "simulate_open_system",
     "simulate_open_system_heterogeneous",
+    "simulate_overflow",
     "simulate_throughput",
     "simulate_trace",
     "simulate_trace_aliasing",

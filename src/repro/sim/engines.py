@@ -10,52 +10,81 @@ Each *kind* of simulation ships interchangeable engines:
   ``"reference"`` is
   :func:`repro.sim.trace_driven.simulate_trace_aliasing`; ``"fast"`` is
   :func:`repro.sim.trace_fast.simulate_trace_aliasing_fast`.
+* ``kind="overflow"`` — the §2.3 HTM overflow characterization
+  (Figure 3): ``"reference"`` is
+  :func:`repro.sim.overflow.simulate_htm_overflow`, a per-access replay
+  through :class:`repro.htm.htm.HTMContext`; ``"fast"`` is
+  :func:`repro.sim.overflow_fast.simulate_htm_overflow_fast`.
+* ``kind="open"`` — the §4 open-system set (Figures 4/6): the reference
+  :func:`repro.sim.open_system.simulate_open_system` is already fully
+  vectorized, so the ``"fast"`` entry aliases it — the kind exists so
+  every figure's sweep resolves through one registry.
 
 Every fast engine consumes the same RNG stream in the same order as its
 reference and returns **byte-identical** result fields; the differential
-suites (``tests/sim/test_closed_fast.py``, ``tests/sim/test_trace_fast.py``)
-enforce exact equality on every PR, and the speedup benchmarks enforce
-the perf bar.  The per-kind default is therefore ``"fast"`` — callers
-cannot observe which engine ran, except on the clock.
+suites (``tests/sim/test_closed_fast.py``, ``tests/sim/test_trace_fast.py``,
+``tests/sim/test_overflow_fast.py`` — all built on
+``tests/sim/engine_contract.py``) enforce exact equality on every PR,
+and the speedup benchmarks enforce the perf bar.  The per-kind default
+is therefore ``"fast"`` — callers cannot observe which engine ran,
+except on the clock.
 
-Every surface that runs points (CLI subcommands, the service sweep
-kinds, and — since the engine name is a JSON-safe string riding in point
-kwargs — the cluster wire format) threads an ``engine`` parameter down
-to :func:`simulate_closed` / :func:`simulate_trace`.
+Every surface that runs points (CLI subcommands, the sweep-kind table in
+:mod:`repro.sim.catalog`, and — since the engine name is a JSON-safe
+string riding in point kwargs — the cluster wire format) threads an
+``engine`` parameter down to the ``simulate_*`` dispatchers below.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.htm.cache import CacheGeometry
 from repro.sim.closed_fast import simulate_closed_system_fast
 from repro.sim.closed_system import (
     ClosedSystemConfig,
     ClosedSystemResult,
     simulate_closed_system,
 )
+from repro.sim.open_system import (
+    OpenSystemConfig,
+    OpenSystemResult,
+    simulate_open_system,
+)
+from repro.sim.overflow import simulate_htm_overflow
+from repro.sim.overflow_fast import simulate_htm_overflow_fast
 from repro.sim.trace_driven import (
     TraceAliasConfig,
     TraceAliasResult,
     simulate_trace_aliasing,
 )
 from repro.sim.trace_fast import simulate_trace_aliasing_fast
-from repro.traces.events import ThreadedTrace
+from repro.traces.events import AccessTrace, ThreadedTrace
 
 __all__ = [
     "CLOSED_ENGINES",
     "DEFAULT_CLOSED_ENGINE",
     "DEFAULT_ENGINES",
+    "DEFAULT_OPEN_ENGINE",
+    "DEFAULT_OVERFLOW_ENGINE",
     "DEFAULT_TRACE_ENGINE",
     "ENGINES",
+    "OPEN_ENGINES",
+    "OVERFLOW_ENGINES",
     "TRACE_ENGINES",
     "available_closed_engines",
     "available_engines",
+    "available_open_engines",
+    "available_overflow_engines",
     "available_trace_engines",
     "get_closed_engine",
     "get_engine",
+    "get_open_engine",
+    "get_overflow_engine",
     "get_trace_engine",
     "simulate_closed",
+    "simulate_open",
+    "simulate_overflow",
     "simulate_trace",
 ]
 
@@ -71,15 +100,33 @@ TRACE_ENGINES: dict[str, Callable[..., TraceAliasResult]] = {
     "fast": simulate_trace_aliasing_fast,
 }
 
+#: HTM-overflow engine name -> simulator callable.
+OVERFLOW_ENGINES: dict[str, Callable[..., object]] = {
+    "reference": simulate_htm_overflow,
+    "fast": simulate_htm_overflow_fast,
+}
+
+#: Open-system engine name -> simulator callable.  The reference is
+#: already vectorized, so "fast" aliases it: selection costs nothing and
+#: every kind exposes the same two names.
+OPEN_ENGINES: dict[str, Callable[[OpenSystemConfig], OpenSystemResult]] = {
+    "reference": simulate_open_system,
+    "fast": simulate_open_system,
+}
+
 #: Kind -> engine registry for that kind.
 ENGINES: dict[str, dict[str, Callable]] = {
     "closed": CLOSED_ENGINES,
+    "open": OPEN_ENGINES,
+    "overflow": OVERFLOW_ENGINES,
     "trace": TRACE_ENGINES,
 }
 
 #: Human-readable kind names, used in help/error text.
 _KIND_DISPLAY = {
     "closed": "closed-system",
+    "open": "open-system",
+    "overflow": "overflow",
     "trace": "trace-driven",
 }
 
@@ -87,10 +134,14 @@ _KIND_DISPLAY = {
 #: as the default because the differential suites prove byte-identity.
 DEFAULT_ENGINES: dict[str, str] = {
     "closed": "fast",
+    "open": "fast",
+    "overflow": "fast",
     "trace": "fast",
 }
 
 DEFAULT_CLOSED_ENGINE = DEFAULT_ENGINES["closed"]
+DEFAULT_OPEN_ENGINE = DEFAULT_ENGINES["open"]
+DEFAULT_OVERFLOW_ENGINE = DEFAULT_ENGINES["overflow"]
 DEFAULT_TRACE_ENGINE = DEFAULT_ENGINES["trace"]
 
 
@@ -146,6 +197,28 @@ def get_trace_engine(name: Optional[str] = None) -> Callable[..., TraceAliasResu
     return get_engine("trace", name)
 
 
+def available_overflow_engines() -> tuple[str, ...]:
+    """The selectable HTM-overflow engine names."""
+    return available_engines("overflow")
+
+
+def get_overflow_engine(name: Optional[str] = None) -> Callable[..., object]:
+    """Resolve an HTM-overflow engine name (``None`` means the default)."""
+    return get_engine("overflow", name)
+
+
+def available_open_engines() -> tuple[str, ...]:
+    """The selectable open-system engine names."""
+    return available_engines("open")
+
+
+def get_open_engine(
+    name: Optional[str] = None,
+) -> Callable[[OpenSystemConfig], OpenSystemResult]:
+    """Resolve an open-system engine name (``None`` means the default)."""
+    return get_engine("open", name)
+
+
 def simulate_closed(
     cfg: ClosedSystemConfig, *, engine: Optional[str] = None
 ) -> ClosedSystemResult:
@@ -171,3 +244,31 @@ def simulate_trace(
     the result is byte-identical — engines differ only in speed.
     """
     return get_trace_engine(engine)(trace, cfg, hash_fn=hash_fn, batch=batch)
+
+
+def simulate_overflow(
+    trace: AccessTrace,
+    geometry: Optional[CacheGeometry] = None,
+    *,
+    victim_entries: int = 0,
+    engine: Optional[str] = None,
+):
+    """Run one Figure 3 trace through HTM overflow detection.
+
+    ``engine=None`` selects the kind's default.  Whatever the choice,
+    the result is byte-identical — engines differ only in speed.
+    """
+    return get_overflow_engine(engine)(
+        trace, geometry, victim_entries=victim_entries
+    )
+
+
+def simulate_open(
+    cfg: OpenSystemConfig, *, engine: Optional[str] = None
+) -> OpenSystemResult:
+    """Run one open-system experiment on the named engine.
+
+    Both entries currently alias the vectorized reference, so the flag
+    exists for surface uniformity; results are identical by definition.
+    """
+    return get_open_engine(engine)(cfg)

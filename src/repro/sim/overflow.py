@@ -32,6 +32,7 @@ __all__ = [
     "characterize_overflow",
     "fleet_summary",
     "overflow_distribution",
+    "simulate_htm_overflow",
 ]
 
 
@@ -99,11 +100,39 @@ class OverflowResult:
         return self.mean_write_blocks / total if total else 0.0
 
 
+def simulate_htm_overflow(
+    trace,
+    geometry: Optional[CacheGeometry] = None,
+    *,
+    victim_entries: int = 0,
+):
+    """Run one trace transactionally; ``None`` means it fit.
+
+    The ``"reference"`` entry of the ``overflow`` engine kind
+    (:mod:`repro.sim.engines`): a direct replay through
+    :class:`~repro.htm.htm.HTMContext`.  The fast engine
+    (:func:`repro.sim.overflow_fast.simulate_htm_overflow_fast`) returns
+    byte-identical :class:`~repro.htm.htm.HTMOverflow` fields.
+    """
+    ctx = HTMContext(geometry, victim_entries=victim_entries)
+    return ctx.run(trace)
+
+
 def characterize_overflow(
     profile: BenchmarkProfile,
     cfg: OverflowConfig,
+    *,
+    engine: Optional[str] = None,
 ) -> OverflowResult:
-    """Measure mean overflow footprint/instructions for one benchmark."""
+    """Measure mean overflow footprint/instructions for one benchmark.
+
+    ``engine`` names an ``overflow`` entry of :mod:`repro.sim.engines`
+    (``None`` means the default); engines are byte-identical, so the
+    choice only changes wall-clock.
+    """
+    from repro.sim.engines import get_overflow_engine  # avoid import cycle
+
+    simulate = get_overflow_engine(engine)
     reads: list[int] = []
     writes: list[int] = []
     instrs: list[int] = []
@@ -112,8 +141,7 @@ def characterize_overflow(
     for k in range(cfg.n_traces):
         rng = stream_rng(cfg.seed, "overflow", bench=profile.name, trace=k)
         trace = synthesize_trace(profile, cfg.trace_accesses, rng)
-        ctx = HTMContext(cfg.geometry, victim_entries=cfg.victim_entries)
-        ov = ctx.run(trace)
+        ov = simulate(trace, cfg.geometry, victim_entries=cfg.victim_entries)
         if ov is None:
             fit += 1
             continue
@@ -139,9 +167,10 @@ def _characterize_named(
     *,
     profile_table: Mapping[str, BenchmarkProfile],
     cfg: OverflowConfig,
+    engine: Optional[str] = None,
 ) -> OverflowResult:
     """Sweep-point adapter: characterize one benchmark by name."""
-    return characterize_overflow(profile_table[bench], cfg)
+    return characterize_overflow(profile_table[bench], cfg, engine=engine)
 
 
 def fleet_summary(
@@ -150,6 +179,7 @@ def fleet_summary(
     benchmarks: Optional[Sequence[str]] = None,
     profiles: Optional[Mapping[str, BenchmarkProfile]] = None,
     jobs: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> dict[str, OverflowResult]:
     """Characterize every benchmark plus the paper's ``AVG`` column.
 
@@ -166,7 +196,7 @@ def fleet_summary(
         raise KeyError(f"unknown benchmarks: {unknown}; available: {sorted(table)}")
 
     grid = [{"bench": name} for name in names]
-    fn = partial(_characterize_named, profile_table=table, cfg=cfg)
+    fn = partial(_characterize_named, profile_table=table, cfg=cfg, engine=engine)
     if jobs is None or jobs == 1:
         sweep = run_sweep(fn, grid)
     else:
@@ -239,20 +269,24 @@ class OverflowDistribution:
 def overflow_distribution(
     profile: BenchmarkProfile,
     cfg: OverflowConfig,
+    *,
+    engine: Optional[str] = None,
 ) -> OverflowDistribution:
     """Collect the raw overflow samples behind :func:`characterize_overflow`.
 
     Uses the same per-trace seeds, so the distribution's means equal the
     summary's means exactly.
     """
+    from repro.sim.engines import get_overflow_engine  # avoid import cycle
+
+    simulate = get_overflow_engine(engine)
     footprints: list[int] = []
     writes: list[int] = []
     instrs: list[int] = []
     for k in range(cfg.n_traces):
         rng = stream_rng(cfg.seed, "overflow", bench=profile.name, trace=k)
         trace = synthesize_trace(profile, cfg.trace_accesses, rng)
-        ctx = HTMContext(cfg.geometry, victim_entries=cfg.victim_entries)
-        ov = ctx.run(trace)
+        ov = simulate(trace, cfg.geometry, victim_entries=cfg.victim_entries)
         if ov is None:
             continue
         footprints.append(ov.footprint.total)

@@ -1,0 +1,228 @@
+"""Vectorized HTM overflow detection — the fast ``overflow`` engine.
+
+Byte-identical to replaying a trace through
+:class:`repro.htm.htm.HTMContext` (the ``"reference"`` engine), at a
+fraction of the cost, by exploiting three invariants of the §2.3
+protocol:
+
+1. **Every eviction is transactional.**  ``HTMContext.run`` adds each
+   accessed block to the footprint *before* touching the cache, so any
+   block the cache evicts already belongs to ``read_only ∪ written``.
+2. **Sets fill monotonically.**  An eviction replaces one resident with
+   another, so a set that reaches ``ways`` residents stays full, and a
+   set below ``ways`` has never evicted.
+3. **Only first-occurrence misses grow the victim buffer.**  Re-access
+   of a victimized block extracts it first (−1) and the consequent
+   eviction re-inserts (+1): net zero, and — because the extract made
+   room — never a displacement.  Hence victim occupancy equals the
+   number of *eviction events* so far, where an eviction event is a
+   first-occurrence access whose set already holds ``ways`` distinct
+   prior blocks.
+
+Overflow therefore occurs exactly at eviction event number
+``victim_entries + 1``, which numpy can find from first-occurrence
+indices and per-set ranks alone — no LRU state machine on the hot path.
+Footprint, instructions and utilization follow from the trace prefix up
+to that access.  Only ``lost_block`` needs LRU order, and only within
+the (at most ``victim_entries + 1``) sets the eviction events touch, so
+the engine reconstructs it from last-access times (``victim_entries ==
+0``) or an exact mini-replay over those few sets (``>= 1``).
+
+The engine consumes no RNG at all — the reference draws randomness only
+during trace synthesis, which both engines share upstream — so equality
+here really is structural, and the differential suite
+(``tests/sim/test_overflow_fast.py``) asserts it field by field.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.htm.cache import CacheGeometry
+from repro.htm.htm import HTMOverflow, TxFootprint
+from repro.traces.events import AccessTrace
+
+__all__ = ["simulate_htm_overflow_fast"]
+
+#: Initial prefix length examined for the overflow point.  Traces
+#: typically overflow within the first few thousand accesses; growing
+#: the prefix geometrically keeps the sort cost proportional to the
+#: overflow point, not the trace length.
+_FIRST_CHUNK = 8192
+
+
+def _set_index(blocks: np.ndarray, n_sets: int) -> np.ndarray:
+    """``block mod n_sets``, as a mask when ``n_sets`` is a power of two."""
+    if n_sets & (n_sets - 1) == 0:
+        return blocks & (n_sets - 1)
+    return blocks % n_sets  # pragma: no cover - CacheGeometry forbids this
+
+
+def _first_occurrence_mask(blocks: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first occurrence of each block value.
+
+    Synthesized traces use dense block addresses, so a scatter into a
+    value-indexed table is O(n) — no sort.  Sparse address spaces fall
+    back to ``np.unique``.
+    """
+    n = len(blocks)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    max_block = int(blocks.max())
+    if max_block < (1 << 26):
+        # Scatter into a value-indexed table.  Reversed assignment: the
+        # last write per value wins, which is the smallest original
+        # index — the first occurrence.  The table is deliberately left
+        # uninitialized (np.empty): every position read below was
+        # written by the scatter, and untouched pages are never faulted
+        # in, so table size costs virtual address space only.
+        first = np.empty(max_block + 1, dtype=np.int64)
+        first[blocks[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+        return first[blocks] == np.arange(n)
+    _, first_idx = np.unique(blocks, return_index=True)
+    mask = np.zeros(n, dtype=bool)
+    mask[first_idx] = True
+    return mask
+
+
+def _eviction_events(
+    blocks: np.ndarray, sets: np.ndarray, ways: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Time-ordered indices of accesses that evict a cache block.
+
+    By invariants (2) and (3) these are exactly the first-occurrence
+    accesses whose set already holds ``ways`` distinct earlier blocks.
+    Returns ``(event_indices, first_occurrence_mask)`` — the mask is
+    reused for footprint accounting.
+    """
+    is_first = _first_occurrence_mask(blocks)
+    new_pos = np.flatnonzero(is_first)  # first occurrences, time order
+    if len(new_pos) == 0:
+        return new_pos, is_first
+    new_sets = sets[new_pos]
+    # Rank each new block among its set's new blocks (stable: preserves
+    # time order within a set).  Rank >= ways means the set is full.
+    # Only distinct blocks are sorted here, a small fraction of the trace.
+    order = np.argsort(new_sets, kind="stable")
+    sorted_sets = new_sets[order]
+    starts = np.flatnonzero(np.r_[True, sorted_sets[1:] != sorted_sets[:-1]])
+    lengths = np.diff(np.r_[starts, len(new_pos)])
+    ranks_sorted = np.arange(len(new_pos)) - np.repeat(starts, lengths)
+    ranks = np.empty(len(new_pos), dtype=np.int64)
+    ranks[order] = ranks_sorted
+    return new_pos[ranks >= ways], is_first
+
+
+def _distinct_by_last_access(
+    blocks: np.ndarray, sets: np.ndarray, upto: int, set_index: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct blocks of one set in ``[0, upto)`` and their last-access index."""
+    positions = np.flatnonzero(sets[:upto] == set_index)
+    hits = blocks[positions]
+    uniq, rev_first = np.unique(hits[::-1], return_index=True)
+    last_access = positions[len(hits) - 1 - rev_first]
+    return uniq, last_access
+
+
+def _replay_lost_block(
+    blocks: np.ndarray,
+    sets: np.ndarray,
+    events: np.ndarray,
+    victim_entries: int,
+    ways: int,
+) -> int:
+    """Exact reference-semantics replay confined to the involved sets.
+
+    Before the first eviction event no set has evicted, so the involved
+    sets' LRU order at that point is just their distinct blocks sorted
+    by last access.  From there, every eviction and victim operation
+    happens inside the involved sets (a swap-back needs a victimized
+    block, which needs a prior eviction in that set), so replaying only
+    their accesses reproduces the victim buffer's order exactly.
+    """
+    first_event = int(events[0])
+    overflow_at = int(events[victim_entries])
+    involved = np.unique(sets[events[: victim_entries + 1]])
+
+    lru: dict[int, list[int]] = {}
+    for s in involved.tolist():
+        uniq, last_access = _distinct_by_last_access(blocks, sets, first_event, s)
+        lru[s] = uniq[np.argsort(last_access)].tolist()  # LRU first, MRU last
+
+    window = np.flatnonzero(np.isin(sets[first_event : overflow_at + 1], involved))
+    window += first_event
+    victim: list[int] = []
+    for b, s in zip(blocks[window].tolist(), sets[window].tolist()):
+        resident = lru[s]
+        if b in resident:  # hit: LRU reorder only
+            resident.remove(b)
+            resident.append(b)
+            continue
+        if b in victim:  # swap back before the miss, like HTMContext.run
+            victim.remove(b)
+        if len(resident) >= ways:
+            evicted = resident.pop(0)
+            if len(victim) >= victim_entries:
+                return victim.pop(0)  # the displaced block is the loss
+            victim.append(evicted)
+        resident.append(b)
+    raise AssertionError("replay window ended before the overflow event")
+
+
+def simulate_htm_overflow_fast(
+    trace: AccessTrace,
+    geometry: Optional[CacheGeometry] = None,
+    *,
+    victim_entries: int = 0,
+) -> Optional[HTMOverflow]:
+    """Run one trace transactionally; ``None`` means it fit.
+
+    Drop-in replacement for the reference
+    :func:`repro.sim.overflow.simulate_htm_overflow` — same arguments,
+    same :class:`~repro.htm.htm.HTMOverflow` fields, same error message
+    on a negative ``victim_entries``.
+    """
+    if victim_entries < 0:
+        raise ValueError(f"capacity must be non-negative, got {victim_entries}")
+    geo = geometry if geometry is not None else CacheGeometry()
+    blocks = np.asarray(trace.blocks)
+    n = len(blocks)
+    ways = geo.ways
+
+    hi = min(n, _FIRST_CHUNK)
+    while True:
+        sets = _set_index(blocks[:hi], geo.n_sets)
+        events, is_first = _eviction_events(blocks[:hi], sets, ways)
+        if len(events) > victim_entries:
+            break
+        if hi == n:
+            return None  # the whole trace fits
+        hi = min(n, hi * 4)
+
+    overflow_at = int(events[victim_entries])
+    distinct = int(np.count_nonzero(is_first[: overflow_at + 1]))
+    prefix_blocks = blocks[: overflow_at + 1]
+    written = int(np.unique(prefix_blocks[trace.is_write[: overflow_at + 1]]).size)
+    footprint = TxFootprint(read_blocks=distinct - written, write_blocks=written)
+
+    if victim_entries == 0:
+        # No victim buffer: the loss is the evicted block itself — the
+        # least-recently-used resident of the overflowing set.  No set
+        # has evicted before this point, so residency is just the
+        # distinct blocks seen, LRU = oldest last access.
+        uniq, last_access = _distinct_by_last_access(
+            blocks, sets, overflow_at, int(sets[overflow_at])
+        )
+        lost = int(uniq[np.argmin(last_access)])
+    else:
+        lost = int(_replay_lost_block(blocks, sets, events, victim_entries, ways))
+
+    return HTMOverflow(
+        access_index=overflow_at,
+        instructions=int(trace.instr[overflow_at]),
+        footprint=footprint,
+        lost_block=lost,
+        utilization=footprint.total / geo.n_blocks,
+    )

@@ -34,7 +34,7 @@ from repro.service.sweeps import _open_point
 class TestDottedName:
     def test_round_trips_module_level_function(self):
         name = dotted_name(_open_point)
-        assert name == "repro.service.sweeps:_open_point"
+        assert name == "repro.sim.catalog:_open_point"
         assert resolve_point_fn(name) is _open_point
 
     def test_rejects_lambda(self):
@@ -84,7 +84,7 @@ class TestRegistry:
 class TestTaskFromCallable:
     def test_plain_function(self):
         task = task_from_callable(_open_point, seed=7, label="fig4a")
-        assert task.fn == "repro.service.sweeps:_open_point"
+        assert task.fn == "repro.sim.catalog:_open_point"
         assert task.kwargs == {}
         assert task.seed == 7 and task.label == "fig4a"
 

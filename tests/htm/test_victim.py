@@ -71,6 +71,58 @@ class TestStatistics:
         assert vb.hits == 1
 
 
+class _ProbeCountingList(list):
+    """A list that counts membership scans and removal probes."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.contains_probes = 0
+        self.remove_probes = 0
+
+    def __contains__(self, item):
+        self.contains_probes += 1
+        return super().__contains__(item)
+
+    def remove(self, item):
+        self.remove_probes += 1
+        super().remove(item)
+
+
+class TestSingleProbe:
+    """Regression: insert/extract sit on the §2.3 hot loop and must
+    scan the buffer exactly once per call — an ``in`` check followed by
+    ``remove()`` would walk the list twice."""
+
+    def test_insert_probes_once(self):
+        vb = VictimBuffer(4)
+        probes = _ProbeCountingList()
+        vb._blocks = probes
+        vb.insert(1)
+        vb.insert(2)
+        vb.insert(1)  # refresh: the remove probe succeeds
+        assert probes.contains_probes == 0
+        assert probes.remove_probes == 3
+
+    def test_extract_probes_once(self):
+        vb = VictimBuffer(4)
+        vb.insert(1)
+        probes = _ProbeCountingList(vb._blocks)
+        vb._blocks = probes
+        assert vb.extract(1)
+        assert not vb.extract(9)  # miss: still a single probe
+        assert probes.contains_probes == 0
+        assert probes.remove_probes == 2
+
+    def test_displacement_path_probes_once(self):
+        vb = VictimBuffer(1)
+        vb.insert(1)
+        probes = _ProbeCountingList(vb._blocks)
+        vb._blocks = probes
+        assert vb.insert(2) == 1  # displaces through the same single probe
+        assert probes.contains_probes == 0
+        assert probes.remove_probes == 1
+
+
 class TestInvariants:
     @given(
         capacity=st.integers(min_value=1, max_value=8),

@@ -1,12 +1,13 @@
 """Differential tests: the fast closed-system engine vs the reference.
 
 The optimized engine's contract is *byte-identical* results — same RNG
-stream consumed in the same order, same transition rules — so every
-test here asserts exact equality (``==``, never ``approx``) on all four
-result fields across a randomized N × C × W × α grid, hypothesis-drawn
-configs, and the protocol's edge cases.  Also pins the numpy property
-the fast engine's chunk prefetcher depends on: bounded-int64 sampling
-is stream-concatenable.
+stream consumed in the same order, same transition rules — enforced
+through the shared :mod:`tests.sim.engine_contract` harness: exact
+equality (``==``, never ``approx``) on all four result fields across a
+randomized N × C × W × α grid, hypothesis-drawn configs, and the
+protocol's edge cases.  Also pins the numpy property the fast engine's
+chunk prefetcher depends on: bounded-int64 sampling is
+stream-concatenable.
 """
 
 from __future__ import annotations
@@ -25,17 +26,18 @@ from repro.sim.engines import (
     get_closed_engine,
     simulate_closed,
 )
+from tests.sim.engine_contract import EngineContract, registry_test_class
+
+CONTRACT = EngineContract(
+    kind="closed",
+    fields=("conflicts", "committed", "mean_occupancy", "expected_occupancy", "config"),
+    run=lambda engine, cfg: engine(cfg),
+)
 
 
 def assert_identical(cfg: ClosedSystemConfig) -> None:
     """Both engines, exact equality on every measured field."""
-    ref = simulate_closed_system(cfg)
-    fast = simulate_closed_system_fast(cfg)
-    assert fast.conflicts == ref.conflicts
-    assert fast.committed == ref.committed
-    assert fast.mean_occupancy == ref.mean_occupancy
-    assert fast.expected_occupancy == ref.expected_occupancy
-    assert fast.config == ref.config
+    CONTRACT.assert_identical(cfg)
 
 
 class TestDifferentialGrid:
@@ -154,23 +156,23 @@ class TestStreamConcatenation:
         assert np.array_equal(whole, np.concatenate([first, second]))
 
 
+TestRegistryContract = registry_test_class(
+    "closed",
+    reference=simulate_closed_system,
+    fast=simulate_closed_system_fast,
+    display="closed-system",
+)
+
+
 class TestEngineRegistry:
-    def test_registry_contents(self):
+    """Kind-specific helpers layered over the shared registry contract."""
+
+    def test_legacy_helpers_match_registry(self):
         assert set(CLOSED_ENGINES) == {"reference", "fast"}
-        assert CLOSED_ENGINES["reference"] is simulate_closed_system
-        assert CLOSED_ENGINES["fast"] is simulate_closed_system_fast
-        assert available_closed_engines() == ("fast", "reference")
-
-    def test_default_is_fast(self):
         assert DEFAULT_CLOSED_ENGINE == "fast"
+        assert available_closed_engines() == ("fast", "reference")
         assert get_closed_engine() is simulate_closed_system_fast
-        assert get_closed_engine(None) is simulate_closed_system_fast
-
-    def test_lookup_by_name(self):
         assert get_closed_engine("reference") is simulate_closed_system
-        assert get_closed_engine("fast") is simulate_closed_system_fast
-
-    def test_unknown_engine_lists_known_names(self):
         with pytest.raises(ValueError, match="fast, reference"):
             get_closed_engine("warp")
 

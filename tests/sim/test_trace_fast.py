@@ -2,12 +2,13 @@
 
 The optimized Figure 2 engine's contract is *byte-identical* results —
 same RNG stream consumed in the same order, same windows, same batched
-conflict kernel verdicts — so every test here asserts exact equality
-(``==``, never ``approx``) on all result fields, across parametrized
-and hypothesis-random traces, all three hash kinds, wrap-around
-windows, and streams barely long enough to reach W.  Also pins the
-numpy property the vectorized start-draw path depends on, and covers
-the generalized (multi-kind) engine registry.
+conflict kernel verdicts — enforced through the shared
+:mod:`tests.sim.engine_contract` harness: exact equality (``==``, never
+``approx``) on all result fields, across parametrized and
+hypothesis-random traces, all three hash kinds, wrap-around windows,
+and streams barely long enough to reach W.  Also pins the numpy
+property the vectorized start-draw path depends on, and covers the
+generalized (multi-kind) engine registry.
 """
 
 from __future__ import annotations
@@ -38,6 +39,15 @@ from repro.sim.trace_driven import (
 )
 from repro.sim.trace_fast import simulate_trace_aliasing_fast
 from repro.traces.events import AccessTrace, ThreadedTrace
+from tests.sim.engine_contract import EngineContract, registry_test_class
+
+CONTRACT = EngineContract(
+    kind="trace",
+    fields=("alias_probability", "stderr", "mean_window_accesses", "config"),
+    run=lambda engine, case, *, hash_fn=None, batch=1000: engine(
+        case[0], case[1], hash_fn=hash_fn, batch=batch
+    ),
+)
 
 
 def make_stream(blocks, writes) -> AccessTrace:
@@ -60,13 +70,11 @@ def random_stream(rng: np.random.Generator, length: int, universe: int,
 def assert_identical(trace, cfg, *, hash_fn=None,
                      ref_batch: int = 1000, fast_batch: int = 1000) -> TraceAliasResult:
     """Both engines, exact equality on every result field."""
-    ref = simulate_trace_aliasing(trace, cfg, hash_fn=hash_fn, batch=ref_batch)
-    fast = simulate_trace_aliasing_fast(trace, cfg, hash_fn=hash_fn, batch=fast_batch)
-    assert fast.alias_probability == ref.alias_probability
-    assert fast.stderr == ref.stderr
-    assert fast.mean_window_accesses == ref.mean_window_accesses
-    assert fast.config == ref.config
-    return ref
+    return CONTRACT.assert_identical(
+        (trace, cfg),
+        ref_kwargs={"hash_fn": hash_fn, "batch": ref_batch},
+        fast_kwargs={"hash_fn": hash_fn, "batch": fast_batch},
+    )
 
 
 @pytest.fixture(scope="module")
@@ -144,9 +152,10 @@ class TestDifferentialGrid:
     def test_hash_size_mismatch_raises_in_both(self, small_trace):
         cfg = TraceAliasConfig(n_entries=1024, write_footprint=6, samples=10, seed=2)
         wrong = make_hash("mask", 512)
-        for engine in (simulate_trace_aliasing, simulate_trace_aliasing_fast):
-            with pytest.raises(ValueError, match="sized for"):
-                engine(small_trace, cfg, hash_fn=wrong)
+        message = CONTRACT.assert_identical_error(
+            (small_trace, cfg), run_kwargs={"hash_fn": wrong}
+        )
+        assert "sized for" in message
 
 
 class TestWindowEdges:
@@ -191,14 +200,9 @@ class TestWindowEdges:
         deficient = make_stream(rng.integers(0, 50, 40), [False] * 39 + [True])
         trace = ThreadedTrace([deficient, random_stream(rng, 30, 10, 1.0)])
         cfg = TraceAliasConfig(n_entries=8, write_footprint=5, samples=10, seed=0)
-        messages = []
-        for engine in (simulate_trace_aliasing, simulate_trace_aliasing_fast):
-            with pytest.raises(ValueError) as err:
-                engine(trace, cfg)
-            messages.append(str(err.value))
-        assert messages[0] == messages[1]
-        assert messages[0] == (
-            "stream has only 1 distinct written blocks; cannot reach W=5"
+        CONTRACT.assert_identical_error(
+            (trace, cfg),
+            message="stream has only 1 distinct written blocks; cannot reach W=5",
         )
 
 
@@ -223,16 +227,13 @@ class TestDifferentialProperty:
         cfg = TraceAliasConfig(n_entries=n, concurrency=c, write_footprint=w,
                                samples=60, seed=seed % 1000, hash_kind=hash_kind)
         try:
-            ref = simulate_trace_aliasing(trace, cfg)
-        except ValueError as err:
+            simulate_trace_aliasing(trace, cfg)
+        except ValueError:
             # A random stream may not reach W; the fast engine must then
             # fail identically.
-            with pytest.raises(ValueError) as fast_err:
-                simulate_trace_aliasing_fast(trace, cfg)
-            assert str(fast_err.value) == str(err)
+            CONTRACT.assert_identical_error((trace, cfg))
             return
-        fast = simulate_trace_aliasing_fast(trace, cfg)
-        assert fast == ref
+        assert_identical(trace, cfg)
 
 
 class TestScalarVectorDraws:
@@ -255,25 +256,34 @@ class TestScalarVectorDraws:
         assert scalars == vector.tolist()
 
 
+TestRegistryContract = registry_test_class(
+    "trace",
+    reference=simulate_trace_aliasing,
+    fast=simulate_trace_aliasing_fast,
+    display="trace-driven",
+)
+
+
 class TestEngineRegistry:
     """The generalized multi-kind registry."""
 
     def test_kinds(self):
-        assert set(ENGINES) == {"closed", "trace"}
-        assert DEFAULT_ENGINES == {"closed": "fast", "trace": "fast"}
+        assert set(ENGINES) == {"closed", "open", "overflow", "trace"}
+        assert DEFAULT_ENGINES == {
+            "closed": "fast",
+            "open": "fast",
+            "overflow": "fast",
+            "trace": "fast",
+        }
 
-    def test_trace_registry_contents(self):
+    def test_legacy_helpers_match_registry(self):
         assert set(TRACE_ENGINES) == {"reference", "fast"}
-        assert TRACE_ENGINES["reference"] is simulate_trace_aliasing
-        assert TRACE_ENGINES["fast"] is simulate_trace_aliasing_fast
-        assert available_trace_engines() == ("fast", "reference")
-        assert available_engines("trace") == ("fast", "reference")
-
-    def test_trace_default_is_fast(self):
         assert DEFAULT_TRACE_ENGINE == "fast"
+        assert available_trace_engines() == ("fast", "reference")
         assert get_trace_engine() is simulate_trace_aliasing_fast
-        assert get_trace_engine(None) is simulate_trace_aliasing_fast
-        assert get_engine("trace") is simulate_trace_aliasing_fast
+        assert get_trace_engine("reference") is simulate_trace_aliasing
+        with pytest.raises(ValueError, match="trace-driven engine 'warp'"):
+            get_trace_engine("warp")
 
     def test_lookup_by_name_both_kinds(self):
         assert get_engine("trace", "reference") is simulate_trace_aliasing
@@ -281,19 +291,11 @@ class TestEngineRegistry:
         assert get_engine("closed", "reference") is simulate_closed_system
         assert get_engine("closed", "fast") is simulate_closed_system_fast
 
-    def test_unknown_engine_lists_known_names(self):
-        with pytest.raises(ValueError, match="trace-driven engine 'warp'"):
-            get_trace_engine("warp")
-        with pytest.raises(ValueError, match="fast, reference"):
-            get_engine("trace", "warp")
-        with pytest.raises(ValueError, match="closed-system engine 'warp'"):
-            get_engine("closed", "warp")
-
     def test_unknown_kind_lists_known_kinds(self):
-        with pytest.raises(ValueError, match="closed, trace"):
-            get_engine("open")
+        with pytest.raises(ValueError, match="closed, open, overflow, trace"):
+            get_engine("warp")
         with pytest.raises(ValueError, match="unknown engine kind"):
-            available_engines("open")
+            available_engines("warp")
 
     def test_simulate_trace_dispatches(self, equal_trace):
         cfg = TraceAliasConfig(n_entries=64, write_footprint=4, samples=50, seed=6)
