@@ -10,36 +10,32 @@ Quality levels trade Monte Carlo samples for wall-clock:
 * ``smoke``  — seconds; big error bars, still shape-correct.
 * ``normal`` — a couple of minutes; the EXPERIMENTS.md quality.
 
-Sweep-shaped sections run on the shared engine from
-:mod:`repro.sim.sweep`; setting ``jobs`` fans them out over a process
-pool (:mod:`repro.sim.parallel`) without changing a single digit of the
-output tables, and appends a telemetry section describing the runs.
-Setting ``cluster`` instead routes clusterable sweeps through an
-in-process coordinator + worker fleet (:mod:`repro.cluster`) — same
-bytes again; sweeps whose point function cannot cross the wire (the
-trace-driven grid carries a positional trace object) silently fall back
-to the local path.
+Sweep-shaped sections are defined once, in the declarative sweep-kind
+table (:data:`repro.sim.catalog.SWEEP_KINDS`) — the report validates a
+parameter dict through the kind's schema and runs the kind's own point
+function, so report, service, CLI and the experiments pipeline all
+compute any given figure from one definition.  Setting ``jobs`` fans
+sweeps out over a process pool (:mod:`repro.sim.parallel`) without
+changing a single digit of the output tables; setting ``cluster``
+routes them through an in-process coordinator + worker fleet
+(:mod:`repro.cluster`) — same bytes again.  Every sweep kind crosses
+the cluster wire (the trace-driven grid ships as JSON scalars and
+rebuilds its trace per worker), so there is no local fallback path.
 """
 
 from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from functools import partial
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.analysis.tables import format_series, format_table
 from repro.core.model import ModelParams, conflict_likelihood_product_form
 from repro.core.sizing import concurrency_scaling_factor, table_entries_for_commit_probability
-from repro.sim.closed_system import ClosedSystemConfig
-from repro.sim.engines import CLOSED_ENGINES, DEFAULT_CLOSED_ENGINE, simulate_closed
-from repro.sim.open_system import OpenSystemConfig, simulate_open_system
-from repro.sim.overflow import OverflowConfig, fleet_summary
-from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
+from repro.sim.catalog import SWEEP_KINDS
+from repro.sim.engines import CLOSED_ENGINES, DEFAULT_CLOSED_ENGINE
+from repro.sim.sweep import SweepResult, run_sweep
 from repro.sim.throughput import throughput_curve
-from repro.sim.trace_driven import TraceAliasConfig, simulate_trace_aliasing
-from repro.traces.dedup import remove_true_conflicts
-from repro.traces.workloads import specjbb_like
 
 __all__ = ["ReportConfig", "generate_report"]
 
@@ -55,10 +51,9 @@ class ReportConfig:
 
     ``jobs`` parallelizes the sweep-shaped sections over that many
     worker processes; ``None`` (the default) keeps them serial.
-    ``cluster`` distributes clusterable sweeps over that many in-process
-    cluster workers instead (non-clusterable sweeps fall back to the
-    ``jobs`` path). The report body is identical in every mode —
-    non-serial runs only add a telemetry section at the end.
+    ``cluster`` distributes the sweeps over that many in-process
+    cluster workers instead. The report body is identical in every
+    mode — non-serial runs only add a telemetry section at the end.
     """
 
     quality: str = "smoke"
@@ -89,10 +84,9 @@ class _SweepRunner:
     """Dispatch report sweeps serially, onto the pool, or the cluster.
 
     Collects one telemetry record per non-serial sweep so the report can
-    surface throughput and worker utilization at the end.  Cluster
-    dispatch requires a wire-safe point function; sweeps that cannot
-    cross the wire (``ValueError`` from the task extractor) fall back to
-    the ``jobs`` path without changing a byte of output.
+    surface throughput and worker utilization at the end.  Every report
+    sweep comes from the sweep-kind table, whose point functions are
+    wire-safe by construction — cluster dispatch never falls back.
     """
 
     def __init__(self, jobs: Optional[int], cluster: Optional[int] = None) -> None:
@@ -110,16 +104,10 @@ class _SweepRunner:
         if self.cluster is not None:
             from repro.cluster.coordinator import run_sweep_cluster_from_callable
 
-            try:
-                result = run_sweep_cluster_from_callable(
-                    fn, list(grid), workers=self.cluster
-                )
-            except ValueError:
-                pass  # not clusterable (e.g. a positional trace argument)
-            else:
-                if result.telemetry is not None:
-                    self.telemetry.append((name, result.telemetry))
-                return result
+            result = run_sweep_cluster_from_callable(fn, list(grid), workers=self.cluster)
+            if result.telemetry is not None:
+                self.telemetry.append((name, result.telemetry))
+            return result
         if self.jobs is None:
             return run_sweep(fn, grid)
         from repro.sim.parallel import run_sweep_parallel
@@ -128,6 +116,19 @@ class _SweepRunner:
         if result.telemetry is not None:
             self.telemetry.append((name, result.telemetry))
         return result
+
+    def kind(self, name: str, kind_name: str, raw_params: Mapping[str, Any],
+             seed: int) -> tuple[dict[str, Any], SweepResult]:
+        """Validate and run one sweep-kind grid; returns (params, sweep).
+
+        The single figure-definition path: the kind's schema normalizes
+        the request, its ``bind``/``grid`` produce the exact callable
+        and point list every other surface (CLI, service, cluster,
+        experiments) would run.
+        """
+        kind = SWEEP_KINDS[kind_name]
+        params = kind.validate(raw_params)
+        return params, self(name, kind.bind(params, seed), kind.grid(params))
 
 
 def _section_model(out: io.StringIO, cfg: ReportConfig) -> None:
@@ -142,101 +143,81 @@ def _section_model(out: io.StringIO, cfg: ReportConfig) -> None:
     out.write("\n\n")
 
 
-def _fig4_point(n: int, *, samples: int, seed: int) -> float:
-    """One Figure 4(a) W=8 report point: conflict probability."""
-    r = simulate_open_system(OpenSystemConfig(n, 2, 8, samples=samples, seed=seed))
-    return r.conflict_probability
-
-
 def _section_fig4(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
     out.write("## Open-system validation (Figure 4a, W=8 column)\n\n")
     paper = {512: 0.48, 1024: 0.27, 2048: 0.14, 4096: 0.077}
-    sweep = run(
+    _, sweep = run.kind(
         "fig4a W=8 column",
-        partial(_fig4_point, samples=cfg.knobs["samples"], seed=cfg.seed),
-        sweep_grid(n=list(paper)),
+        "fig4a",
+        {"n_values": list(paper), "w_values": [8], "samples": cfg.knobs["samples"]},
+        cfg.seed,
     )
     rows = []
-    for (point, prob), expected in zip(sweep, paper.values()):
+    for (point, pct), expected in zip(sweep, paper.values()):
         n = point["n"]
         model = conflict_likelihood_product_form(8, ModelParams(n, 2, 2.0))
-        rows.append([n, f"{expected:.1%}", f"{prob:.1%}", f"{model:.1%}"])
+        rows.append([n, f"{expected:.1%}", f"{pct / 100:.1%}", f"{model:.1%}"])
     out.write(format_table(["N", "paper", "simulated", "model"], rows))
     out.write("\n\n")
 
 
-def _fig2_point(trace: Any, n: int, w: int, *, samples: int, seed: int) -> float:
-    """One Figure 2 report point: alias likelihood in percent."""
-    r = simulate_trace_aliasing(
-        trace,
-        TraceAliasConfig(n_entries=n, write_footprint=w, samples=samples, seed=seed),
-    )
-    return 100 * r.alias_probability
-
-
 def _section_fig2(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
     out.write("## Trace-driven aliasing (Figure 2 trends)\n\n")
-    trace = remove_true_conflicts(
-        specjbb_like(4, cfg.knobs["trace_accesses"], seed=cfg.seed)
-    )
     w_values = [5, 10, 20]
     n_values = [4096, 16384, 65536]
-    sweep = run(
+    _, sweep = run.kind(
         "fig2 aliasing grid",
-        partial(_fig2_point, trace, samples=cfg.knobs["samples"], seed=cfg.seed),
-        sweep_grid(n=n_values, w=w_values),
+        "fig2a",
+        {
+            "n_values": n_values,
+            "w_values": w_values,
+            "samples": cfg.knobs["samples"],
+            "accesses": cfg.knobs["trace_accesses"],
+        },
+        cfg.seed,
     )
     series = {f"N={n}": sweep.where(n=n).series("w", float)[1] for n in n_values}
     out.write(format_series("W", w_values, series, title="alias likelihood (%), C=2"))
     out.write("\n\n")
 
 
-def _section_fig3(out: io.StringIO, cfg: ReportConfig) -> None:
+def _section_fig3(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
     out.write("## HTM overflow (Figure 3 fleet average)\n\n")
-    base = fleet_summary(
-        OverflowConfig(
-            n_traces=cfg.knobs["traces"],
-            trace_accesses=cfg.knobs["trace_accesses"],
-            seed=cfg.seed,
-        ),
-        jobs=cfg.jobs,
-    )["AVG"]
+    params, sweep = run.kind(
+        "fig3 overflow fleet",
+        "fig3",
+        {"traces": cfg.knobs["traces"], "accesses": cfg.knobs["trace_accesses"]},
+        cfg.seed,
+    )
+    assembled = SWEEP_KINDS["fig3"].assemble(params, sweep)
+    base = next(r for r in reversed(assembled["points"]) if r["bench"] == "AVG")
+    total = base["mean_read_blocks"] + base["mean_write_blocks"]
+    write_fraction = base["mean_write_blocks"] / total if total > 0 else 0.0
     rows = [
-        ["cache utilization at overflow", "~36%", f"{base.mean_utilization:.0%}"],
-        ["written share of footprint", "~33%", f"{base.write_fraction:.0%}"],
-        ["dynamic instructions", ">23K", f"{base.mean_instructions / 1e3:.1f}K"],
+        ["cache utilization at overflow", "~36%", f"{base['mean_utilization']:.0%}"],
+        ["written share of footprint", "~33%", f"{write_fraction:.0%}"],
+        ["dynamic instructions", ">23K", f"{base['mean_instructions'] / 1e3:.1f}K"],
     ]
     out.write(format_table(["quantity", "paper", "measured"], rows))
     out.write("\n\n")
 
 
-def _closed_point(n: int, c: int, w: int, *, seed: int,
-                  engine: str = DEFAULT_CLOSED_ENGINE) -> dict:
-    """One closed-system report point, as a wire-safe dict."""
-    r = simulate_closed(
-        ClosedSystemConfig(n_entries=n, concurrency=c, write_footprint=w, seed=seed),
-        engine=engine,
-    )
-    return {
-        "conflicts": r.conflicts,
-        "committed": r.committed,
-        "mean_occupancy": r.mean_occupancy,
-        "expected_occupancy": r.expected_occupancy,
-        "actual_concurrency": r.actual_concurrency,
-    }
-
-
 def _section_closed(out: io.StringIO, cfg: ReportConfig, run: _SweepRunner) -> None:
     out.write("## Closed system (Figures 5-6 spot checks)\n\n")
-    grid = [{"n": n, "c": c, "w": w} for n, c, w in [(1024, 2, 10), (1024, 8, 10), (16384, 8, 10)]]
-    sweep = run(
+    _, sweep = run.kind(
         "closed-system spot checks",
-        partial(_closed_point, seed=cfg.seed, engine=cfg.engine),
-        grid,
+        "closed",
+        {
+            "n_values": [1024, 16384],
+            "c_values": [2, 8],
+            "w_values": [10],
+            "engine": cfg.engine,
+        },
+        cfg.seed,
     )
     rows = [
-        [f"{p['n']}-{p['c']}-{p['w']}", r["conflicts"], r["committed"],
-         f"{r['actual_concurrency']:.2f}"]
+        [f"{p['n_entries']}-{p['concurrency']}-{p['write_footprint']}",
+         r["conflicts"], r["committed"], f"{r['actual_concurrency']:.2f}"]
         for p, r in sweep
     ]
     out.write(format_table(["N-C-W", "conflicts", "committed", "actual C"], rows))
@@ -288,7 +269,7 @@ def generate_report(cfg: Optional[ReportConfig] = None) -> str:
     _section_model(out, cfg)
     _section_fig4(out, cfg, run)
     _section_fig2(out, cfg, run)
-    _section_fig3(out, cfg)
+    _section_fig3(out, cfg, run)
     _section_closed(out, cfg, run)
     _section_scalability(out, cfg)
     if run.telemetry:

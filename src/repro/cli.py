@@ -12,6 +12,8 @@
     python -m repro loadgen --port 8642 --duration 5
     python -m repro cluster coordinate --kind fig4a --port 8653
     python -m repro cluster work --coordinator http://127.0.0.1:8653
+    python -m repro experiments list
+    python -m repro experiments run --quality smoke --out runs/all-figures
 
 Every subcommand prints the same series its benchmark counterpart
 asserts on, with explicit seeds, so results can be pasted into reports.
@@ -26,7 +28,10 @@ simulator implementation for its kind; engines are byte-identical, so
 the flag only changes wall-clock.  The figure subcommands resolve
 through the same declarative sweep-kind table
 (:data:`repro.sim.catalog.SWEEP_KINDS`) the service and cluster use, so
-all three surfaces run the very same point functions.
+all three surfaces run the very same point functions.  ``experiments
+run`` executes *every* paper figure in one resumable, checkpointed run
+(:mod:`repro.experiments`) — interrupt it, rerun the same command, and
+finished chunks are served from the on-disk cache.
 """
 
 from __future__ import annotations
@@ -330,6 +335,63 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--crash-after", type=int, default=None, metavar="N",
         help="fault injection: vanish while holding a lease after N completed chunks",
+    )
+
+    p = sub.add_parser(
+        "experiments", help="resumable all-figures experiment pipeline"
+    )
+    esub = p.add_subparsers(dest="experiments_command", required=True)
+
+    e = esub.add_parser("list", help="list the per-figure experiment specs")
+    e.add_argument(
+        "--quality", choices=["smoke", "normal"], default="smoke",
+        help="quality tier whose grids to show (default smoke)",
+    )
+
+    e = esub.add_parser(
+        "run",
+        help="run every paper figure, checkpointed and resumable",
+        description="Execute every paper figure at the chosen quality, "
+        "checkpointing each chunk under --out; rerunning the identical "
+        "command after an interrupt skips finished chunks and produces "
+        "a byte-identical report artifact.",
+    )
+    e.add_argument(
+        "--quality", choices=["smoke", "normal"], default="smoke",
+        help="grid tier: smoke (minutes) or normal (paper-faithful)",
+    )
+    e.add_argument(
+        "--out", type=str, default="experiments-out", metavar="DIR",
+        help="output dir for manifest, chunk cache and report (default experiments-out)",
+    )
+    e.add_argument(
+        "--figures", type=str, default=None, metavar="IDS",
+        help="comma-separated subset of figure ids (default: all)",
+    )
+    _add_jobs_flag(e)
+    e.add_argument(
+        "--cluster", type=_jobs_arg, default=None, metavar="N",
+        help="run on N elastic in-process cluster workers (default: off)",
+    )
+    e.add_argument(
+        "--lease-ttl", type=float, default=10.0, metavar="SECONDS",
+        help="cluster lease ttl; stealing kicks in at half of it (default 10)",
+    )
+    e.add_argument(
+        "--chunk-target-seconds", type=float, default=2.0, metavar="SECONDS",
+        help="adaptive chunk sizing target per lease (default 2)",
+    )
+    e.add_argument(
+        "--crash-after", type=_jobs_arg, default=None, metavar="N",
+        help="fault injection: interrupt the run after N computed chunks",
+    )
+    e.add_argument(
+        "--elastic-depart-after", type=int, default=None, metavar="N",
+        help="elasticity injection: one worker vanishes mid-chunk after N chunks",
+    )
+    e.add_argument(
+        "--elastic-join-after", type=float, default=None, metavar="SECONDS",
+        help="elasticity injection: one extra worker joins after this delay",
     )
 
     p = sub.add_parser("loadgen", help="closed-loop load generator against a server")
@@ -673,6 +735,79 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return handlers[args.cluster_command](args)
 
 
+def _cmd_experiments_list(args: argparse.Namespace) -> int:
+    """Print the per-figure experiment table for one quality tier."""
+    from repro.experiments import EXPERIMENTS
+
+    rows = []
+    for spec in EXPERIMENTS.values():
+        params = spec.params(args.quality)
+        kind = SWEEP_KINDS[spec.kind]
+        points = 1
+        if kind.clusterable:
+            points = len(kind.grid(params))
+        rows.append([spec.figure, spec.kind, spec.section, points, len(spec.claims)])
+    print(
+        format_table(
+            ["figure", "kind", "section", "points", "claims"],
+            rows,
+            title=f"experiments ({args.quality} tier)",
+        )
+    )
+    return 0
+
+
+def _cmd_experiments_run(args: argparse.Namespace) -> int:
+    """Run the resumable all-figures pipeline.
+
+    Stderr carries per-figure telemetry (cache hits vs computed chunks
+    — the resume signal); stdout prints only the artifact paths, so
+    scripts can capture them.
+    """
+    from pathlib import Path
+
+    from repro.experiments import (
+        ExperimentInterrupted,
+        ExperimentsConfig,
+        run_experiments,
+    )
+    from repro.experiments.manifest import ManifestMismatch
+
+    figures = None
+    if args.figures:
+        figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+    try:
+        result = run_experiments(
+            ExperimentsConfig(
+                out_dir=Path(args.out),
+                quality=args.quality,
+                seed=args.seed,
+                jobs=args.jobs,
+                cluster=args.cluster,
+                figures=figures,
+                lease_ttl=args.lease_ttl,
+                chunk_target_seconds=args.chunk_target_seconds,
+                crash_after_chunks=args.crash_after,
+                elastic_depart_after=args.elastic_depart_after,
+                elastic_join_after=args.elastic_join_after,
+            )
+        )
+    except ManifestMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ExperimentInterrupted as exc:
+        print(f"[experiments] interrupted: {exc}", file=sys.stderr)
+        return 3
+    print(result.report_md)
+    print(result.report_json)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    handlers = {"list": _cmd_experiments_list, "run": _cmd_experiments_run}
+    return handlers[args.experiments_command](args)
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service.loadgen import LoadGenConfig, run_loadgen_sync
 
@@ -703,6 +838,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "cluster": _cmd_cluster,
+    "experiments": _cmd_experiments,
 }
 
 

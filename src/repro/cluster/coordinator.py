@@ -55,11 +55,34 @@ __all__ = [
     "Coordinator",
     "CoordinatorConfig",
     "CoordinatorThread",
+    "chunk_cache_key",
     "run_sweep_cluster",
     "run_sweep_cluster_from_callable",
 ]
 
 _PENDING = object()  # outcome slot not yet filled
+
+
+def chunk_cache_key(task: ClusterTask, points: Sequence[Mapping[str, Any]]) -> str:
+    """Content address of one chunk's outcomes.
+
+    Keyed by what is computed (function, bound kwargs, label, the
+    chunk's points) and the master seed — never by run id or chunk
+    geometry — so any run covering the same points reuses them.  The
+    experiments runner uses the same key for its local checkpoints,
+    which is what lets a run switch between ``--jobs`` and ``--cluster``
+    and still resume from the same cache.
+    """
+    return cache_key(
+        {
+            "kind": "cluster-chunk",
+            "fn": task.fn,
+            "kwargs": dict(task.kwargs),
+            "label": task.label,
+            "points": list(points),
+        },
+        task.seed,
+    )
 
 
 class ClusterError(Exception):
@@ -94,6 +117,8 @@ class ClusterTelemetry:
         Result submissions discarded as already-completed.
     cache_hits:
         Chunks answered from the result cache without dispatch.
+    leases_stolen:
+        Straggler leases reassigned to idle workers by work stealing.
     points_by_worker:
         Completed points attributed to each worker id.
     """
@@ -106,6 +131,7 @@ class ClusterTelemetry:
     leases_expired: int
     duplicates: int
     cache_hits: int
+    leases_stolen: int
     points_by_worker: Mapping[str, int]
 
     @property
@@ -141,7 +167,8 @@ class ClusterTelemetry:
             f"{self.n_points} points in {self.wall_seconds:.2f}s "
             f"({self.points_per_second:.1f} pts/s, workers={self.workers}, "
             f"balance={self.worker_utilization:.0%}, retries={self.retries}, "
-            f"expired={self.leases_expired}, cached_chunks={self.cache_hits})"
+            f"expired={self.leases_expired}, stolen={self.leases_stolen}, "
+            f"cached_chunks={self.cache_hits})"
         )
 
 
@@ -162,6 +189,11 @@ class CoordinatorConfig:
         worker (mirroring the parallel engine's heuristic).
     expected_workers:
         Sizing hint for the default chunk size.
+    steal_min_age:
+        Enable work stealing: an idle worker with nothing pending may
+        take over a lease outstanding at least this many seconds (see
+        :class:`~repro.cluster.leases.LeaseManager`).  ``None`` (the
+        default) keeps the pre-stealing behaviour.
     """
 
     host: str = "127.0.0.1"
@@ -170,6 +202,7 @@ class CoordinatorConfig:
     max_attempts: int = 3
     chunk_size: Optional[int] = None
     expected_workers: int = 2
+    steal_min_age: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.lease_ttl <= 0:
@@ -181,6 +214,10 @@ class CoordinatorConfig:
         if self.expected_workers < 1:
             raise ValueError(
                 f"expected_workers must be >= 1, got {self.expected_workers}"
+            )
+        if self.steal_min_age is not None and self.steal_min_age < 0:
+            raise ValueError(
+                f"steal_min_age must be >= 0, got {self.steal_min_age}"
             )
 
 
@@ -245,13 +282,22 @@ class Coordinator(JsonHttpServer):
             "repro_cluster_cached_chunks_total",
             "Chunks answered from the result cache without dispatch",
         )
+        self._m_chunk_size = m.gauge(
+            "repro_cluster_chunk_size", "Grid points per lease for this run"
+        )
+        self._m_leases_stolen = m.counter(
+            "repro_cluster_leases_stolen_total",
+            "Straggler leases reassigned to idle workers by work stealing",
+        )
         chunks = self.spec.chunks()
         self.leases = LeaseManager(
             chunks,
             ttl=self.config.lease_ttl,
             max_attempts=self.config.max_attempts,
             clock=clock,
+            steal_min_age=self.config.steal_min_age,
         )
+        self._m_chunk_size.set(self.spec.chunk_size)
         self._outcomes: list[Any] = [_PENDING] * self.spec.n_points
         self._done = threading.Event()
         self._draining = False
@@ -261,29 +307,15 @@ class Coordinator(JsonHttpServer):
         self._expired_seen = 0
         self._points_seen: dict[str, int] = {}
         self._duplicates_seen = 0
+        self._stolen_seen = 0
         self._probe_cache(chunks)
         self._maybe_finish()
 
     # -- cache integration --------------------------------------------
 
     def _chunk_key(self, chunk: ChunkSpec) -> str:
-        """Content address of one chunk's outcomes.
-
-        Keyed by what is computed (function, bound kwargs, label, the
-        chunk's points) and the master seed — not by run id or chunk
-        geometry, so any run that covers the same points reuses them.
-        """
-        task = self.spec.task
-        return cache_key(
-            {
-                "kind": "cluster-chunk",
-                "fn": task.fn,
-                "kwargs": dict(task.kwargs),
-                "label": task.label,
-                "points": self.spec.points(chunk),
-            },
-            task.seed,
-        )
+        """Content address of one chunk's outcomes (:func:`chunk_cache_key`)."""
+        return chunk_cache_key(self.spec.task, self.spec.points(chunk))
 
     def _probe_cache(self, chunks: Iterable[ChunkSpec]) -> None:
         if self.cache is None:
@@ -355,6 +387,7 @@ class Coordinator(JsonHttpServer):
             leases_expired=int(snapshot["expired_total"]),
             duplicates=int(snapshot["duplicates_total"]),
             cache_hits=self._cache_hits,
+            leases_stolen=int(snapshot["stolen_total"]),
             points_by_worker=points_by_worker,
         )
         return SweepResult(
@@ -384,6 +417,10 @@ class Coordinator(JsonHttpServer):
         if duplicates > self._duplicates_seen:
             self._m_duplicates.inc(duplicates - self._duplicates_seen)
             self._duplicates_seen = duplicates
+        stolen = int(snapshot["stolen_total"])
+        if stolen > self._stolen_seen:
+            self._m_leases_stolen.inc(stolen - self._stolen_seen)
+            self._stolen_seen = stolen
         elapsed = time.perf_counter() - self._started
         for worker, points in self.leases.points_by_worker().items():
             seen = self._points_seen.get(worker, 0)

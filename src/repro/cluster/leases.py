@@ -57,6 +57,10 @@ class Lease:
         Monotonic-clock expiry; heartbeats push it forward.
     attempt:
         1-based execution attempt this lease represents.
+    granted_at:
+        Monotonic-clock grant time; heartbeats do *not* move it, so it
+        measures how long the chunk has been in flight — the signal the
+        work-stealing policy ages leases by.
     """
 
     id: str
@@ -64,6 +68,7 @@ class Lease:
     worker: str
     expires_at: float
     attempt: int
+    granted_at: float = 0.0
 
 
 class LeaseManager:
@@ -80,6 +85,15 @@ class LeaseManager:
         chunk — and therefore the run — is declared failed.
     clock:
         Monotonic time source (injectable for tests).
+    steal_min_age:
+        Work-stealing threshold in seconds: when no chunk is pending, an
+        idle worker may *steal* (be granted a fresh lease for) the
+        longest-in-flight chunk held by another worker, provided that
+        lease has been outstanding at least this long.  The original
+        holder keeps computing — whichever submission lands first wins
+        and the loser is discarded as a duplicate, so stealing bounds
+        straggler latency without ever perturbing results.  ``None``
+        (the default) disables stealing.
     """
 
     def __init__(
@@ -89,17 +103,21 @@ class LeaseManager:
         ttl: float = 10.0,
         max_attempts: int = 3,
         clock: Callable[[], float] = None,  # type: ignore[assignment]
+        steal_min_age: Optional[float] = None,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"ttl must be positive, got {ttl}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if steal_min_age is not None and steal_min_age < 0:
+            raise ValueError(f"steal_min_age must be >= 0, got {steal_min_age}")
         if clock is None:
             import time
 
             clock = time.monotonic
         self.ttl = ttl
         self.max_attempts = max_attempts
+        self.steal_min_age = steal_min_age
         self._clock = clock
         self._lock = threading.Lock()
         self._chunks: dict[int, ChunkSpec] = {c.index: c for c in chunks}
@@ -116,6 +134,7 @@ class LeaseManager:
         self._retries_total = 0
         self._duplicates_total = 0
         self._granted_total = 0
+        self._stolen_total = 0
 
     # -- claims -------------------------------------------------------
 
@@ -124,8 +143,11 @@ class LeaseManager:
 
         Expired leases are swept first, so an idle worker polling for
         work is also what drives reassignment of dead workers' chunks.
-        Raises :class:`ChunkExhausted` once any chunk has burned through
-        its attempts — the run cannot complete.
+        When the pending pool is empty and ``steal_min_age`` is set, an
+        aged in-flight chunk held by another worker may be stolen
+        instead (see :meth:`_steal_locked`).  Raises
+        :class:`ChunkExhausted` once any chunk has burned through its
+        attempts — the run cannot complete.
         """
         now = self._clock()
         with self._lock:
@@ -133,7 +155,7 @@ class LeaseManager:
             self._raise_if_exhausted_locked()
             self._last_seen[worker] = now
             if not self._pending:
-                return None
+                return self._steal_locked(worker, now)
             index = self._pending.pop(0)
             self._attempts[index] += 1
             if self._attempts[index] > 1:
@@ -144,11 +166,52 @@ class LeaseManager:
                 worker=worker,
                 expires_at=now + self.ttl,
                 attempt=self._attempts[index],
+                granted_at=now,
             )
             self._leases[lease.id] = lease
             self._by_chunk[index] = lease.id
             self._granted_total += 1
             return lease
+
+    def _steal_locked(self, worker: str, now: float) -> Optional[Lease]:
+        """Reassign the longest-in-flight straggler lease to ``worker``.
+
+        A steal revokes the victim lease (its holder's heartbeats will
+        report it lost) and issues a fresh lease for the same chunk to
+        the idle worker.  The original holder usually keeps computing;
+        completion is idempotent by chunk index and outcomes are
+        deterministic, so the race is benign — first submission wins,
+        the other is discarded as a duplicate.  Steals do not count as
+        attempts: they are reassignment for latency, not failure
+        recovery, and must never push a healthy chunk toward
+        :class:`ChunkExhausted`.
+        """
+        if self.steal_min_age is None:
+            return None
+        candidates = [
+            lease
+            for lease in self._leases.values()
+            if lease.worker != worker
+            and lease.chunk.index not in self._done
+            and now - lease.granted_at >= self.steal_min_age
+        ]
+        if not candidates:
+            return None
+        victim = min(candidates, key=lambda l: (l.granted_at, l.chunk.index))
+        self._release_locked(victim.chunk.index)
+        lease = Lease(
+            id=uuid.uuid4().hex[:16],
+            chunk=victim.chunk,
+            worker=worker,
+            expires_at=now + self.ttl,
+            attempt=self._attempts[victim.chunk.index],
+            granted_at=now,
+        )
+        self._leases[lease.id] = lease
+        self._by_chunk[victim.chunk.index] = lease.id
+        self._granted_total += 1
+        self._stolen_total += 1
+        return lease
 
     def heartbeat(self, worker: str, lease_ids: Iterable[str]) -> dict[str, list[str]]:
         """Renew the given leases; report which are still live vs lost.
@@ -174,6 +237,7 @@ class LeaseManager:
                     worker=lease.worker,
                     expires_at=now + self.ttl,
                     attempt=lease.attempt,
+                    granted_at=lease.granted_at,
                 )
                 renewed.append(lease_id)
             return {"renewed": renewed, "lost": lost}
@@ -284,6 +348,7 @@ class LeaseManager:
                 "retries_total": self._retries_total,
                 "duplicates_total": self._duplicates_total,
                 "granted_total": self._granted_total,
+                "stolen_total": self._stolen_total,
                 "workers": {
                     worker: {
                         "last_seen_seconds_ago": now - seen,

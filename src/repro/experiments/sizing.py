@@ -1,0 +1,86 @@
+"""Adaptive chunk sizing from observed per-worker throughput.
+
+The cluster's static default (~4 chunks per worker,
+:func:`repro.cluster.protocol.default_chunk_size`) is a fine opening
+bid, but figures differ by orders of magnitude in per-point cost — a
+chunk size that keeps fig4a workers busy for two seconds would hold a
+fig3 lease for minutes, defeating both checkpoint granularity and
+work stealing.  :class:`ChunkSizer` closes the loop: each completed
+figure contributes an observed points-per-worker-second rate, and the
+next figure's chunk size targets a fixed wall-clock per lease.
+
+The recommendation feeds the run manifest *before* execution and is
+pinned there, so a resumed run reuses the interrupted run's geometry
+(chunk cache keys depend on each chunk's point list) even though its
+own observations would differ.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.protocol import default_chunk_size
+
+__all__ = ["ChunkSizer", "DEFAULT_TARGET_SECONDS"]
+
+DEFAULT_TARGET_SECONDS = 2.0
+
+
+class ChunkSizer:
+    """Recommends chunk sizes targeting a fixed seconds-per-lease.
+
+    Observations are (points completed, wall seconds, workers) triples
+    from finished figure runs; the estimated per-worker throughput is
+    total points over total busy-time (wall x workers), a deliberately
+    coarse aggregate — figures share engines and the target only needs
+    to be right within ~2x for leases to stay responsive.
+    """
+
+    def __init__(self, target_seconds: float = DEFAULT_TARGET_SECONDS) -> None:
+        if target_seconds <= 0:
+            raise ValueError(
+                f"target_seconds must be positive, got {target_seconds}"
+            )
+        self.target_seconds = target_seconds
+        self._points = 0.0
+        self._busy_seconds = 0.0
+
+    @property
+    def observations(self) -> bool:
+        """Whether any throughput has been observed yet."""
+        return self._busy_seconds > 0
+
+    @property
+    def rate(self) -> float:
+        """Observed points per worker-second (0.0 before any data)."""
+        if self._busy_seconds <= 0:
+            return 0.0
+        return self._points / self._busy_seconds
+
+    def observe(self, points: int, wall_seconds: float, workers: int) -> None:
+        """Fold one completed run's throughput into the estimate.
+
+        Zero-point or zero-time runs (fully cached figures) are
+        ignored — they carry no throughput signal.
+        """
+        if points <= 0 or wall_seconds <= 0 or workers <= 0:
+            return
+        self._points += points
+        self._busy_seconds += wall_seconds * workers
+
+    def recommend(self, n_points: int, workers: int) -> int:
+        """Chunk size for a run of ``n_points`` across ``workers``.
+
+        With no observations, defers to the protocol's static default.
+        Otherwise sizes chunks to ``target_seconds`` of estimated work,
+        clamped to [1, ceil(n_points / (2 x workers))] so every worker
+        still sees at least ~2 chunks (stealing and balancing need
+        slack).
+        """
+        if n_points < 1:
+            raise ValueError(f"n_points must be >= 1, got {n_points}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not self.observations:
+            return default_chunk_size(n_points, workers)
+        size = max(1, round(self.rate * self.target_seconds))
+        ceiling = max(1, -(-n_points // (2 * workers)))
+        return min(size, ceiling)

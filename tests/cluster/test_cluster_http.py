@@ -417,3 +417,59 @@ class TestServiceClusterExecution:
                 assert "execution" in reply["error"]
             finally:
                 client.close()
+
+
+class TestWorkStealing:
+    """Straggler leases are stolen over the wire and surfaced in telemetry."""
+
+    @pytest.fixture
+    def stealing_cluster(self):
+        task = task_from_callable(POINT)
+        config = CoordinatorConfig(
+            lease_ttl=30.0, chunk_size=1, steal_min_age=0.2
+        )
+        handle, coordinator = boot(task, GRID[:1], config)  # single chunk
+        client = Client(coordinator.host, coordinator.port)
+        yield coordinator, client
+        client.close()
+        handle.stop()
+
+    def test_negative_steal_min_age_rejected(self):
+        with pytest.raises(ValueError, match="steal_min_age"):
+            CoordinatorConfig(steal_min_age=-0.5)
+
+    def test_steal_surfaces_in_metrics_and_telemetry(self, stealing_cluster):
+        coordinator, client = stealing_cluster
+        status, slow = client.post(
+            LEASE_PATH, {"worker": "w-slow", "run_id": coordinator.run_id}
+        )
+        assert status == 200 and slow["state"] == "lease"
+        time.sleep(0.3)  # straggle past steal_min_age
+        status, fast = client.post(
+            LEASE_PATH, {"worker": "w-fast", "run_id": coordinator.run_id}
+        )
+        assert status == 200 and fast["state"] == "lease"
+        assert fast["chunk"]["index"] == slow["chunk"]["index"]
+
+        status, text = client.get("/metrics")
+        assert status == 200
+        assert "repro_cluster_leases_stolen_total 1" in text
+        assert "repro_cluster_chunk_size 1" in text
+
+        chunk = fast["chunk"]
+        outcome = run_sweep(POINT, GRID[chunk["start"]:chunk["stop"]]).outcomes
+        status, ack = client.post(
+            RESULT_PATH,
+            {
+                "worker": "w-fast",
+                "run_id": coordinator.run_id,
+                "lease_id": fast["lease"]["id"],
+                "chunk_index": chunk["index"],
+                "ok": True,
+                "outcomes": list(outcome),
+            },
+        )
+        assert status == 200 and ack["status"] == "fresh"
+        result = coordinator.result(timeout=10)
+        assert result.telemetry.leases_stolen == 1
+        assert "stolen=1" in result.telemetry.summary()

@@ -191,3 +191,92 @@ class TestInspection:
         assert m.workers_live() == 2
         clock.advance(8.0)  # w1 last seen 13 s ago, w2 8 s ago; ttl is 10
         assert m.workers_live() == 1
+
+
+class TestStealing:
+    """Work-stealing reassignment of straggler leases."""
+
+    def stealing_manager(self, clock, *, steal_min_age=5.0, n_points=4, chunk_size=2):
+        return LeaseManager(
+            chunk_grid(n_points, chunk_size),
+            ttl=10.0,
+            max_attempts=3,
+            clock=clock,
+            steal_min_age=steal_min_age,
+        )
+
+    def test_disabled_by_default(self, clock):
+        m = manager(clock, n_points=2, chunk_size=2)
+        m.claim("w1")
+        clock.advance(9.0)
+        assert m.claim("w2") is None  # no stealing without steal_min_age
+
+    def test_young_leases_are_not_stolen(self, clock):
+        m = self.stealing_manager(clock, n_points=2, chunk_size=2)
+        m.claim("w1")
+        clock.advance(4.0)  # younger than steal_min_age
+        assert m.claim("w2") is None
+
+    def test_aged_lease_is_stolen_by_idle_worker(self, clock):
+        m = self.stealing_manager(clock, n_points=2, chunk_size=2)
+        victim = m.claim("w1")
+        clock.advance(6.0)
+        stolen = m.claim("w2")
+        assert stolen is not None
+        assert stolen.chunk.index == victim.chunk.index
+        assert stolen.worker == "w2"
+        assert stolen.id != victim.id
+        assert m.snapshot()["stolen_total"] == 1
+
+    def test_steal_does_not_consume_an_attempt(self, clock):
+        m = self.stealing_manager(clock, n_points=2, chunk_size=2)
+        first = m.claim("w1")
+        clock.advance(6.0)
+        stolen = m.claim("w2")
+        assert stolen.attempt == first.attempt == 1
+        assert m.snapshot()["retries_total"] == 0
+
+    def test_victim_heartbeat_reports_lease_lost(self, clock):
+        m = self.stealing_manager(clock, n_points=2, chunk_size=2)
+        victim = m.claim("w1")
+        clock.advance(6.0)
+        m.claim("w2")
+        reply = m.heartbeat("w1", [victim.id])
+        assert reply["lost"] == [victim.id]
+
+    def test_first_submission_wins_after_steal(self, clock):
+        m = self.stealing_manager(clock, n_points=2, chunk_size=2)
+        victim = m.claim("w1")
+        clock.advance(6.0)
+        m.claim("w2")
+        assert m.complete(victim.chunk.index, "w1", points=2) == "fresh"
+        assert m.complete(victim.chunk.index, "w2", points=2) == "duplicate"
+        assert m.done
+
+    def test_oldest_lease_is_stolen_first(self, clock):
+        m = self.stealing_manager(clock, n_points=4, chunk_size=2)
+        old = m.claim("w1")
+        clock.advance(2.0)
+        m.claim("w1")  # younger lease on chunk 1
+        clock.advance(5.0)  # old is 7s, young is 5s; both >= steal_min_age
+        stolen = m.claim("w2")
+        assert stolen.chunk.index == old.chunk.index
+
+    def test_heartbeat_preserves_grant_age(self, clock):
+        m = self.stealing_manager(clock, n_points=2, chunk_size=2)
+        lease = m.claim("w1")
+        clock.advance(4.0)
+        m.heartbeat("w1", [lease.id])  # renews ttl, must not reset age
+        clock.advance(2.0)  # total age 6s > steal_min_age
+        stolen = m.claim("w2")
+        assert stolen is not None and stolen.chunk.index == lease.chunk.index
+
+    def test_idle_worker_does_not_steal_its_own_lease(self, clock):
+        m = self.stealing_manager(clock, n_points=2, chunk_size=2)
+        m.claim("w1")
+        clock.advance(6.0)
+        assert m.claim("w1") is None
+
+    def test_negative_steal_min_age_rejected(self, clock):
+        with pytest.raises(ValueError):
+            self.stealing_manager(clock, steal_min_age=-1.0)

@@ -1,0 +1,1 @@
+"""Tests for the resumable all-figures experiments pipeline."""

@@ -1,0 +1,122 @@
+"""End-to-end tests of the resumable experiments orchestrator.
+
+The resume contract under test: a run interrupted between two chunks
+and restarted with the same command serves every finished chunk from
+the checkpoint cache and produces a byte-identical report artifact —
+including when the interrupted run and the resume use different
+execution modes, and when the cluster fleet churns mid-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentInterrupted,
+    ExperimentsConfig,
+    ManifestMismatch,
+    RunManifest,
+    run_experiments,
+)
+
+SMALL = ("fig4a", "model")  # one clusterable sweep + the single-shot figure
+
+
+def smoke_cfg(out_dir, **overrides):
+    defaults = dict(out_dir=out_dir, quality="smoke", seed=7, figures=SMALL)
+    defaults.update(overrides)
+    return ExperimentsConfig(**defaults)
+
+
+def artifact_bytes(result):
+    return result.report_md.read_bytes(), result.report_json.read_bytes()
+
+
+class TestConfigValidation:
+    def test_jobs_and_cluster_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ExperimentsConfig(out_dir=tmp_path, jobs=2, cluster=2)
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown figure"):
+            ExperimentsConfig(out_dir=tmp_path, figures=["fig99"])
+
+    def test_unknown_quality_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="quality"):
+            ExperimentsConfig(out_dir=tmp_path, quality="paper")
+
+
+class TestSerialRun:
+    def test_run_emits_manifest_and_artifact(self, tmp_path):
+        result = run_experiments(smoke_cfg(tmp_path / "run"))
+        assert result.report_md.exists() and result.report_json.exists()
+        assert result.computed_chunks > 0 and result.cache_hits == 0
+        manifest = RunManifest.load(tmp_path / "run")
+        assert manifest.complete
+        assert all(r["done"] for r in manifest.figures.values())
+        assert set(manifest.figures) == set(SMALL)
+
+    def test_rerun_is_all_cache_hits_and_byte_identical(self, tmp_path):
+        first = run_experiments(smoke_cfg(tmp_path / "run"))
+        second = run_experiments(smoke_cfg(tmp_path / "run"))
+        assert second.computed_chunks == 0
+        assert second.cache_hits == first.cache_hits + first.computed_chunks
+        assert artifact_bytes(first) == artifact_bytes(second)
+
+    def test_mismatched_seed_refuses_to_resume(self, tmp_path):
+        run_experiments(smoke_cfg(tmp_path / "run"))
+        with pytest.raises(ManifestMismatch):
+            run_experiments(smoke_cfg(tmp_path / "run", seed=8))
+
+
+class TestResumeAfterInterrupt:
+    def test_interrupted_run_resumes_from_checkpoints(self, tmp_path):
+        interrupted = tmp_path / "interrupted"
+        with pytest.raises(ExperimentInterrupted):
+            run_experiments(smoke_cfg(interrupted, crash_after_chunks=1))
+
+        # the kill left a loadable manifest with pinned chunk geometry
+        manifest = RunManifest.load(interrupted)
+        assert manifest is not None and not manifest.complete
+        pinned = {f: r["chunk_size"] for f, r in manifest.figures.items()}
+
+        resumed = run_experiments(smoke_cfg(interrupted))
+        assert resumed.cache_hits >= 1  # finished chunks were not recomputed
+        after = RunManifest.load(interrupted)
+        assert after.complete
+        for figure, size in pinned.items():
+            if size is not None:
+                assert after.figures[figure]["chunk_size"] == size
+
+        fresh = run_experiments(smoke_cfg(tmp_path / "fresh"))
+        assert artifact_bytes(resumed) == artifact_bytes(fresh)
+
+    def test_resume_can_switch_execution_mode(self, tmp_path):
+        shared = tmp_path / "shared"
+        with pytest.raises(ExperimentInterrupted):
+            run_experiments(smoke_cfg(shared, crash_after_chunks=1))
+        resumed = run_experiments(smoke_cfg(shared, jobs=2))
+        assert resumed.cache_hits >= 1
+        fresh = run_experiments(smoke_cfg(tmp_path / "fresh"))
+        assert artifact_bytes(resumed) == artifact_bytes(fresh)
+
+
+class TestElasticCluster:
+    def test_elastic_run_matches_serial_bytes(self, tmp_path):
+        elastic = run_experiments(
+            smoke_cfg(
+                tmp_path / "elastic",
+                figures=("fig4a",),
+                cluster=2,
+                lease_ttl=2.0,
+                elastic_depart_after=1,
+                elastic_join_after=0.1,
+            )
+        )
+        serial = run_experiments(
+            smoke_cfg(tmp_path / "serial", figures=("fig4a",))
+        )
+        assert artifact_bytes(elastic) == artifact_bytes(serial)
+        fig = elastic.figures[0]
+        assert fig.workers >= 2  # late joiner was counted
+        assert fig.computed_chunks + fig.cache_hits == fig.chunks

@@ -1,0 +1,55 @@
+"""Tests for adaptive chunk sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.protocol import default_chunk_size
+from repro.experiments.sizing import ChunkSizer
+
+
+class TestValidation:
+    def test_non_positive_target_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkSizer(0.0)
+
+    @pytest.mark.parametrize("n_points,workers", [(0, 1), (1, 0)])
+    def test_recommend_rejects_bad_inputs(self, n_points, workers):
+        with pytest.raises(ValueError):
+            ChunkSizer().recommend(n_points, workers)
+
+
+class TestRecommendation:
+    def test_no_observations_falls_back_to_static_default(self):
+        sizer = ChunkSizer()
+        assert not sizer.observations
+        assert sizer.recommend(100, 4) == default_chunk_size(100, 4)
+
+    def test_sizes_to_target_seconds(self):
+        sizer = ChunkSizer(target_seconds=2.0)
+        sizer.observe(points=100, wall_seconds=10.0, workers=1)  # 10 pts/s
+        assert sizer.rate == pytest.approx(10.0)
+        assert sizer.recommend(1000, 4) == 20  # 10 pts/s * 2s
+
+    def test_worker_count_scales_busy_time(self):
+        sizer = ChunkSizer(target_seconds=2.0)
+        sizer.observe(points=100, wall_seconds=5.0, workers=2)  # 10 pts/worker-s
+        assert sizer.recommend(1000, 4) == 20
+
+    def test_clamped_to_two_chunks_per_worker(self):
+        sizer = ChunkSizer(target_seconds=100.0)
+        sizer.observe(points=1000, wall_seconds=1.0, workers=1)
+        # rate*target would dwarf the grid; ceiling is ceil(16 / (2*2)) = 4
+        assert sizer.recommend(16, 2) == 4
+
+    def test_never_below_one_point(self):
+        sizer = ChunkSizer(target_seconds=0.001)
+        sizer.observe(points=1, wall_seconds=100.0, workers=1)
+        assert sizer.recommend(10, 1) == 1
+
+    def test_degenerate_observations_ignored(self):
+        sizer = ChunkSizer()
+        sizer.observe(points=0, wall_seconds=1.0, workers=1)
+        sizer.observe(points=10, wall_seconds=0.0, workers=1)
+        sizer.observe(points=10, wall_seconds=1.0, workers=0)
+        assert not sizer.observations

@@ -1,0 +1,51 @@
+"""Tests for the per-figure experiment specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.specs import EXPERIMENTS, QUALITIES, figures
+from repro.sim.catalog import SWEEP_KINDS
+
+
+class TestCatalogCoverage:
+    def test_every_sweep_kind_has_an_experiment(self):
+        used = {spec.kind for spec in EXPERIMENTS.values()}
+        assert used == set(SWEEP_KINDS)
+
+    def test_figures_lists_report_order(self):
+        assert figures() == list(EXPERIMENTS)
+
+    def test_figure_key_matches_spec(self):
+        for figure, spec in EXPERIMENTS.items():
+            assert spec.figure == figure
+
+
+class TestQualityTiers:
+    @pytest.mark.parametrize("quality", QUALITIES)
+    def test_every_tier_of_every_spec_validates(self, quality):
+        for spec in EXPERIMENTS.values():
+            params = spec.params(quality)
+            assert params == SWEEP_KINDS[spec.kind].validate(params)
+
+    def test_unknown_tier_rejected(self):
+        spec = next(iter(EXPERIMENTS.values()))
+        with pytest.raises(KeyError, match="no 'paper' tier"):
+            spec.params("paper")
+
+    def test_smoke_grids_are_smaller_than_normal(self):
+        for spec in EXPERIMENTS.values():
+            kind = SWEEP_KINDS[spec.kind]
+            if not kind.clusterable:
+                continue
+            smoke = len(kind.grid(spec.params("smoke")))
+            normal = len(kind.grid(spec.params("normal")))
+            assert smoke <= normal
+
+
+class TestClaims:
+    def test_every_figure_states_a_claim(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.claims, f"{spec.figure} has no paper claims"
+            for claim in spec.claims:
+                assert claim.statement and claim.expectation

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.cluster",
     "repro.core",
+    "repro.experiments",
     "repro.htm",
     "repro.ownership",
     "repro.service",

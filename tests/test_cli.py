@@ -301,3 +301,56 @@ class TestJobsFlag:
     def test_jobs_defaults_to_serial(self):
         for command in (["fig2a"], ["fig3"], ["fig4a"], ["closed", "--n", "64"], ["report"]):
             assert build_parser().parse_args(command).jobs is None
+
+
+class TestExperiments:
+    def test_list_shows_every_figure(self, capsys):
+        from repro.experiments import EXPERIMENTS
+
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        for figure in EXPERIMENTS:
+            assert figure in out
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["experiments", "run"])
+        assert args.quality == "smoke"
+        assert args.out == "experiments-out"
+        assert args.jobs is None and args.cluster is None
+
+    def test_jobs_and_cluster_rejected_together(self, capsys):
+        assert main(
+            ["experiments", "run", "--jobs", "2", "--cluster", "2"]
+        ) != 0
+
+    def test_run_and_resume_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path / "run")
+        argv = [
+            "--seed", "7", "experiments", "run",
+            "--out", out, "--figures", "fig4a,model",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "report.md" in first.out and "report.json" in first.out
+        md = (tmp_path / "run" / "report.md").read_bytes()
+
+        assert main(argv) == 0  # resume: all chunks cached, same bytes
+        second = capsys.readouterr()
+        assert "chunks cached" in second.err
+        assert (tmp_path / "run" / "report.md").read_bytes() == md
+
+    def test_mismatched_resume_exits_2(self, tmp_path, capsys):
+        out = str(tmp_path / "run")
+        base = ["experiments", "run", "--out", out, "--figures", "model"]
+        assert main(["--seed", "7"] + base) == 0
+        capsys.readouterr()
+        assert main(["--seed", "8"] + base) == 2
+        assert "fresh output dir" in capsys.readouterr().err
+
+    def test_injected_interrupt_exits_3(self, tmp_path, capsys):
+        argv = [
+            "experiments", "run", "--out", str(tmp_path / "run"),
+            "--figures", "fig4a", "--crash-after", "1",
+        ]
+        assert main(argv) == 3
+        assert "interrupted" in capsys.readouterr().err
