@@ -1,0 +1,45 @@
+"""Allocator-placement modeling: from logical objects to block addresses.
+
+The paper treats the address stream as given; this package models the
+step that produces it.  Placement models (``bump``, ``slab``, ``buddy``
+with alignment/coloring knobs) map allocation-ordered object sizes to
+heap addresses, wire-safe :class:`PlacementSpec`s describe them
+declaratively for the cluster, and ``streams`` composes placed heaps
+with the Zipf generators in ``repro.traces.synthetic`` to produce the
+skewed block-address streams the ``placement`` and ``fig7`` sweep kinds
+consume.
+"""
+
+from repro.alloc.placement import (
+    BuddyPlacement,
+    BumpPlacement,
+    PlacementModel,
+    SlabPlacement,
+    block_addresses,
+)
+from repro.alloc.spec import (
+    PLACEMENT_MODELS,
+    PLACEMENT_PRESETS,
+    PlacementSpec,
+    available_placements,
+    make_placement,
+    placement_preset,
+)
+from repro.alloc.streams import draw_object_sizes, placed_heap, placed_stream
+
+__all__ = [
+    "BuddyPlacement",
+    "BumpPlacement",
+    "PLACEMENT_MODELS",
+    "PLACEMENT_PRESETS",
+    "PlacementModel",
+    "PlacementSpec",
+    "SlabPlacement",
+    "available_placements",
+    "block_addresses",
+    "draw_object_sizes",
+    "make_placement",
+    "placed_heap",
+    "placed_stream",
+    "placement_preset",
+]

@@ -1,0 +1,202 @@
+"""Allocator placement models: logical objects to heap addresses.
+
+The paper's collision mechanics start *after* an address exists; Dice et
+al. ("The Influence of Malloc Placement on TSX HTM", see PAPERS.md) show
+the step before — where the allocator puts each object — changes index-
+collision rates just as much as the hash does.  These models reproduce
+the three canonical placement disciplines:
+
+* :class:`BumpPlacement` — sequential bump pointer with an alignment
+  knob.  Dense packing: small objects share cache blocks, and addresses
+  form the consecutive runs §4 of the paper calls out.
+* :class:`SlabPlacement` — segregated size classes, each class carved
+  into fixed-size slots within power-of-two slabs.  Because every slab
+  starts at the same page offset, same-class objects recur at identical
+  low-order address bits across slabs — the pathological striding for a
+  mask hash.  The ``coloring`` knob offsets successive slabs (the classic
+  mitigation) so the sweep can measure how much coloring buys back.
+* :class:`BuddyPlacement` — sizes rounded to powers of two and allocated
+  at naturally aligned addresses.  With no frees (these are placement
+  models, not lifetime models) buddy allocation is exactly an
+  align-to-rounded-size bump, which we exploit for determinism.
+
+All models expose one method, ``place(sizes) -> base byte addresses``,
+deterministic in allocation order; streams then map object ids through
+:func:`block_addresses` to the cache-block granularity every ownership
+table operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.util.units import is_power_of_two
+
+__all__ = [
+    "BuddyPlacement",
+    "BumpPlacement",
+    "PlacementModel",
+    "SlabPlacement",
+    "block_addresses",
+]
+
+#: Address-space stride between slab size-class regions. Generous enough
+#: that classes can never overlap at any sweep size, small enough that
+#: block addresses stay far from int64 limits.
+_CLASS_REGION_BYTES = 1 << 32
+
+
+@runtime_checkable
+class PlacementModel(Protocol):
+    """Maps allocation-ordered object sizes to base byte addresses."""
+
+    def place(self, sizes: Sequence[int]) -> np.ndarray:
+        """Base byte address for each object, in allocation order."""
+        ...
+
+
+def _as_sizes(sizes: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(sizes, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"sizes must be a 1-D array, got shape {arr.shape}")
+    if arr.size and int(arr.min()) <= 0:
+        raise ValueError("object sizes must be positive")
+    return arr
+
+
+def block_addresses(bases: np.ndarray, *, block_bytes: int = 64) -> np.ndarray:
+    """Convert base byte addresses to cache-block addresses.
+
+    The ownership tables and hash functions all operate on block
+    addresses (§2.1); two objects whose bases fall inside one block
+    genuinely share it — placement-induced sharing, not aliasing.
+    """
+    if not is_power_of_two(block_bytes):
+        raise ValueError(f"block_bytes must be a power of two, got {block_bytes}")
+    return (np.asarray(bases, dtype=np.int64) // block_bytes).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class BumpPlacement:
+    """Sequential bump-pointer allocation with an alignment knob.
+
+    Each object is placed at the next ``alignment``-aligned address past
+    the previous one.  Since every address is aligned, the bump is
+    exactly a cumulative sum of align-rounded sizes — fully vectorized.
+    """
+
+    alignment: int = 16
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.alignment):
+            raise ValueError(
+                f"alignment must be a power of two, got {self.alignment}"
+            )
+
+    def place(self, sizes: Sequence[int]) -> np.ndarray:
+        """Base byte address for each object, in allocation order."""
+        arr = _as_sizes(sizes)
+        a = np.int64(self.alignment)
+        rounded = ((arr + a - 1) // a) * a
+        bases = np.zeros(len(arr), dtype=np.int64)
+        if len(arr) > 1:
+            np.cumsum(rounded[:-1], out=bases[1:])
+        return bases
+
+
+@dataclass(frozen=True)
+class SlabPlacement:
+    """Segregated size classes in fixed-size slabs, with optional coloring.
+
+    An object lands in the smallest class that fits it; each class fills
+    slot after slot, slab after slab, within its own address region.
+    Slab ``s`` of a class starts at ``s * slab_bytes`` plus a color
+    offset of ``(s * coloring) % slab_bytes`` — zero coloring reproduces
+    the page-aligned recurrence Dice et al. identify, a cache-line
+    coloring staggers it.
+    """
+
+    size_classes: tuple[int, ...] = (16, 32, 64, 128, 256)
+    slab_bytes: int = 4096
+    coloring: int = 0
+
+    def __post_init__(self) -> None:
+        classes = tuple(int(c) for c in self.size_classes)
+        object.__setattr__(self, "size_classes", classes)
+        if not classes or any(c <= 0 for c in classes):
+            raise ValueError(f"size classes must be positive, got {classes}")
+        if list(classes) != sorted(set(classes)):
+            raise ValueError(f"size classes must be strictly ascending, got {classes}")
+        if not is_power_of_two(self.slab_bytes):
+            raise ValueError(f"slab_bytes must be a power of two, got {self.slab_bytes}")
+        if self.coloring < 0 or self.coloring > self.slab_bytes // 2:
+            raise ValueError(
+                f"coloring must be in [0, slab_bytes/2], got {self.coloring}"
+            )
+        if classes[-1] > self.slab_bytes // 2:
+            raise ValueError(
+                f"largest size class {classes[-1]} exceeds half a slab "
+                f"({self.slab_bytes} B); slots would not fit colored slabs"
+            )
+
+    def place(self, sizes: Sequence[int]) -> np.ndarray:
+        """Base byte address for each object, in allocation order."""
+        arr = _as_sizes(sizes)
+        classes = np.asarray(self.size_classes, dtype=np.int64)
+        if arr.size and int(arr.max()) > int(classes[-1]):
+            raise ValueError(
+                f"object of {int(arr.max())} B exceeds the largest size class "
+                f"{int(classes[-1])}"
+            )
+        class_of = np.searchsorted(classes, arr, side="left")
+        bases = np.empty(len(arr), dtype=np.int64)
+        # Per-class sequential fill: (slab index, slot index) cursors.
+        cursor: dict[int, tuple[int, int]] = {}
+        for i, k in enumerate(class_of.tolist()):
+            size = int(classes[k])
+            slab, slot = cursor.get(k, (0, 0))
+            offset = (slab * self.coloring) % self.slab_bytes
+            if offset + (slot + 1) * size > self.slab_bytes:
+                slab, slot = slab + 1, 0
+                offset = (slab * self.coloring) % self.slab_bytes
+            bases[i] = (
+                k * _CLASS_REGION_BYTES + slab * self.slab_bytes + offset + slot * size
+            )
+            cursor[k] = (slab, slot + 1)
+        return bases
+
+
+@dataclass(frozen=True)
+class BuddyPlacement:
+    """Binary-buddy allocation: power-of-two rounding, natural alignment.
+
+    Sizes round up to the nearest power of two (at least ``min_block``)
+    and each allocation takes the lowest free naturally-aligned chunk.
+    Without frees that is precisely an align-up bump, so the model is a
+    short deterministic loop.
+    """
+
+    min_block: int = 16
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.min_block):
+            raise ValueError(f"min_block must be a power of two, got {self.min_block}")
+
+    def place(self, sizes: Sequence[int]) -> np.ndarray:
+        """Base byte address for each object, in allocation order."""
+        arr = _as_sizes(sizes)
+        floor = np.int64(self.min_block)
+        rounded = np.maximum(arr, floor)
+        # Next power of two, vectorized: 2 ** ceil(log2(size)).
+        exp = np.ceil(np.log2(rounded.astype(np.float64))).astype(np.int64)
+        rounded = np.int64(1) << exp
+        bases = np.empty(len(arr), dtype=np.int64)
+        cursor = np.int64(0)
+        for i, size in enumerate(rounded.tolist()):
+            base = -(-cursor // size) * size  # align cursor up to the chunk size
+            bases[i] = base
+            cursor = base + size
+        return bases

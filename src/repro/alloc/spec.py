@@ -1,0 +1,160 @@
+"""Wire-safe declarative placement specs and the preset registry.
+
+Cluster workers rebuild placement models locally from JSON — no code
+travels on the wire, mirroring the ``SweepSpec`` discipline in
+``repro.cluster``.  A :class:`PlacementSpec` names a registered model
+(``PLACEMENT_MODELS``) plus JSON-safe constructor kwargs; sweep grids go
+one step further and carry only *preset names* (plain strings from
+``PLACEMENT_PRESETS``), so a placement axis is as wire-friendly as a
+hash-kind axis.
+
+Unknown model or preset names raise :class:`ValueError` listing the
+available options, mirroring ``repro.ownership.hashing.make_hash`` —
+the sweep catalog surfaces that message as an HTTP 400 at admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Union
+
+from repro.alloc.placement import (
+    BuddyPlacement,
+    BumpPlacement,
+    PlacementModel,
+    SlabPlacement,
+)
+
+__all__ = [
+    "PLACEMENT_MODELS",
+    "PLACEMENT_PRESETS",
+    "PlacementSpec",
+    "available_placements",
+    "make_placement",
+    "placement_preset",
+]
+
+#: Registered placement model constructors, keyed by wire name.
+PLACEMENT_MODELS: dict[str, type] = {
+    "bump": BumpPlacement,
+    "buddy": BuddyPlacement,
+    "slab": SlabPlacement,
+}
+
+
+def _wire_safe(value: Any) -> Any:
+    """Normalize a kwarg value to a hashable JSON-safe form (lists→tuples)."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_wire_safe(v) for v in value)
+    raise ValueError(
+        f"placement kwarg values must be JSON-safe scalars or lists, got {value!r}"
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """Inverse of :func:`_wire_safe` for serialization (tuples→lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """Declarative, hashable recipe for a placement model.
+
+    ``kwargs`` is stored as a sorted tuple of ``(name, value)`` items so
+    specs are hashable (usable as cache keys) and canonical: two specs
+    spelling the same model compare equal.  Use :meth:`of` to build one
+    from keyword arguments, :meth:`from_wire` to parse a JSON payload.
+    """
+
+    model: str
+    kwargs: tuple[tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.model not in PLACEMENT_MODELS:
+            raise ValueError(
+                f"unknown placement model {self.model!r}; "
+                f"options: {sorted(PLACEMENT_MODELS)}"
+            )
+        items = tuple(
+            (str(k), _wire_safe(v)) for k, v in sorted(dict(self.kwargs).items())
+        )
+        object.__setattr__(self, "kwargs", items)
+        self.build()  # surface bad kwargs eagerly, as a ValueError
+
+    @classmethod
+    def of(cls, model: str, **kwargs: Any) -> "PlacementSpec":
+        """Build a spec from a model name and constructor kwargs."""
+        return cls(model, tuple(kwargs.items()))
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "PlacementSpec":
+        """Parse the JSON form produced by :meth:`to_wire`."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"placement spec must be an object, got {payload!r}")
+        unknown = set(payload) - {"model", "kwargs"}
+        if unknown:
+            raise ValueError(f"unknown placement spec fields: {sorted(unknown)}")
+        model = payload.get("model")
+        if not isinstance(model, str):
+            raise ValueError(f"placement spec 'model' must be a string, got {model!r}")
+        kwargs = payload.get("kwargs", {})
+        if not isinstance(kwargs, Mapping):
+            raise ValueError(
+                f"placement spec 'kwargs' must be an object, got {kwargs!r}"
+            )
+        return cls(model, tuple(kwargs.items()))
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe dict form; round-trips through :meth:`from_wire`."""
+        return {
+            "model": self.model,
+            "kwargs": {k: _jsonable(v) for k, v in self.kwargs},
+        }
+
+    def build(self) -> PlacementModel:
+        """Instantiate the placement model this spec describes."""
+        try:
+            return PLACEMENT_MODELS[self.model](**dict(self.kwargs))
+        except TypeError as exc:
+            raise ValueError(
+                f"bad kwargs for placement model {self.model!r}: {exc}"
+            ) from None
+
+
+#: Named placement presets used as sweep-grid axis values. Axis values on
+#: the cluster wire are these *names*; workers rebuild the model locally.
+PLACEMENT_PRESETS: dict[str, PlacementSpec] = {
+    "bump": PlacementSpec.of("bump", alignment=16),
+    "bump-packed": PlacementSpec.of("bump", alignment=1),
+    "buddy": PlacementSpec.of("buddy", min_block=16),
+    "slab": PlacementSpec.of("slab"),
+    "slab-colored": PlacementSpec.of("slab", coloring=64),
+}
+
+
+def available_placements() -> tuple[str, ...]:
+    """Sorted names of the registered placement presets."""
+    return tuple(sorted(PLACEMENT_PRESETS))
+
+
+def placement_preset(name: str) -> PlacementSpec:
+    """Look up a preset by name; unknown names list the options."""
+    try:
+        return PLACEMENT_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement {name!r}; options: {sorted(PLACEMENT_PRESETS)}"
+        ) from None
+
+
+def make_placement(spec: Union[str, PlacementSpec]) -> PlacementModel:
+    """Instantiate a placement model from a preset name or a spec."""
+    if isinstance(spec, str):
+        spec = placement_preset(spec)
+    return spec.build()

@@ -6,6 +6,8 @@
     python -m repro fig3 --traces 5
     python -m repro fig4a --samples 2000
     python -m repro fig5 --c 2 --engine fast
+    python -m repro fig7 --rounds 60 --placement slab
+    python -m repro placement --samples 400 --w 8
     python -m repro closed --n 4096 --c 4 --w 10
     python -m repro birthday --target 0.5
     python -m repro serve --port 8642
@@ -228,6 +230,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(p)
     _add_cluster_flag(p)
     _add_engine_flag(p)
+
+    p = sub.add_parser(
+        "placement",
+        help="allocator-placement false-conflict sensitivity sweep (Dice et al.)",
+    )
+    p.add_argument("--samples", type=int, default=400)
+    p.add_argument("--w", type=int, default=8, help="write footprint W (default 8)")
+    p.add_argument(
+        "--objects", type=int, default=512, help="objects per thread (default 512)"
+    )
+    p.add_argument("--skew", type=float, default=1.2, help="Zipf skew (default 1.2)")
+    _add_jobs_flag(p)
+    _add_cluster_flag(p)
+
+    p = sub.add_parser(
+        "fig7",
+        help="tagless vs tagged ownership-table A/B on identical streams (Figure 7)",
+    )
+    p.add_argument("--rounds", type=int, default=60, help="replay rounds per point")
+    p.add_argument(
+        "--placement", type=str, default="slab",
+        help="allocator placement preset (default slab)",
+    )
+    p.add_argument(
+        "--hash", dest="hash_kind", type=str, default="mask",
+        help="hash kind for both tables (default mask)",
+    )
+    p.add_argument("--c", type=int, default=4, help="concurrency C (default 4)")
+    _add_jobs_flag(p)
+    _add_cluster_flag(p)
 
     p = sub.add_parser("report", help="generate a full markdown reproduction report")
     p.add_argument("--quality", choices=["smoke", "normal"], default="smoke")
@@ -576,6 +608,43 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_placement(args: argparse.Namespace) -> int:
+    params, sweep = _run_kind(
+        "placement",
+        {"samples": args.samples, "w": args.w, "objects": args.objects,
+         "skew": args.skew},
+        args,
+    )
+    out = SWEEP_KINDS["placement"].assemble(params, sweep)
+    print(format_series(
+        "N", out["n_values"], out["series"],
+        title=f"Placement sensitivity: false conflicts (%), "
+        f"W={params['w']}, seed={args.seed}",
+    ))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    params, sweep = _run_kind(
+        "fig7",
+        {"rounds": args.rounds, "placement": args.placement,
+         "hash_kind": args.hash_kind, "concurrency": args.c},
+        args,
+    )
+    out = SWEEP_KINDS["fig7"].assemble(params, sweep)
+    print(format_series(
+        "W", out["w_values"], out["series"],
+        title=f"Figure 7: false conflicts by table, "
+        f"placement={params['placement']}, seed={args.seed}",
+    ))
+    rows = [
+        [label] + [totals[t] for t in out["tables"]]
+        for label, totals in out["false_conflicts_by_table"].items()
+    ]
+    print(format_table(["false conflicts"] + list(out["tables"]), rows))
+    return 0
+
+
 def _cmd_birthday(args: argparse.Namespace) -> int:
     k = people_for_collision_probability(args.target, days=args.days)
     p = birthday_collision_probability(k, days=args.days)
@@ -833,6 +902,8 @@ _HANDLERS = {
     "fig3": _cmd_fig3,
     "fig4a": _cmd_fig4a,
     "fig5": _cmd_fig5,
+    "fig7": _cmd_fig7,
+    "placement": _cmd_placement,
     "closed": _cmd_closed,
     "birthday": _cmd_birthday,
     "serve": _cmd_serve,

@@ -89,12 +89,43 @@ def _render_model(result: Mapping[str, Any]) -> str:
     )
 
 
+def _render_placement(result: Mapping[str, Any]) -> str:
+    return format_series(
+        "N",
+        result["n_values"],
+        result["series"],
+        y_format=lambda v: f"{v:.3g}%",
+    )
+
+
+def _render_fig7(result: Mapping[str, Any]) -> str:
+    # The false-conflict series per table kind, then the elimination
+    # ledger: tagged's total per N should read 0 wherever tagless > 0.
+    series = format_series(
+        "W",
+        result["w_values"],
+        result["series"],
+        y_format=lambda v: f"{v:g}",
+    )
+    rows = [
+        [label] + [totals[t] for t in result["tables"]]
+        for label, totals in result["false_conflicts_by_table"].items()
+    ]
+    ledger = format_table(
+        ["false conflicts"] + list(result["tables"]),
+        rows,
+    )
+    return series + "\n\n" + ledger
+
+
 _RENDERERS = {
     "fig4a": _render_nw_series,
     "fig2a": _render_nw_series,
     "fig3": _render_fig3,
     "closed": _render_closed,
     "model": _render_model,
+    "placement": _render_placement,
+    "fig7": _render_fig7,
 }
 
 

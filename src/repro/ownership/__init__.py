@@ -31,6 +31,7 @@ from repro.ownership.hashing import (
     MaskHash,
     MultiplicativeHash,
     XorFoldHash,
+    available_hash_kinds,
     make_hash,
 )
 from repro.ownership.stats import (
@@ -59,6 +60,7 @@ __all__ = [
     "TaggedOwnershipTable",
     "TaglessOwnershipTable",
     "XorFoldHash",
+    "available_hash_kinds",
     "expected_max_chain_length",
     "make_hash",
     "poisson_chain_pmf",

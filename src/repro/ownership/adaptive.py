@@ -166,8 +166,10 @@ class AdaptiveTaglessTable:
         return self._window_conflicts / self._window_acquires
 
     def _current_holders(self) -> tuple[int, ...]:
-        holders = {tid for tid, entries in self._inner._held.items() if entries}
-        return tuple(sorted(holders))
+        # Held-entry sets are created non-empty and popped whole on
+        # release, so no emptiness filter is needed — the keys alone are
+        # the live holders.
+        return tuple(sorted(self._inner._held))
 
     def _maybe_grow(self) -> None:
         rate = self.window_conflict_rate

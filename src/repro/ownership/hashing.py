@@ -22,7 +22,14 @@ import numpy as np
 
 from repro.util.units import is_power_of_two, log2_int
 
-__all__ = ["HashFunction", "MaskHash", "MultiplicativeHash", "XorFoldHash", "make_hash"]
+__all__ = [
+    "HashFunction",
+    "MaskHash",
+    "MultiplicativeHash",
+    "XorFoldHash",
+    "available_hash_kinds",
+    "make_hash",
+]
 
 IntOrArray = Union[int, np.ndarray]
 
@@ -153,6 +160,11 @@ _HASH_KINDS = {
     "multiplicative": MultiplicativeHash,
     "xorfold": XorFoldHash,
 }
+
+
+def available_hash_kinds() -> tuple[str, ...]:
+    """Sorted names accepted by :func:`make_hash`."""
+    return tuple(sorted(_HASH_KINDS))
 
 
 def make_hash(kind: str, n_entries: int) -> HashFunction:

@@ -108,7 +108,7 @@ class TaggedOwnershipTable:
 
         record = chain.get(tag) if chain is not None else None
         if record is None:
-            result = self._install(thread_id, block, entry, tag, mode)
+            result = self._install(thread_id, block, entry, tag, mode, chain)
         elif mode is AccessMode.READ:
             result = self._acquire_read(thread_id, block, entry, record)
         else:
@@ -117,7 +117,13 @@ class TaggedOwnershipTable:
         return result
 
     def _install(
-        self, thread_id: int, block: int, entry: int, tag: int, mode: AccessMode
+        self,
+        thread_id: int,
+        block: int,
+        entry: int,
+        tag: int,
+        mode: AccessMode,
+        chain: Optional[Dict[int, OwnershipRecord]],
     ) -> AcquireResult:
         state = EntryState.WRITE if mode is AccessMode.WRITE else EntryState.READ
         record = OwnershipRecord(tag=tag, block=block, state=state)
@@ -125,7 +131,11 @@ class TaggedOwnershipTable:
             record.writer = thread_id
         else:
             record.readers.add(thread_id)
-        self._chains.setdefault(entry, {})[tag] = record
+        # ``acquire`` already probed the chain; reuse it instead of a
+        # second ``setdefault`` lookup on the hot install path.
+        if chain is None:
+            chain = self._chains[entry] = {}
+        chain[tag] = record
         self._held[thread_id].add((entry, tag))
         return AcquireResult(True, entry)
 
@@ -153,11 +163,12 @@ class TaggedOwnershipTable:
                     ConflictKind.WRITE_WRITE, entry, thread_id, (record.writer,), block
                 )
             return AcquireResult(True, entry)
-        others = record.readers - {thread_id}
-        if others:
-            return self._refuse(
-                ConflictKind.READ_WRITE, entry, thread_id, tuple(sorted(others)), block
-            )
+        # O(1) size/membership probes decide the grant path; the
+        # O(#readers) holder tuple is built only on refusal.
+        readers = record.readers
+        if len(readers) > (1 if thread_id in readers else 0):
+            others = tuple(sorted(r for r in readers if r != thread_id))
+            return self._refuse(ConflictKind.READ_WRITE, entry, thread_id, others, block)
         record.state = EntryState.WRITE
         record.writer = thread_id
         record.readers.clear()

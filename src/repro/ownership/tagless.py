@@ -148,13 +148,13 @@ class TaglessOwnershipTable:
             if owner != thread_id:
                 return self._refuse(ConflictKind.WRITE_WRITE, entry, thread_id, (owner,), block)
             return AcquireResult(True, entry)
-        # READ state: upgrade allowed only for a sole self reader.
+        # READ state: upgrade allowed only for a sole self reader.  Two
+        # O(1) probes (size, membership) decide the common grant path;
+        # the O(#readers) holder tuple is built only on refusal.
         readers = self._readers[entry]
-        others = readers - {thread_id}
-        if others:
-            return self._refuse(
-                ConflictKind.READ_WRITE, entry, thread_id, tuple(sorted(others)), block
-            )
+        if len(readers) > (1 if thread_id in readers else 0):
+            others = tuple(sorted(r for r in readers if r != thread_id))
+            return self._refuse(ConflictKind.READ_WRITE, entry, thread_id, others, block)
         self._state[entry] = EntryState.WRITE
         self._writer[entry] = thread_id
         del self._readers[entry]

@@ -21,6 +21,9 @@ Each engine reproduces one of the paper's measurement protocols:
   :mod:`repro.sim.engines`.
 * :mod:`repro.sim.overflow` — §2.3's characterization (Figure 3):
   HTM overflow points over the benchmark-profile fleet.
+* :mod:`repro.sim.placement` — allocator-placement sensitivity and the
+  tagless-vs-tagged ownership-table A/B (``placement``/``fig7`` sweep
+  kinds), driven by placed, Zipf-skewed streams from :mod:`repro.alloc`.
 * :mod:`repro.sim.montecarlo` — the vectorized collision kernels shared
   by the above.
 * :mod:`repro.sim.sweep` — parameter-grid utilities.
@@ -90,6 +93,14 @@ from repro.sim.overflow import (
 )
 from repro.sim.overflow_fast import simulate_htm_overflow_fast
 from repro.sim.parallel import SweepFailure, SweepTelemetry, run_sweep_parallel
+from repro.sim.placement import (
+    PlacementConflictConfig,
+    PlacementConflictResult,
+    TableABConfig,
+    TableABResult,
+    simulate_placement_conflicts,
+    simulate_table_ab,
+)
 from repro.sim.sweep import SweepResult, run_sweep, sweep_grid
 from repro.sim.throughput import (
     ThroughputConfig,
@@ -121,10 +132,14 @@ __all__ = [
     "OverflowConfig",
     "OverflowDistribution",
     "OverflowResult",
+    "PlacementConflictConfig",
+    "PlacementConflictResult",
     "SweepFailure",
     "SweepResult",
     "SweepTelemetry",
     "TRACE_ENGINES",
+    "TableABConfig",
+    "TableABResult",
     "ThroughputConfig",
     "ThroughputResult",
     "TraceAliasConfig",
@@ -160,6 +175,8 @@ __all__ = [
     "simulate_open_system",
     "simulate_open_system_heterogeneous",
     "simulate_overflow",
+    "simulate_placement_conflicts",
+    "simulate_table_ab",
     "simulate_throughput",
     "simulate_trace",
     "simulate_trace_aliasing",

@@ -36,6 +36,12 @@ cacheable, clusterable and CLI-selectable.  The rows:
   table sizes × concurrency × footprints.
 * ``model`` — the Eq. 8 closed forms over a grid; no randomness, useful
   for cheap smoke traffic.
+* ``placement`` — allocator-placement sensitivity (Dice et al.): false-
+  conflict rate over a placement × hash kind × table size grid, streams
+  rebuilt per process from scalars via ``repro.alloc``.
+* ``fig7`` — tagless vs tagged ownership-table A/B (§5) over table kind
+  × table size × write footprint, replaying identical placed streams so
+  the table organization is the only variable.
 
 Kinds whose engine family has interchangeable engines carry an
 ``engine`` parameter (a plain string, so it rides grid dicts and
@@ -58,11 +64,13 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.alloc.spec import available_placements, placement_preset
 from repro.core.model import (
     ModelParams,
     conflict_likelihood,
     conflict_likelihood_product_form,
 )
+from repro.ownership.hashing import available_hash_kinds, make_hash
 from repro.sim.closed_system import ClosedSystemConfig
 from repro.sim.engines import (
     DEFAULT_CLOSED_ENGINE,
@@ -173,6 +181,43 @@ def _require_str_choice_list(params: Mapping[str, Any], key: str,
     return out
 
 
+def _require_checked_str(params: Mapping[str, Any], key: str,
+                         default: Optional[str],
+                         resolve: Callable[[str], Any]) -> str:
+    value = params.get(key, default)
+    if value is None:
+        raise SweepValidationError(f"missing required parameter {key!r}")
+    if not isinstance(value, str):
+        raise SweepValidationError(f"parameter {key!r} must be a string, got {value!r}")
+    try:
+        resolve(value)
+    except ValueError as exc:
+        # Surface the registry's own message (it lists the options) as
+        # the admission error — e.g. make_hash's "unknown hash kind".
+        raise SweepValidationError(str(exc)) from None
+    return value
+
+
+def _require_checked_str_list(params: Mapping[str, Any], key: str,
+                              default: Optional[Sequence[str]],
+                              resolve: Callable[[str], Any]) -> list[str]:
+    values = params.get(key, list(default) if default is not None else None)
+    if values is None:
+        raise SweepValidationError(f"missing required parameter {key!r}")
+    if not isinstance(values, (list, tuple)) or not values:
+        raise SweepValidationError(f"parameter {key!r} must be a non-empty list")
+    out = []
+    for v in values:
+        if not isinstance(v, str):
+            raise SweepValidationError(f"parameter {key!r} must hold strings, got {v!r}")
+        try:
+            resolve(v)
+        except ValueError as exc:
+            raise SweepValidationError(str(exc)) from None
+        out.append(v)
+    return out
+
+
 def _require_engine(params: Mapping[str, Any], key: str, engine_kind: str) -> str:
     engine = params.get(key, DEFAULT_ENGINES[engine_kind])
     if not isinstance(engine, str) or engine not in ENGINES[engine_kind]:
@@ -196,10 +241,14 @@ class ParamSpec:
 
     ``kind`` selects the validator: ``"int"``, ``"float"``,
     ``"int_list"``, ``"str_choice_list"`` (each value must be one of
-    ``choices``) or ``"engine"`` (a name from the ``engine_kind`` family
-    of :data:`repro.sim.engines.ENGINES`, defaulting to that family's
-    default).  A ``default`` of ``None`` on ``int``/``int_list``/
-    ``str_choice_list`` makes the parameter required.
+    ``choices``), ``"checked_str"``/``"checked_str_list"`` (each value
+    is passed to ``resolve``, whose :class:`ValueError` — typically
+    already listing the options, like ``make_hash``'s — becomes the
+    admission error) or ``"engine"`` (a name from the ``engine_kind``
+    family of :data:`repro.sim.engines.ENGINES`, defaulting to that
+    family's default).  A ``default`` of ``None`` on ``int``/
+    ``int_list``/``str_choice_list``/``checked_str``/
+    ``checked_str_list`` makes the parameter required.
     """
 
     name: str
@@ -209,6 +258,7 @@ class ParamSpec:
     hi: Optional[float] = None
     choices: Optional[tuple[str, ...]] = None
     engine_kind: Optional[str] = None
+    resolve: Optional[Callable[[str], Any]] = None
 
     def validated(self, params: Mapping[str, Any]) -> Any:
         """Extract, validate and normalize this parameter from a request."""
@@ -224,6 +274,12 @@ class ParamSpec:
         if self.kind == "str_choice_list":
             assert self.choices is not None
             return _require_str_choice_list(params, self.name, self.default, self.choices)
+        if self.kind == "checked_str":
+            assert self.resolve is not None
+            return _require_checked_str(params, self.name, self.default, self.resolve)
+        if self.kind == "checked_str_list":
+            assert self.resolve is not None
+            return _require_checked_str_list(params, self.name, self.default, self.resolve)
         if self.kind == "engine":
             assert self.engine_kind is not None
             return _require_engine(params, self.name, self.engine_kind)
@@ -447,6 +503,81 @@ def _closed_point(n_entries: int, concurrency: int, write_footprint: int,
     }
 
 
+def _placement_point(placement: str, hash_kind: str, n: int, *, w: int,
+                     concurrency: int, samples: int, objects: int, skew: float,
+                     write_fraction: float, seed: int) -> dict[str, Any]:
+    """One placement grid point: the conflict decomposition, JSON-safe."""
+    from repro.sim.placement import (
+        PlacementConflictConfig,
+        simulate_placement_conflicts,
+    )
+
+    r = simulate_placement_conflicts(
+        PlacementConflictConfig(
+            n_entries=n,
+            placement=placement,
+            hash_kind=hash_kind,
+            concurrency=concurrency,
+            write_footprint=w,
+            samples=samples,
+            objects_per_thread=objects,
+            skew=skew,
+            write_fraction=write_fraction,
+            seed=seed,
+        )
+    )
+    return {
+        "placement": placement,
+        "hash_kind": hash_kind,
+        "n": n,
+        "conflict_pct": 100 * r.conflict_probability,
+        "block_conflict_pct": 100 * r.block_conflict_probability,
+        "false_conflict_pct": 100 * r.false_conflict_probability,
+        "stderr_pct": 100 * r.stderr,
+        "mean_window_accesses": r.mean_window_accesses,
+    }
+
+
+def _fig7_point(table: str, n: int, w: int, *, placement: str, hash_kind: str,
+                concurrency: int, rounds: int, objects: int, skew: float,
+                write_fraction: float, seed: int) -> dict[str, Any]:
+    """One fig7 grid point: an ownership-table replay ledger, JSON-safe."""
+    from repro.sim.placement import TableABConfig, simulate_table_ab
+
+    r = simulate_table_ab(
+        TableABConfig(
+            n_entries=n,
+            table=table,
+            placement=placement,
+            hash_kind=hash_kind,
+            concurrency=concurrency,
+            write_footprint=w,
+            rounds=rounds,
+            objects_per_thread=objects,
+            skew=skew,
+            write_fraction=write_fraction,
+            seed=seed,
+        )
+    )
+    return {
+        "table": table,
+        "n": n,
+        "w": w,
+        "acquires": r.acquires,
+        "grants": r.grants,
+        "true_conflicts": r.true_conflicts,
+        "false_conflicts": r.false_conflicts,
+        "unclassified_conflicts": r.unclassified_conflicts,
+        "conflicts": r.conflicts,
+        "upgrades": r.upgrades,
+        "aborts": r.aborts,
+        "committed": r.committed,
+        "indirection_rate": r.indirection_rate,
+        "mean_fraction_simple": r.mean_fraction_simple,
+        "max_chain": r.max_chain,
+    }
+
+
 # -- assemblers and cross-parameter checks -----------------------------
 
 
@@ -489,14 +620,105 @@ def _closed_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
     return {"kind": "closed", "points": list(sweep.outcomes)}
 
 
+def _placement_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
+    """False-conflict-% series per placement/hash pair, plus raw points."""
+    points = [dict(r) for r in sweep.outcomes]
+    series = {
+        f"{p}/{h}": [
+            float(r["false_conflict_pct"])
+            for r in points
+            if r["placement"] == p and r["hash_kind"] == h
+        ]
+        for p in params["placements"]
+        for h in params["hash_kinds"]
+    }
+    return {
+        "kind": "placement",
+        "x": "n",
+        "n_values": params["n_values"],
+        "placements": params["placements"],
+        "hash_kinds": params["hash_kinds"],
+        "series": series,
+        "points": points,
+    }
+
+
+def _fig7_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
+    """Per-table false-conflict series over W, plus the elimination ledger.
+
+    ``false_conflicts_by_table`` totals each table kind's false conflicts
+    per table size across the whole W axis — on any shared grid the
+    tagged column is identically zero, which *is* the §5 claim.
+    """
+    points = [dict(r) for r in sweep.outcomes]
+    series = {
+        f"{t} N={n}": [
+            float(r["false_conflicts"])
+            for r in points
+            if r["table"] == t and r["n"] == n
+        ]
+        for t in params["tables"]
+        for n in params["n_values"]
+    }
+    elimination = {
+        f"N={n}": {
+            t: sum(
+                r["false_conflicts"]
+                for r in points
+                if r["table"] == t and r["n"] == n
+            )
+            for t in params["tables"]
+        }
+        for n in params["n_values"]
+    }
+    return {
+        "kind": "fig7",
+        "x": "w",
+        "w_values": params["w_values"],
+        "n_values": params["n_values"],
+        "tables": params["tables"],
+        "series": series,
+        "false_conflicts_by_table": elimination,
+        "points": points,
+    }
+
+
 def _check_power_of_two_tables(params: dict[str, Any]) -> None:
     for n in params["n_values"]:
         if not is_power_of_two(n):
             # Every hash kind masks into a power-of-two table; catch the
             # bound at admission so the run costs a 400, not a worker.
             raise SweepValidationError(
-                f"trace-driven table sizes must be powers of two, got {n} in 'n_values'"
+                f"hashed table sizes must be powers of two, got {n} in 'n_values'"
             )
+
+
+def _check_alloc_workload(params: dict[str, Any]) -> None:
+    w = max(params["w_values"]) if "w_values" in params else params["w"]
+    objects = params["objects"]
+    if 8 * w > objects:
+        # Mirrors the engine configs' bound: a W-write window needs slack
+        # in the per-thread working set to terminate.
+        raise SweepValidationError(
+            f"write footprint {w} needs at least 8*W={8 * w} objects per "
+            f"thread, got 'objects'={objects}"
+        )
+    if params["skew"] > 4.0:
+        raise SweepValidationError(
+            f"parameter 'skew' must be <= 4.0, got {params['skew']}"
+        )
+    if params["write_fraction"] > 1.0:
+        raise SweepValidationError(
+            f"parameter 'write_fraction' must be <= 1.0, got {params['write_fraction']}"
+        )
+
+
+def _resolve_placement(name: str) -> None:
+    placement_preset(name)  # unknown names raise, listing the presets
+
+
+def _resolve_hash_kind(kind: str) -> None:
+    make_hash(kind, 1024)  # unknown kinds raise, listing the options
 
 
 def _check_thread_cap(params: dict[str, Any]) -> None:
@@ -649,6 +871,79 @@ SWEEP_KINDS: dict[str, SweepKind] = {
             ),
             execute=_execute_model,
             ceiling=("n_values", "w_values"),
+        ),
+        SweepKind(
+            "placement",
+            "allocator-placement false-conflict sensitivity over a "
+            "placement x hash x N grid (Dice et al.)",
+            params=(
+                ParamSpec("n_values", "int_list", default=[1024, 4096, 16384]),
+                ParamSpec(
+                    "placements", "checked_str_list",
+                    default=available_placements(), resolve=_resolve_placement,
+                ),
+                ParamSpec(
+                    "hash_kinds", "checked_str_list",
+                    default=available_hash_kinds(), resolve=_resolve_hash_kind,
+                ),
+                ParamSpec("w", "int", default=8, hi=64),
+                ParamSpec("concurrency", "int", default=2, lo=2, hi=16),
+                ParamSpec("samples", "int", default=400, hi=MAX_SAMPLES),
+                ParamSpec("objects", "int", default=512, lo=64, hi=65536),
+                ParamSpec("skew", "float", default=1.2, lo=0.05),
+                ParamSpec("write_fraction", "float", default=0.3, lo=0.01),
+            ),
+            point=_placement_point,
+            axes={"placement": "placements", "hash_kind": "hash_kinds", "n": "n_values"},
+            wire={
+                "w": "w",
+                "concurrency": "concurrency",
+                "samples": "samples",
+                "objects": "objects",
+                "skew": "skew",
+                "write_fraction": "write_fraction",
+            },
+            assemble=_placement_assemble,
+            checks=(_check_power_of_two_tables, _check_alloc_workload),
+        ),
+        SweepKind(
+            "fig7",
+            "tagless vs tagged ownership-table A/B over identical placed "
+            "streams (Figure 7 / section 5)",
+            params=(
+                ParamSpec("n_values", "int_list", default=[256, 1024, 4096]),
+                ParamSpec("w_values", "int_list", default=[4, 8, 16]),
+                ParamSpec(
+                    "tables", "str_choice_list",
+                    default=("tagless", "tagged"), choices=("tagless", "tagged"),
+                ),
+                ParamSpec(
+                    "placement", "checked_str",
+                    default="slab", resolve=_resolve_placement,
+                ),
+                ParamSpec(
+                    "hash_kind", "checked_str",
+                    default="mask", resolve=_resolve_hash_kind,
+                ),
+                ParamSpec("concurrency", "int", default=4, lo=2, hi=16),
+                ParamSpec("rounds", "int", default=60, hi=10_000),
+                ParamSpec("objects", "int", default=512, lo=64, hi=65536),
+                ParamSpec("skew", "float", default=1.2, lo=0.05),
+                ParamSpec("write_fraction", "float", default=0.3, lo=0.01),
+            ),
+            point=_fig7_point,
+            axes={"table": "tables", "n": "n_values", "w": "w_values"},
+            wire={
+                "placement": "placement",
+                "hash_kind": "hash_kind",
+                "concurrency": "concurrency",
+                "rounds": "rounds",
+                "objects": "objects",
+                "skew": "skew",
+                "write_fraction": "write_fraction",
+            },
+            assemble=_fig7_assemble,
+            checks=(_check_power_of_two_tables, _check_alloc_workload),
         ),
     )
 }

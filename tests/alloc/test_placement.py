@@ -1,0 +1,135 @@
+"""Unit tests for the allocator placement models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.placement import (
+    BuddyPlacement,
+    BumpPlacement,
+    PlacementModel,
+    SlabPlacement,
+    block_addresses,
+)
+
+
+class TestBumpPlacement:
+    def test_known_layout(self):
+        bases = BumpPlacement(alignment=16).place([10, 20, 30])
+        assert bases.tolist() == [0, 16, 48]  # rounded sizes 16, 32, 32
+
+    def test_packed_layout(self):
+        bases = BumpPlacement(alignment=1).place([10, 20, 30])
+        assert bases.tolist() == [0, 10, 30]
+
+    def test_alignment_respected(self):
+        bases = BumpPlacement(alignment=64).place([1] * 10)
+        assert all(b % 64 == 0 for b in bases.tolist())
+        assert sorted(set(np.diff(bases).tolist())) == [64]
+
+    def test_rejects_non_power_of_two_alignment(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BumpPlacement(alignment=24)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            BumpPlacement().place([16, 0])
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            BumpPlacement().place(np.ones((2, 2), dtype=np.int64))
+
+    def test_empty_sizes(self):
+        assert BumpPlacement().place([]).tolist() == []
+
+    def test_satisfies_protocol(self):
+        assert isinstance(BumpPlacement(), PlacementModel)
+
+
+class TestSlabPlacement:
+    def test_slots_fill_sequentially(self):
+        model = SlabPlacement(size_classes=(16,), slab_bytes=64)
+        bases = model.place([16] * 5)
+        # Four 16 B slots per 64 B slab, then the next slab.
+        assert bases.tolist() == [0, 16, 32, 48, 64]
+
+    def test_uncolored_slabs_recur_at_identical_low_bits(self):
+        model = SlabPlacement(size_classes=(16,), slab_bytes=64, coloring=0)
+        bases = model.place([16] * 12)
+        low_bits = {b % 64 for b in bases.tolist()}
+        assert low_bits == {0, 16, 32, 48}  # the Dice et al. recurrence
+
+    def test_coloring_staggers_successive_slabs(self):
+        model = SlabPlacement(size_classes=(16,), slab_bytes=64, coloring=16)
+        bases = model.place([16] * 5)
+        # Slab 1 starts at 64 + color offset 16.
+        assert bases.tolist() == [0, 16, 32, 48, 80]
+
+    def test_classes_live_in_disjoint_regions(self):
+        model = SlabPlacement(size_classes=(16, 32), slab_bytes=4096)
+        bases = model.place([16, 32, 16, 32])
+        small = {bases[0], bases[2]}
+        large = {bases[1], bases[3]}
+        assert max(small) < (1 << 32) <= min(large)
+
+    def test_object_lands_in_smallest_fitting_class(self):
+        model = SlabPlacement(size_classes=(16, 32, 64), slab_bytes=4096)
+        bases = model.place([17, 17])
+        assert (bases[1] - bases[0]) == 32  # slot stride of the 32 B class
+
+    def test_rejects_oversized_object(self):
+        with pytest.raises(ValueError, match="largest size class"):
+            SlabPlacement(size_classes=(16, 32), slab_bytes=4096).place([64])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_classes": ()},
+            {"size_classes": (32, 16)},
+            {"size_classes": (16, 16)},
+            {"size_classes": (16,), "slab_bytes": 1000},
+            {"size_classes": (16,), "slab_bytes": 64, "coloring": 48},
+            {"size_classes": (16,), "slab_bytes": 64, "coloring": -1},
+            {"size_classes": (64,), "slab_bytes": 64},
+        ],
+    )
+    def test_rejects_bad_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            SlabPlacement(**kwargs)
+
+
+class TestBuddyPlacement:
+    def test_power_of_two_rounding_and_natural_alignment(self):
+        bases = BuddyPlacement(min_block=16).place([10, 17, 100])
+        assert bases.tolist() == [0, 32, 128]  # chunks 16, 32, 128
+
+    def test_every_base_naturally_aligned(self):
+        rng = np.random.default_rng(3)
+        sizes = rng.integers(1, 300, size=50)
+        model = BuddyPlacement(min_block=16)
+        bases = model.place(sizes)
+        rounded = np.maximum(sizes, 16)
+        chunks = 1 << np.ceil(np.log2(rounded)).astype(np.int64)
+        assert np.all(bases % chunks == 0)
+
+    def test_rejects_non_power_of_two_min_block(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BuddyPlacement(min_block=24)
+
+
+class TestBlockAddresses:
+    def test_conversion(self):
+        bases = np.array([0, 63, 64, 127, 128], dtype=np.int64)
+        assert block_addresses(bases, block_bytes=64).tolist() == [0, 0, 1, 1, 2]
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError, match="power of two"):
+            block_addresses(np.array([0]), block_bytes=48)
+
+    def test_dense_packing_shares_blocks(self):
+        """Packed bump allocation genuinely shares cache blocks — the
+        true-sharing channel the conflict kernels must separate."""
+        bases = BumpPlacement(alignment=1).place([16] * 8)
+        blocks = block_addresses(bases, block_bytes=64)
+        assert len(set(blocks.tolist())) < 8

@@ -1,0 +1,89 @@
+"""Wire-safety and registry tests for placement specs and presets."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.alloc.placement import BumpPlacement, SlabPlacement
+from repro.alloc.spec import (
+    PLACEMENT_MODELS,
+    PLACEMENT_PRESETS,
+    PlacementSpec,
+    available_placements,
+    make_placement,
+    placement_preset,
+)
+
+
+class TestPlacementSpec:
+    def test_of_builds_the_named_model(self):
+        spec = PlacementSpec.of("bump", alignment=32)
+        model = spec.build()
+        assert isinstance(model, BumpPlacement)
+        assert model.alignment == 32
+
+    def test_wire_round_trip_through_json(self):
+        spec = PlacementSpec.of("slab", size_classes=[16, 64], coloring=16)
+        payload = json.loads(json.dumps(spec.to_wire()))
+        assert PlacementSpec.from_wire(payload) == spec
+        assert isinstance(spec.build(), SlabPlacement)
+
+    def test_kwarg_order_is_canonical(self):
+        a = PlacementSpec("slab", (("coloring", 16), ("slab_bytes", 4096)))
+        b = PlacementSpec("slab", (("slab_bytes", 4096), ("coloring", 16)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unknown_model_lists_options(self):
+        with pytest.raises(ValueError, match="unknown placement model") as excinfo:
+            PlacementSpec.of("arena")
+        for name in PLACEMENT_MODELS:
+            assert name in str(excinfo.value)
+
+    def test_bad_kwargs_surface_as_value_error(self):
+        with pytest.raises(ValueError, match="bad kwargs"):
+            PlacementSpec.of("bump", slabs=3)
+
+    def test_invalid_model_arguments_surface_eagerly(self):
+        with pytest.raises(ValueError, match="power of two"):
+            PlacementSpec.of("bump", alignment=24)
+
+    def test_from_wire_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown placement spec fields"):
+            PlacementSpec.from_wire({"model": "bump", "extra": 1})
+
+    def test_from_wire_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            PlacementSpec.from_wire({"model": 7})
+        with pytest.raises(ValueError):
+            PlacementSpec.from_wire({"model": "bump", "kwargs": [1, 2]})
+        with pytest.raises(ValueError):
+            PlacementSpec.from_wire("bump")
+
+    def test_non_json_safe_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="JSON-safe"):
+            PlacementSpec.of("bump", alignment={16})
+
+
+class TestPresets:
+    def test_available_placements_sorted(self):
+        names = available_placements()
+        assert names == tuple(sorted(names))
+        assert set(names) == set(PLACEMENT_PRESETS)
+
+    @pytest.mark.parametrize("name", sorted(PLACEMENT_PRESETS))
+    def test_every_preset_builds(self, name):
+        model = make_placement(name)
+        assert model.place([16, 32]).shape == (2,)
+
+    def test_unknown_preset_lists_options(self):
+        with pytest.raises(ValueError, match="unknown placement") as excinfo:
+            placement_preset("arena")
+        for name in PLACEMENT_PRESETS:
+            assert name in str(excinfo.value)
+
+    def test_make_placement_accepts_spec(self):
+        model = make_placement(PlacementSpec.of("buddy", min_block=32))
+        assert model.min_block == 32

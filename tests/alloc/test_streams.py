@@ -1,0 +1,82 @@
+"""Tests for placed, Zipf-skewed address streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.streams import draw_object_sizes, placed_heap, placed_stream
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestDrawObjectSizes:
+    def test_bounds_and_dtype(self):
+        sizes = draw_object_sizes(rng(), 500, min_bytes=16, max_bytes=256)
+        assert sizes.dtype == np.int64
+        assert int(sizes.min()) >= 16
+        assert int(sizes.max()) <= 256
+
+    def test_log_uniform_mass_per_doubling(self):
+        sizes = draw_object_sizes(rng(), 20_000, min_bytes=16, max_bytes=256)
+        small = int(np.sum(sizes < 64))   # two of the four doublings
+        assert 0.4 < small / len(sizes) < 0.6
+
+    def test_deterministic_per_seed(self):
+        a = draw_object_sizes(rng(7), 100)
+        b = draw_object_sizes(rng(7), 100)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_objects": 0},
+            {"n_objects": 10, "min_bytes": 0},
+            {"n_objects": 10, "min_bytes": 64, "max_bytes": 32},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            draw_object_sizes(rng(), **kwargs)
+
+
+class TestPlacedHeap:
+    def test_maps_every_object(self):
+        sizes = draw_object_sizes(rng(), 64)
+        heap = placed_heap("bump", sizes)
+        assert heap.shape == (64,)
+
+    def test_placement_changes_the_heap(self):
+        sizes = draw_object_sizes(rng(), 64)
+        bump = placed_heap("bump", sizes)
+        slab = placed_heap("slab", sizes)
+        assert not np.array_equal(bump, slab)
+
+
+class TestPlacedStream:
+    def test_stream_references_the_placed_heap(self):
+        sizes_rng = rng(3)
+        blocks, is_write = placed_stream(sizes_rng, 2000, "slab", n_objects=64)
+        heap = placed_heap("slab", draw_object_sizes(rng(3), 64))
+        assert set(blocks.tolist()) <= set(heap.tolist())
+        assert is_write.dtype == bool and len(is_write) == 2000
+
+    def test_deterministic_per_seed(self):
+        a_blocks, a_writes = placed_stream(rng(5), 1000, "buddy", n_objects=32)
+        b_blocks, b_writes = placed_stream(rng(5), 1000, "buddy", n_objects=32)
+        assert np.array_equal(a_blocks, b_blocks)
+        assert np.array_equal(a_writes, b_writes)
+
+    def test_write_fraction_approximate(self):
+        _, is_write = placed_stream(
+            rng(1), 20_000, "bump", n_objects=128, write_fraction=0.3
+        )
+        assert 0.25 < float(is_write.mean()) < 0.35
+
+    def test_skew_concentrates_references(self):
+        blocks, _ = placed_stream(rng(2), 10_000, "bump", n_objects=256, skew=1.5)
+        _, counts = np.unique(blocks, return_counts=True)
+        top = np.sort(counts)[::-1][:10].sum()
+        assert top / len(blocks) > 0.3  # hot objects dominate

@@ -20,6 +20,11 @@ class TestCatalogCoverage:
         for figure, spec in EXPERIMENTS.items():
             assert spec.figure == figure
 
+    def test_every_spec_kind_has_a_renderer(self):
+        from repro.experiments.artifact import _RENDERERS
+
+        assert {spec.kind for spec in EXPERIMENTS.values()} <= set(_RENDERERS)
+
 
 class TestQualityTiers:
     @pytest.mark.parametrize("quality", QUALITIES)

@@ -1,0 +1,129 @@
+"""Differential tagged-vs-tagless properties on identical streams.
+
+The §5 contract, stated as replayable invariants: feed the same access
+stream to both table organizations in lockstep (aborting in both worlds
+whenever either refuses, so the permission states stay comparable) and
+
+* every tagless refusal classified ``is_false=True`` is granted by the
+  tagged table — the alias-induced conflicts are eliminated, all of
+  them;
+* every refusal the tagged table issues is also a tagless refusal, and
+  the tagless classification is ``is_false=False`` — true sharing is
+  preserved, not masked;
+* when threads touch disjoint block sets, the tagged table reports zero
+  conflicts of any kind, no matter how hard the streams alias.
+
+The converse of the first invariant does **not** hold: the tagless
+``is_false`` classifier is block-granular but mode-blind (a holder who
+merely *read* block b counts as having touched b), so a refusal whose
+only real collision is alias-induced can still be classified true when
+the holder happened to read the requested block through its aliased
+write permission.  Hence the counter comparisons below are one-sided:
+``tagged.conflicts <= tagless.true_conflicts`` and tagless false
+conflicts are a subset of the divergent refusals.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ownership.base import AccessMode
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+
+R, W = AccessMode.READ, AccessMode.WRITE
+
+# Small table + wide block range: mask-hash aliasing is the common case.
+N_ENTRIES = 8
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # thread
+        st.integers(min_value=0, max_value=63),  # block
+        st.booleans(),                           # is_write
+    ),
+    max_size=80,
+)
+
+
+def lockstep_replay(ops):
+    """Replay ``ops`` into both tables, aborting both on any refusal.
+
+    Returns ``(tagless, tagged, divergences)`` where ``divergences`` is
+    the list of (tagless_result, tagged_result) pairs per op.
+    """
+    tagless = TaglessOwnershipTable(N_ENTRIES, track_addresses=True)
+    tagged = TaggedOwnershipTable(N_ENTRIES)
+    outcomes = []
+    for thread, block, is_write in ops:
+        mode = W if is_write else R
+        res_tagless = tagless.acquire(thread, block, mode)
+        res_tagged = tagged.acquire(thread, block, mode)
+        outcomes.append((res_tagless, res_tagged))
+        if not (res_tagless.granted and res_tagged.granted):
+            tagless.release_all(thread)
+            tagged.release_all(thread)
+    return tagless, tagged, outcomes
+
+
+class TestLockstepInvariants:
+    @given(ops=ops_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_false_conflicts_are_eliminated_true_sharing_is_kept(self, ops):
+        tagless, tagged, outcomes = lockstep_replay(ops)
+        divergent = 0
+        false_refusals = 0
+        for res_tagless, res_tagged in outcomes:
+            if res_tagged.granted and not res_tagless.granted:
+                divergent += 1
+            if not res_tagless.granted and res_tagless.conflict.is_false:
+                # Alias-induced refusals never survive tagging.
+                assert res_tagged.granted
+                false_refusals += 1
+            if not res_tagged.granted:
+                # Tagged refusals are true sharing; tagless must agree.
+                assert not res_tagless.granted
+                assert res_tagless.conflict.is_false is False
+                assert res_tagged.conflict.is_false is False
+        assert tagless.counters.false_conflicts == false_refusals
+        assert false_refusals <= divergent
+        assert tagged.counters.false_conflicts == 0
+        assert tagged.counters.unclassified_conflicts == 0
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_tagged_conflicts_bounded_by_tagless_true_conflicts(self, ops):
+        """One-sided by design: tagless classifies at block (not mode)
+        granularity, so its true-conflict count can exceed tagged's."""
+        tagless, tagged, _ = lockstep_replay(ops)
+        assert tagged.counters.conflicts <= tagless.counters.true_conflicts
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=15),
+                st.booleans(),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_disjoint_blocks_mean_zero_tagged_conflicts(self, ops):
+        """Per-thread disjoint block sets: tagged reports nothing, every
+        tagless refusal is false."""
+        tagless = TaglessOwnershipTable(N_ENTRIES, track_addresses=True)
+        tagged = TaggedOwnershipTable(N_ENTRIES)
+        for thread, local_block, is_write in ops:
+            block = thread * 1000 + local_block  # disjoint per thread
+            mode = W if is_write else R
+            res_tagless = tagless.acquire(thread, block, mode)
+            res_tagged = tagged.acquire(thread, block, mode)
+            assert res_tagged.granted
+            if not res_tagless.granted:
+                assert res_tagless.conflict.is_false is True
+                tagless.release_all(thread)
+                tagged.release_all(thread)
+        assert tagged.counters.conflicts == 0
+        assert tagless.counters.true_conflicts == 0

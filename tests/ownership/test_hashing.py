@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ownership.hashing import MaskHash, MultiplicativeHash, XorFoldHash, make_hash
+from repro.ownership.hashing import (
+    MaskHash,
+    MultiplicativeHash,
+    XorFoldHash,
+    available_hash_kinds,
+    make_hash,
+)
 
 ALL_KINDS = ["mask", "multiplicative", "xorfold"]
 
@@ -105,6 +111,21 @@ class TestMakeHash:
     def test_unknown_kind(self):
         with pytest.raises(ValueError, match="unknown hash kind"):
             make_hash("sha256", 64)
+
+    def test_unknown_kind_error_lists_options(self):
+        """The registry error names every valid kind — catalog admission
+        forwards this exact message as the service's 400 body."""
+        with pytest.raises(ValueError) as excinfo:
+            make_hash("crc32", 64)
+        message = str(excinfo.value)
+        for kind in available_hash_kinds():
+            assert kind in message
+
+    def test_available_kinds_sorted_and_constructible(self):
+        kinds = available_hash_kinds()
+        assert kinds == tuple(sorted(kinds))
+        for kind in kinds:
+            assert make_hash(kind, 64).n_entries == 64
 
     @pytest.mark.parametrize("kind,cls", [("mask", MaskHash), ("multiplicative", MultiplicativeHash), ("xorfold", XorFoldHash)])
     def test_dispatch(self, kind, cls):

@@ -1,0 +1,184 @@
+"""Probe-count regressions for the ownership-table hot paths.
+
+The write-upgrade decision sits on every simulated acquire, so it must
+be two O(1) probes (size + membership) on the grant path — building a
+``readers - {self}`` set copy there is the O(F)-per-access pattern PRs
+4 and 6 already evicted from the victim buffer and closed engine.  The
+tagged install path likewise must reuse the chain probe ``acquire``
+already paid for.  These tests pin the probe counts so the pattern
+cannot creep back.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ownership.adaptive import AdaptiveTaglessTable
+from repro.ownership.base import AccessMode, ConflictKind
+from repro.ownership.tagged import TaggedOwnershipTable
+from repro.ownership.tagless import TaglessOwnershipTable
+
+R, W = AccessMode.READ, AccessMode.WRITE
+
+
+class _ProbeCountingSet(set):
+    """A reader set that counts copies, scans and membership probes."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.sub_calls = 0
+        self.iter_calls = 0
+        self.contains_calls = 0
+
+    def __sub__(self, other):
+        self.sub_calls += 1
+        return super().__sub__(other)
+
+    def __iter__(self):
+        self.iter_calls += 1
+        return super().__iter__()
+
+    def __contains__(self, item):
+        self.contains_calls += 1
+        return super().__contains__(item)
+
+
+class _ProbeCountingDict(dict):
+    """A chain directory that counts lookup and setdefault probes."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.get_calls = 0
+        self.setdefault_calls = 0
+
+    def get(self, *args):
+        self.get_calls += 1
+        return super().get(*args)
+
+    def setdefault(self, *args):
+        self.setdefault_calls += 1
+        return super().setdefault(*args)
+
+
+class _ItemsCountingHeld(defaultdict):
+    """A held-map that counts full ``items()`` walks."""
+
+    def __init__(self, mapping):
+        super().__init__(set, mapping)
+        self.items_calls = 0
+
+    def items(self):
+        self.items_calls += 1
+        return super().items()
+
+
+class TestTaglessUpgradeProbes:
+    def test_sole_self_upgrade_makes_no_set_copy(self):
+        t = TaglessOwnershipTable(8)
+        assert t.acquire(0, 3, R).granted
+        entry = t.entry_of(3)
+        probes = _ProbeCountingSet(t._readers[entry])
+        t._readers[entry] = probes
+        assert t.acquire(0, 3, W).granted
+        assert t.counters.upgrades == 1
+        # Grant decided by len() + one membership probe; no copy, no scan.
+        assert probes.sub_calls == 0
+        assert probes.iter_calls == 0
+        assert probes.contains_calls == 1
+
+    def test_refusal_scans_once_and_reports_others_sorted(self):
+        t = TaglessOwnershipTable(8)
+        for reader in (5, 1, 3):
+            assert t.acquire(reader, 3, R).granted
+        entry = t.entry_of(3)
+        probes = _ProbeCountingSet(t._readers[entry])
+        t._readers[entry] = probes
+        res = t.acquire(1, 3, W)
+        assert not res.granted
+        assert res.conflict.kind is ConflictKind.READ_WRITE
+        assert res.conflict.holders == (3, 5)  # sorted, self excluded
+        assert probes.sub_calls == 0
+        assert probes.iter_calls == 1
+
+    def test_write_on_foreign_readers_still_refused(self):
+        t = TaglessOwnershipTable(8)
+        assert t.acquire(0, 3, R).granted
+        res = t.acquire(1, 3, W)
+        assert not res.granted
+        assert res.conflict.holders == (0,)
+
+
+class TestTaggedUpgradeProbes:
+    def test_sole_self_upgrade_makes_no_set_copy(self):
+        t = TaggedOwnershipTable(8)
+        assert t.acquire(0, 3, R).granted
+        entry = t.entry_of(3)
+        tag = int(t.hash_fn.tag_of(3))
+        record = t._chains[entry][tag]
+        probes = _ProbeCountingSet(record.readers)
+        record.readers = probes
+        assert t.acquire(0, 3, W).granted
+        assert t.counters.upgrades == 1
+        assert probes.sub_calls == 0
+        assert probes.iter_calls == 0
+        assert probes.contains_calls == 1
+
+    def test_refusal_scans_once_and_reports_others_sorted(self):
+        t = TaggedOwnershipTable(8)
+        for reader in (4, 2):
+            assert t.acquire(reader, 3, R).granted
+        entry = t.entry_of(3)
+        tag = int(t.hash_fn.tag_of(3))
+        record = t._chains[entry][tag]
+        probes = _ProbeCountingSet(record.readers)
+        record.readers = probes
+        res = t.acquire(2, 3, W)
+        assert not res.granted
+        assert res.conflict.kind is ConflictKind.READ_WRITE
+        assert res.conflict.holders == (4,)
+        assert res.conflict.is_false is False
+        assert probes.sub_calls == 0
+        assert probes.iter_calls == 1
+
+
+class TestTaggedInstallProbes:
+    def test_fresh_install_probes_chain_directory_once(self):
+        t = TaggedOwnershipTable(8)
+        probes = _ProbeCountingDict(t._chains)
+        t._chains = probes
+        assert t.acquire(0, 3, W).granted
+        # One .get() in acquire; _install must reuse it, not setdefault.
+        assert probes.get_calls == 1
+        assert probes.setdefault_calls == 0
+
+    def test_install_on_existing_chain_probes_once(self):
+        t = TaggedOwnershipTable(4)
+        assert t.acquire(0, 1, W).granted  # seeds the chain at entry_of(1)
+        alias = 1 + t.n_entries  # same entry, different tag under mask
+        assert t.entry_of(alias) == t.entry_of(1)
+        probes = _ProbeCountingDict(t._chains)
+        t._chains = probes
+        assert t.acquire(1, alias, W).granted  # chains, no false conflict
+        assert probes.get_calls == 1
+        assert probes.setdefault_calls == 0
+        assert t.total_records() == 2
+
+
+class TestAdaptiveHolderProbes:
+    def test_current_holders_reads_keys_without_items_walk(self):
+        t = AdaptiveTaglessTable(16)
+        assert t.acquire(2, 3, W).granted
+        assert t.acquire(0, 9, R).granted
+        held = _ItemsCountingHeld(t._inner._held)
+        t._inner._held = held
+        assert t._current_holders() == (0, 2)
+        assert held.items_calls == 0
+
+    def test_current_holders_tracks_release(self):
+        t = AdaptiveTaglessTable(16)
+        assert t.acquire(1, 3, W).granted
+        assert t.acquire(4, 9, W).granted
+        t.release_all(1)
+        assert t._current_holders() == (4,)
+        t.release_all(4)
+        assert t._current_holders() == ()

@@ -397,6 +397,69 @@ class TestSweepJobs:
         assert again["cache_hit"] is True
         assert metric_value(client, "repro_queue_wait_seconds_count") == 1
 
+    def test_placement_sweep_byte_identical_to_serial(self, service):
+        """An allocator-placement sweep over the wire matches the
+        catalog's serial ``execute_sweep`` byte for byte."""
+        from repro.sim.catalog import SWEEP_KINDS, execute_sweep
+
+        _, client = service
+        params = {
+            "n_values": [256, 1024],
+            "placements": ["bump", "slab"],
+            "hash_kinds": ["mask"],
+            "samples": 30,
+            "objects": 128,
+            "w": 6,
+        }
+        _, submitted, _ = client.post(
+            "/v1/sweeps", {"kind": "placement", "params": params, "seed": 5}
+        )
+        final = client.poll_job(submitted["id"])
+        assert final["state"] == "succeeded"
+        serial = execute_sweep(
+            "placement", SWEEP_KINDS["placement"].validate(params), 5
+        )
+        assert json.dumps(final["result"], sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+
+    def test_fig7_sweep_reports_tagged_elimination(self, service):
+        _, client = service
+        params = {
+            "n_values": [256],
+            "w_values": [4, 8],
+            "rounds": 10,
+            "objects": 128,
+            "concurrency": 3,
+        }
+        _, submitted, _ = client.post(
+            "/v1/sweeps", {"kind": "fig7", "params": params, "seed": 5}
+        )
+        final = client.poll_job(submitted["id"])
+        assert final["state"] == "succeeded"
+        totals = final["result"]["false_conflicts_by_table"]["N=256"]
+        assert totals["tagged"] == 0
+
+    def test_placement_registry_errors_are_400(self, service):
+        """Unknown hash kinds and placement names surface the registry's
+        own ValueError message as a clean 400 at admission."""
+        _, client = service
+        cases = (
+            ("placement", {"hash_kinds": ["crc32"]}, "unknown hash kind"),
+            ("placement", {"placements": ["arena"]}, "unknown placement"),
+            ("placement", {"n_values": [1000]}, "powers of two"),
+            ("placement", {"w": 64, "objects": 128}, "objects per thread"),
+            ("fig7", {"hash_kind": "crc32"}, "unknown hash kind"),
+            ("fig7", {"placement": "arena"}, "unknown placement"),
+            ("fig7", {"tables": ["victim"]}, "tables"),
+        )
+        for kind, params, needle in cases:
+            status, data, _ = client.post(
+                "/v1/sweeps", {"kind": kind, "params": params}
+            )
+            assert status == 400, (kind, params)
+            assert needle in data["error"], (kind, params, data["error"])
+
     def test_execution_mode_validated_and_echoed(self, service):
         _, client = service
         status, data, _ = client.post(

@@ -35,6 +35,8 @@ from repro.sim.catalog import (
     SWEEP_KINDS,
     SweepValidationError,
 )
+from repro.alloc.spec import available_placements
+from repro.ownership.hashing import available_hash_kinds
 from repro.traces.workloads import SPEC2000_PROFILES
 
 _ENGINE = st.sampled_from(["fast", "reference"])
@@ -85,6 +87,38 @@ PARAMS = {
         "concurrency": st.integers(2, 1024),
         "alpha": st.floats(0.0, 100.0, allow_nan=False),
     }),
+    "placement": st.fixed_dictionaries({
+        "n_values": _POW2_LIST,
+        "placements": st.lists(
+            st.sampled_from(available_placements()),
+            min_size=1, max_size=3, unique=True,
+        ),
+        "hash_kinds": st.lists(
+            st.sampled_from(available_hash_kinds()),
+            min_size=1, max_size=3, unique=True,
+        ),
+        "w": st.integers(1, 16),
+        "concurrency": st.integers(2, 16),
+        "samples": st.integers(1, MAX_SAMPLES),
+        "objects": st.integers(128, 65536),  # >= 8 * max w
+        "skew": st.floats(0.1, 2.0, allow_nan=False),
+        "write_fraction": st.floats(0.05, 1.0, allow_nan=False),
+    }),
+    "fig7": st.fixed_dictionaries({
+        "n_values": _POW2_LIST,
+        "w_values": st.lists(st.integers(1, 16), min_size=1, max_size=3),
+        "tables": st.lists(
+            st.sampled_from(["tagless", "tagged"]),
+            min_size=1, max_size=2, unique=True,
+        ),
+        "placement": st.sampled_from(available_placements()),
+        "hash_kind": st.sampled_from(available_hash_kinds()),
+        "concurrency": st.integers(2, 16),
+        "rounds": st.integers(1, 10_000),
+        "objects": st.integers(128, 65536),
+        "skew": st.floats(0.1, 2.0, allow_nan=False),
+        "write_fraction": st.floats(0.05, 1.0, allow_nan=False),
+    }),
 }
 
 KIND_NAMES = sorted(SWEEP_KINDS)
@@ -123,7 +157,7 @@ class TestValidationNormalForm:
         assert kind.validate(respell(raw)) == kind.validate(raw)
 
     def test_defaults_fill_the_whole_schema(self):
-        for name in ("fig4a", "fig2a", "fig3"):
+        for name in ("fig4a", "fig2a", "fig3", "placement", "fig7"):
             kind = SWEEP_KINDS[name]
             assert set(kind.validate({})) == set(kind.cache_key_fields)
 
@@ -170,12 +204,16 @@ class TestClusterWireRoundTrip:
     CLUSTERABLE = [name for name in KIND_NAMES if SWEEP_KINDS[name].clusterable]
 
     def test_clusterable_rows(self):
-        assert self.CLUSTERABLE == ["closed", "fig2a", "fig3", "fig4a"]
+        assert self.CLUSTERABLE == [
+            "closed", "fig2a", "fig3", "fig4a", "fig7", "placement",
+        ]
         assert not SWEEP_KINDS["model"].clusterable  # closed-form: no grid
 
     @given(
         data=st.data(),
-        kind_name=st.sampled_from(["closed", "fig2a", "fig3", "fig4a"]),
+        kind_name=st.sampled_from(
+            ["closed", "fig2a", "fig3", "fig4a", "fig7", "placement"]
+        ),
         seed=st.integers(0, 2**31 - 1),
     )
     @settings(max_examples=40, deadline=None)
@@ -190,7 +228,9 @@ class TestClusterWireRoundTrip:
 
     @given(
         data=st.data(),
-        kind_name=st.sampled_from(["closed", "fig2a", "fig3", "fig4a"]),
+        kind_name=st.sampled_from(
+            ["closed", "fig2a", "fig3", "fig4a", "fig7", "placement"]
+        ),
         seed=st.integers(0, 2**31 - 1),
     )
     @settings(max_examples=25, deadline=None)

@@ -1,0 +1,207 @@
+"""Tests for the allocator-placement conflict engine and the table A/B.
+
+Covers the engine's physics (slab/mask pathology, hash mixing, tagged
+elimination), its determinism contract (identical results serially,
+with ``--jobs``, and over the cluster wire), and golden pinned stats
+that freeze the exact counter values of one A/B configuration so any
+drift in stream generation or protocol replay is caught byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.catalog import SWEEP_KINDS, execute_sweep
+from repro.sim.placement import (
+    PlacementConflictConfig,
+    TableABConfig,
+    simulate_placement_conflicts,
+    simulate_table_ab,
+)
+
+
+def placement_cfg(**overrides):
+    base = dict(
+        n_entries=1024,
+        placement="slab",
+        hash_kind="mask",
+        concurrency=2,
+        write_footprint=6,
+        samples=60,
+        objects_per_thread=128,
+        seed=9,
+    )
+    base.update(overrides)
+    return PlacementConflictConfig(**base)
+
+
+def ab_cfg(**overrides):
+    base = dict(
+        n_entries=256,
+        table="tagless",
+        placement="slab",
+        hash_kind="mask",
+        concurrency=3,
+        write_footprint=6,
+        rounds=20,
+        objects_per_thread=128,
+        seed=9,
+    )
+    base.update(overrides)
+    return TableABConfig(**base)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"placement": "arena"},
+            {"hash_kind": "crc32"},
+            {"n_entries": 1000},
+            {"concurrency": 1},
+            {"write_footprint": 0},
+            {"objects_per_thread": 16},  # < 8 * W
+            {"skew": 9.0},
+            {"write_fraction": 0.0},
+            {"samples": 0},
+        ],
+    )
+    def test_placement_config_rejects(self, overrides):
+        with pytest.raises(ValueError):
+            placement_cfg(**overrides)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"table": "victim"},
+            {"placement": "arena"},
+            {"hash_kind": "crc32"},
+            {"rounds": 0},
+            {"concurrency": 1},
+        ],
+    )
+    def test_ab_config_rejects(self, overrides):
+        with pytest.raises(ValueError):
+            ab_cfg(**overrides)
+
+    def test_unknown_names_list_options(self):
+        with pytest.raises(ValueError, match="options"):
+            placement_cfg(placement="arena")
+        with pytest.raises(ValueError, match="options"):
+            placement_cfg(hash_kind="crc32")
+
+
+class TestPlacementConflicts:
+    def test_probabilities_well_formed(self):
+        r = simulate_placement_conflicts(placement_cfg())
+        assert 0.0 <= r.false_conflict_probability <= r.conflict_probability <= 1.0
+        assert 0.0 <= r.block_conflict_probability <= 1.0
+        assert r.stderr >= 0.0
+        assert r.mean_window_accesses > 0.0
+
+    def test_deterministic_per_config(self):
+        a = simulate_placement_conflicts(placement_cfg())
+        b = simulate_placement_conflicts(placement_cfg())
+        assert a == b
+
+    def test_slab_mask_pathology_and_hash_mixing(self):
+        """The Dice et al. claim: slab placement under a mask hash is
+        pathological; a mixing hash on the same heap collapses it."""
+        slab_mask = simulate_placement_conflicts(placement_cfg())
+        bump_mask = simulate_placement_conflicts(placement_cfg(placement="bump"))
+        slab_mult = simulate_placement_conflicts(
+            placement_cfg(hash_kind="multiplicative")
+        )
+        assert slab_mask.false_conflict_probability > 0.2
+        assert bump_mask.false_conflict_probability < slab_mask.false_conflict_probability
+        assert slab_mult.false_conflict_probability < slab_mask.false_conflict_probability / 2
+
+    def test_seed_changes_result(self):
+        a = simulate_placement_conflicts(placement_cfg())
+        b = simulate_placement_conflicts(placement_cfg(seed=10))
+        assert a != b
+
+
+class TestTableAB:
+    def test_tagged_eliminates_false_conflicts(self):
+        tagless = simulate_table_ab(ab_cfg())
+        tagged = simulate_table_ab(ab_cfg(table="tagged"))
+        assert tagless.false_conflicts > 0
+        assert tagged.false_conflicts == 0
+        assert tagged.unclassified_conflicts == 0
+
+    def test_golden_tagless_stats(self):
+        """Pinned counters: any drift in stream generation, window
+        drawing, or protocol replay shows up here first."""
+        r = simulate_table_ab(ab_cfg())
+        assert (r.acquires, r.grants) == (628, 600)
+        assert (r.true_conflicts, r.false_conflicts) == (6, 22)
+        assert (r.upgrades, r.aborts, r.committed) == (7, 28, 32)
+        assert r.indirection_rate == 0.0
+        assert r.mean_fraction_simple == 1.0
+        assert r.max_chain == 0
+
+    def test_golden_tagged_stats(self):
+        r = simulate_table_ab(ab_cfg(table="tagged"))
+        assert (r.acquires, r.grants) == (793, 787)
+        assert (r.true_conflicts, r.false_conflicts) == (6, 0)
+        assert (r.aborts, r.committed) == (6, 54)
+        assert r.indirection_rate == pytest.approx(0.011349306431273645)
+        assert r.mean_fraction_simple == pytest.approx(0.9859375)
+        assert r.max_chain == 4
+
+    def test_ab_pair_replays_identical_streams(self):
+        """The rng stream key excludes the table axis, so both arms see
+        the same workload: acquisitions differ only through refusals."""
+        tagless = simulate_table_ab(ab_cfg())
+        tagged = simulate_table_ab(ab_cfg(table="tagged"))
+        # Tagged grants a superset, so it progresses at least as far.
+        assert tagged.committed >= tagless.committed
+        assert tagged.aborts <= tagless.aborts
+
+
+PLACEMENT_PARAMS = {
+    "n_values": [256, 1024],
+    "placements": ["bump", "slab"],
+    "hash_kinds": ["mask", "multiplicative"],
+    "samples": 30,
+    "objects": 128,
+    "w": 6,
+}
+
+FIG7_PARAMS = {
+    "n_values": [256],
+    "w_values": [4, 8],
+    "rounds": 10,
+    "objects": 128,
+    "concurrency": 3,
+}
+
+
+class TestExecutionByteIdentity:
+    """The acceptance contract: serial, --jobs, and cluster execution
+    produce byte-identical artifacts for both new kinds."""
+
+    @pytest.mark.parametrize(
+        "kind_name,raw",
+        [("placement", PLACEMENT_PARAMS), ("fig7", FIG7_PARAMS)],
+    )
+    def test_serial_jobs_cluster_identical(self, kind_name, raw):
+        params = SWEEP_KINDS[kind_name].validate(raw)
+        serial = execute_sweep(kind_name, params, 5)
+        jobs = execute_sweep(kind_name, params, 5, jobs=2)
+        cluster = execute_sweep(
+            kind_name, params, 5, execution="cluster", cluster_workers=2
+        )
+        canon = lambda r: json.dumps(r, sort_keys=True)
+        assert canon(jobs) == canon(serial)
+        assert canon(cluster) == canon(serial)
+
+    def test_fig7_assembly_reports_elimination(self):
+        params = SWEEP_KINDS["fig7"].validate(FIG7_PARAMS)
+        result = execute_sweep("fig7", params, 5)
+        totals = result["false_conflicts_by_table"]["N=256"]
+        assert totals["tagless"] > 0
+        assert totals["tagged"] == 0

@@ -14,6 +14,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.alloc",
     "repro.analysis",
     "repro.cluster",
     "repro.core",
@@ -59,6 +60,10 @@ class TestPublicMethodsDocumented:
     @pytest.mark.parametrize(
         "cls_path",
         [
+            "repro.alloc.placement.BumpPlacement",
+            "repro.alloc.placement.SlabPlacement",
+            "repro.alloc.placement.BuddyPlacement",
+            "repro.alloc.spec.PlacementSpec",
             "repro.ownership.tagless.TaglessOwnershipTable",
             "repro.ownership.tagged.TaggedOwnershipTable",
             "repro.ownership.adaptive.AdaptiveTaglessTable",

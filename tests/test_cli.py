@@ -62,6 +62,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "AVG" in out and "bzip2" in out
 
+    def test_placement_small(self, capsys):
+        assert main([
+            "placement", "--samples", "20", "--w", "6", "--objects", "128",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Placement sensitivity" in out
+        assert "slab/mask" in out and "bump/mask" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--rounds", "6", "--c", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "tagless" in out and "tagged" in out
+        assert "false conflicts" in out
+
     def test_error_exit_code(self, capsys):
         # commit probability of 1.0 is invalid -> ValueError -> exit 2
         assert main(["sizing", "--w", "71", "--commit", "1.0"]) == 2
