@@ -1,0 +1,99 @@
+"""Batch-vs-scalar model serving — the vectorization payoff, measured.
+
+The acceptance bar for the batch serving path: driving
+``POST /v1/model/conflict`` with batch bodies must sustain at least
+**10x the model points per second** of the same closed-loop client
+population issuing scalar GETs (local measurements run ~50x, so the
+bar has wide margin without being vacuous).  Points/s is the honest
+unit — a batch request answers ``batch_size`` (W, N, C, α) points from
+one vectorized evaluation, so req/s alone would hide the whole effect.
+
+Two modes:
+
+* **full mode** (default): 3 s windows, >= 10x.
+* **smoke mode** (``MODEL_BATCH_SMOKE=1``): 1 s windows with a relaxed
+  >= 3x bar, for CI runners with noisy neighbours.
+
+Both runs use the package's own closed-loop loadgen
+(:mod:`repro.service.loadgen`) against a real service on an ephemeral
+port, so the measured path is the full wire path.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import emit
+from repro.service.loadgen import LoadGenConfig, run_loadgen_sync
+from repro.service.server import Service, ServiceConfig, ServiceThread
+
+SMOKE = os.environ.get("MODEL_BATCH_SMOKE", "") not in ("", "0")
+
+if SMOKE:
+    DURATION = 1.0
+    MIN_POINTS_RATIO = 3.0
+else:
+    DURATION = 3.0
+    MIN_POINTS_RATIO = 10.0
+
+WARMUP = 0.3
+CONCURRENCY = 8
+BATCH_SIZE = 256
+
+
+def _run_profile(port: int, profile: str):
+    return run_loadgen_sync(
+        LoadGenConfig(
+            port=port,
+            concurrency=CONCURRENCY,
+            duration=DURATION,
+            warmup=WARMUP,
+            profile=profile,
+            batch_size=BATCH_SIZE,
+        )
+    )
+
+
+def test_batch_points_throughput_multiple():
+    """Batch POSTs answer >= 10x (3x smoke) the points/s of scalar GETs."""
+    with ServiceThread(Service(ServiceConfig(port=0, workers=2))) as handle:
+        scalar = _run_profile(handle.port, "scalar")
+        batch = _run_profile(handle.port, "batch")
+
+    for report in (scalar, batch):
+        assert report.errors == 0
+        assert report.requests > 0
+        assert all(status == 200 for status in report.status_counts)
+
+    ratio = batch.points_per_second / scalar.points_per_second
+    mode = "smoke" if SMOKE else "full"
+    emit(
+        f"model serving ({mode}, {CONCURRENCY} clients, "
+        f"batch_size={BATCH_SIZE}):\n"
+        f"scalar: {scalar.points_per_second:.0f} points/s "
+        f"({scalar.throughput:.0f} req/s, "
+        f"p99={1e3 * scalar.percentile(0.99):.2f}ms)\n"
+        f"batch:  {batch.points_per_second:.0f} points/s "
+        f"({batch.throughput:.0f} req/s, "
+        f"p99={1e3 * batch.percentile(0.99):.2f}ms)\n"
+        f"points ratio: {ratio:.1f}x"
+    )
+    assert ratio >= MIN_POINTS_RATIO, (
+        f"expected batch points/s >= {MIN_POINTS_RATIO}x scalar, "
+        f"got {ratio:.1f}x"
+    )
+
+
+def test_mixed_profile_tail_latency():
+    """The capacity-planning mix (alternating scalar GET / batch POST)
+    keeps exact-quantile tails sane while batches flow."""
+    with ServiceThread(Service(ServiceConfig(port=0, workers=2))) as handle:
+        report = _run_profile(handle.port, "mixed")
+
+    emit("model serving (mixed profile):\n" + report.summary())
+    assert report.errors == 0
+    assert all(status == 200 for status in report.status_counts)
+    # Alternation means points/request sits strictly between 1 and the
+    # batch size.
+    assert report.requests < report.points < BATCH_SIZE * report.requests
+    assert report.percentile(0.99) < 0.25, report.summary()

@@ -2,6 +2,7 @@
 
     python -m repro model --w 20 --n 4096 --c 2
     python -m repro sizing --w 71 --commit 0.95 --c 8
+    python -m repro capacity --w 71 --commit 0.95 --c 8
     python -m repro fig2a --samples 500
     python -m repro fig3 --traces 5
     python -m repro fig4a --samples 2000
@@ -12,6 +13,7 @@
     python -m repro birthday --target 0.5
     python -m repro serve --port 8642
     python -m repro loadgen --port 8642 --duration 5
+    python -m repro loadgen --port 8642 --profile batch --batch-size 256
     python -m repro cluster coordinate --kind fig4a --port 8653
     python -m repro cluster work --coordinator http://127.0.0.1:8653
     python -m repro experiments list
@@ -71,13 +73,17 @@ def version_string() -> str:
 
 
 def _jobs_arg(value: str) -> int:
-    """argparse type for ``--jobs``: a strictly positive worker count."""
+    """argparse type for strictly positive counts (--jobs, --workers, ...).
+
+    argparse prefixes the failing flag's own name, so the message stays
+    flag-agnostic.
+    """
     try:
         jobs = int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
     if jobs < 1:
-        raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
     return jobs
 
 
@@ -189,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alpha", type=float, default=2.0, help="reads per write (default 2)")
 
     p = sub.add_parser("sizing", help="invert Eq. 8: table size for a commit target")
+    p.add_argument("--w", type=int, required=True)
+    p.add_argument("--commit", type=float, required=True, help="target commit probability")
+    p.add_argument("--c", type=int, default=2)
+    p.add_argument("--alpha", type=float, default=2.0)
+
+    p = sub.add_parser(
+        "capacity", help="smallest power-of-two table for a commit target"
+    )
     p.add_argument("--w", type=int, required=True)
     p.add_argument("--commit", type=float, required=True, help="target commit probability")
     p.add_argument("--c", type=int, default=2)
@@ -447,6 +461,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--warmup", type=float, default=0.5, metavar="SECONDS",
         help="traffic discarded before the window opens (default 0.5)",
     )
+    p.add_argument(
+        "--profile", choices=("scalar", "batch", "mixed"), default="scalar",
+        help="workload shape: scalar GETs, batch POSTs, or alternating (default scalar)",
+    )
+    p.add_argument(
+        "--batch-size", type=_jobs_arg, default=256, metavar="POINTS",
+        help="model points per batch POST (default 256)",
+    )
 
     return parser
 
@@ -477,6 +499,28 @@ def _cmd_sizing(args: argparse.Namespace) -> int:
         f"Sustaining W={args.w} at C={args.c} with commit probability "
         f">= {args.commit:.0%} requires a tagless table of {n:,} entries "
         f"({n * 8 / (1 << 20):.1f} MiB at 8 B/entry)."
+    )
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.core.sizing import pow2_table_entries_for_commit_probability
+
+    exact = table_entries_for_commit_probability(
+        args.w, args.commit, concurrency=args.c, alpha=args.alpha
+    )
+    pow2 = pow2_table_entries_for_commit_probability(
+        args.w, args.commit, concurrency=args.c, alpha=args.alpha
+    )
+    raw = conflict_likelihood(
+        float(args.w), ModelParams(n_entries=pow2, concurrency=args.c, alpha=args.alpha)
+    )
+    print(
+        f"Sustaining W={args.w} at C={args.c} with commit probability "
+        f">= {args.commit:.0%} requires {exact:,} entries; provision the "
+        f"next power of two: 2^{pow2.bit_length() - 1} = {pow2:,} entries "
+        f"({pow2 * 8 / (1 << 20):.1f} MiB at 8 B/entry), which achieves "
+        f"commit probability {1.0 - float(raw):.4%}."
     )
     return 0
 
@@ -888,6 +932,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             duration=args.duration,
             warmup=args.warmup,
+            profile=args.profile,
+            batch_size=args.batch_size,
         )
     )
     print(report.summary())
@@ -898,6 +944,7 @@ _HANDLERS = {
     "model": _cmd_model,
     "report": _cmd_report,
     "sizing": _cmd_sizing,
+    "capacity": _cmd_capacity,
     "fig2a": _cmd_fig2a,
     "fig3": _cmd_fig3,
     "fig4a": _cmd_fig4a,

@@ -18,14 +18,19 @@ target commit probability?*
 from repro.core.birthday import (
     birthday_collision_probability,
     birthday_collision_probability_approx,
+    birthday_collision_probability_batch,
     people_for_collision_probability,
+    people_for_collision_probability_batch,
 )
 from repro.core.model import (
     ModelParams,
     commit_probability,
+    commit_probability_batch,
     conflict_likelihood,
+    conflict_likelihood_batch,
     conflict_likelihood_clipped,
     conflict_likelihood_product_form,
+    conflict_likelihood_product_form_batch,
     conflict_likelihood_sum,
     delta_conflict_likelihood,
     footprint_blocks,
@@ -33,7 +38,10 @@ from repro.core.model import (
 from repro.core.sizing import (
     concurrency_scaling_factor,
     max_footprint_for_table,
+    pow2_table_entries_for_commit_probability,
+    pow2_table_entries_for_commit_probability_batch,
     table_entries_for_commit_probability,
+    table_entries_for_commit_probability_batch,
     table_growth_for_concurrency,
 )
 from repro.core.generalized import (
@@ -65,15 +73,19 @@ __all__ = [
     "StructuralAliasModel",
     "birthday_collision_probability",
     "birthday_collision_probability_approx",
+    "birthday_collision_probability_batch",
     "blocks_until_set_overflow",
     "commit_probability",
+    "commit_probability_batch",
     "concurrency_law",
     "concurrency_scaling_factor",
     "conflict_likelihood",
+    "conflict_likelihood_batch",
     "conflict_likelihood_clipped",
     "conflict_likelihood_heterogeneous",
     "conflict_likelihood_heterogeneous_product_form",
     "conflict_likelihood_product_form",
+    "conflict_likelihood_product_form_batch",
     "conflict_likelihood_sum",
     "delta_conflict_likelihood",
     "footprint_blocks",
@@ -85,8 +97,12 @@ __all__ = [
     "pairwise_exact_conflict_probability",
     "pairwise_rate_matrix",
     "people_for_collision_probability",
+    "people_for_collision_probability_batch",
+    "pow2_table_entries_for_commit_probability",
+    "pow2_table_entries_for_commit_probability_batch",
     "predicted_ratio",
     "table_entries_for_commit_probability",
+    "table_entries_for_commit_probability_batch",
     "table_growth_for_concurrency",
     "table_size_law",
 ]

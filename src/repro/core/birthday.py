@@ -7,26 +7,119 @@ ownership-table conflict model of :mod:`repro.core.model` is the
 transactional-memory instantiation of the same effect; these functions
 give the exact classical quantities so tests and examples can anchor the
 analogy.
+
+Both the exact probability and its inverse also come in ``*_batch``
+forms that vectorize over per-point (people, days) / (target, days)
+columns — the serving layer's ``POST /v1/birthday`` evaluates a whole
+request in one call.  The scalar functions delegate to the same NumPy
+accumulation (fixed block size, fixed term order), so scalar and batch
+answers are bit-identical by construction rather than by accident.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Any
+
+import numpy as np
 
 __all__ = [
     "birthday_collision_probability",
     "birthday_collision_probability_approx",
+    "birthday_collision_probability_batch",
     "expected_collisions",
     "people_for_collision_probability",
+    "people_for_collision_probability_batch",
 ]
+
+# The log-survival sum is accumulated in fixed blocks of this many terms
+# (carry + within-block cumsum).  The block size is part of the numeric
+# contract: every code path — scalar, batch, inverse — sums the same
+# terms at the same block boundaries, so partial sums agree bit for bit
+# across calls while memory stays O(batch × block).
+_BLOCK_TERMS = 4096
+
+# days / people are served as JSON integers via int64 arrays; cap where
+# int64 arithmetic (including days + 1) is still exact.
+_MAX_DAYS = 1 << 62
+
+# Upper bound on candidate evaluations one inverse batch may expand to.
+_MAX_INVERSE_CANDIDATES = 1 << 22
+
+
+def _int_column(values: Any, name: str, *, minimum: int) -> np.ndarray:
+    """Coerce a scalar-or-1-D column to validated int64."""
+    arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be a scalar or 1-D array")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite everywhere")
+    if np.any(arr != np.floor(arr)):
+        raise ValueError(f"{name} must be integers")
+    if np.any(arr < minimum) or np.any(arr > _MAX_DAYS):
+        raise ValueError(f"{name} must be in [{minimum}, 2**62]")
+    return arr.astype(np.int64)
+
+
+def _log_survival_at(people: np.ndarray, days: np.ndarray) -> np.ndarray:
+    """``log P(no collision)`` element-wise for ``2 <= people <= days + 1``.
+
+    Accumulates ``sum_{i=1}^{people-1} log1p(-i/days)`` in fixed-size
+    blocks: a scalar carry per row plus a within-block ``cumsum``, with
+    block boundaries at absolute term positions.  Rows whose ``people``
+    exceeds a block keep accumulating; rows already finished ignore the
+    rest.  Terms past a row's own ``days`` (only reachable at
+    ``people = days + 1``, where ``i = days`` gives ``log1p(-1) = -inf``,
+    i.e. certainty) are mathematically correct; terms past *another*
+    row's range may go NaN in scratch cells that row never reads.
+    """
+    out = np.zeros(people.shape, dtype=np.float64)
+    carry = np.zeros(people.shape, dtype=np.float64)
+    width = int(people.max()) - 1
+    days_f = days.astype(np.float64)
+    last = people - 1  # final term index i for each row
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for lo in range(1, width + 1, _BLOCK_TERMS):
+            hi = min(width, lo + _BLOCK_TERMS - 1)
+            steps = np.arange(lo, hi + 1, dtype=np.float64)
+            terms = np.log1p(-(steps[None, :] / days_f[:, None]))
+            prefix = carry[:, None] + np.cumsum(terms, axis=1)
+            rows = np.flatnonzero((last >= lo) & (last <= hi))
+            out[rows] = prefix[rows, last[rows] - lo]
+            carry = prefix[:, -1]
+    return out
+
+
+def birthday_collision_probability_batch(people: Any, days: Any = 365) -> np.ndarray:
+    """Vectorized exact collision probability per (people, days) point.
+
+    Batch counterpart of :func:`birthday_collision_probability`: both
+    arguments are scalars or 1-D columns, broadcast against each other.
+    Element-wise bit-identical to the scalar form (which delegates
+    here).
+    """
+    people_arr = _int_column(people, "people", minimum=0)
+    days_arr = _int_column(days, "days", minimum=1)
+    try:
+        people_arr, days_arr = np.broadcast_arrays(people_arr, days_arr)
+    except ValueError:
+        raise ValueError("people and days must broadcast to a common length") from None
+    result = np.zeros(people_arr.shape, dtype=np.float64)
+    result[people_arr > days_arr] = 1.0
+    mask = (people_arr >= 2) & (people_arr <= days_arr)
+    if np.any(mask):
+        log_survival = _log_survival_at(people_arr[mask], days_arr[mask])
+        result[mask] = -np.expm1(log_survival)
+    return result
 
 
 def birthday_collision_probability(people: int, days: int = 365) -> float:
     """Exact probability that at least two of ``people`` share a birthday.
 
     Computed as ``1 - prod_{i=0}^{k-1} (1 - i/n)`` in log space so it is
-    stable for large inputs. Returns 1.0 once ``people > days``
-    (pigeonhole).
+    stable for large inputs; the sum is evaluated by the vectorized
+    batch path, so scalar and batch answers are bit-identical. Returns
+    1.0 once ``people > days`` (pigeonhole).
     """
     if people < 0:
         raise ValueError(f"people must be non-negative, got {people}")
@@ -36,10 +129,7 @@ def birthday_collision_probability(people: int, days: int = 365) -> float:
         return 0.0
     if people > days:
         return 1.0
-    log_no_collision = 0.0
-    for i in range(1, people):
-        log_no_collision += math.log1p(-i / days)
-    return -math.expm1(log_no_collision)
+    return float(birthday_collision_probability_batch(people, days)[0])
 
 
 def birthday_collision_probability_approx(people: int, days: int = 365) -> float:
@@ -70,19 +160,70 @@ def expected_collisions(people: int, days: int = 365) -> float:
     return people * (people - 1) / (2.0 * days)
 
 
+def people_for_collision_probability_batch(target: Any, days: Any = 365) -> np.ndarray:
+    """Vectorized smallest group size reaching ``target`` per point.
+
+    Batch counterpart of :func:`people_for_collision_probability`.  Per
+    point the search replays the scalar semantics exactly: start at
+    ``max(2, estimate - 2)`` from the approximation inverse and return
+    the first group size at or above it whose *exact* probability
+    reaches the target.  The candidate range is bounded analytically
+    (the exact probability dominates the approximation, which crosses
+    the target at a closed-form ``k``), so each point evaluates only a
+    handful of candidates rather than stepping one by one.
+    """
+    t_arr = np.atleast_1d(np.asarray(target, dtype=np.float64))
+    if t_arr.ndim != 1:
+        raise ValueError("target must be a scalar or 1-D array")
+    if not np.all(np.isfinite(t_arr)) or np.any(t_arr <= 0.0) or np.any(t_arr >= 1.0):
+        raise ValueError("target must be in (0, 1)")
+    days_arr = _int_column(days, "days", minimum=1)
+    try:
+        t_arr, days_arr = np.broadcast_arrays(t_arr, days_arr)
+    except ValueError:
+        raise ValueError("target and days must broadcast to a common length") from None
+    days_f = days_arr.astype(np.float64)
+    log_term = np.log(1.0 / (1.0 - t_arr))
+    estimate = np.sqrt(2.0 * days_f * log_term)
+    start = np.maximum(np.int64(2), estimate.astype(np.int64) - 2)
+
+    # Rows starting beyond the pigeonhole bound are already certain.
+    answer = start.copy()
+    search = start <= days_arr
+    if not np.any(search):
+        return answer
+    s = start[search]
+    d = days_arr[search]
+    t = t_arr[search]
+    # Where the approximation reaches the target: k(k-1) >= 2 d ln(1/(1-t)).
+    q = 2.0 * d.astype(np.float64) * log_term[search]
+    k_hi = np.ceil((1.0 + np.sqrt(1.0 + 4.0 * q)) / 2.0).astype(np.int64) + 1
+    hi = np.minimum(np.maximum(k_hi, s), d + 1)
+    spans = hi - s + 1
+    total = int(spans.sum())
+    if total > _MAX_INVERSE_CANDIDATES:
+        raise ValueError(
+            f"inverse birthday batch expands to {total} candidate evaluations "
+            f"(limit {_MAX_INVERSE_CANDIDATES}); split the request"
+        )
+    starts = np.cumsum(spans) - spans
+    rows = np.repeat(np.arange(s.size), spans)
+    k_flat = s[rows] + (np.arange(total, dtype=np.int64) - starts[rows])
+    probs = -np.expm1(_log_survival_at(k_flat, d[rows]))
+    qualifying = np.where(probs >= t[rows], k_flat, np.int64(_MAX_DAYS))
+    answer[search] = np.minimum.reduceat(qualifying, starts)
+    return answer
+
+
 def people_for_collision_probability(target: float, days: int = 365) -> int:
     """Smallest group size whose collision probability reaches ``target``.
 
     ``people_for_collision_probability(0.5)`` returns the famous 23.
+    Delegates to the vectorized batch inverse, so scalar and batch
+    answers are bit-identical.
     """
     if not 0.0 < target < 1.0:
         raise ValueError(f"target must be in (0, 1), got {target}")
     if days <= 0:
         raise ValueError(f"days must be positive, got {days}")
-    # The approximation inverts to k ~ sqrt(2 n ln(1/(1-p))); refine by
-    # stepping the exact formula from just below that estimate.
-    estimate = int(math.sqrt(2.0 * days * math.log(1.0 / (1.0 - target))))
-    people = max(2, estimate - 2)
-    while birthday_collision_probability(people, days) < target:
-        people += 1
-    return people
+    return int(people_for_collision_probability_batch(target, days)[0])

@@ -23,22 +23,29 @@ sum form to first order where the paper's assumption holds.
 
 All functions accept scalars or NumPy arrays for ``w`` (and broadcast over
 them), since the experiment sweeps evaluate whole footprint series at
-once.
+once.  The ``*_batch`` variants additionally vectorize over *all four*
+parameters — per-point (W, N, C, α) columns — which is what the serving
+layer's batch endpoints and its micro-batched scalar path evaluate; they
+are element-wise bit-identical to the scalar forms by construction (same
+operations, same order, same ufuncs).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
 
 __all__ = [
     "ModelParams",
     "commit_probability",
+    "commit_probability_batch",
     "conflict_likelihood",
+    "conflict_likelihood_batch",
     "conflict_likelihood_clipped",
     "conflict_likelihood_product_form",
+    "conflict_likelihood_product_form_batch",
     "conflict_likelihood_sum",
     "delta_conflict_likelihood",
     "footprint_blocks",
@@ -169,6 +176,90 @@ def conflict_likelihood_product_form(w: FloatOrArray, params: ModelParams) -> Fl
     """
     arr = np.asarray(conflict_likelihood(_as_w(w), params))
     return _unwrap(-np.expm1(-arr), w)
+
+
+def _batch_param_arrays(
+    w: Any, n: Any, c: Any, alpha: Any
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Broadcast per-point (W, N, C, α) columns to one validated 1-D shape.
+
+    Each argument may be a scalar or a 1-D sequence; they broadcast
+    against each other like the columns of a table of query points.
+    Validation mirrors :class:`ModelParams` + the scalar ``w`` check so a
+    batch rejects exactly the points the scalar API would reject.
+    """
+    w_arr = np.atleast_1d(np.asarray(w, dtype=np.float64))
+    n_arr = np.atleast_1d(np.asarray(n, dtype=np.float64))
+    c_arr = np.atleast_1d(np.asarray(c, dtype=np.float64))
+    a_arr = np.atleast_1d(np.asarray(alpha, dtype=np.float64))
+    try:
+        w_arr, n_arr, c_arr, a_arr = np.broadcast_arrays(w_arr, n_arr, c_arr, a_arr)
+    except ValueError:
+        raise ValueError(
+            "batch parameters w, n, c, alpha must broadcast to a common length"
+        ) from None
+    if w_arr.ndim != 1:
+        raise ValueError("batch parameters must be scalars or 1-D arrays")
+    for name, arr in (("w", w_arr), ("n", n_arr), ("c", c_arr), ("alpha", a_arr)):
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"batch parameter {name!r} must be finite everywhere")
+    if np.any(w_arr < 0):
+        raise ValueError("write footprint W must be non-negative")
+    if np.any(n_arr < 1) or np.any(n_arr != np.floor(n_arr)):
+        raise ValueError("n_entries must be positive integers")
+    if np.any(c_arr < 1) or np.any(c_arr != np.floor(c_arr)):
+        raise ValueError("concurrency must be integers >= 1")
+    if np.any(a_arr < 0):
+        raise ValueError("alpha must be non-negative")
+    return w_arr, n_arr, c_arr, a_arr
+
+
+def conflict_likelihood_batch(
+    w: Any, n: Any, c: Any = 2, alpha: Any = 2.0
+) -> np.ndarray:
+    """Vectorized Eq. 8 over per-point (W, N, C, α) columns.
+
+    Unlike :func:`conflict_likelihood`, where only ``w`` broadcasts and
+    the table/concurrency parameters are one scalar :class:`ModelParams`,
+    every argument here is a column: point ``i`` is evaluated at
+    ``(w[i], n[i], c[i], alpha[i])`` after normal NumPy broadcasting.
+    This is the serving-layer batch entry point — one call answers a
+    whole ``POST /v1/model/conflict`` request.
+
+    The arithmetic replays the scalar expression operation for
+    operation, so each element is bit-identical to
+    ``conflict_likelihood(w[i], ModelParams(n[i], c[i], alpha[i]))``.
+    """
+    w_arr, n_arr, c_arr, a_arr = _batch_param_arrays(w, n, c, alpha)
+    # Overflow to inf is well-defined here; callers (the service) turn
+    # non-finite results into a 400 rather than warn about them.
+    with np.errstate(over="ignore"):
+        return c_arr * (c_arr - 1.0) * (1.0 + 2.0 * a_arr) * w_arr**2 / (2.0 * n_arr)
+
+
+def conflict_likelihood_product_form_batch(
+    w: Any, n: Any, c: Any = 2, alpha: Any = 2.0
+) -> np.ndarray:
+    """Vectorized product-form refinement ``1 − exp(−Eq.8)`` per point.
+
+    Batch counterpart of :func:`conflict_likelihood_product_form` with
+    per-point (W, N, C, α) columns; element-wise bit-identical to the
+    scalar form because both apply the same ``expm1`` ufunc to the same
+    Eq. 8 bits.
+    """
+    raw = conflict_likelihood_batch(w, n, c, alpha)
+    return -np.expm1(-raw)
+
+
+def commit_probability_batch(
+    w: Any, n: Any, c: Any = 2, alpha: Any = 2.0
+) -> np.ndarray:
+    """Vectorized commit probability per point: ``1 − product_form``.
+
+    Batch counterpart of :func:`commit_probability` with per-point
+    (W, N, C, α) columns.
+    """
+    return 1.0 - conflict_likelihood_product_form_batch(w, n, c, alpha)
 
 
 def commit_probability(w: FloatOrArray, params: ModelParams) -> FloatOrArray:

@@ -13,15 +13,26 @@ match the paper's arithmetic:
 from __future__ import annotations
 
 import math
+from typing import Any
+
+import numpy as np
 
 from repro.core.model import ModelParams, conflict_likelihood
 
 __all__ = [
     "concurrency_scaling_factor",
     "max_footprint_for_table",
+    "pow2_table_entries_for_commit_probability",
+    "pow2_table_entries_for_commit_probability_batch",
     "table_entries_for_commit_probability",
+    "table_entries_for_commit_probability_batch",
     "table_growth_for_concurrency",
 ]
+
+# Entry counts are served as JSON integers and fed to ``1 << bits`` style
+# arithmetic; cap them where int64 is still exact and a power-of-two
+# round-up cannot overflow.
+_MAX_ENTRIES = 1 << 62
 
 
 def table_entries_for_commit_probability(
@@ -55,7 +66,116 @@ def table_entries_for_commit_probability(
         raise ValueError(f"concurrency must be >= 2 for conflicts, got {concurrency}")
     budget = 1.0 - commit_probability
     numerator = concurrency * (concurrency - 1) * (1.0 + 2.0 * alpha) * w * w
-    return math.ceil(numerator / (2.0 * budget))
+    entries = numerator / (2.0 * budget)
+    if not math.isfinite(entries) or entries > _MAX_ENTRIES:
+        raise ValueError(
+            "required table size overflows for these parameters; "
+            "shrink W or relax the commit target"
+        )
+    return math.ceil(entries)
+
+
+def table_entries_for_commit_probability_batch(
+    w: Any,
+    commit_probability: Any,
+    *,
+    concurrency: Any = 2,
+    alpha: Any = 2.0,
+) -> np.ndarray:
+    """Vectorized Eq. 8 inversion over per-point (W, commit, C, α) columns.
+
+    Batch counterpart of :func:`table_entries_for_commit_probability`:
+    each argument is a scalar or 1-D column and point ``i`` is sized at
+    ``(w[i], commit_probability[i], concurrency[i], alpha[i])`` after
+    broadcasting.  Returns an int64 array, element-wise bit-identical to
+    the scalar form (same operations, same order).
+    """
+    w_arr = np.atleast_1d(np.asarray(w, dtype=np.float64))
+    p_arr = np.atleast_1d(np.asarray(commit_probability, dtype=np.float64))
+    c_arr = np.atleast_1d(np.asarray(concurrency, dtype=np.float64))
+    a_arr = np.atleast_1d(np.asarray(alpha, dtype=np.float64))
+    try:
+        w_arr, p_arr, c_arr, a_arr = np.broadcast_arrays(w_arr, p_arr, c_arr, a_arr)
+    except ValueError:
+        raise ValueError(
+            "batch parameters w, commit_probability, concurrency, alpha "
+            "must broadcast to a common length"
+        ) from None
+    if w_arr.ndim != 1:
+        raise ValueError("batch parameters must be scalars or 1-D arrays")
+    for name, arr in (
+        ("w", w_arr),
+        ("commit_probability", p_arr),
+        ("concurrency", c_arr),
+        ("alpha", a_arr),
+    ):
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"batch parameter {name!r} must be finite everywhere")
+    if np.any(w_arr <= 0):
+        raise ValueError("W must be positive")
+    if np.any(p_arr <= 0.0) or np.any(p_arr >= 1.0):
+        raise ValueError("commit_probability must be in (0, 1)")
+    if np.any(c_arr < 2) or np.any(c_arr != np.floor(c_arr)):
+        raise ValueError("concurrency must be integers >= 2 for conflicts")
+    if np.any(a_arr < 0):
+        raise ValueError("alpha must be non-negative")
+    budget = 1.0 - p_arr
+    numerator = c_arr * (c_arr - 1.0) * (1.0 + 2.0 * a_arr) * w_arr * w_arr
+    entries = numerator / (2.0 * budget)
+    if not np.all(np.isfinite(entries)) or np.any(entries > _MAX_ENTRIES):
+        raise ValueError(
+            "required table size overflows for these parameters; "
+            "shrink W or relax the commit target"
+        )
+    return np.ceil(entries).astype(np.int64)
+
+
+def pow2_table_entries_for_commit_probability(
+    w: int,
+    commit_probability: float,
+    *,
+    concurrency: int = 2,
+    alpha: float = 2.0,
+) -> int:
+    """Smallest power-of-two table meeting a commit-probability target.
+
+    Real ownership tables are indexed by hashing into a power-of-two
+    array, so the deployable answer to "what table do I provision?" is
+    :func:`table_entries_for_commit_probability` rounded up to the next
+    power of two — the capacity-planning number ``/v1/model/capacity``
+    serves.
+    """
+    entries = table_entries_for_commit_probability(
+        w, commit_probability, concurrency=concurrency, alpha=alpha
+    )
+    return 1 << (entries - 1).bit_length()
+
+
+def pow2_table_entries_for_commit_probability_batch(
+    w: Any,
+    commit_probability: Any,
+    *,
+    concurrency: Any = 2,
+    alpha: Any = 2.0,
+) -> np.ndarray:
+    """Vectorized :func:`pow2_table_entries_for_commit_probability`.
+
+    Takes the same per-point columns as
+    :func:`table_entries_for_commit_probability_batch` and returns the
+    per-point power-of-two round-up as an int64 array.  The float
+    ``frexp`` estimate can land one step off near exact powers of two,
+    so both directions are corrected with exact integer comparisons —
+    the result is exactly ``1 << (entries - 1).bit_length()`` per point.
+    """
+    entries = table_entries_for_commit_probability_batch(
+        w, commit_probability, concurrency=concurrency, alpha=alpha
+    )
+    mantissa, exponent = np.frexp(entries.astype(np.float64))
+    bits = np.where(mantissa == 0.5, exponent - 1, exponent).astype(np.int64)
+    pow2 = np.int64(1) << bits
+    pow2 = np.where(pow2 < entries, pow2 << 1, pow2)
+    half = pow2 >> 1
+    return np.where(half >= entries, half, pow2)
 
 
 def max_footprint_for_table(

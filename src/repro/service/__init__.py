@@ -19,6 +19,8 @@ Module map
   kinds, executing on the existing engines.
 * :mod:`repro.service.metrics` — counter/gauge/histogram registry with
   Prometheus text rendering for ``GET /metrics``.
+* :mod:`repro.service.batching` — the micro-batcher coalescing
+  concurrent scalar model GETs into single vectorized evaluations.
 * :mod:`repro.service.loadgen` — closed-loop async load generator
   behind ``repro loadgen`` and the service benchmarks.
 
@@ -34,6 +36,7 @@ Quickstart
 >>> svc.stop()
 """
 
+from repro.service.batching import MicroBatcher
 from repro.service.cache import CacheStats, ResultCache, cache_key, canonical_json
 from repro.service.loadgen import LoadGenConfig, LoadGenReport, run_loadgen, run_loadgen_sync
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -58,6 +61,7 @@ __all__ = [
     "LoadGenConfig",
     "LoadGenReport",
     "MetricsRegistry",
+    "MicroBatcher",
     "QueueClosed",
     "QueueFull",
     "ResultCache",

@@ -1,0 +1,106 @@
+"""Micro-batching: coalesce concurrent scalar requests into one batch.
+
+The closed-form model endpoints are pure vectorizable math, so the cost
+of answering ``k`` concurrent scalar GETs as one NumPy evaluation is
+barely more than answering one of them.  :class:`MicroBatcher` exploits
+that: the first request to arrive opens a collection window (a fraction
+of a millisecond); every request landing inside the window joins the
+pending batch; when the window closes — or the batch hits its size cap
+first — the whole batch is evaluated in a single call and each waiter
+receives its own element.
+
+This works because one event loop owns every connection
+(:mod:`repro.service.http`), so "concurrent requests" are items in the
+same loop and coalescing needs no locks — submit/flush run strictly
+between awaits.  The evaluate callback must be *pure and positional*:
+results[i] answers items[i], and the batch evaluation must be
+element-wise identical to evaluating each item alone (the batch-identity
+contract the core ``*_batch`` functions provide).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesces awaited ``submit()`` items into windowed batch evaluations.
+
+    Parameters
+    ----------
+    evaluate:
+        ``evaluate(items) -> results`` with ``len(results) == len(items)``,
+        element ``i`` answering item ``i``.  Runs synchronously on the
+        event loop, so it must be fast (a vectorized closed form, not a
+        simulation).  If it raises, every waiter in the batch receives
+        the exception.
+    window:
+        Seconds the first item waits for company before the batch
+        flushes.  ``0`` disables coalescing: each submit evaluates a
+        singleton batch immediately (the same code path, batch size 1).
+    max_batch:
+        Flush immediately once this many items are pending, bounding
+        both latency and evaluation size under heavy concurrency.
+    observe:
+        Optional ``observe(batch_size, wait_seconds)`` called per flush
+        with the batch occupancy and how long the batch collected before
+        evaluating — the service wires this to ``/metrics`` histograms.
+    """
+
+    def __init__(self, evaluate: Callable[[list[Any]], Sequence[Any]], *,
+                 window: float = 0.0005, max_batch: int = 128,
+                 observe: Optional[Callable[[int, float], None]] = None) -> None:
+        if window < 0:
+            raise ValueError(f"window must be non-negative, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.evaluate = evaluate
+        self.window = window
+        self.max_batch = max_batch
+        self.observe = observe
+        self._pending: list[tuple[Any, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._opened_at = 0.0
+
+    async def submit(self, item: Any) -> Any:
+        """Queue one item and return its element of the batch result."""
+        if self.window <= 0 or self.max_batch <= 1:
+            started = time.perf_counter()
+            result = self.evaluate([item])[0]
+            if self.observe is not None:
+                self.observe(1, time.perf_counter() - started)
+            return result
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((item, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif len(self._pending) == 1:
+            self._opened_at = time.perf_counter()
+            self._timer = loop.call_later(self.window, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        wait = time.perf_counter() - self._opened_at
+        try:
+            results = self.evaluate([item for item, _ in pending])
+        except Exception as exc:  # noqa: BLE001 - delivered, not swallowed
+            for _, future in pending:
+                if not future.done():
+                    future.set_exception(exc)
+        else:
+            for (_, future), result in zip(pending, results):
+                if not future.done():
+                    future.set_result(result)
+        if self.observe is not None:
+            self.observe(len(pending), wait)

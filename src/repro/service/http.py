@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
 from email.utils import formatdate
@@ -56,18 +57,35 @@ class HTTPError(Exception):
 
 def query_float(query: Mapping[str, list[str]], key: str,
                 default: Optional[float] = None) -> float:
-    """Read one float query parameter, 400ing on absence or garbage."""
+    """Read one float query parameter, 400ing on absence or garbage.
+
+    Strict by design: a parameter repeated (``?w=1&w=2``) is a 400, not
+    a silent last-one-wins, and the ``float()`` spellings of non-finite
+    values (``nan``, ``inf``, ``-inf``) are rejected — they would
+    otherwise flow through the model and out as non-JSON tokens.
+    """
     values = query.get(key)
     if not values:
         if default is None:
             raise HTTPError(HTTPStatus.BAD_REQUEST, f"missing query parameter {key!r}")
         return default
+    if len(values) > 1:
+        raise HTTPError(
+            HTTPStatus.BAD_REQUEST,
+            f"query parameter {key!r} given {len(values)} times; pass it once",
+        )
     try:
-        return float(values[-1])
+        value = float(values[0])
     except ValueError:
         raise HTTPError(
             HTTPStatus.BAD_REQUEST, f"query parameter {key!r} must be a number"
         ) from None
+    if not math.isfinite(value):
+        raise HTTPError(
+            HTTPStatus.BAD_REQUEST,
+            f"query parameter {key!r} must be finite, got {values[0]!r}",
+        )
+    return value
 
 
 def query_int(query: Mapping[str, list[str]], key: str,
@@ -87,6 +105,9 @@ class JsonHttpServer:
     Subclasses implement ``_route(method, path)`` returning an
     ``(endpoint-label, handler)`` pair, where the handler takes
     ``(query, body)`` and returns ``(status, payload, extra_headers)``.
+    Handlers may be coroutine functions, in which case the result is
+    awaited — that is how the micro-batching scalar path parks a request
+    for its flush window without stalling other connections.
     ``payload`` is a JSON-able object, or a ``(content_type, text)``
     pair for non-JSON bodies like the metrics exposition.
     """
@@ -222,20 +243,28 @@ class JsonHttpServer:
 
         keep_alive = headers.get("connection", "").lower() != "close" and version == "HTTP/1.1"
         started = time.perf_counter()
-        endpoint, status, payload, extra_headers = self._dispatch(method, target, body)
+        endpoint, status, payload, extra_headers = await self._dispatch(method, target, body)
         self._observe_request(endpoint, status, time.perf_counter() - started)
         await self._write_response(writer, status, payload, extra_headers, keep_alive)
         return keep_alive
 
-    def _dispatch(self, method: str, target: str, body: bytes,
-                  ) -> tuple[str, HTTPStatus, Any, dict[str, str]]:
-        """Route one request; returns (endpoint-label, status, payload, headers)."""
+    async def _dispatch(self, method: str, target: str, body: bytes,
+                        ) -> tuple[str, HTTPStatus, Any, dict[str, str]]:
+        """Route one request; returns (endpoint-label, status, payload, headers).
+
+        Handlers may be plain functions or coroutine functions; an
+        awaited handler can park the request (e.g. in a micro-batch
+        window) without blocking the loop's other connections.
+        """
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = parse_qs(split.query)
         try:
             route, handler = self._route(method, path)
-            return (route, *handler(query, body))
+            result = handler(query, body)
+            if asyncio.iscoroutine(result):
+                result = await result
+            return (route, *result)
         except HTTPError as exc:
             return (path, exc.status, {"error": exc.detail}, exc.headers)
         except Exception as exc:
@@ -270,7 +299,16 @@ class JsonHttpServer:
             data = text.encode("utf-8")
         else:
             content_type = "application/json"
-            data = (json.dumps(payload) + "\n").encode("utf-8")
+            try:
+                # allow_nan=False: NaN/Infinity are not JSON; a payload
+                # carrying one is a handler bug, not something to ship.
+                data = (json.dumps(payload, allow_nan=False) + "\n").encode("utf-8")
+            except ValueError:
+                status = HTTPStatus.INTERNAL_SERVER_ERROR
+                data = (
+                    json.dumps({"error": "non-finite value in response payload"})
+                    + "\n"
+                ).encode("utf-8")
         lines = [
             f"HTTP/1.1 {int(status)} {status.phrase}",
             f"Date: {formatdate(usegmt=True)}",

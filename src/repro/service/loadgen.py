@@ -14,14 +14,30 @@ setup.  Latencies are recorded per request; the report carries exact
 p50/p95/p99 computed from the raw samples plus throughput over the
 measurement window.
 
+Three workload profiles target the model path:
+
+* ``scalar`` — every request is a scalar GET of ``path`` (one point);
+* ``batch`` — every request is a ``POST /v1/model/conflict`` carrying
+  ``batch_size`` (W, N, C, α) points answered by one vectorized
+  evaluation;
+* ``mixed`` — each client alternates scalar GET / batch POST, the
+  capacity-planning shape where dashboards poll single points while
+  sweep clients pull batches.
+
+Besides requests/s the report counts *model points*/s — the honest
+throughput unit once requests carry unequal work — which is what the
+batch-vs-scalar CI benchmark compares.
+
 Used three ways: ``repro loadgen`` against a running server, the
-benchmark suite (``benchmarks/test_service_load.py``), and ad hoc from
-Python via :func:`run_loadgen`.
+benchmark suites (``benchmarks/test_service_load.py``,
+``benchmarks/test_model_batch.py``), and ad hoc from Python via
+:func:`run_loadgen`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -29,6 +45,9 @@ from typing import Optional
 __all__ = ["LoadGenConfig", "LoadGenReport", "run_loadgen", "run_loadgen_sync"]
 
 DEFAULT_PATH = "/v1/model/conflict?w=20&n=4096&c=2"
+BATCH_PATH = "/v1/model/conflict"
+
+PROFILES = ("scalar", "batch", "mixed")
 
 
 @dataclass(frozen=True)
@@ -40,7 +59,7 @@ class LoadGenConfig:
     host, port:
         Target server.
     path:
-        Request target (path + query) issued by every client.
+        Request target (path + query) issued by scalar GETs.
     concurrency:
         Closed-loop client population (requests in flight).
     duration:
@@ -51,6 +70,11 @@ class LoadGenConfig:
         would otherwise pollute the tail).
     timeout:
         Per-request timeout in seconds.
+    profile:
+        Workload shape: ``scalar``, ``batch``, or ``mixed`` (see module
+        docstring).
+    batch_size:
+        Model points per batch POST in the ``batch``/``mixed`` profiles.
     """
 
     host: str = "127.0.0.1"
@@ -60,6 +84,8 @@ class LoadGenConfig:
     duration: float = 5.0
     warmup: float = 0.5
     timeout: float = 10.0
+    profile: str = "scalar"
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -70,6 +96,12 @@ class LoadGenConfig:
             raise ValueError(f"warmup must be non-negative, got {self.warmup}")
         if self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"profile must be one of {', '.join(PROFILES)}, got {self.profile!r}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
 
 @dataclass
@@ -78,6 +110,7 @@ class LoadGenReport:
 
     requests: int = 0
     errors: int = 0
+    points: int = 0
     elapsed_seconds: float = 0.0
     latencies: list[float] = field(default_factory=list)
     status_counts: dict[int, int] = field(default_factory=dict)
@@ -86,6 +119,11 @@ class LoadGenReport:
     def throughput(self) -> float:
         """Completed requests per second over the window."""
         return self.requests / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    @property
+    def points_per_second(self) -> float:
+        """Model points answered per second over the window."""
+        return self.points / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
     def percentile(self, q: float) -> float:
         """Exact latency quantile (seconds) from the raw samples."""
@@ -104,6 +142,10 @@ class LoadGenReport:
             f"in {self.elapsed_seconds:.2f}s",
             f"throughput: {self.throughput:.1f} req/s",
         ]
+        if self.points != self.requests:
+            lines.append(
+                f"points:     {self.points} ({self.points_per_second:.1f} points/s)"
+            )
         if self.latencies:
             lines.append(
                 "latency:    "
@@ -120,19 +162,52 @@ class LoadGenReport:
         return "\n".join(lines)
 
 
+def _batch_body(batch_size: int) -> bytes:
+    """A ``POST /v1/model/conflict`` body of ``batch_size`` varied points."""
+    points = {
+        "w": [float(5 + (i % 60)) for i in range(batch_size)],
+        "n": [1 << (12 + (i % 4)) for i in range(batch_size)],
+        "c": [2 + 2 * (i % 4) for i in range(batch_size)],
+        "alpha": 2.0,
+    }
+    return json.dumps(points).encode("ascii")
+
+
 class _Client:
-    """One closed-loop virtual client over a keep-alive connection."""
+    """One closed-loop virtual client over a keep-alive connection.
+
+    Pre-renders its request bytes once — scalar GET, batch POST, or an
+    alternating cycle of both — so the measured loop is pure I/O plus
+    server work.
+    """
 
     def __init__(self, config: LoadGenConfig) -> None:
         self.config = config
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
-        self._request = (
+        host_header = f"Host: {config.host}:{config.port}\r\n"
+        scalar = (
             f"GET {config.path} HTTP/1.1\r\n"
-            f"Host: {config.host}:{config.port}\r\n"
+            f"{host_header}"
             "Connection: keep-alive\r\n"
             "\r\n"
         ).encode("ascii")
+        body = _batch_body(config.batch_size)
+        batch = (
+            f"POST {BATCH_PATH} HTTP/1.1\r\n"
+            f"{host_header}"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("ascii") + body
+        if config.profile == "scalar":
+            self._cycle = [(scalar, 1)]
+        elif config.profile == "batch":
+            self._cycle = [(batch, config.batch_size)]
+        else:
+            self._cycle = [(scalar, 1), (batch, config.batch_size)]
+        self._step = 0
 
     async def _connect(self) -> None:
         self.reader, self.writer = await asyncio.open_connection(
@@ -149,12 +224,14 @@ class _Client:
                 pass
             self.reader = self.writer = None
 
-    async def request_once(self) -> int:
-        """Issue one request, drain the response; returns the status code."""
+    async def request_once(self) -> tuple[int, int]:
+        """Issue one request, drain the response; returns (status, points)."""
+        request, points = self._cycle[self._step % len(self._cycle)]
+        self._step += 1
         if self.writer is None:
             await self._connect()
         assert self.reader is not None and self.writer is not None
-        self.writer.write(self._request)
+        self.writer.write(request)
         await self.writer.drain()
         status_line = await self.reader.readline()
         parts = status_line.split()
@@ -177,7 +254,7 @@ class _Client:
             await self.reader.readexactly(content_length)
         if close_after:
             await self.close()
-        return status
+        return status, points if status < 400 else 0
 
 
 async def _client_loop(config: LoadGenConfig, report: LoadGenReport,
@@ -190,7 +267,7 @@ async def _client_loop(config: LoadGenConfig, report: LoadGenReport,
                 return
             started = now
             try:
-                status = await asyncio.wait_for(
+                status, points = await asyncio.wait_for(
                     client.request_once(), timeout=config.timeout
                 )
             except (ConnectionError, OSError, asyncio.TimeoutError,
@@ -202,6 +279,7 @@ async def _client_loop(config: LoadGenConfig, report: LoadGenReport,
             finished = time.perf_counter()
             if started >= window_open and finished <= deadline:
                 report.requests += 1
+                report.points += points
                 report.latencies.append(finished - started)
                 report.status_counts[status] = report.status_counts.get(status, 0) + 1
     finally:

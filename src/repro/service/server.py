@@ -11,18 +11,32 @@ Transport lives in :mod:`repro.service.http` (shared with the cluster
 coordinator): a deliberately small hand-rolled HTTP/1.1 subset
 (stdlib-only is a hard constraint).  This module adds the API:
 
-====================  ======  ==============================================
-Path                  Method  Purpose
-====================  ======  ==============================================
-``/healthz``          GET     liveness + uptime + queue/cache snapshot
-``/metrics``          GET     Prometheus text exposition
-``/v1/model/conflict``  GET   Eq. 8 conflict likelihood (closed form)
-``/v1/model/sizing``  GET     Eq. 8 inverted: table entries for a target
-``/v1/birthday``      GET     classical birthday-paradox numbers
-``/v1/sweeps``        POST    submit an async sweep job -> 202 + job id
-``/v1/sweeps/<id>``   GET     poll job status / fetch result
-``/v1/sweeps/<id>``   DELETE  cancel a queued job
-====================  ======  ==============================================
+======================  ======  ============================================
+Path                    Method  Purpose
+======================  ======  ============================================
+``/healthz``            GET     liveness + uptime + queue/cache snapshot
+``/metrics``            GET     Prometheus text exposition
+``/v1/model/conflict``  GET     Eq. 8 conflict likelihood (closed form)
+``/v1/model/conflict``  POST    same, arrays of (W, N, C, α) per request
+``/v1/model/sizing``    GET     Eq. 8 inverted: table entries for a target
+``/v1/model/sizing``    POST    same, arrays of (W, commit, C, α)
+``/v1/model/capacity``  GET     smallest power-of-two table for a target
+``/v1/model/capacity``  POST    same, arrays of (W, commit, C, α)
+``/v1/birthday``        GET     classical birthday-paradox numbers
+``/v1/birthday``        POST    same, arrays of (people|target, days)
+``/v1/sweeps``          POST    submit an async sweep job -> 202 + job id
+``/v1/sweeps/<id>``     GET     poll job status / fetch result
+``/v1/sweeps/<id>``     DELETE  cancel a queued job
+======================  ======  ============================================
+
+The scalar model GETs are *micro-batched*: one event loop owns every
+connection, so concurrent scalar requests that land within
+``microbatch_window`` seconds of each other coalesce into a single
+vectorized evaluation (``repro.service.batching``).  Batch POSTs,
+micro-batched GETs, and a lone GET all answer from the same
+``repro.core`` ``*_batch`` entry points, which makes their bytes
+identical per point — the batch-identity contract the differential
+tests pin.
 
 Submission flow: validate (400 on bad input) -> cache probe (content
 address of the canonicalized request; a hit returns a completed job
@@ -37,22 +51,35 @@ process pool — same bytes out, same cache entry.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass
 from functools import partial
 from http import HTTPStatus
-from typing import Any, Callable, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.core.birthday import (
     birthday_collision_probability,
+    birthday_collision_probability_batch,
     people_for_collision_probability,
+    people_for_collision_probability_batch,
 )
 from repro.core.model import (
     ModelParams,
     conflict_likelihood,
+    conflict_likelihood_batch,
     conflict_likelihood_product_form,
+    conflict_likelihood_product_form_batch,
 )
-from repro.core.sizing import table_entries_for_commit_probability
+from repro.core.sizing import (
+    pow2_table_entries_for_commit_probability,
+    pow2_table_entries_for_commit_probability_batch,
+    table_entries_for_commit_probability,
+    table_entries_for_commit_probability_batch,
+)
+from repro.service.batching import MicroBatcher
 from repro.service.cache import ResultCache, cache_key
 from repro.service.http import (
     HTTPError,
@@ -69,7 +96,98 @@ from repro.service.sweeps import (
     validate_sweep_request,
 )
 
-__all__ = ["ServiceConfig", "Service", "ServiceThread", "serve", "start_in_thread"]
+__all__ = [
+    "MAX_BATCH_POINTS",
+    "Service",
+    "ServiceConfig",
+    "ServiceThread",
+    "serve",
+    "start_in_thread",
+]
+
+# Bound on points per batch request: 64k points of four float64 columns
+# is ~2 MiB of arrays, well under the 4 MiB body cap and microseconds of
+# NumPy time, while still refusing absurd requests before allocation.
+MAX_BATCH_POINTS = 65536
+
+_REQUIRED = object()
+
+
+def _batch_columns(
+    parsed: Any, fields: Sequence[tuple[str, Any]]
+) -> tuple[dict[str, list[Any]], int]:
+    """Validate a batch request body into per-field numeric columns.
+
+    ``fields`` is an ordered ``(name, default)`` spec where the default
+    ``_REQUIRED`` marks a mandatory field.  Each present field is a
+    number or a list of numbers; all lists must share one length, and at
+    least one field must be a list (otherwise the scalar GET form is the
+    right endpoint).  Scalars broadcast to the common length.  Unknown
+    fields, empty lists, length mismatches, non-numbers, and non-finite
+    values are all 400s — same strictness as the query-string parsers.
+    """
+    if not isinstance(parsed, dict):
+        raise HTTPError(HTTPStatus.BAD_REQUEST, "request body must be a JSON object")
+    allowed = [name for name, _ in fields]
+    unknown = sorted(set(parsed) - set(allowed))
+    if unknown:
+        raise HTTPError(
+            HTTPStatus.BAD_REQUEST,
+            f"unknown field(s): {', '.join(map(repr, unknown))}; expected {allowed}",
+        )
+    length: Optional[int] = None
+    for name, default in fields:
+        value = parsed.get(name, default)
+        if value is _REQUIRED:
+            raise HTTPError(HTTPStatus.BAD_REQUEST, f"missing required field {name!r}")
+        if isinstance(value, list):
+            if not value:
+                raise HTTPError(
+                    HTTPStatus.BAD_REQUEST, f"field {name!r} must not be empty"
+                )
+            if length is None:
+                length = len(value)
+            elif len(value) != length:
+                raise HTTPError(
+                    HTTPStatus.BAD_REQUEST,
+                    f"field {name!r} has length {len(value)}, expected {length}",
+                )
+    if length is None:
+        raise HTTPError(
+            HTTPStatus.BAD_REQUEST,
+            "at least one field must be a JSON array of points "
+            "(use the GET endpoint for single points)",
+        )
+    if length > MAX_BATCH_POINTS:
+        raise HTTPError(
+            HTTPStatus.BAD_REQUEST,
+            f"batch of {length} points exceeds the limit of {MAX_BATCH_POINTS}",
+        )
+    columns: dict[str, list[Any]] = {}
+    for name, default in fields:
+        value = parsed.get(name, default)
+        items = value if isinstance(value, list) else [value] * length
+        for item in items:
+            if isinstance(item, bool) or not isinstance(item, (int, float)):
+                raise HTTPError(
+                    HTTPStatus.BAD_REQUEST, f"field {name!r} must contain only numbers"
+                )
+            if not math.isfinite(item):
+                raise HTTPError(
+                    HTTPStatus.BAD_REQUEST, f"field {name!r} must be finite everywhere"
+                )
+        columns[name] = items
+    return columns, length
+
+
+def _int_echo(values: list[Any], name: str) -> list[int]:
+    """Echo a column as JSON integers, 400ing on fractional values."""
+    for value in values:
+        if not float(value).is_integer():
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST, f"field {name!r} must contain integers"
+            )
+    return [int(value) for value in values]
 
 
 @dataclass(frozen=True)
@@ -95,6 +213,12 @@ class ServiceConfig:
         Seconds to wait for in-flight jobs during graceful shutdown.
     cluster_workers:
         Worker threads per ``execution: cluster`` sweep job.
+    microbatch_window:
+        Seconds a scalar model GET waits for company before its
+        micro-batch flushes (``0`` disables coalescing; each request
+        still evaluates through the batch code path, alone).
+    microbatch_max:
+        Scalar model GETs per micro-batch before an immediate flush.
     """
 
     host: str = "127.0.0.1"
@@ -106,10 +230,18 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     drain_timeout: float = 10.0
     cluster_workers: int = 2
+    microbatch_window: float = 0.0005
+    microbatch_max: int = 128
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.microbatch_window < 0:
+            raise ValueError(
+                f"microbatch_window must be non-negative, got {self.microbatch_window}"
+            )
+        if self.microbatch_max < 1:
+            raise ValueError(f"microbatch_max must be >= 1, got {self.microbatch_max}")
         if self.queue_capacity < 1:
             raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
         if self.job_timeout is not None and self.job_timeout <= 0:
@@ -171,6 +303,29 @@ class Service(JsonHttpServer):
             "repro_cache_hit_ratio", "Result-cache hit fraction since boot"
         )
         self._uptime = m.gauge("repro_uptime_seconds", "Seconds since service start")
+        self._model_points = m.counter(
+            "repro_model_points_total",
+            "Model points evaluated, by endpoint",
+            label="endpoint",
+        )
+        self._microbatch_occupancy = m.histogram(
+            "repro_microbatch_occupancy",
+            "Scalar model GETs coalesced per micro-batch flush",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        self._microbatch_wait = m.histogram(
+            "repro_microbatch_flush_wait_seconds",
+            "Collection time from first request to flush per micro-batch",
+        )
+        self._microbatch_flushes = m.counter(
+            "repro_microbatch_flushes_total", "Micro-batch flushes"
+        )
+        self._conflict_batcher = MicroBatcher(
+            self._evaluate_conflict_points,
+            window=self.config.microbatch_window,
+            max_batch=self.config.microbatch_max,
+            observe=self._observe_microbatch,
+        )
         self.queue = JobQueue(
             workers=self.config.workers,
             capacity=self.config.queue_capacity,
@@ -309,8 +464,13 @@ class Service(JsonHttpServer):
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
             ("GET", "/v1/model/conflict"): self._handle_conflict,
+            ("POST", "/v1/model/conflict"): self._handle_conflict_batch,
             ("GET", "/v1/model/sizing"): self._handle_sizing,
+            ("POST", "/v1/model/sizing"): self._handle_sizing_batch,
+            ("GET", "/v1/model/capacity"): self._handle_capacity,
+            ("POST", "/v1/model/capacity"): self._handle_capacity_batch,
             ("GET", "/v1/birthday"): self._handle_birthday,
+            ("POST", "/v1/birthday"): self._handle_birthday_batch,
             ("POST", "/v1/sweeps"): self._handle_submit,
         }
         if (method, path) in fixed:
@@ -360,15 +520,50 @@ class Service(JsonHttpServer):
             {},
         )
 
-    def _handle_conflict(self, query: Mapping[str, list[str]], body: bytes):
+    def _observe_microbatch(self, size: int, wait: float) -> None:
+        self._microbatch_occupancy.observe(size)
+        self._microbatch_wait.observe(wait)
+        self._microbatch_flushes.inc()
+
+    def _evaluate_conflict_points(
+        self, items: list[tuple[float, int, int, float]]
+    ) -> list[tuple[float, float]]:
+        """One vectorized evaluation answering a whole micro-batch."""
+        w, n, c, alpha = zip(*items)
+        raw = conflict_likelihood_batch(w, n, c, alpha)
+        prob = conflict_likelihood_product_form_batch(w, n, c, alpha)
+        self._model_points.inc(len(items), label="/v1/model/conflict")
+        return list(zip(raw.tolist(), prob.tolist()))
+
+    @staticmethod
+    def _require_finite(values: np.ndarray, field: str) -> None:
+        bad = np.flatnonzero(~np.isfinite(np.atleast_1d(values)))
+        if bad.size:
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST,
+                f"result {field!r} is non-finite at point {int(bad[0])}; "
+                "the model overflows for these parameters",
+            )
+
+    async def _handle_conflict(self, query: Mapping[str, list[str]], body: bytes):
         del body
         w = query_float(query, "w")
         n = query_int(query, "n")
         c = query_int(query, "c", 2)
         alpha = query_float(query, "alpha", 2.0)
-        params = ModelParams(n_entries=n, concurrency=c, alpha=alpha)
-        raw = float(conflict_likelihood(w, params))
-        prob = float(conflict_likelihood_product_form(w, params))
+        # Validate *before* joining a batch: a bad point must 400 alone,
+        # never poison the flush it would have ridden in.
+        ModelParams(n_entries=n, concurrency=c, alpha=alpha)
+        if w < 0:
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST, "write footprint W must be non-negative"
+            )
+        raw, prob = await self._conflict_batcher.submit((w, n, c, alpha))
+        if not (math.isfinite(raw) and math.isfinite(prob)):
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST,
+                "result 'raw' is non-finite; the model overflows for these parameters",
+            )
         return (
             HTTPStatus.OK,
             {
@@ -383,6 +578,33 @@ class Service(JsonHttpServer):
             {},
         )
 
+    def _handle_conflict_batch(self, query: Mapping[str, list[str]], body: bytes):
+        del query
+        cols, count = _batch_columns(
+            self.parse_json_body(body),
+            [("w", _REQUIRED), ("n", _REQUIRED), ("c", 2), ("alpha", 2.0)],
+        )
+        raw = conflict_likelihood_batch(cols["w"], cols["n"], cols["c"], cols["alpha"])
+        prob = conflict_likelihood_product_form_batch(
+            cols["w"], cols["n"], cols["c"], cols["alpha"]
+        )
+        self._require_finite(raw, "raw")
+        self._model_points.inc(count, label="/v1/model/conflict")
+        return (
+            HTTPStatus.OK,
+            {
+                "count": count,
+                "w": [float(v) for v in cols["w"]],
+                "n": _int_echo(cols["n"], "n"),
+                "c": _int_echo(cols["c"], "c"),
+                "alpha": [float(v) for v in cols["alpha"]],
+                "raw": raw.tolist(),
+                "conflict_probability": prob.tolist(),
+                "commit_probability": (1.0 - prob).tolist(),
+            },
+            {},
+        )
+
     def _handle_sizing(self, query: Mapping[str, list[str]], body: bytes):
         del body
         w = query_int(query, "w")
@@ -392,6 +614,7 @@ class Service(JsonHttpServer):
         entries = table_entries_for_commit_probability(
             w, commit, concurrency=c, alpha=alpha
         )
+        self._model_points.inc(label="/v1/model/sizing")
         return (
             HTTPStatus.OK,
             {
@@ -405,9 +628,148 @@ class Service(JsonHttpServer):
             {},
         )
 
+    def _handle_sizing_batch(self, query: Mapping[str, list[str]], body: bytes):
+        del query
+        cols, count = _batch_columns(
+            self.parse_json_body(body),
+            [("w", _REQUIRED), ("commit", _REQUIRED), ("c", 2), ("alpha", 2.0)],
+        )
+        w = _int_echo(cols["w"], "w")  # the scalar endpoint takes integer W
+        entries = table_entries_for_commit_probability_batch(
+            cols["w"], cols["commit"], concurrency=cols["c"], alpha=cols["alpha"]
+        )
+        self._model_points.inc(count, label="/v1/model/sizing")
+        return (
+            HTTPStatus.OK,
+            {
+                "count": count,
+                "w": w,
+                "commit": [float(v) for v in cols["commit"]],
+                "c": _int_echo(cols["c"], "c"),
+                "alpha": [float(v) for v in cols["alpha"]],
+                "entries": entries.tolist(),
+                "mib_at_8_bytes": (entries.astype(np.float64) * 8 / (1 << 20)).tolist(),
+            },
+            {},
+        )
+
+    def _handle_capacity(self, query: Mapping[str, list[str]], body: bytes):
+        del body
+        w = query_int(query, "w")
+        commit = query_float(query, "commit")
+        c = query_int(query, "c", 2)
+        alpha = query_float(query, "alpha", 2.0)
+        entries = table_entries_for_commit_probability(
+            w, commit, concurrency=c, alpha=alpha
+        )
+        pow2 = pow2_table_entries_for_commit_probability(
+            w, commit, concurrency=c, alpha=alpha
+        )
+        raw = float(
+            conflict_likelihood(
+                float(w), ModelParams(n_entries=pow2, concurrency=c, alpha=alpha)
+            )
+        )
+        self._model_points.inc(label="/v1/model/capacity")
+        return (
+            HTTPStatus.OK,
+            {
+                "w": w,
+                "commit": commit,
+                "c": c,
+                "alpha": alpha,
+                "entries": entries,
+                "entries_pow2": pow2,
+                "log2_entries_pow2": pow2.bit_length() - 1,
+                "mib_at_8_bytes": pow2 * 8 / (1 << 20),
+                "achieved_commit_probability": 1.0 - raw,
+            },
+            {},
+        )
+
+    def _handle_capacity_batch(self, query: Mapping[str, list[str]], body: bytes):
+        del query
+        cols, count = _batch_columns(
+            self.parse_json_body(body),
+            [("w", _REQUIRED), ("commit", _REQUIRED), ("c", 2), ("alpha", 2.0)],
+        )
+        w = _int_echo(cols["w"], "w")
+        entries = table_entries_for_commit_probability_batch(
+            cols["w"], cols["commit"], concurrency=cols["c"], alpha=cols["alpha"]
+        )
+        pow2 = pow2_table_entries_for_commit_probability_batch(
+            cols["w"], cols["commit"], concurrency=cols["c"], alpha=cols["alpha"]
+        )
+        raw = conflict_likelihood_batch(cols["w"], pow2, cols["c"], cols["alpha"])
+        self._model_points.inc(count, label="/v1/model/capacity")
+        return (
+            HTTPStatus.OK,
+            {
+                "count": count,
+                "w": w,
+                "commit": [float(v) for v in cols["commit"]],
+                "c": _int_echo(cols["c"], "c"),
+                "alpha": [float(v) for v in cols["alpha"]],
+                "entries": entries.tolist(),
+                "entries_pow2": pow2.tolist(),
+                "log2_entries_pow2": np.log2(pow2.astype(np.float64))
+                .astype(np.int64)
+                .tolist(),
+                "mib_at_8_bytes": (pow2.astype(np.float64) * 8 / (1 << 20)).tolist(),
+                "achieved_commit_probability": (1.0 - raw).tolist(),
+            },
+            {},
+        )
+
+    def _handle_birthday_batch(self, query: Mapping[str, list[str]], body: bytes):
+        del query
+        parsed = self.parse_json_body(body)
+        if not isinstance(parsed, dict):
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST, "request body must be a JSON object"
+            )
+        if "people" in parsed and "target" in parsed:
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST, "pass either 'people' or 'target', not both"
+            )
+        if "people" in parsed:
+            cols, count = _batch_columns(
+                parsed, [("people", _REQUIRED), ("days", 365)]
+            )
+            prob = birthday_collision_probability_batch(cols["people"], cols["days"])
+            self._model_points.inc(count, label="/v1/birthday")
+            return (
+                HTTPStatus.OK,
+                {
+                    "count": count,
+                    "people": _int_echo(cols["people"], "people"),
+                    "days": _int_echo(cols["days"], "days"),
+                    "collision_probability": prob.tolist(),
+                },
+                {},
+            )
+        cols, count = _batch_columns(parsed, [("target", _REQUIRED), ("days", 365)])
+        people = people_for_collision_probability_batch(cols["target"], cols["days"])
+        days = np.asarray(cols["days"], dtype=np.int64)
+        prob = birthday_collision_probability_batch(people, days)
+        self._model_points.inc(count, label="/v1/birthday")
+        return (
+            HTTPStatus.OK,
+            {
+                "count": count,
+                "target": [float(v) for v in cols["target"]],
+                "days": _int_echo(cols["days"], "days"),
+                "people": people.tolist(),
+                "collision_probability": prob.tolist(),
+                "occupancy_at_threshold": (people / days).tolist(),
+            },
+            {},
+        )
+
     def _handle_birthday(self, query: Mapping[str, list[str]], body: bytes):
         del body
         days = query_int(query, "days", 365)
+        self._model_points.inc(label="/v1/birthday")
         if "people" in query:
             people = query_int(query, "people")
             return (

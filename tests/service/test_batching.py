@@ -1,0 +1,140 @@
+"""Unit tests for the micro-batching layer (``repro.service.batching``)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.batching import MicroBatcher
+
+
+class _Recorder:
+    """Evaluate callback that remembers the batches it was handed."""
+
+    def __init__(self, fail_on=None):
+        self.batches: list[list[int]] = []
+        self.fail_on = fail_on
+
+    def __call__(self, items):
+        self.batches.append(list(items))
+        if self.fail_on is not None and self.fail_on in items:
+            raise ValueError(f"poisoned item {self.fail_on}")
+        return [item * 10 for item in items]
+
+
+class TestMicroBatcher:
+    def test_coalesces_concurrent_submits(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.01, max_batch=128)
+            return await asyncio.gather(*(batcher.submit(i) for i in range(5)))
+
+        results = asyncio.run(scenario())
+        assert results == [0, 10, 20, 30, 40]
+        assert recorder.batches == [[0, 1, 2, 3, 4]]
+
+    def test_max_batch_flushes_immediately(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            # A window far longer than the test: only the size cap can
+            # flush the first batch.
+            batcher = MicroBatcher(recorder, window=60.0, max_batch=3)
+            first = asyncio.gather(*(batcher.submit(i) for i in range(3)))
+            return await asyncio.wait_for(first, timeout=5.0)
+
+        assert asyncio.run(scenario()) == [0, 10, 20]
+        assert recorder.batches == [[0, 1, 2]]
+
+    def test_window_flushes_partial_batch(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.005, max_batch=128)
+            return await asyncio.wait_for(batcher.submit(7), timeout=5.0)
+
+        assert asyncio.run(scenario()) == 70
+        assert recorder.batches == [[7]]
+
+    def test_error_reaches_every_waiter(self):
+        recorder = _Recorder(fail_on=2)
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.01, max_batch=128)
+            return await asyncio.gather(
+                *(batcher.submit(i) for i in range(4)), return_exceptions=True
+            )
+
+        results = asyncio.run(scenario())
+        assert len(results) == 4
+        assert all(isinstance(r, ValueError) for r in results)
+
+    def test_zero_window_is_passthrough(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.0, max_batch=128)
+            return await asyncio.gather(*(batcher.submit(i) for i in range(3)))
+
+        assert asyncio.run(scenario()) == [0, 10, 20]
+        # No coalescing: three singleton evaluations.
+        assert recorder.batches == [[0], [1], [2]]
+
+    def test_max_batch_one_is_passthrough(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.01, max_batch=1)
+            return await asyncio.gather(*(batcher.submit(i) for i in range(3)))
+
+        assert asyncio.run(scenario()) == [0, 10, 20]
+        assert recorder.batches == [[0], [1], [2]]
+
+    def test_observe_sees_occupancy_and_wait(self):
+        observations: list[tuple[int, float]] = []
+
+        async def scenario():
+            batcher = MicroBatcher(
+                _Recorder(), window=0.01, max_batch=128,
+                observe=lambda size, wait: observations.append((size, wait)),
+            )
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+
+        asyncio.run(scenario())
+        assert [size for size, _ in observations] == [4]
+        assert all(wait >= 0.0 for _, wait in observations)
+
+    def test_observe_in_passthrough_mode(self):
+        observations: list[tuple[int, float]] = []
+
+        async def scenario():
+            batcher = MicroBatcher(
+                _Recorder(), window=0.0, max_batch=128,
+                observe=lambda size, wait: observations.append((size, wait)),
+            )
+            await batcher.submit(1)
+
+        asyncio.run(scenario())
+        assert [size for size, _ in observations] == [1]
+
+    def test_sequential_submits_get_separate_batches(self):
+        recorder = _Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(recorder, window=0.002, max_batch=128)
+            first = await batcher.submit(1)
+            second = await batcher.submit(2)
+            return first, second
+
+        assert asyncio.run(scenario()) == (10, 20)
+        assert recorder.batches == [[1], [2]]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window": -0.001},
+        {"max_batch": 0},
+    ])
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatcher(_Recorder(), **kwargs)

@@ -1,0 +1,96 @@
+"""Tests for the closed-loop load generator's profiles and accounting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.loadgen import (
+    LoadGenConfig,
+    LoadGenReport,
+    _batch_body,
+    run_loadgen_sync,
+)
+from repro.service.server import Service, ServiceConfig, ServiceThread
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"concurrency": 0},
+        {"duration": 0.0},
+        {"warmup": -1.0},
+        {"timeout": 0.0},
+        {"profile": "warp"},
+        {"batch_size": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadGenConfig(**kwargs)
+
+    def test_defaults_are_scalar_profile(self):
+        config = LoadGenConfig()
+        assert config.profile == "scalar"
+        assert config.batch_size == 256
+
+
+class TestBatchBody:
+    def test_is_valid_conflict_batch(self):
+        body = json.loads(_batch_body(16))
+        assert len(body["w"]) == 16
+        assert len(body["n"]) == 16
+        assert len(body["c"]) == 16
+        assert body["alpha"] == 2.0
+        assert all(n & (n - 1) == 0 for n in body["n"])  # powers of two
+
+    def test_varies_points(self):
+        body = json.loads(_batch_body(64))
+        assert len(set(body["w"])) > 1
+        assert len(set(body["n"])) > 1
+
+
+class TestReport:
+    def test_points_per_second(self):
+        report = LoadGenReport(requests=10, points=2560, elapsed_seconds=2.0)
+        assert report.points_per_second == 1280.0
+        assert report.throughput == 5.0
+
+    def test_summary_shows_points_only_when_batched(self):
+        scalar = LoadGenReport(requests=10, points=10, elapsed_seconds=1.0)
+        assert "points:" not in scalar.summary()
+        batched = LoadGenReport(requests=10, points=320, elapsed_seconds=1.0)
+        assert "points:" in batched.summary()
+
+
+class TestAgainstLiveService:
+    @pytest.fixture(scope="class")
+    def live_port(self):
+        with ServiceThread(Service(ServiceConfig(port=0))) as handle:
+            yield handle.port
+
+    def test_batch_profile_counts_points(self, live_port):
+        report = run_loadgen_sync(LoadGenConfig(
+            port=live_port, concurrency=2, duration=0.4, warmup=0.1,
+            profile="batch", batch_size=32,
+        ))
+        assert report.errors == 0
+        assert set(report.status_counts) == {200}
+        assert report.points == 32 * report.requests
+
+    def test_mixed_profile_alternates(self, live_port):
+        report = run_loadgen_sync(LoadGenConfig(
+            port=live_port, concurrency=2, duration=0.4, warmup=0.1,
+            profile="mixed", batch_size=32,
+        ))
+        assert report.errors == 0
+        assert set(report.status_counts) == {200}
+        # Each client alternates 1-point GETs and 32-point POSTs, so
+        # points per request averages strictly between the two.
+        assert report.requests < report.points < 32 * report.requests
+
+    def test_scalar_profile_points_equal_requests(self, live_port):
+        report = run_loadgen_sync(LoadGenConfig(
+            port=live_port, concurrency=2, duration=0.3, warmup=0.1,
+        ))
+        assert report.errors == 0
+        assert report.points == report.requests

@@ -167,6 +167,278 @@ class TestFastEndpoints:
         conn.close()
 
 
+def raw_get(handle, path: str) -> tuple[int, bytes]:
+    """GET returning the undecoded body, for byte-level assertions."""
+    import http.client
+
+    conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestBatchModelEndpoints:
+    def test_conflict_batch_byte_identical_to_scalar(self, service):
+        """Every element of a batch POST equals the scalar GET for the
+        same point — compared as JSON encodings, i.e. byte-identical on
+        the wire."""
+        _, client = service
+        points = [
+            (20.0, 4096, 2, 2.0),
+            (71.0, 50410, 2, 2.0),
+            (1.0, 64, 1, 0.0),    # C=1, α=0 edges
+            (0.0, 1, 4, 3.5),     # W=0
+            (300.0, 1 << 20, 16, 8.0),
+        ]
+        body = {
+            "w": [p[0] for p in points],
+            "n": [p[1] for p in points],
+            "c": [p[2] for p in points],
+            "alpha": [p[3] for p in points],
+        }
+        status, batch, _ = client.post("/v1/model/conflict", body)
+        assert status == 200
+        assert batch["count"] == len(points)
+        for i, (w, n, c, alpha) in enumerate(points):
+            status, scalar, _ = client.get(
+                f"/v1/model/conflict?w={w}&n={n}&c={c}&alpha={alpha}"
+            )
+            assert status == 200
+            for key in ("raw", "conflict_probability", "commit_probability"):
+                assert json.dumps(batch[key][i]) == json.dumps(scalar[key]), (i, key)
+
+    def test_conflict_batch_broadcasts_scalars(self, service):
+        _, client = service
+        status, data, _ = client.post(
+            "/v1/model/conflict", {"w": [10, 20, 30], "n": 4096}
+        )
+        assert status == 200
+        assert data["count"] == 3
+        assert data["n"] == [4096, 4096, 4096]
+        assert data["c"] == [2, 2, 2]
+        assert data["alpha"] == [2.0, 2.0, 2.0]
+
+    def test_sizing_batch_byte_identical_to_scalar(self, service):
+        _, client = service
+        status, batch, _ = client.post(
+            "/v1/model/sizing",
+            {"w": [71, 71], "commit": [0.5, 0.95], "c": [2, 8]},
+        )
+        assert status == 200
+        assert batch["entries"][0] == 50410
+        for i, (w, commit, c) in enumerate([(71, 0.5, 2), (71, 0.95, 8)]):
+            _, scalar, _ = client.get(f"/v1/model/sizing?w={w}&commit={commit}&c={c}")
+            assert json.dumps(batch["entries"][i]) == json.dumps(scalar["entries"])
+            assert json.dumps(batch["mib_at_8_bytes"][i]) == json.dumps(
+                scalar["mib_at_8_bytes"]
+            )
+
+    def test_capacity_get(self, service):
+        _, client = service
+        status, data, _ = client.get("/v1/model/capacity?w=71&commit=0.95&c=8")
+        assert status == 200
+        assert data["entries"] == 14_114_800
+        assert data["entries_pow2"] == 1 << 24
+        assert data["log2_entries_pow2"] == 24
+        assert data["mib_at_8_bytes"] == 128.0
+        # The next power of two can only overshoot the commit target.
+        assert data["achieved_commit_probability"] >= 0.95
+
+    def test_capacity_batch_byte_identical_to_scalar(self, service):
+        _, client = service
+        status, batch, _ = client.post(
+            "/v1/model/capacity",
+            {"w": [71, 71, 5], "commit": [0.95, 0.5, 0.99], "c": [8, 2, 2]},
+        )
+        assert status == 200
+        for i, (w, commit, c) in enumerate([(71, 0.95, 8), (71, 0.5, 2), (5, 0.99, 2)]):
+            _, scalar, _ = client.get(
+                f"/v1/model/capacity?w={w}&commit={commit}&c={c}"
+            )
+            for key in (
+                "entries",
+                "entries_pow2",
+                "log2_entries_pow2",
+                "mib_at_8_bytes",
+                "achieved_commit_probability",
+            ):
+                assert json.dumps(batch[key][i]) == json.dumps(scalar[key]), (i, key)
+
+    def test_birthday_batch_people_mode(self, service):
+        _, client = service
+        status, batch, _ = client.post("/v1/birthday", {"people": [22, 23]})
+        assert status == 200
+        assert batch["days"] == [365, 365]
+        for i, people in enumerate([22, 23]):
+            _, scalar, _ = client.get(f"/v1/birthday?people={people}&days=365")
+            assert json.dumps(batch["collision_probability"][i]) == json.dumps(
+                scalar["collision_probability"]
+            )
+
+    def test_birthday_batch_target_mode(self, service):
+        _, client = service
+        status, batch, _ = client.post(
+            "/v1/birthday", {"target": [0.5, 0.99], "days": [365, 1 << 20]}
+        )
+        assert status == 200
+        assert batch["people"][0] == 23
+        for i, (target, days) in enumerate([(0.5, 365), (0.99, 1 << 20)]):
+            _, scalar, _ = client.get(f"/v1/birthday?target={target}&days={days}")
+            assert batch["people"][i] == scalar["people"]
+            assert json.dumps(batch["collision_probability"][i]) == json.dumps(
+                scalar["collision_probability"]
+            )
+            assert json.dumps(batch["occupancy_at_threshold"][i]) == json.dumps(
+                scalar["occupancy_at_threshold"]
+            )
+
+    def test_birthday_batch_both_modes_400(self, service):
+        _, client = service
+        status, data, _ = client.post(
+            "/v1/birthday", {"people": [23], "target": [0.5]}
+        )
+        assert status == 400
+        assert "not both" in data["error"]
+
+    def test_batch_validation_400s(self, service):
+        _, client = service
+        cases = (
+            {"n": [4096]},                               # missing required w
+            {"w": [10], "n": [4096], "bogus": [1]},      # unknown field
+            {"w": [1, 2], "n": [1, 2, 3]},               # length mismatch
+            {"w": 10, "n": 4096},                        # no array at all
+            {"w": ["ten"], "n": [4096]},                 # non-number
+            {"w": [True], "n": [4096]},                  # bool is not a number
+            {"w": [float("nan")], "n": [4096]},          # NaN token in body
+            {"w": [-1], "n": [4096]},                    # model-layer rejection
+            [1, 2, 3],                                   # not an object
+        )
+        for body in cases:
+            status, data, _ = client.post("/v1/model/conflict", body)
+            assert status == 400, body
+            assert "error" in data
+
+    def test_batch_point_cap_400(self, service):
+        _, client = service
+        status, data, _ = client.post(
+            "/v1/model/conflict", {"w": list(range(65537)), "n": 4096}
+        )
+        assert status == 400
+        assert "65536" in data["error"]
+
+    def test_batch_overflow_point_400_names_position(self, service):
+        _, client = service
+        status, data, _ = client.post(
+            "/v1/model/conflict", {"w": [1.0, 1e200], "n": [4096, 1]}
+        )
+        assert status == 400
+        assert "point 1" in data["error"]
+
+
+class TestStrictQueryParsing:
+    @pytest.mark.parametrize("value", ["nan", "inf", "-inf", "Infinity", "NaN"])
+    @pytest.mark.parametrize("path", [
+        "/v1/model/conflict?n=4096&w={}",
+        "/v1/model/sizing?w=71&commit={}",
+        "/v1/birthday?target={}",
+    ])
+    def test_non_finite_query_floats_400(self, service, path, value):
+        _, client = service
+        status, data, _ = client.get(path.format(value))
+        assert status == 400, (path, value)
+        assert "finite" in data["error"]
+
+    def test_duplicate_query_params_400(self, service):
+        _, client = service
+        status, data, _ = client.get("/v1/model/conflict?w=1&w=2&n=4096")
+        assert status == 400
+        assert "'w'" in data["error"] and "2 times" in data["error"]
+        status, data, _ = client.get("/v1/model/sizing?w=71&commit=0.5&commit=0.9")
+        assert status == 400
+        assert "'commit'" in data["error"]
+
+
+class TestNaNSafeJSON:
+    def test_overflowing_conflict_is_400_not_infinity(self, service):
+        """w=1e200 overflows Eq. 8 to inf; the response must be a clean
+        400 whose body never contains a bare Infinity/NaN token."""
+        handle, _ = service
+        status, raw = raw_get(handle, "/v1/model/conflict?w=1e200&n=1")
+        assert status == 400
+        assert b"Infinity" not in raw and b"NaN" not in raw
+        assert "overflows" in json.loads(raw)["error"]
+
+    def test_overflowing_sizing_is_400(self, service):
+        _, client = service
+        status, data, _ = client.get(
+            "/v1/model/sizing?w=1000000000&commit=0.999999999999999&c=64"
+        )
+        assert status == 400
+        assert "overflows" in data["error"]
+
+    def test_batch_responses_never_carry_nan_tokens(self, service):
+        handle, client = service
+        status, data, _ = client.post(
+            "/v1/model/conflict", {"w": [1e200], "n": [1]}
+        )
+        assert status == 400
+        assert "non-finite" in data["error"]
+
+
+class TestModelMetrics:
+    def test_model_points_counted_per_endpoint(self, service):
+        _, client = service
+        client.get("/v1/model/conflict?w=20&n=4096")
+        client.post("/v1/model/conflict", {"w": [1.0, 2.0, 3.0], "n": 4096})
+        client.get("/v1/model/sizing?w=71&commit=0.5")
+        status, text, _ = client.get("/metrics")
+        assert status == 200
+        assert 'repro_model_points_total{endpoint="/v1/model/conflict"} 4' in text
+        assert 'repro_model_points_total{endpoint="/v1/model/sizing"} 1' in text
+
+    def test_microbatch_metrics_exposed(self, service):
+        _, client = service
+        client.get("/v1/model/conflict?w=20&n=4096")
+        status, text, _ = client.get("/metrics")
+        assert status == 200
+        assert "# TYPE repro_microbatch_occupancy histogram" in text
+        assert "# TYPE repro_microbatch_flush_wait_seconds histogram" in text
+        assert metric_value(client, "repro_microbatch_flushes_total") >= 1
+        assert metric_value(client, "repro_microbatch_occupancy_count") >= 1
+
+    def test_concurrent_scalar_gets_coalesce(self, service):
+        """Parallel scalar GETs inside one collection window share a
+        flush: occupancy samples exceed flush count only if batching
+        actually coalesced."""
+        _, client = service
+        barrier = threading.Barrier(8)
+        answers = []
+
+        def hit():
+            local = Client(client.conn.host, client.conn.port)
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(20):
+                    answers.append(local.get("/v1/model/conflict?w=20&n=4096")[0])
+            finally:
+                local.close()
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert answers.count(200) == 160
+        points = metric_value(client, "repro_microbatch_occupancy_sum")
+        flushes = metric_value(client, "repro_microbatch_flushes_total")
+        assert points == 160
+        # Coalescing must have merged at least some concurrent requests.
+        assert flushes < points
+
+
 SWEEP_BODY = {
     "kind": "fig4a",
     "params": {"n_values": [512, 1024], "w_values": [4, 8, 16], "samples": 80},

@@ -260,6 +260,18 @@ class TestServeAndLoadgenParsing:
         assert args.concurrency == 8
         assert args.duration == 5.0
         assert args.path.startswith("/v1/model/conflict")
+        assert args.profile == "scalar"
+        assert args.batch_size == 256
+
+    def test_loadgen_profile_flags(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "8642", "--profile", "batch", "--batch-size", "64"]
+        )
+        assert args.profile == "batch"
+        assert args.batch_size == 64
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--port", "8642",
+                                       "--profile", "warp"])
 
     def test_loadgen_against_live_service(self, capsys):
         from repro.service import ServiceConfig, start_in_thread
@@ -276,6 +288,49 @@ class TestServeAndLoadgenParsing:
         out = capsys.readouterr().out
         assert "throughput:" in out
         assert "p99=" in out
+
+    def test_loadgen_batch_profile_against_live_service(self, capsys):
+        from repro.service import ServiceConfig, start_in_thread
+
+        svc = start_in_thread(ServiceConfig(port=0))
+        try:
+            code = main(
+                ["loadgen", "--port", str(svc.port), "--duration", "0.3",
+                 "--warmup", "0.1", "--concurrency", "2",
+                 "--profile", "batch", "--batch-size", "32"]
+            )
+        finally:
+            svc.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        # Batch requests carry 32 points each, so the points line appears.
+        assert "points:" in out
+
+
+class TestCapacityCommand:
+    def test_capacity_requires_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["capacity"])
+
+    def test_capacity_defaults(self):
+        args = build_parser().parse_args(["capacity", "--w", "71",
+                                          "--commit", "0.95"])
+        assert args.command == "capacity"
+        assert args.c == 2
+        assert args.alpha == 2.0
+
+    def test_capacity_prints_pow2_provisioning(self, capsys):
+        assert main(["capacity", "--w", "71", "--commit", "0.95",
+                     "--c", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "14,114,800" in out
+        assert "2^24" in out
+        assert "16,777,216" in out
+
+    def test_capacity_overflow_is_clean_error(self, capsys):
+        code = main(["capacity", "--w", "1000000000",
+                     "--commit", "0.999999999999999", "--c", "64"])
+        assert code != 0
 
 
 class TestJobsFlag:
@@ -305,7 +360,7 @@ class TestJobsFlag:
         with pytest.raises(SystemExit) as excinfo:
             main(["fig4a", "--jobs", value])
         assert excinfo.value.code == 2
-        assert "--jobs must be >= 1" in capsys.readouterr().err
+        assert "argument --jobs: must be >= 1" in capsys.readouterr().err
 
     def test_non_integer_jobs_rejected(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
