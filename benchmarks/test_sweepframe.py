@@ -1,0 +1,140 @@
+"""Columnar SweepFrame result path — throughput and peak-memory gates.
+
+The frame is the native accumulation format behind every sweep: this
+bench runs a large Figure 4(a)-shaped grid through both result paths
+end to end — accumulate every settled point, then deliver the complete
+result — and enforces the two bars the optimization was built for:
+
+* **points/s**: the dict path copies a dict per point and serializes a
+  JSON object per row; the frame path slice-assigns typed columns and
+  ships base64 column windows (``format=frame``).  >= 5x.
+* **peak memory**: the dict path holds every row as boxed Python
+  objects *and* materializes the full response body; the frame path
+  holds flat arrays and streams bounded windows, so its peak is the
+  columns plus one window.  >= 10x lower.
+
+Smoke mode (``SWEEPFRAME_SMOKE=1``): a quarter-size grid with relaxed
+>= 2x bars for CI runners with noisy neighbours.
+
+Outcomes are computed outside any engine (a pure function of the grid
+coordinates) so the bench times the result path, not the simulator.
+Row-level equivalence of the two paths is asserted here too — a
+speedup that changed the bytes would be a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+
+from benchmarks.conftest import emit
+from repro.sim.catalog import SWEEP_KINDS
+from repro.sim.frame import SweepFrame, frame_from_wire
+
+SMOKE = os.environ.get("SWEEPFRAME_SMOKE", "") not in ("", "0")
+
+if SMOKE:
+    N_AXIS, W_AXIS = 128, 64
+    MIN_SPEEDUP = 2.0
+    MAX_MEMORY_FRACTION = 1 / 2
+else:
+    N_AXIS, W_AXIS = 256, 128
+    MIN_SPEEDUP = 5.0
+    MAX_MEMORY_FRACTION = 1 / 10
+
+#: Delivery window, matching the streaming endpoint's chunked reads.
+CHUNK = 512
+
+SCHEMA = SWEEP_KINDS["fig4a"].schema
+GRID = [
+    {"n": n, "w": w}
+    for n in range(512, 512 + N_AXIS)
+    for w in range(2, 2 + W_AXIS)
+]
+
+
+def _outcome(point: dict) -> float:
+    """A deterministic fig4a-shaped percent value, no engine in the loop."""
+    return (point["n"] * 31 + point["w"]) % 997 / 10.0
+
+
+def run_dict_path() -> tuple[list, list, str]:
+    """Accumulate dict rows, then materialize the full NDJSON body."""
+    points: list[dict] = []
+    outcomes: list[float] = []
+    for point in GRID:
+        points.append(dict(point))
+        outcomes.append(_outcome(point))
+    lines = [
+        json.dumps({"index": i, "point": p, "outcome": o},
+                   separators=(",", ":")) + "\n"
+        for i, (p, o) in enumerate(zip(points, outcomes))
+    ]
+    return points, outcomes, "".join(lines)
+
+
+def run_frame_path() -> tuple[SweepFrame, int]:
+    """Fill typed columns chunk-wise, then stream bounded wire windows."""
+    frame = SweepFrame(SCHEMA, len(GRID))
+    for start in range(0, len(GRID), CHUNK):
+        chunk = GRID[start:start + CHUNK]
+        frame.fill_many(start, chunk, [_outcome(p) for p in chunk])
+    delivered = 0
+    offset = 0
+    while offset < len(GRID):
+        payload = json.dumps(frame.to_wire(offset, CHUNK), separators=(",", ":"))
+        delivered += len(payload)
+        offset += CHUNK
+    return frame, delivered
+
+
+def _measure(fn) -> tuple[float, int]:
+    """(points/s, tracemalloc peak bytes) for one warmed-up run."""
+    fn()  # warmup: allocator and caches settle outside the measurement
+    tracemalloc.start()
+    start = time.perf_counter()
+    fn()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return len(GRID) / seconds, peak
+
+
+class TestSweepFramePath:
+    def test_paths_are_row_identical(self):
+        points, outcomes, _ = run_dict_path()
+        frame, _ = run_frame_path()
+        # Spot rows plus a full wire round-trip: exact equality, both
+        # values and types (ints stay ints, floats stay floats).
+        for i in (0, 1, len(GRID) // 2, len(GRID) - 1):
+            assert frame.point_at(i) == points[i]
+            assert frame.outcome_at(i) == outcomes[i]
+        clone = frame_from_wire(frame.to_wire(0, CHUNK))
+        for i in range(CHUNK):
+            assert clone.point_at(i) == points[i]
+            assert clone.outcome_at(i) == outcomes[i]
+
+    def test_throughput_and_memory_bars(self):
+        dict_rate, dict_peak = _measure(run_dict_path)
+        frame_rate, frame_peak = _measure(run_frame_path)
+        speedup = frame_rate / dict_rate
+        memory_fraction = frame_peak / dict_peak
+        emit(
+            f"SweepFrame result path — {len(GRID):,}-point fig4a grid "
+            f"({'smoke' if SMOKE else 'full'} mode)\n"
+            f"  dict path : {dict_rate:>12,.0f} pts/s  peak {dict_peak / 1e6:7.2f} MB\n"
+            f"  frame path: {frame_rate:>12,.0f} pts/s  peak {frame_peak / 1e6:7.2f} MB\n"
+            f"  speedup {speedup:.1f}x (bar {MIN_SPEEDUP:.0f}x), "
+            f"memory {memory_fraction:.3f} of dict peak "
+            f"(bar {MAX_MEMORY_FRACTION:.2f})"
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"frame path {speedup:.2f}x dict path, below the "
+            f"{MIN_SPEEDUP:.0f}x bar"
+        )
+        assert memory_fraction <= MAX_MEMORY_FRACTION, (
+            f"frame peak is {memory_fraction:.3f} of dict peak, above the "
+            f"{MAX_MEMORY_FRACTION:.2f} bar"
+        )

@@ -99,20 +99,28 @@ class _SweepRunner:
         name: str,
         fn: Callable[..., Any],
         grid: Sequence[Mapping[str, Any]],
+        frame: Optional[Any] = None,
     ) -> SweepResult:
-        """Run one named sweep and record its telemetry."""
+        """Run one named sweep and record its telemetry.
+
+        ``frame`` (a :class:`repro.sim.frame.SweepFrame`) switches the
+        sweep to columnar accumulation; the returned result is the
+        frame-backed facade, byte-identical row-wise.
+        """
         if self.cluster is not None:
             from repro.cluster.coordinator import run_sweep_cluster_from_callable
 
-            result = run_sweep_cluster_from_callable(fn, list(grid), workers=self.cluster)
+            result = run_sweep_cluster_from_callable(
+                fn, list(grid), workers=self.cluster, frame=frame
+            )
             if result.telemetry is not None:
                 self.telemetry.append((name, result.telemetry))
             return result
         if self.jobs is None:
-            return run_sweep(fn, grid)
+            return run_sweep(fn, grid, frame=frame)
         from repro.sim.parallel import run_sweep_parallel
 
-        result = run_sweep_parallel(fn, grid, jobs=self.jobs)
+        result = run_sweep_parallel(fn, grid, jobs=self.jobs, frame=frame)
         if result.telemetry is not None:
             self.telemetry.append((name, result.telemetry))
         return result
@@ -128,7 +136,10 @@ class _SweepRunner:
         """
         kind = SWEEP_KINDS[kind_name]
         params = kind.validate(raw_params)
-        return params, self(name, kind.bind(params, seed), kind.grid(params))
+        frame = kind.make_frame(params)
+        return params, self(
+            name, kind.bind(params, seed), kind.grid(params), frame=frame
+        )
 
 
 def _section_model(out: io.StringIO, cfg: ReportConfig) -> None:

@@ -139,6 +139,7 @@ def _run_grid(
     grid: Sequence[Mapping[str, Any]],
     jobs: Optional[int],
     cluster: Optional[int] = None,
+    frame: Optional[Any] = None,
 ) -> SweepResult:
     """Run one CLI sweep serially, on the pool, or across the cluster.
 
@@ -148,13 +149,16 @@ def _run_grid(
     byte-identical to the serial run.  ``cluster=N`` boots an in-process
     coordinator plus N worker loops; point functions that cannot cross
     the wire fall back to the ``jobs`` path with a note on stderr.
+    ``frame`` (a :class:`repro.sim.frame.SweepFrame`) makes every mode
+    accumulate columns instead of dict rows — same bytes, flat storage.
     """
     if cluster is not None:
         from repro.cluster.coordinator import run_sweep_cluster_from_callable
 
         try:
             result = run_sweep_cluster_from_callable(
-                fn, list(grid), workers=cluster, jobs_per_worker=jobs or 1
+                fn, list(grid), workers=cluster, jobs_per_worker=jobs or 1,
+                frame=frame,
             )
         except ValueError as exc:
             print(f"[sweep] not clusterable ({exc}); running locally", file=sys.stderr)
@@ -163,10 +167,10 @@ def _run_grid(
                 print(f"[sweep] {result.telemetry.summary()}", file=sys.stderr)
             return result
     if jobs is None:
-        return run_sweep(fn, grid)
+        return run_sweep(fn, grid, frame=frame)
     from repro.sim.parallel import run_sweep_parallel
 
-    result = run_sweep_parallel(fn, grid, jobs=jobs, progress=_progress_line)
+    result = run_sweep_parallel(fn, grid, jobs=jobs, progress=_progress_line, frame=frame)
     if result.telemetry is not None:
         print(f"[sweep] {result.telemetry.summary()}", file=sys.stderr)
     return result
@@ -541,6 +545,7 @@ def _run_kind(kind_name: str, raw_params: Mapping[str, Any],
         kind.grid(params),
         args.jobs,
         getattr(args, "cluster", None),
+        frame=kind.make_frame(params),
     )
     return params, sweep
 

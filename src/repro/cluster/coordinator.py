@@ -47,6 +47,7 @@ from repro.cluster.protocol import (
 from repro.service.cache import ResultCache, cache_key
 from repro.service.http import HTTPError, JsonHttpServer, ServerThread
 from repro.service.metrics import MetricsRegistry
+from repro.sim.frame import FrameBackedSweepResult, SweepFrame
 from repro.sim.sweep import SweepResult
 
 __all__ = [
@@ -241,6 +242,7 @@ class Coordinator(JsonHttpServer):
         metrics: Optional[MetricsRegistry] = None,
         run_id: Optional[str] = None,
         clock: Optional[Callable[[], float]] = None,
+        frame: Optional[SweepFrame] = None,
     ) -> None:
         self.config = config or CoordinatorConfig()
         super().__init__(self.config.host, self.config.port)
@@ -298,6 +300,12 @@ class Coordinator(JsonHttpServer):
             steal_min_age=self.config.steal_min_age,
         )
         self._m_chunk_size.set(self.spec.chunk_size)
+        if frame is not None and len(frame) != self.spec.n_points:
+            raise ValueError(
+                f"frame holds {len(frame)} points but the grid has "
+                f"{self.spec.n_points}"
+            )
+        self.frame = frame
         self._outcomes: list[Any] = [_PENDING] * self.spec.n_points
         self._done = threading.Event()
         self._draining = False
@@ -325,6 +333,8 @@ class Coordinator(JsonHttpServer):
             if not hit or len(cached) != chunk.count:
                 continue
             self._outcomes[chunk.start:chunk.stop] = cached
+            if self.frame is not None:
+                self.frame.fill_many(chunk.start, self.spec.points(chunk), cached)
             self.leases.mark_done(chunk.index)
             self._cache_hits += 1
             self._m_cached_chunks.inc()
@@ -390,6 +400,8 @@ class Coordinator(JsonHttpServer):
             leases_stolen=int(snapshot["stolen_total"]),
             points_by_worker=points_by_worker,
         )
+        if self.frame is not None and self.frame.complete:
+            return FrameBackedSweepResult(self.frame, telemetry)
         return SweepResult(
             points=[dict(p) for p in self.spec.grid],
             outcomes=list(self._outcomes),
@@ -574,7 +586,11 @@ class Coordinator(JsonHttpServer):
             )
         status = self.leases.complete(chunk_index, worker, points=chunk.count)
         if status == "fresh":
+            # "fresh" guarantees exactly one fill per chunk, so the frame
+            # columns land once, as one slice assignment each.
             self._outcomes[chunk.start:chunk.stop] = outcomes
+            if self.frame is not None:
+                self.frame.fill_many(chunk.start, self.spec.points(chunk), outcomes)
             if self.cache is not None:
                 self.cache.put(self._chunk_key(chunk), outcomes)
         self._maybe_finish()
@@ -610,6 +626,7 @@ def run_sweep_cluster(
     cache: Optional[ResultCache] = None,
     metrics: Optional[MetricsRegistry] = None,
     timeout: Optional[float] = None,
+    frame: Optional[SweepFrame] = None,
 ) -> SweepResult:
     """Run one sweep across an in-process coordinator + worker fleet.
 
@@ -629,7 +646,9 @@ def run_sweep_cluster(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if config is None:
         config = CoordinatorConfig(expected_workers=workers)
-    coordinator = Coordinator(task, grid, config, cache=cache, metrics=metrics)
+    coordinator = Coordinator(
+        task, grid, config, cache=cache, metrics=metrics, frame=frame
+    )
     handle = CoordinatorThread(coordinator)
     handle.start()
     fleet: list[WorkerThread] = []
@@ -675,6 +694,7 @@ def run_sweep_cluster_from_callable(
     cache: Optional[ResultCache] = None,
     metrics: Optional[MetricsRegistry] = None,
     timeout: Optional[float] = None,
+    frame: Optional[SweepFrame] = None,
 ) -> SweepResult:
     """Distribute an in-process sweep callable across local workers.
 
@@ -695,4 +715,5 @@ def run_sweep_cluster_from_callable(
         cache=cache,
         metrics=metrics,
         timeout=timeout,
+        frame=frame,
     )

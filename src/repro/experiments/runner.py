@@ -49,6 +49,7 @@ from repro.experiments.sizing import DEFAULT_TARGET_SECONDS, ChunkSizer
 from repro.experiments.specs import EXPERIMENTS, QUALITIES, ExperimentSpec
 from repro.service.cache import ResultCache, cache_key
 from repro.sim.catalog import SWEEP_KINDS
+from repro.sim.frame import FrameBackedSweepResult, SweepFrame
 from repro.sim.sweep import SweepResult, run_sweep
 
 __all__ = [
@@ -239,6 +240,7 @@ def _run_figure_local(
     jobs: Optional[int],
     on_chunk_done: Callable[[int], None],
     interrupter: _Interrupter,
+    frame: Optional[SweepFrame] = None,
 ) -> tuple[SweepResult, int, int]:
     """Walk one figure's chunks locally; returns (sweep, hits, computed)."""
     chunks = chunk_grid(len(grid), chunk_size)
@@ -250,6 +252,8 @@ def _run_figure_local(
         hit, cached = cache.lookup(key)
         if hit and len(cached) == chunk.count:
             outcomes.extend(cached)
+            if frame is not None:
+                frame.fill_many(chunk.start, points, cached)
             hits += 1
             on_chunk_done(hits + computed)
             continue
@@ -261,9 +265,13 @@ def _run_figure_local(
             sweep = run_sweep(fn, points)
         cache.put(key, list(sweep.outcomes))
         outcomes.extend(sweep.outcomes)
+        if frame is not None:
+            frame.fill_many(chunk.start, points, list(sweep.outcomes))
         computed += 1
         on_chunk_done(hits + computed)
         interrupter.chunk_computed()
+    if frame is not None and frame.complete:
+        return FrameBackedSweepResult(frame), hits, computed
     return SweepResult(points=grid, outcomes=outcomes), hits, computed
 
 
@@ -275,6 +283,7 @@ def _run_figure_cluster(
     cfg: ExperimentsConfig,
     depart_after: Optional[int],
     join_after: Optional[float],
+    frame: Optional[SweepFrame] = None,
 ) -> SweepResult:
     """Run one figure on an elastic in-process fleet.
 
@@ -295,6 +304,7 @@ def _run_figure_cluster(
             steal_min_age=cfg.lease_ttl / 2,
         ),
         cache=cache,
+        frame=frame,
     )
     handle = CoordinatorThread(coordinator)
     handle.start()
@@ -428,9 +438,11 @@ def run_experiments(cfg: ExperimentsConfig) -> ExperimentsResult:
             manifest.save(out_dir)
 
         stolen = 0
+        frame = kind.make_frame(params)
         if cfg.cluster is not None:
             sweep = _run_figure_cluster(
-                task, grid, chunk_size, cache, cfg, depart_after, join_after
+                task, grid, chunk_size, cache, cfg, depart_after, join_after,
+                frame=frame,
             )
             depart_after = join_after = None  # one churn event each per run
             hits = sweep.telemetry.cache_hits
@@ -441,7 +453,7 @@ def run_experiments(cfg: ExperimentsConfig) -> ExperimentsResult:
             try:
                 sweep, hits, computed = _run_figure_local(
                     fn, task, grid, chunk_size, cache, cfg.jobs,
-                    on_chunk_done, interrupter,
+                    on_chunk_done, interrupter, frame=frame,
                 )
             except ExperimentInterrupted:
                 manifest.save(out_dir)

@@ -24,6 +24,7 @@ bounds per-process footprint.  Hits and misses are counted per tier so
 
 from __future__ import annotations
 
+import gzip
 import hashlib
 import json
 import os
@@ -32,9 +33,15 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
-__all__ = ["CacheStats", "ResultCache", "cache_key", "canonical_json"]
+__all__ = ["CacheStats", "GZIP_DISK_THRESHOLD", "ResultCache", "cache_key", "canonical_json"]
+
+# Disk-tier entries at or above this serialized size are gzip-compressed.
+# Small entries stay plain JSON: the gzip header/dictionary overhead is
+# not worth it, and plain files keep quick inspection trivial.  Large
+# sweep payloads (repetitive JSON) typically compress 5-20x.
+GZIP_DISK_THRESHOLD = 4096
 
 
 def _canonicalize(value: Any) -> Any:
@@ -134,10 +141,15 @@ class ResultCache:
         capacity: int = 128,
         *,
         disk_dir: Optional[Union[str, os.PathLike]] = None,
+        on_entry_bytes: Optional[Callable[[int], None]] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        # Observer called with the on-disk size (post-compression) of
+        # every entry written to the disk tier — the service points it
+        # at the repro_cache_entry_bytes histogram.
+        self.on_entry_bytes = on_entry_bytes
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
@@ -152,10 +164,10 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._memory)
 
-    def _disk_path(self, key: str) -> Path:
+    def _disk_path(self, key: str, suffix: str = ".json") -> Path:
         assert self.disk_dir is not None
         # Shard by prefix so huge caches do not pile one directory high.
-        return self.disk_dir / key[:2] / f"{key}.json"
+        return self.disk_dir / key[:2] / f"{key}{suffix}"
 
     def lookup(self, key: str) -> tuple[bool, Optional[Any]]:
         """Look up a key; returns ``(hit, value)``.
@@ -227,9 +239,17 @@ class ResultCache:
     def _disk_lookup(self, key: str) -> tuple[bool, Optional[Any]]:
         if self.disk_dir is None:
             return False, None
-        path = self._disk_path(key)
+        # Compressed entries first (what new large puts write), then the
+        # legacy plain-JSON form — caches written before compression
+        # landed stay readable forever.  Same key means same content, so
+        # whichever tier answers is equally current.
         try:
-            with open(path, "r", encoding="utf-8") as fh:
+            with gzip.open(self._disk_path(key, ".json.gz"), "rt", encoding="utf-8") as fh:
+                return True, json.load(fh)
+        except (OSError, EOFError, json.JSONDecodeError):
+            pass
+        try:
+            with open(self._disk_path(key), "r", encoding="utf-8") as fh:
                 return True, json.load(fh)
         except (OSError, json.JSONDecodeError):
             # Missing, unreadable, or torn entry: treat as a miss; a
@@ -237,14 +257,20 @@ class ResultCache:
             return False, None
 
     def _disk_put(self, key: str, value: Any) -> None:
-        path = self._disk_path(key)
+        payload = json.dumps(value, separators=(",", ":")).encode("utf-8")
+        compress = len(payload) >= GZIP_DISK_THRESHOLD
+        if compress:
+            # mtime=0 keeps the compressed bytes a pure function of the
+            # content, like everything else under a content address.
+            payload = gzip.compress(payload, 6, mtime=0)
+        path = self._disk_path(key, ".json.gz" if compress else ".json")
         path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename keeps concurrent readers from ever seeing a
         # half-written entry.
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(value, fh, separators=(",", ":"))
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -252,3 +278,5 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.on_entry_bytes is not None:
+            self.on_entry_bytes(len(payload))

@@ -51,8 +51,10 @@ process pool — same bytes out, same cache entry.
 from __future__ import annotations
 
 import asyncio
+import json
 import math
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import partial
 from http import HTTPStatus
@@ -91,10 +93,12 @@ from repro.service.http import (
 from repro.service.metrics import MetricsRegistry
 from repro.service.queue import Job, JobQueue, JobState, QueueClosed, QueueFull
 from repro.service.sweeps import (
+    SWEEP_KINDS,
     SweepValidationError,
     execute_sweep,
     validate_sweep_request,
 )
+from repro.sim.frame import SweepFrame
 
 __all__ = [
     "MAX_BATCH_POINTS",
@@ -109,6 +113,14 @@ __all__ = [
 # is ~2 MiB of arrays, well under the 4 MiB body cap and microseconds of
 # NumPy time, while still refusing absurd requests before allocation.
 MAX_BATCH_POINTS = 65536
+
+# Sweep frames kept addressable for streaming reads after submission.
+# The registry is an LRU keyed by job id: jobs past this bound fall back
+# to the materialized result in the job snapshot / cache.
+MAX_TRACKED_FRAMES = 64
+
+# Media type of the streamed row form of a sweep result.
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
 
 _REQUIRED = object()
 
@@ -265,9 +277,6 @@ class Service(JsonHttpServer):
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         super().__init__(self.config.host, self.config.port)
-        self.cache = ResultCache(
-            self.config.cache_capacity, disk_dir=self.config.cache_dir
-        )
         self.metrics = MetricsRegistry()
         m = self.metrics
         self._requests = m.counter(
@@ -320,6 +329,26 @@ class Service(JsonHttpServer):
         self._microbatch_flushes = m.counter(
             "repro_microbatch_flushes_total", "Micro-batch flushes"
         )
+        self._sweep_points_done = m.gauge(
+            "repro_sweep_points_done",
+            "Grid points settled so far for a tracked sweep job",
+            label="job",
+        )
+        self._cache_entry_bytes = m.histogram(
+            "repro_cache_entry_bytes",
+            "On-disk size of result-cache entries (post-compression)",
+            buckets=(256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304),
+        )
+        self.cache = ResultCache(
+            self.config.cache_capacity,
+            disk_dir=self.config.cache_dir,
+            on_entry_bytes=self._cache_entry_bytes.observe,
+        )
+        # Live columnar results by job id: filled by the worker thread
+        # running the job, read by the event loop for progress and
+        # streaming delivery.  SweepFrame itself is thread-safe; the
+        # registry is only touched from the event loop.
+        self._frames: "OrderedDict[str, SweepFrame]" = OrderedDict()
         self._conflict_batcher = MicroBatcher(
             self._evaluate_conflict_points,
             window=self.config.microbatch_window,
@@ -370,7 +399,8 @@ class Service(JsonHttpServer):
         self._uptime.set(time.monotonic() - self._started_at)
 
     def _run_job(self, kind: str, params: dict[str, Any], seed: int,
-                 jobs: Optional[int], execution: str, key: str) -> dict[str, Any]:
+                 jobs: Optional[int], execution: str, key: str,
+                 frame: Optional[SweepFrame] = None) -> dict[str, Any]:
         result = execute_sweep(
             kind,
             params,
@@ -379,9 +409,16 @@ class Service(JsonHttpServer):
             execution=execution,
             cluster_workers=self.config.cluster_workers,
             cache=self.cache if execution == "cluster" else None,
+            frame=frame,
         )
         self.cache.put(key, result)
         return result
+
+    def _register_frame(self, job_id: str, frame: SweepFrame) -> None:
+        self._frames[job_id] = frame
+        self._frames.move_to_end(job_id)
+        while len(self._frames) > MAX_TRACKED_FRAMES:
+            self._frames.popitem(last=False)
 
     def submit_sweep(self, body: Mapping[str, Any]) -> tuple[Job, bool]:
         """Validate + cache-probe + admit one sweep request.
@@ -416,10 +453,13 @@ class Service(JsonHttpServer):
                 self._jobs_terminal.inc(label=JobState.SUCCEEDED.value)
             return self.queue.get(job.id) or job, True
         self._cache_misses.inc()
+        frame = SWEEP_KINDS[kind].make_frame(params)
         job = self.queue.submit(
-            partial(self._run_job, kind, params, seed, jobs, execution, key),
+            partial(self._run_job, kind, params, seed, jobs, execution, key, frame),
             params=request_echo,
         )
+        if frame is not None:
+            self._register_frame(job.id, frame)
         return job, False
 
     # -- transport hooks ----------------------------------------------
@@ -810,12 +850,101 @@ class Service(JsonHttpServer):
             payload["result"] = job.result  # spare the client a round trip
         return status, payload, {}
 
+    @staticmethod
+    def _query_format(query: Mapping[str, list[str]]) -> str:
+        values = query.get("format", ["status"])
+        if len(values) > 1:
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST, "query parameter 'format' given more than once"
+            )
+        fmt = values[0]
+        if fmt not in ("status", "rows", "frame"):
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST,
+                f"unknown format {fmt!r}; expected one of: frame, rows, status",
+            )
+        return fmt
+
+    @staticmethod
+    def _stream_window(query: Mapping[str, list[str]], frame: SweepFrame,
+                       ) -> tuple[int, Optional[int]]:
+        """Validate offset/limit against the frame: (offset, limit).
+
+        ``offset`` past the grid is a clean 416 — the client has walked
+        off the end and should stop; an offset inside the grid but past
+        the filled prefix simply yields an empty window (poll again).
+        """
+        offset = query_int(query, "offset", 0)
+        if offset < 0:
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST, "query parameter 'offset' must be >= 0"
+            )
+        if offset > frame.capacity:
+            raise HTTPError(
+                HTTPStatus.REQUESTED_RANGE_NOT_SATISFIABLE,
+                f"offset {offset} is beyond the {frame.capacity}-point grid",
+            )
+        limit: Optional[int] = None
+        if "limit" in query:
+            limit = query_int(query, "limit")
+            if limit < 1:
+                raise HTTPError(
+                    HTTPStatus.BAD_REQUEST, "query parameter 'limit' must be >= 1"
+                )
+        return offset, limit
+
+    @staticmethod
+    def _stream_headers(frame: SweepFrame, offset: int, count: int) -> dict[str, str]:
+        return {
+            "X-Sweep-Points-Done": str(frame.filled_count),
+            "X-Sweep-Points-Total": str(frame.capacity),
+            "X-Sweep-Offset": str(offset),
+            "X-Sweep-Count": str(count),
+            "X-Sweep-Complete": "true" if frame.complete else "false",
+        }
+
     def _handle_job_status(self, job_id: str, query: Mapping[str, list[str]], body: bytes):
-        del query, body
+        del body
         job = self.queue.get(job_id)
         if job is None:
             raise HTTPError(HTTPStatus.NOT_FOUND, f"no such job: {job_id}")
-        return HTTPStatus.OK, job.snapshot(), {}
+        fmt = self._query_format(query)
+        frame = self._frames.get(job_id)
+        if fmt == "status":
+            snapshot = job.snapshot()
+            if frame is not None:
+                done = frame.filled_count
+                self._sweep_points_done.set(done, label=job_id)
+                if not job.state.terminal:
+                    # The progress signal for still-running sweeps.
+                    snapshot["points_done"] = done
+                    snapshot["points_total"] = frame.capacity
+            return HTTPStatus.OK, snapshot, {}
+        if frame is None:
+            raise HTTPError(
+                HTTPStatus.BAD_REQUEST,
+                f"job {job_id} has no columnar result stream (cache hits and "
+                f"non-grid kinds answer inline; use the plain status GET)",
+            )
+        offset, limit = self._stream_window(query, frame)
+        if fmt == "frame":
+            payload = frame.to_wire(offset, limit)
+            headers = self._stream_headers(frame, offset, int(payload["count"]))
+            return HTTPStatus.OK, payload, headers
+        # format=rows: NDJSON over the contiguous filled prefix.  Each
+        # line is a self-contained row keyed by grid index, so windowed
+        # reads concatenate byte-identically to one full read.
+        lines = [
+            json.dumps(
+                {"index": i, "point": point, "outcome": outcome},
+                separators=(",", ":"),
+                allow_nan=False,
+            )
+            + "\n"
+            for i, point, outcome in frame.rows(offset, limit)
+        ]
+        headers = self._stream_headers(frame, offset, len(lines))
+        return HTTPStatus.OK, (NDJSON_CONTENT_TYPE, "".join(lines)), headers
 
     def _handle_job_cancel(self, job_id: str, query: Mapping[str, list[str]], body: bytes):
         del query, body

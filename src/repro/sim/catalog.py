@@ -85,6 +85,7 @@ from repro.sim.engines import (
     simulate_open,
     simulate_trace,
 )
+from repro.sim.frame import FrameBackedSweepResult, FrameField, FrameSchema, SweepFrame
 from repro.sim.open_system import OpenSystemConfig
 from repro.sim.overflow import OverflowConfig, characterize_overflow
 from repro.sim.sweep import run_sweep, sweep_grid
@@ -321,6 +322,7 @@ class SweepKind:
         execute: Optional[Callable[[dict[str, Any], int, Optional[int]], dict[str, Any]]] = None,
         engine_kind: Optional[str] = None,
         ceiling: Optional[Sequence[str]] = None,
+        schema: Optional[FrameSchema] = None,
     ) -> None:
         if execute is None and (point is None or axes is None or assemble is None):
             raise ValueError(
@@ -335,6 +337,7 @@ class SweepKind:
         self.wire = dict(wire) if wire is not None else {}
         self.checks = tuple(checks)
         self.engine_kind = engine_kind
+        self.schema = schema
         self._assemble = assemble
         self._execute = execute
         if ceiling is not None:
@@ -374,6 +377,20 @@ class SweepKind:
         assert self.axes is not None
         return sweep_grid(**{axis: params[name] for axis, name in self.axes.items()})
 
+    def make_frame(self, params: dict[str, Any]) -> Optional[SweepFrame]:
+        """A fresh :class:`SweepFrame` sized to this parameterization.
+
+        ``None`` for kinds without a declared column schema (the
+        closed-form ``model`` never runs a grid) — callers fall back to
+        the dict path.
+        """
+        if self.schema is None or self.axes is None:
+            return None
+        n_points = 1
+        for name in self.axes.values():
+            n_points *= len(params[name])
+        return SweepFrame(self.schema, n_points)
+
     def wire_kwargs(self, params: dict[str, Any], seed: int) -> dict[str, Any]:
         """The JSON-safe kwargs bound to the point callable (seed included)."""
         kwargs = {kwarg: params[name] for kwarg, name in self.wire.items()}
@@ -391,22 +408,29 @@ class SweepKind:
         return self._assemble(params, sweep)
 
     def execute(self, params: dict[str, Any], seed: int,
-                jobs: Optional[int]) -> dict[str, Any]:
-        """Run the sweep locally (serial or process pool)."""
+                jobs: Optional[int],
+                frame: Optional[SweepFrame] = None) -> dict[str, Any]:
+        """Run the sweep locally (serial or process pool).
+
+        When ``frame`` is given (from :meth:`make_frame`), results
+        accumulate into its typed columns and the assembler sees the
+        frame-backed row view — same bytes out, plus mid-run progress
+        readable through the frame.
+        """
         if self._execute is not None:
             return self._execute(params, seed, jobs)
-        sweep = _run_grid(self.bind(params, seed), self.grid(params), jobs)
+        sweep = _run_grid(self.bind(params, seed), self.grid(params), jobs, frame=frame)
         return self.assemble(params, sweep)
 
 
 def _run_grid(fn: Callable[..., Any], grid: list[dict[str, Any]],
-              jobs: Optional[int]):
+              jobs: Optional[int], frame: Optional[SweepFrame] = None):
     """Serial or process-pool execution of one validated grid."""
     if jobs is None or jobs <= 1:
-        return run_sweep(fn, grid)
+        return run_sweep(fn, grid, frame=frame)
     from repro.sim.parallel import run_sweep_parallel
 
-    return run_sweep_parallel(fn, grid, jobs=jobs)
+    return run_sweep_parallel(fn, grid, jobs=jobs, frame=frame)
 
 
 # -- point callables ---------------------------------------------------
@@ -578,6 +602,102 @@ def _fig7_point(table: str, n: int, w: int, *, placement: str, hash_kind: str,
     }
 
 
+# -- frame schemas -----------------------------------------------------
+#
+# One FrameSchema per grid-shaped kind: the typed column layout of its
+# results (see repro.sim.frame).  Outcome field order matches the point
+# function's dict order exactly — the frame rebuilds rows in declared
+# order, which is what keeps the frame-backed row view byte-identical
+# to the dict path.  fig4a/fig2a points return a bare float, hence the
+# scalar schemas.
+
+_FIG4A_SCHEMA = FrameSchema(
+    kind="fig4a",
+    axes=(FrameField("n", "i8"), FrameField("w", "i8")),
+    scalar=True,
+)
+
+_FIG2A_SCHEMA = FrameSchema(
+    kind="fig2a",
+    axes=(FrameField("n", "i8"), FrameField("w", "i8")),
+    scalar=True,
+)
+
+_FIG3_SCHEMA = FrameSchema(
+    kind="fig3",
+    axes=(FrameField("bench", "str"),),
+    fields=(
+        FrameField("bench", "str"),
+        FrameField("mean_read_blocks", "f8"),
+        FrameField("mean_write_blocks", "f8"),
+        FrameField("mean_instructions", "f8"),
+        FrameField("mean_utilization", "f8"),
+        FrameField("traces_overflowed", "i8"),
+        FrameField("traces_fit", "i8"),
+    ),
+)
+
+_CLOSED_SCHEMA = FrameSchema(
+    kind="closed",
+    axes=(
+        FrameField("n_entries", "i8"),
+        FrameField("concurrency", "i8"),
+        FrameField("write_footprint", "i8"),
+    ),
+    fields=(
+        FrameField("n_entries", "i8"),
+        FrameField("concurrency", "i8"),
+        FrameField("write_footprint", "i8"),
+        FrameField("conflicts", "i8"),
+        FrameField("committed", "i8"),
+        FrameField("mean_occupancy", "f8"),
+        FrameField("expected_occupancy", "f8"),
+        FrameField("actual_concurrency", "f8"),
+    ),
+)
+
+_PLACEMENT_SCHEMA = FrameSchema(
+    kind="placement",
+    axes=(
+        FrameField("placement", "str"),
+        FrameField("hash_kind", "str"),
+        FrameField("n", "i8"),
+    ),
+    fields=(
+        FrameField("placement", "str"),
+        FrameField("hash_kind", "str"),
+        FrameField("n", "i8"),
+        FrameField("conflict_pct", "f8"),
+        FrameField("block_conflict_pct", "f8"),
+        FrameField("false_conflict_pct", "f8"),
+        FrameField("stderr_pct", "f8"),
+        FrameField("mean_window_accesses", "f8"),
+    ),
+)
+
+_FIG7_SCHEMA = FrameSchema(
+    kind="fig7",
+    axes=(FrameField("table", "str"), FrameField("n", "i8"), FrameField("w", "i8")),
+    fields=(
+        FrameField("table", "str"),
+        FrameField("n", "i8"),
+        FrameField("w", "i8"),
+        FrameField("acquires", "i8"),
+        FrameField("grants", "i8"),
+        FrameField("true_conflicts", "i8"),
+        FrameField("false_conflicts", "i8"),
+        FrameField("unclassified_conflicts", "i8"),
+        FrameField("conflicts", "i8"),
+        FrameField("upgrades", "i8"),
+        FrameField("aborts", "i8"),
+        FrameField("committed", "i8"),
+        FrameField("indirection_rate", "f8"),
+        FrameField("mean_fraction_simple", "f8"),
+        FrameField("max_chain", "i8"),
+    ),
+)
+
+
 # -- assemblers and cross-parameter checks -----------------------------
 
 
@@ -599,7 +719,26 @@ def _fig3_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
     The mean of per-benchmark means over the benchmarks that overflowed,
     in grid order — the same operations, on the same floats, as
     :func:`repro.sim.overflow.fleet_summary`, so the two agree exactly.
+    On a frame-backed sweep the reduction runs over the typed columns
+    directly: same float64 values in the same order, so ``np.mean``
+    produces the identical bits.
     """
+    if isinstance(sweep, FrameBackedSweepResult):
+        frame = sweep.frame
+        points = [frame.outcome_at(i) for i in range(frame.capacity)]
+        overflowed = frame.column("traces_overflowed")
+        mask = overflowed > 0
+        if mask.any():
+            points.append({
+                "bench": "AVG",
+                "mean_read_blocks": float(np.mean(frame.column("mean_read_blocks")[mask])),
+                "mean_write_blocks": float(np.mean(frame.column("mean_write_blocks")[mask])),
+                "mean_instructions": float(np.mean(frame.column("mean_instructions")[mask])),
+                "mean_utilization": float(np.mean(frame.column("mean_utilization")[mask])),
+                "traces_overflowed": int(overflowed[mask].sum()),
+                "traces_fit": int(frame.column("traces_fit")[mask].sum()),
+            })
+        return {"kind": "fig3", "benchmarks": params["benchmarks"], "points": points}
     points = [dict(r) for r in sweep.outcomes]
     measured = [r for r in points if r["traces_overflowed"] > 0]
     if measured:
@@ -621,17 +760,31 @@ def _closed_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
 
 
 def _placement_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
-    """False-conflict-% series per placement/hash pair, plus raw points."""
-    points = [dict(r) for r in sweep.outcomes]
-    series = {
-        f"{p}/{h}": [
-            float(r["false_conflict_pct"])
-            for r in points
-            if r["placement"] == p and r["hash_kind"] == h
-        ]
-        for p in params["placements"]
-        for h in params["hash_kinds"]
-    }
+    """False-conflict-% series per placement/hash pair, plus raw points.
+
+    Frame-backed sweeps slice the ``false_conflict_pct`` column with one
+    vectorized axis mask per series instead of scanning row dicts.
+    """
+    if isinstance(sweep, FrameBackedSweepResult):
+        frame = sweep.frame
+        points = sweep.outcomes
+        pct = frame.column("false_conflict_pct")
+        series = {
+            f"{p}/{h}": [float(v) for v in pct[frame.mask(placement=p, hash_kind=h)]]
+            for p in params["placements"]
+            for h in params["hash_kinds"]
+        }
+    else:
+        points = [dict(r) for r in sweep.outcomes]
+        series = {
+            f"{p}/{h}": [
+                float(r["false_conflict_pct"])
+                for r in points
+                if r["placement"] == p and r["hash_kind"] == h
+            ]
+            for p in params["placements"]
+            for h in params["hash_kinds"]
+        }
     return {
         "kind": "placement",
         "x": "n",
@@ -649,28 +802,49 @@ def _fig7_assemble(params: dict[str, Any], sweep: Any) -> dict[str, Any]:
     ``false_conflicts_by_table`` totals each table kind's false conflicts
     per table size across the whole W axis — on any shared grid the
     tagged column is identically zero, which *is* the §5 claim.
+    Frame-backed sweeps reduce the ``false_conflicts`` column under one
+    vectorized (table, n) axis mask per family.
     """
-    points = [dict(r) for r in sweep.outcomes]
-    series = {
-        f"{t} N={n}": [
-            float(r["false_conflicts"])
-            for r in points
-            if r["table"] == t and r["n"] == n
-        ]
-        for t in params["tables"]
-        for n in params["n_values"]
-    }
-    elimination = {
-        f"N={n}": {
-            t: sum(
-                r["false_conflicts"]
+    if isinstance(sweep, FrameBackedSweepResult):
+        frame = sweep.frame
+        points = sweep.outcomes
+        fc = frame.column("false_conflicts")
+        masks = {
+            (t, n): frame.mask(table=t, n=n)
+            for t in params["tables"]
+            for n in params["n_values"]
+        }
+        series = {
+            f"{t} N={n}": [float(v) for v in fc[masks[t, n]]]
+            for t in params["tables"]
+            for n in params["n_values"]
+        }
+        elimination = {
+            f"N={n}": {t: int(fc[masks[t, n]].sum()) for t in params["tables"]}
+            for n in params["n_values"]
+        }
+    else:
+        points = [dict(r) for r in sweep.outcomes]
+        series = {
+            f"{t} N={n}": [
+                float(r["false_conflicts"])
                 for r in points
                 if r["table"] == t and r["n"] == n
-            )
+            ]
             for t in params["tables"]
+            for n in params["n_values"]
         }
-        for n in params["n_values"]
-    }
+        elimination = {
+            f"N={n}": {
+                t: sum(
+                    r["false_conflicts"]
+                    for r in points
+                    if r["table"] == t and r["n"] == n
+                )
+                for t in params["tables"]
+            }
+            for n in params["n_values"]
+        }
     return {
         "kind": "fig7",
         "x": "w",
@@ -789,6 +963,7 @@ SWEEP_KINDS: dict[str, SweepKind] = {
             wire={"concurrency": "concurrency", "samples": "samples", "engine": "engine"},
             assemble=_nw_series_assemble("fig4a"),
             engine_kind="open",
+            schema=_FIG4A_SCHEMA,
         ),
         SweepKind(
             "fig2a",
@@ -814,6 +989,7 @@ SWEEP_KINDS: dict[str, SweepKind] = {
             assemble=_nw_series_assemble("fig2a"),
             checks=(_check_power_of_two_tables,),
             engine_kind="trace",
+            schema=_FIG2A_SCHEMA,
         ),
         SweepKind(
             "fig3",
@@ -838,6 +1014,7 @@ SWEEP_KINDS: dict[str, SweepKind] = {
             },
             assemble=_fig3_assemble,
             engine_kind="overflow",
+            schema=_FIG3_SCHEMA,
         ),
         SweepKind(
             "closed",
@@ -859,6 +1036,7 @@ SWEEP_KINDS: dict[str, SweepKind] = {
             assemble=_closed_assemble,
             checks=(_check_thread_cap, _check_integral_alpha),
             engine_kind="closed",
+            schema=_CLOSED_SCHEMA,
         ),
         SweepKind(
             "model",
@@ -905,6 +1083,7 @@ SWEEP_KINDS: dict[str, SweepKind] = {
             },
             assemble=_placement_assemble,
             checks=(_check_power_of_two_tables, _check_alloc_workload),
+            schema=_PLACEMENT_SCHEMA,
         ),
         SweepKind(
             "fig7",
@@ -944,6 +1123,7 @@ SWEEP_KINDS: dict[str, SweepKind] = {
             },
             assemble=_fig7_assemble,
             checks=(_check_power_of_two_tables, _check_alloc_workload),
+            schema=_FIG7_SCHEMA,
         ),
     )
 }
@@ -997,6 +1177,7 @@ def execute_sweep(
     execution: str = "local",
     cluster_workers: int = 2,
     cache: Any = None,
+    frame: Optional[SweepFrame] = None,
 ) -> dict[str, Any]:
     """Run one validated sweep to completion (the job-queue body).
 
@@ -1007,7 +1188,10 @@ def execute_sweep(
     local path, so callers need not care which ran.  Kinds without a
     grid decomposition (``model``) always execute locally.  ``cache``
     is an optional :class:`~repro.service.cache.ResultCache` the
-    coordinator probes per chunk.
+    coordinator probes per chunk.  ``frame`` (from
+    :meth:`SweepKind.make_frame`) makes the run accumulate into typed
+    columns on every execution path; the response bytes are unchanged,
+    but progress and streaming reads become available mid-run.
     """
     sweep_kind = SWEEP_KINDS[kind]
     if execution == "cluster" and sweep_kind.clusterable:
@@ -1020,6 +1204,7 @@ def execute_sweep(
             sweep_kind.grid(params),
             workers=cluster_workers,
             cache=cache,
+            frame=frame,
         )
         return sweep_kind.assemble(params, sweep)
-    return sweep_kind.execute(params, seed, jobs)
+    return sweep_kind.execute(params, seed, jobs, frame=frame)

@@ -248,6 +248,7 @@ def run_sweep_parallel(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    frame: Optional[Any] = None,
 ) -> SweepResult:
     """Evaluate ``fn(**point)`` at every grid point on a process pool.
 
@@ -284,6 +285,13 @@ def run_sweep_parallel(
     progress:
         Optional callback ``progress(done, total)`` invoked from the
         driving process as points settle.
+    frame:
+        Optional :class:`repro.sim.frame.SweepFrame` sized to the grid.
+        Settled chunks append into its typed columns (out of order, by
+        grid index) instead of a dict list, and a clean run returns the
+        frame's lazy row view.  A run with failures falls back to a
+        materialized :class:`~repro.sim.sweep.SweepResult` so the
+        :class:`SweepFailure` outcomes stay representable.
 
     Returns
     -------
@@ -308,9 +316,12 @@ def run_sweep_parallel(
 
     start = time.perf_counter()
     if n == 0:
-        return SweepResult(
-            telemetry=SweepTelemetry(jobs, chunk_size, 0, 0.0, (), 0, 0)
-        )
+        telemetry = SweepTelemetry(jobs, chunk_size, 0, 0.0, (), 0, 0)
+        if frame is not None:
+            from repro.sim.frame import FrameBackedSweepResult
+
+            return FrameBackedSweepResult(frame, telemetry)
+        return SweepResult(telemetry=telemetry)
 
     pending_marker = object()
     outcomes: list[Any] = [pending_marker] * n
@@ -329,8 +340,17 @@ def run_sweep_parallel(
         for lo in range(0, n, chunk_size)
     )
 
-    def record(index: int, result: Optional[tuple[str, Any, float]]) -> None:
-        """Settle one point from a final (status, payload, seconds)."""
+    def record(
+        index: int,
+        result: Optional[tuple[str, Any, float]],
+        *,
+        filled: bool = False,
+    ) -> None:
+        """Settle one point from a final (status, payload, seconds).
+
+        ``filled`` marks points whose chunk already landed in ``frame``
+        column-wise, so they are not filled a second time here.
+        """
         nonlocal failures, settled
         if result is None:
             outcomes[index] = SweepFailure(
@@ -342,6 +362,8 @@ def run_sweep_parallel(
             durations[index] += seconds
             if status == "ok":
                 outcomes[index] = payload
+                if frame is not None and not filled:
+                    frame.fill(index, grid[index], payload)
             else:
                 outcomes[index] = SweepFailure(
                     dict(grid[index]), status, payload, attempts[index]
@@ -401,10 +423,27 @@ def run_sweep_parallel(
                     except BrokenProcessPool:
                         crashed.append(chunk)
                         continue
+                    # Whole-chunk success is the common case: land it in
+                    # the frame as one slice assignment per column
+                    # instead of per-point fills.  Chunk indices are
+                    # contiguous by construction (retries resubmit
+                    # single-point chunks), but check anyway.
+                    chunk_filled = (
+                        frame is not None
+                        and bool(results)
+                        and all(triple[0] == "ok" for _, triple in results)
+                        and results[-1][0] - results[0][0] + 1 == len(results)
+                    )
+                    if chunk_filled:
+                        frame.fill_many(
+                            results[0][0],
+                            [grid[i] for i, _ in results],
+                            [triple[1] for _, triple in results],
+                        )
                     for index, (status, payload, seconds) in results:
                         durations[index] += seconds
                         if status == "ok":
-                            record(index, ("ok", payload, 0.0))
+                            record(index, ("ok", payload, 0.0), filled=chunk_filled)
                         elif attempts[index] < 1 + retries:
                             retries_used += 1
                             todo.append([(index, grid[index])])
@@ -434,4 +473,10 @@ def run_sweep_parallel(
         failures=failures,
         retries=retries_used,
     )
+    if frame is not None and failures == 0:
+        from repro.sim.frame import FrameBackedSweepResult
+
+        return FrameBackedSweepResult(frame, telemetry)
+    # A run with failures carries SweepFailure outcomes, which typed
+    # columns cannot hold — fall back to the materialized dict path.
     return SweepResult(points=grid, outcomes=outcomes, telemetry=telemetry)

@@ -72,14 +72,19 @@ class SweepResult:
     def where(self, **criteria: Any) -> "SweepResult":
         """Sub-sweep matching all ``criteria`` exactly.
 
-        ``sweep.where(c=2)`` selects one Figure 4(a) line family.
+        ``sweep.where(c=2)`` selects one Figure 4(a) line family.  One
+        boolean-mask pass over the rows, then one selection pass — no
+        per-criterion intermediates.  (The frame-backed subclass does
+        the same mask as vectorized column comparisons.)
         """
-        out = SweepResult()
-        for point, outcome in self:
-            if all(point.get(k) == v for k, v in criteria.items()):
-                out.points.append(point)
-                out.outcomes.append(outcome)
-        return out
+        items = criteria.items()
+        mask = [
+            all(point.get(k) == v for k, v in items) for point in self.points
+        ]
+        return SweepResult(
+            points=[p for p, keep in zip(self.points, mask) if keep],
+            outcomes=[o for o, keep in zip(self.outcomes, mask) if keep],
+        )
 
     def series(self, x: str, y: Callable[[Any], float]) -> tuple[list[Any], list[float]]:
         """Extract an (x-values, y-values) series for plotting/printing.
@@ -131,6 +136,7 @@ def run_sweep(
     *,
     seed: Optional[int] = None,
     label: str = "sweep-point",
+    frame: Optional[Any] = None,
 ) -> SweepResult:
     """Evaluate ``fn(**point)`` at every grid point, collecting results.
 
@@ -138,9 +144,21 @@ def run_sweep(
     ``seed=`` keyword derived from :func:`repro.util.rng.point_seed`
     keyed by the point's coordinates, so outcomes are independent of
     evaluation order (and identical to the parallel engine's).
+
+    When ``frame`` (a :class:`repro.sim.frame.SweepFrame` sized to the
+    grid) is given, results accumulate into its typed columns instead of
+    dict lists and the returned result is the frame's lazy row view —
+    byte-identical to the dict path, but with mid-run progress visible
+    through the frame's filled prefix.
     """
-    result = SweepResult()
-    for point in points:
-        result.points.append(dict(point))
-        result.outcomes.append(_call_point(fn, point, seed, label))
-    return result
+    if frame is None:
+        result = SweepResult()
+        for point in points:
+            result.points.append(dict(point))
+            result.outcomes.append(_call_point(fn, point, seed, label))
+        return result
+    from repro.sim.frame import FrameBackedSweepResult
+
+    for index, point in enumerate(points):
+        frame.fill(index, point, _call_point(fn, point, seed, label))
+    return FrameBackedSweepResult(frame)

@@ -218,3 +218,72 @@ class TestDiskTier:
         cache._disk_path("cafe").write_text("{not json", encoding="utf-8")
         fresh = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
         assert fresh.lookup("cafe") == (False, None)
+
+
+class TestGzipDiskTier:
+    def big(self):
+        # Repetitive JSON well past GZIP_DISK_THRESHOLD — the shape of a
+        # real sweep payload, which compresses by an order of magnitude.
+        return {"series": {f"N={n}": [float(i) for i in range(400)]
+                           for n in (512, 1024, 2048)}}
+
+    def test_large_entries_compress_on_disk(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        value = self.big()
+        cache.put("feed", value)
+        gz = cache._disk_path("feed", ".json.gz")
+        assert gz.exists()
+        assert not cache._disk_path("feed").exists()
+        raw = len(json.dumps(value, separators=(",", ":")).encode())
+        assert gz.stat().st_size < raw / 2
+        fresh = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        assert fresh.get("feed") == value
+
+    def test_small_entries_stay_plain_json(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        cache.put("beef", {"x": 1})
+        assert cache._disk_path("beef").exists()
+        assert not cache._disk_path("beef", ".json.gz").exists()
+
+    def test_legacy_plain_entries_stay_readable(self, tmp_path):
+        # Entries written before compression landed are plain .json even
+        # when large; a new cache must keep serving them.
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        value = self.big()
+        path = cache._disk_path("0ld1")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(value), encoding="utf-8")
+        assert cache.get("0ld1") == value
+
+    def test_compressed_bytes_are_deterministic(self, tmp_path):
+        a = ResultCache(capacity=4, disk_dir=tmp_path / "a")
+        b = ResultCache(capacity=4, disk_dir=tmp_path / "b")
+        value = self.big()
+        a.put("c0de", value)
+        b.put("c0de", value)
+        assert (a._disk_path("c0de", ".json.gz").read_bytes()
+                == b._disk_path("c0de", ".json.gz").read_bytes())
+
+    def test_torn_gzip_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        cache.put("dead", self.big())
+        gz = cache._disk_path("dead", ".json.gz")
+        gz.write_bytes(gz.read_bytes()[:20])  # truncate mid-stream
+        fresh = ResultCache(capacity=4, disk_dir=tmp_path / "cache")
+        assert fresh.lookup("dead") == (False, None)
+
+    def test_entry_bytes_observer_sees_on_disk_size(self, tmp_path):
+        sizes = []
+        cache = ResultCache(capacity=4, disk_dir=tmp_path / "cache",
+                            on_entry_bytes=sizes.append)
+        cache.put("aaaa", {"x": 1})
+        cache.put("bbbb", self.big())
+        assert len(sizes) == 2
+        assert sizes[0] == cache._disk_path("aaaa").stat().st_size
+        assert sizes[1] == cache._disk_path("bbbb", ".json.gz").stat().st_size
+
+    def test_observer_not_called_without_disk_tier(self):
+        sizes = []
+        cache = ResultCache(capacity=4, on_entry_bytes=sizes.append)
+        cache.put("aaaa", {"x": 1})
+        assert sizes == []

@@ -20,14 +20,53 @@ suites instantiate it with their kind's run adapter and field list.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 import pytest
 
 from repro.sim.engines import DEFAULT_ENGINES, ENGINES, available_engines, get_engine
 
-__all__ = ["EngineContract", "registry_test_class"]
+__all__ = ["EngineContract", "assert_frame_identity", "registry_test_class"]
+
+
+def assert_frame_identity(kind_name: str, raw_params: Mapping[str, Any],
+                          seed: int = 7, jobs: Optional[int] = None) -> dict:
+    """Assert the columnar frame path reproduces the dict path exactly.
+
+    Runs one sweep kind twice — once accumulating list-of-dict rows,
+    once into a :class:`repro.sim.frame.SweepFrame` — and compares the
+    assembled results as serialized JSON, so ``8`` vs ``8.0`` or any
+    other type drift through the f8/i8 columns fails loudly rather
+    than slipping past ``==``.  Returns the assembled dict-path result
+    for further assertions.
+    """
+    from repro.sim.catalog import SWEEP_KINDS
+    from repro.sim.frame import FrameBackedSweepResult
+
+    kind = SWEEP_KINDS[kind_name]
+    params = kind.validate(raw_params)
+    frame = kind.make_frame(params)
+    assert frame is not None, f"kind {kind_name!r} declares no frame schema"
+
+    via_dicts = kind.execute(params, seed, jobs)
+    via_frame = kind.execute(params, seed, jobs, frame=frame)
+    assert frame.complete, f"{kind_name}: frame left incomplete by execute()"
+
+    dict_bytes = json.dumps(via_dicts, sort_keys=True, allow_nan=False)
+    frame_bytes = json.dumps(via_frame, sort_keys=True, allow_nan=False)
+    assert frame_bytes == dict_bytes, (
+        f"{kind_name}: frame-backed result diverges from dict path"
+    )
+
+    # The facade must also replay identical rows (points and outcomes).
+    facade = FrameBackedSweepResult(frame)
+    grid = kind.grid(params)
+    assert json.dumps(facade.points, sort_keys=True) == json.dumps(
+        [dict(p) for p in grid], sort_keys=True
+    )
+    return via_dicts
 
 
 @dataclass(frozen=True)

@@ -85,3 +85,21 @@ class TestSweepResult:
     def test_iteration(self):
         pairs = list(self.make())
         assert pairs[0] == ({"n": 1, "w": 10}, 10)
+
+    def test_where_multiple_criteria(self):
+        # Multi-criterion selection is one mask pass; every criterion
+        # must hold simultaneously, not in sequence.
+        sub = self.make().where(n=2, w=10)
+        assert sub.points == [{"n": 2, "w": 10}]
+        assert sub.outcomes == [20]
+
+    def test_where_missing_key_matches_nothing(self):
+        assert len(self.make().where(n=2, zzz=1)) == 0
+
+    def test_where_preserves_pairing(self):
+        # Points and outcomes must be selected by the same mask — a
+        # regression guard for the single-pass rewrite.
+        result = self.make()
+        sub = result.where(w=20)
+        for point, outcome in sub:
+            assert outcome == point["n"] * point["w"]
